@@ -1,0 +1,17 @@
+"""Benchmark helpers: each bench regenerates one paper table/figure.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark
+asserts the paper's reported values (counts, piece numbers, closed
+forms) in addition to timing the computation, so the bench suite
+doubles as the experiment reproduction harness; EXPERIMENTS.md records
+paper-vs-measured for each entry.
+"""
+
+import pytest
+
+
+def report(experiment_id, rows):
+    """Print a paper-style table (visible with -s / in failure output)."""
+    print("\n[%s]" % experiment_id)
+    for row in rows:
+        print("   ", row)

@@ -1,0 +1,59 @@
+"""X1 (§4.6 ablation): exact answers vs upper/lower bounds.
+
+The paper: "It may often be preferable to compute both an upper and
+lower bound on the sum.  Only if these values are far apart may it be
+worthwhile to compute the exact answer."  We measure both the cost and
+the quality gap on a formula whose exact answer needs splintering.
+"""
+
+from conftest import report
+from repro.core import Strategy, SumOptions, count
+
+# two rational bounds: exact answer splinters into 6 residue cases
+TEXT = "n <= 2*i and 3*i <= 4*n + 5"
+
+
+def truth(n):
+    return sum(1 for i in range(-50, 200) if n <= 2 * i and 3 * i <= 4 * n + 5)
+
+
+def test_exact(benchmark):
+    result = benchmark(count, TEXT, ["i"], SumOptions(strategy=Strategy.SPLINTER))
+    assert result.exactness == "exact"
+    for n in range(0, 30):
+        assert result.evaluate(n=n) == truth(n)
+    report("X1 exact (splinter)", ["terms: %d" % len(result.terms)])
+
+
+def test_upper(benchmark):
+    result = benchmark(count, TEXT, ["i"], SumOptions(strategy=Strategy.UPPER))
+    assert result.exactness == "upper"
+    gap = 0
+    for n in range(0, 30):
+        assert result.evaluate(n=n) >= truth(n)
+        gap = max(gap, result.evaluate(n=n) - truth(n))
+    assert gap < 2  # (a-1)/a + (b-1)/b < 2
+    report("X1 upper bound", ["terms: %d, max gap: %s" % (len(result.terms), gap)])
+
+
+def test_lower(benchmark):
+    result = benchmark(count, TEXT, ["i"], SumOptions(strategy=Strategy.LOWER))
+    assert result.exactness == "lower"
+    gap = 0
+    for n in range(0, 30):
+        assert result.evaluate(n=n) <= truth(n)
+        gap = max(gap, truth(n) - result.evaluate(n=n))
+    assert gap < 2
+    report("X1 lower bound", ["terms: %d, max gap: %s" % (len(result.terms), gap)])
+
+
+def test_bounds_cheaper_than_exact(benchmark):
+    """The bound answers use fewer pieces than the exact splinters --
+    the trade the paper describes."""
+    exact = benchmark(count, TEXT, ["i"], SumOptions(strategy=Strategy.SPLINTER))
+    upper = count(TEXT, ["i"], SumOptions(strategy=Strategy.UPPER))
+    assert len(upper.terms) < len(exact.terms)
+    report(
+        "X1 piece counts",
+        ["exact: %d terms, upper: %d terms" % (len(exact.terms), len(upper.terms))],
+    )

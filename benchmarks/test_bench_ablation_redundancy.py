@@ -1,0 +1,52 @@
+"""X2 (§7 ablation): redundant-constraint elimination on/off.
+
+The paper's conclusion: "Eliminating redundant constraints is useful."
+With it off, bound splits multiply on constraints a cheap test would
+have discarded.
+"""
+
+from conftest import report
+from repro.core import SumOptions, count
+
+# 1 <= i is redundant (j >= 1 and i >= j); keeping it doubles the
+# upper-bound split work downstream
+TEXT = "1 <= i <= n and 1 <= j <= i and j <= m and i <= n + m"
+
+
+def brute(n, m):
+    return sum(
+        1
+        for i in range(1, n + 1)
+        for j in range(1, min(i, m) + 1)
+    )
+
+
+def test_with_redundancy_elimination(benchmark):
+    result = benchmark(count, TEXT, ["i", "j"], SumOptions(remove_redundant=True))
+    for n in range(0, 6):
+        for m in range(0, 6):
+            assert result.evaluate(n=n, m=m) == brute(n, m)
+    report("X2 with elimination", ["terms: %d" % len(result.terms)])
+
+
+def test_without_redundancy_elimination(benchmark):
+    result = benchmark(
+        count, TEXT, ["i", "j"], SumOptions(remove_redundant=False)
+    )
+    for n in range(0, 6):
+        for m in range(0, 6):
+            assert result.evaluate(n=n, m=m) == brute(n, m)
+    report("X2 without elimination", ["terms: %d" % len(result.terms)])
+
+
+def test_fewer_terms_with_elimination(benchmark):
+    with_r = benchmark(count, TEXT, ["i", "j"], SumOptions(remove_redundant=True))
+    without = count(TEXT, ["i", "j"], SumOptions(remove_redundant=False))
+    assert len(with_r.terms) <= len(without.terms)
+    report(
+        "X2 term comparison",
+        [
+            "with: %d terms, without: %d terms"
+            % (len(with_r.terms), len(without.terms))
+        ],
+    )

@@ -1,0 +1,61 @@
+"""A2 (§1.1): load balance and balanced chunk scheduling.
+
+"determine whether a parallel loop is load balanced [TF92]; given an
+unbalanced loop, assign different number of iterations to each
+processor so that each processor gets the same total number of flops
+(balanced chunk-scheduling, as described in [HP93a])."
+"""
+
+from conftest import report
+from repro.apps import (
+    Loop,
+    LoopNest,
+    Statement,
+    balanced_chunks,
+    is_load_balanced,
+)
+
+
+def triangular():
+    return LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "i")], [Statement(flops=2)]
+    )
+
+
+def test_balance_detection(benchmark):
+    rect = LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "m")], [Statement(flops=3)]
+    )
+
+    def run():
+        return is_load_balanced(rect), is_load_balanced(triangular())
+
+    (rect_ok, rect_per), (tri_ok, tri_per) = benchmark(run)
+    assert rect_ok and not tri_ok
+    report(
+        "A2 balance detection",
+        [
+            "rectangular per-iteration: %s -> balanced" % rect_per,
+            "triangular per-iteration:  %s -> unbalanced" % tri_per,
+        ],
+    )
+
+
+def test_balanced_chunking(benchmark):
+    def run():
+        return balanced_chunks(triangular(), 4, {"n": 1000})
+
+    chunks = benchmark(run)
+    total = sum(c[2] for c in chunks)
+    assert total == 1000 * 1001  # 2 flops x n(n+1)/2 iterations
+    # near-equal work: within one outer iteration (2n flops) of ideal
+    for _, _, flops in chunks:
+        assert abs(flops - total / 4) <= 2 * 1000
+    # chunk sizes shrink: sqrt-law boundaries (~n/2, ~n/sqrt(2))
+    sizes = [b - a + 1 for a, b, _ in chunks]
+    assert sizes[0] > sizes[1] > sizes[2] > sizes[3]
+    assert abs(chunks[0][1] - 500) <= 2  # first cut near n/2
+    report(
+        "A2 balanced chunks (n=1000, P=4)",
+        ["chunks: %s" % (chunks,), "sizes: %s" % (sizes,)],
+    )

@@ -1,0 +1,62 @@
+"""S2 (§5.2 / Figure 1): splintering elimination, overlapping vs disjoint.
+
+The example: ∃β: 0 <= 3β - α <= 7 ∧ 1 <= α - 2β <= 5.  Exact
+solutions: α = 3, 5 <= α <= 27, α = 29.  The overlapping algorithm's
+pieces may share solutions; Figure 1's disjoint variant must not.
+"""
+
+from conftest import report
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.eliminate import eliminate_exact, eliminate_exact_disjoint
+from repro.omega.problem import Conjunct
+
+SOLUTIONS = {3} | set(range(5, 28)) | {29}
+
+
+def example():
+    def geq(coeffs, const=0):
+        return Constraint.geq(Affine(coeffs, const))
+
+    return Conjunct(
+        [
+            geq({"b": 3, "a": -1}),
+            geq({"b": -3, "a": 1}, 7),
+            geq({"a": 1, "b": -2}, -1),
+            geq({"a": -1, "b": 2}, 5),
+        ]
+    )
+
+
+def coverage(pieces):
+    hits = {}
+    for k, piece in enumerate(pieces):
+        for a in range(-5, 45):
+            if piece.is_satisfied({"a": a}):
+                hits.setdefault(a, []).append(k)
+    return hits
+
+
+def test_overlapping_elimination(benchmark):
+    pieces = benchmark(eliminate_exact, example(), "b")
+    hits = coverage(pieces)
+    assert set(hits) == SOLUTIONS
+    overlapped = sum(1 for v in hits.values() if len(v) > 1)
+    report(
+        "S2 overlapping splinters",
+        [
+            "pieces: %d, points covered more than once: %d"
+            % (len(pieces), overlapped)
+        ],
+    )
+
+
+def test_disjoint_elimination(benchmark):
+    pieces = benchmark(eliminate_exact_disjoint, example(), "b")
+    hits = coverage(pieces)
+    assert set(hits) == SOLUTIONS
+    assert all(len(v) == 1 for v in hits.values())  # Figure 1's guarantee
+    report(
+        "S2 disjoint splinters (Figure 1)",
+        ["pieces: %d, all points covered exactly once" % len(pieces)],
+    )

@@ -1,0 +1,49 @@
+"""E1 (§6 Example 1, Tawbi): Σ over 1<=j<=i<=n, j<=k<=m.
+
+Paper: "our greater flexibility and our ability to eliminate redundant
+constraints makes our techniques more efficient ... in this example,
+we only needed to consider 2 terms rather than 3."
+"""
+
+from conftest import report
+from repro.baselines import tawbi_count
+from repro.core import count
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+
+TEXT = "1 <= i <= n and 1 <= j <= i and j <= k <= m"
+
+
+def test_ours_two_pieces(benchmark):
+    result = benchmark(count, TEXT, ["i", "j", "k"])
+    assert len(result.terms) == 2  # the paper's headline comparison
+    for n in range(0, 5):
+        for m in range(0, 6):
+            want = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(1, i + 1)
+                for k in range(j, m + 1)
+            )
+            assert result.evaluate(n=n, m=m) == want
+    report("E1 ours", ["pieces: 2 (paper: 2)", str(result)])
+
+
+def test_tawbi_three_pieces(benchmark):
+    (clause,) = to_dnf(parse(TEXT))
+
+    def run():
+        return tawbi_count(clause, ["k", "j", "i"])
+
+    result, pieces = benchmark(run)
+    assert pieces == 3  # the paper's count for Tawbi's method
+    for n in range(0, 5):
+        for m in range(0, 6):
+            want = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(1, i + 1)
+                for k in range(j, m + 1)
+            )
+            assert result.evaluate({"n": n, "m": m}) == want
+    report("E1 Tawbi baseline", ["pieces: 3 (paper: 3)"])

@@ -1,0 +1,56 @@
+"""E2 (§6 Example 2, Haghighat-Polychronopoulos first example).
+
+Σ over 1<=i<=n, 3<=j<=i, j<=k<=5.  Paper's answer (after final
+simplification): (Σ : 5 <= n : 6n - 16) + (Σ : 3 <= n < 5 : 5n - 12).
+HP's own answer uses min/max/p() operators and "the results tend to be
+much more complicated"; their derivation takes 9 steps.
+"""
+
+from conftest import report
+from repro.baselines import hp_nested_sum
+from repro.core import count
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+
+TEXT = "1 <= i <= n and 3 <= j <= i and j <= k <= 5"
+
+
+def brute(n):
+    return sum(
+        1
+        for i in range(1, n + 1)
+        for j in range(3, i + 1)
+        for k in range(j, 6)
+    )
+
+
+def test_ours(benchmark):
+    result = benchmark(count, TEXT, ["i", "j", "k"])
+    assert len(result.terms) == 2
+    for n in range(0, 12):
+        assert result.evaluate(n=n) == brute(n)
+    # the paper's regimes
+    for n in range(5, 12):
+        assert result.evaluate(n=n) == 6 * n - 16
+    for n in (3, 4):
+        assert result.evaluate(n=n) == 5 * n - 12
+    report("E2 ours", [str(result)])
+
+
+def test_hp_baseline(benchmark):
+    (clause,) = to_dnf(parse(TEXT))
+    expr = benchmark(hp_nested_sum, clause, ["k", "j", "i"], 1)
+    for n in range(0, 12):
+        assert expr.evaluate({"n": n}) == brute(n)
+    ours = count(TEXT, ["i", "j", "k"]).simplified()
+    ours_size = sum(
+        len(t.value.terms) + len(t.guard.constraints) for t in ours.terms
+    )
+    assert expr.size() > ours_size  # "much more complicated"
+    report(
+        "E2 HP baseline",
+        [
+            "HP expression nodes: %d, our answer size: %d" % (expr.size(), ours_size),
+            "HP form (head): %s..." % str(expr)[:100],
+        ],
+    )

@@ -1,0 +1,45 @@
+"""E3 (§6 Example 3, HP's second example): Σ over the min(i, 2n-j) loop.
+
+Σ over 1<=i<=2n, 1<=j<=i, i+j<=2n.  Paper: "easily handled by our
+system ... = (Σ : 1 <= n : n²)"; HP's technique needs 15 steps.
+"""
+
+from conftest import report
+from repro.baselines import hp_nested_sum
+from repro.core import count
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+
+TEXT = "1 <= i <= 2*n and 1 <= j <= i and i + j <= 2*n"
+
+
+def brute(n):
+    return sum(
+        1
+        for i in range(1, 2 * n + 1)
+        for j in range(1, i + 1)
+        if i + j <= 2 * n
+    )
+
+
+def test_ours_n_squared(benchmark):
+    def run():
+        return count(TEXT, ["i", "j"]).simplified()
+
+    result = benchmark(run)
+    (term,) = result.terms
+    assert str(term.value) == "n**2"  # the paper's closed form
+    for n in range(0, 10):
+        assert result.evaluate(n=n) == brute(n) == (n * n if n >= 0 else 0)
+    report("E3 ours", [str(result)])
+
+
+def test_hp_baseline(benchmark):
+    (clause,) = to_dnf(parse(TEXT))
+    expr = benchmark(hp_nested_sum, clause, ["j", "i"], 1)
+    for n in range(0, 10):
+        assert expr.evaluate({"n": n}) == brute(n)
+    report(
+        "E3 HP baseline",
+        ["HP expression nodes: %d (ours: single term n**2)" % expr.size()],
+    )

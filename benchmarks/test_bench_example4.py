@@ -1,0 +1,30 @@
+"""E4 (§6 Example 4, FST91): distinct memory locations of a(6i+9j-7).
+
+for i := 1 to 8, j := 1 to 5: touch a(6i + 9j - 7).  Paper: 25
+distinct locations, computed as (Σ x=8 : 1) + (Σ 5<=α<=27 : 1) +
+(Σ x=86 : 1) = 25.
+"""
+
+from conftest import report
+from repro.apps import ArrayRef, Loop, LoopNest, Statement, memory_locations_touched
+from repro.baselines import inclusion_exclusion_count
+from repro.core import count
+
+
+def nest():
+    return LoopNest(
+        [Loop("i", 1, 8), Loop("j", 1, 5)],
+        [Statement(flops=2, refs=[ArrayRef("a", ["6*i + 9*j - 7"])])],
+    )
+
+
+def test_count_25(benchmark):
+    result = benchmark(memory_locations_touched, nest(), "a")
+    assert result.evaluate({}) == 25  # the paper's number
+    report("E4 FST example", ["distinct locations: 25 (paper: 25)"])
+
+
+def test_formula_route(benchmark):
+    text = "exists i, j: 1 <= i <= 8 and 1 <= j <= 5 and x = 6*i + 9*j - 7"
+    result = benchmark(count, text, ["x"])
+    assert result.evaluate({}) == 25

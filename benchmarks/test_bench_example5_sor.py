@@ -1,0 +1,112 @@
+"""E5 (§6 Example 5 + Figure 2): the SOR loop's footprint.
+
+Paper (N = 500): 249996 distinct memory locations, 16000 cache lines.
+Symbolically: (Σ : N >= 3 : N² - 4) memory locations, and
+N(1 + (N-2)÷16) + (N mod 16 = 1 ∧ N >= 17 : N - 2) cache lines.
+"""
+
+import pytest
+
+from conftest import report
+from repro.apps import (
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Statement,
+    cache_lines_touched,
+    memory_locations_touched,
+)
+from repro.core import count
+from repro.qpoly import Polynomial
+
+FIVE_POINT = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+
+
+def sor():
+    return LoopNest(
+        [Loop("i", 2, "N - 1"), Loop("j", 2, "N - 1")],
+        [
+            Statement(
+                flops=6,
+                refs=[
+                    ArrayRef("a", ["i", "j"]),
+                    ArrayRef("a", ["i - 1", "j"]),
+                    ArrayRef("a", ["i + 1", "j"]),
+                    ArrayRef("a", ["i", "j - 1"]),
+                    ArrayRef("a", ["i", "j + 1"]),
+                ],
+            )
+        ],
+    )
+
+
+def brute_locations(N):
+    return {
+        (i + di, j + dj)
+        for i in range(2, N)
+        for j in range(2, N)
+        for di, dj in FIVE_POINT
+    }
+
+
+def test_memory_locations_numeric(benchmark):
+    result = benchmark(memory_locations_touched, sor(), "a")
+    assert result.evaluate(N=500) == 249996  # the paper's Figure 2
+    # the loop-nest route compacts to exactly the paper's closed form
+    compact = result.compacted()
+    (term,) = compact.terms
+    n = Polynomial.variable("N")
+    assert term.value == n * n - 4
+    assert term.guard.is_satisfied({"N": 3})
+    report(
+        "E5 SOR memory (N=500)",
+        ["249996 (paper: 249996)", "compacted: %s" % compact],
+    )
+
+
+def test_memory_locations_symbolic_form(benchmark):
+    """Via the paper's §5.1 summarized region the answer is a single
+    clause (Σ : N >= 3 : N² - 4)."""
+    text = (
+        "1 <= x and 1 <= y and x <= N and y <= N and 3 <= x + y and "
+        "x + y <= 2*N - 1 and 2 - N <= x - y and x - y <= N - 2"
+    )
+
+    def run():
+        return count(text, ["x", "y"]).simplified()
+
+    result = benchmark(run)
+    (term,) = result.terms
+    n = Polynomial.variable("N")
+    assert term.value == n * n - 4
+    for N in range(1, 10):
+        assert result.evaluate(N=N) == len(brute_locations(N))
+    report("E5 SOR memory symbolic", [str(result), "(paper: N >= 3 : N² - 4)"])
+
+
+def test_cache_lines_numeric(benchmark):
+    def run():
+        return cache_lines_touched(sor(), "a", line_size=16)
+
+    result = benchmark(run)
+    assert result.evaluate(N=500) == 16000  # the paper's figure
+    # symbolic spot checks against brute force, incl. the N mod 16 = 1
+    # extra-term regime the paper calls out
+    for N in (3, 16, 17, 33, 49, 100):
+        want = len({((x - 1) // 16, y) for x, y in brute_locations(N)})
+        assert result.evaluate(N=N) == want, N
+    report("E5 SOR cache lines (N=500)", ["16000 (paper: 16000)"])
+
+
+def test_flops_and_balance(benchmark):
+    from repro.apps import count_flops
+
+    flops = benchmark(count_flops, sor())
+    assert flops.evaluate(N=500) == 6 * 498 * 498
+    mem = memory_locations_touched(sor(), "a")
+    ratio = flops.evaluate(N=500) / mem.evaluate(N=500)
+    assert 5.9 < ratio < 6.0  # ~6 flops per location: low reuse
+    report(
+        "E5 computation/memory balance",
+        ["flops/location at N=500: %.3f" % ratio],
+    )

@@ -1,0 +1,40 @@
+"""E6 (§6 Example 6): Σ over 1 <= i, j <= n, 2i <= 3j.
+
+Paper's final simplified answer: (Σ : 1 <= n : (3n² + 2n - n mod 2)/4),
+reached by splintering on the parity of 3j, summing, relaxing the
+guard (the first clause's value is 0 at n = 1) and recombining with
+(n mod 2)² = n mod 2.
+"""
+
+from fractions import Fraction
+
+from conftest import report
+from repro.core import count
+from repro.qpoly import ModAtom, Polynomial
+
+TEXT = "1 <= i and 1 <= j <= n and 2*i <= 3*j"
+
+
+def brute(n):
+    return sum(
+        1
+        for j in range(1, n + 1)
+        for i in range(1, (3 * j) // 2 + 1)
+    )
+
+
+def test_example6(benchmark):
+    def run():
+        return count(TEXT, ["i", "j"]).simplified()
+
+    result = benchmark(run)
+    (term,) = result.terms
+    n = Polynomial.variable("n")
+    m = Polynomial.atom(ModAtom({"n": 1}, 0, 2))
+    assert term.value == (3 * n * n + 2 * n - m) / 4  # the paper's answer
+    for k in range(0, 16):
+        assert result.evaluate(n=k) == brute(k)
+    report(
+        "E6",
+        [str(result), "(paper: (3n² + 2n - n mod 2)/4 for n >= 1)"],
+    )

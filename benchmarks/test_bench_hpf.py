@@ -1,0 +1,77 @@
+"""A1 (§3.3): HPF block-cyclic distribution analyses.
+
+The paper's mapping: T(0:1024) distributed CYCLIC(4) onto 8 processors,
+t = l + 4p + 32c ∧ 0 <= l <= 3 ∧ 0 <= p <= 7.  Counting solutions of
+formulas over the mapping quantifies ownership, message traffic and
+buffer sizes.
+"""
+
+from conftest import report
+from repro.apps import (
+    BlockCyclicDistribution,
+    communication_volume,
+    message_buffer_size,
+)
+from repro.apps.comm import total_messages
+
+
+def owner(t):
+    return (t // 4) % 8
+
+
+def test_ownership_counts(benchmark):
+    dist = BlockCyclicDistribution(block=4, procs=8)
+
+    def run():
+        return dist.elements_per_processor("0 <= t <= 1024")
+
+    per = benchmark(run)
+    counts = [per.evaluate(p=p) for p in range(8)]
+    assert counts == [129] + [128] * 7
+    assert sum(counts) == 1025
+    report("A1 ownership (T(0:1024), CYCLIC(4) on 8)", ["per-proc: %s" % counts])
+
+
+def test_shift_communication(benchmark):
+    dist = BlockCyclicDistribution(block=4, procs=8)
+
+    def run():
+        return communication_volume(dist, "0 <= t <= 1023", shift=1)
+
+    vol = benchmark(run)
+    for q in range(8):
+        for p in range(8):
+            if p == q:
+                continue
+            want = sum(
+                1
+                for t in range(0, 1024)
+                if owner(t) == p and owner(t + 1) == q
+            )
+            assert vol.evaluate(p=p, q=q) == want
+    buf = message_buffer_size(dist, "0 <= t <= 1023", 1)
+    msgs = total_messages(dist, "0 <= t <= 1023", 1)
+    assert buf == 32  # 32 block boundaries feed each neighbour pair
+    assert msgs == 8  # a ring: every processor sends to one neighbour
+    report(
+        "A1 shift-by-1 communication",
+        ["buffer size: %d elements, messages: %d" % (buf, msgs)],
+    )
+
+
+def test_block_shift_worst_case(benchmark):
+    dist = BlockCyclicDistribution(block=4, procs=8)
+
+    def run():
+        return communication_volume(dist, "0 <= t <= 1023", shift=4)
+
+    vol = benchmark(run)
+    moved = sum(
+        vol.evaluate(p=p, q=q)
+        for p in range(8)
+        for q in range(8)
+        if p != q
+    )
+    # shifting by a full block moves every element to the neighbour
+    assert moved == 1024
+    report("A1 shift-by-block", ["total elements moved: %d of 1024" % moved])

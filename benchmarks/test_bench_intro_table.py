@@ -1,0 +1,39 @@
+"""T1: the introduction's table of simple symbolic summations.
+
+| Sum                       | Paper's answer          |
+|---------------------------|-------------------------|
+| Σ 1, 1<=i<=10             | 10                      |
+| Σ 1, 1<=i<=n              | n          (if n >= 1)  |
+| Σ 1, 1<=i,j<=n            | n²         (if n >= 1)  |
+| Σ 1, 1<=i<j<=n            | n(n-1)/2   (if n >= 2)  |
+"""
+
+from conftest import report
+from repro.core import count
+from repro.qpoly import Polynomial
+
+
+ROWS = [
+    ("1 <= i <= 10", ["i"], "10"),
+    ("1 <= i <= n", ["i"], "n"),
+    ("1 <= i <= n and 1 <= j <= n", ["i", "j"], "n**2"),
+    ("1 <= i and i < j and j <= n", ["i", "j"], "1/2*n**2 - 1/2*n"),
+]
+
+
+def compute_all():
+    return [count(text, over) for text, over, _ in ROWS]
+
+
+def test_intro_table(benchmark):
+    results = benchmark(compute_all)
+    lines = []
+    for (text, over, want), result in zip(ROWS, results):
+        (term,) = result.terms
+        assert str(term.value) == want, (text, str(term.value))
+        lines.append("%-42s -> %s" % (text, result))
+    report("T1 intro table", lines)
+    # spot values
+    assert results[0].evaluate({}) == 10
+    assert results[2].evaluate(n=7) == 49
+    assert results[3].evaluate(n=10) == 45

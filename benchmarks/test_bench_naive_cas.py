@@ -1,0 +1,41 @@
+"""T2: the Mathematica-style naive answer vs the guarded answer.
+
+Paper (introduction): Mathematica reports Σ_{i=1}^{n} Σ_{j=i}^{m} 1 as
+n(2m - n + 1)/2, "valid only if 1 <= n <= m.  If 1 <= m < n, the
+answer is m(m+1)/2."
+"""
+
+from fractions import Fraction
+
+from conftest import report
+from repro.baselines import naive_nested_sum
+from repro.core import count
+
+TEXT = "1 <= i <= n and i <= j <= m"
+
+
+def test_naive_vs_guarded(benchmark):
+    def run():
+        naive = naive_nested_sum([("i", "1", "n"), ("j", "i", "m")], 1)
+        ours = count(TEXT, ["i", "j"])
+        return naive, ours
+
+    naive, ours = benchmark(run)
+    rows = ["naive (one polynomial, no guards): %s" % naive,
+            "ours  (guarded pieces):            %s" % ours]
+
+    wrong_points = 0
+    for n in range(0, 9):
+        for m in range(0, 9):
+            truth = sum(1 for i in range(1, n + 1) for j in range(i, m + 1))
+            assert ours.evaluate(n=n, m=m) == truth
+            if naive.evaluate({"n": n, "m": m}) != truth:
+                wrong_points += 1
+    rows.append("naive wrong on %d of 81 sampled (n, m) points" % wrong_points)
+    report("T2 naive CAS comparison", rows)
+
+    # the paper's two regimes
+    assert naive.evaluate({"n": 3, "m": 5}) == Fraction(3 * (2 * 5 - 3 + 1), 2)
+    assert ours.evaluate(n=5, m=3) == 3 * 4 // 2  # m(m+1)/2 regime
+    assert naive.evaluate({"n": 5, "m": 3}) != 6  # and naive disagrees
+    assert wrong_points > 0

@@ -1,0 +1,34 @@
+"""E-proj (§2.1): projecting x = 6i + 9j - 7 onto x.
+
+Paper: the solutions are "all numbers between 8 and 86 (inclusive)
+that have remainder 2 when divided by 3, except for 11 and 83", i.e.
+x = 8  ∨  (14 <= x <= 80 ∧ 3 | (x+1))  ∨  x = 86 in stride format.
+"""
+
+from conftest import report
+from repro.presburger.disjoint import to_disjoint_dnf
+from repro.presburger.parser import parse
+
+TEXT = "exists i, j: 1 <= i <= 8 and 1 <= j <= 5 and x = 6*i + 9*j - 7"
+
+
+def test_projection(benchmark):
+    formula = parse(TEXT)
+    clauses = benchmark(to_disjoint_dnf, formula)
+
+    want = {6 * i + 9 * j - 7 for i in range(1, 9) for j in range(1, 6)}
+    assert want == {
+        x for x in range(8, 87) if x % 3 == 2 and x not in (11, 83)
+    }
+    hits = {}
+    for k, clause in enumerate(clauses):
+        for x in range(0, 120):
+            if clause.is_satisfied({"x": x}):
+                hits.setdefault(x, []).append(k)
+    assert set(hits) == want
+    assert all(len(v) == 1 for v in hits.values())  # disjoint
+    report(
+        "E-proj §2.1 (25 solutions, disjoint stride clauses)",
+        ["%d disjoint clauses; solutions: %d" % (len(clauses), len(hits))]
+        + [str(c) for c in clauses],
+    )

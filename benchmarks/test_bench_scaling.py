@@ -1,0 +1,54 @@
+"""X4: scaling of the engine with nest depth and clause count.
+
+The paper gives complexity context ("nondeterministic lower bound of
+2^2^O(n)" for full Presburger) but reports that practical formulas are
+fast.  This bench charts the practical growth on the two axes users
+hit: triangular nest depth (convex sums) and number of union clauses
+(disjoint DNF).
+"""
+
+import pytest
+
+from conftest import report
+from repro.core import count
+from repro.presburger.parser import parse
+
+
+def triangular_text(depth):
+    vars_ = ["i%d" % k for k in range(depth)]
+    parts = ["1 <= i0 <= n"]
+    for a, b in zip(vars_, vars_[1:]):
+        parts.append("1 <= %s <= %s" % (b, a))
+    return " and ".join(parts), vars_
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_depth_scaling(benchmark, depth):
+    text, vars_ = triangular_text(depth)
+    result = benchmark(count, text, vars_)
+    # the simplex count: C(n + depth - 1, depth)
+    import math
+
+    for n in range(0, 6):
+        want = math.comb(n + depth - 1, depth) if n > 0 else 0
+        assert result.evaluate(n=n) == want
+    report("X4 depth %d" % depth, ["terms: %d" % len(result.terms)])
+
+
+@pytest.mark.parametrize("clauses", [1, 2, 3, 4])
+def test_union_scaling(benchmark, clauses):
+    text = " or ".join(
+        "(%d <= x <= %d + n)" % (4 * k, 4 * k + 5) for k in range(clauses)
+    )
+    formula = parse(text)
+    result = benchmark(count, formula, ["x"])
+    for n in range(0, 8):
+        want = len(
+            {
+                x
+                for k in range(clauses)
+                for x in range(4 * k, 4 * k + 5 + n + 1)
+            }
+        )
+        assert result.evaluate(n=n) == want
+    report("X4 union of %d clauses" % clauses, ["terms: %d" % len(result.terms)])

@@ -1,0 +1,94 @@
+"""S1 (§5.1.1): summarizing stencil offset sets -- two methods.
+
+Paper: "the Omega test can summarize 4-point and 5-point stencils
+specified this way [0-1 programming] as a convex region plus stride
+constraints, [but] it was unable to produce a convex summary for a
+9-point stencil"; the hull route handles all three.  We reproduce the
+comparison and report what *our* implementation achieves on each.
+"""
+
+import pytest
+
+from conftest import report
+from repro.polyhedra import summarize_offsets, zero_one_summary
+
+FIVE = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+FOUR = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+NINE = [(a, b) for a in (-1, 0, 1) for b in (-1, 0, 1)]
+
+STENCILS = [("4-point", FOUR), ("5-point", FIVE), ("9-point", NINE)]
+
+
+def points_of_formula(f, box=3):
+    return {
+        (x, y)
+        for x in range(-box, box + 1)
+        for y in range(-box, box + 1)
+        if f.evaluate({"x": x, "y": y})
+    }
+
+
+def points_of_clauses(clauses, box=3):
+    out = set()
+    for c in clauses:
+        for x in range(-box, box + 1):
+            for y in range(-box, box + 1):
+                if c.is_satisfied({"x": x, "y": y}):
+                    out.add((x, y))
+    return out
+
+
+@pytest.mark.parametrize("name,points", STENCILS, ids=[s[0] for s in STENCILS])
+def test_hull_method(benchmark, name, points):
+    def run():
+        return summarize_offsets(points, ["x", "y"])
+
+    formula, exact = benchmark(run)
+    assert exact, "%s: hull+stride summary not exact" % name
+    assert points_of_formula(formula) == set(points)
+
+
+@pytest.mark.parametrize(
+    "name,points", STENCILS[:2], ids=[s[0] for s in STENCILS[:2]]
+)
+def test_zero_one_method(benchmark, name, points):
+    def run():
+        return zero_one_summary(points, ["x", "y"])
+
+    clauses, compact = benchmark(run)
+    # semantics always hold; compactness is what the paper found iffy
+    assert points_of_clauses(clauses) == set(points)
+    # Our measurement: 5-point compact (single clause), 4-point 3
+    # disjoint clauses -- the paper's Omega summarized both.  See
+    # EXPERIMENTS.md S1 for the comparison.
+    if name == "5-point":
+        assert compact
+    report(
+        "S1 0-1 method on %s" % name,
+        [
+            "clauses: %d, compact: %s (paper: 4/5-point yes, 9-point no)"
+            % (len(clauses), compact)
+        ],
+    )
+
+
+def test_zero_one_nine_point_not_compact(benchmark):
+    """The 9-point failure case: the simplification work blows up (the
+    paper's implementation "was unable to produce a convex summary"),
+    so the work budget trips and the per-point fallback is returned --
+    ``compact = False`` either way.  (Run without a budget the
+    computation grinds for tens of seconds and still ends with several
+    clauses.)"""
+
+    def run():
+        # a modest budget keeps the bench bounded; the outcome is the
+        # same with the default (tried: it grinds longer, still fails)
+        return zero_one_summary(NINE, ["x", "y"], budget=200)
+
+    clauses, compact = benchmark(run)
+    assert not compact  # matches the paper's negative result
+    assert points_of_clauses(clauses) == set(NINE)
+    report(
+        "S1 0-1 method on 9-point",
+        ["clauses: %d, compact: %s (paper: no)" % (len(clauses), compact)],
+    )

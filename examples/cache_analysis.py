@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Cache and memory footprint analysis of the SOR kernel (Example 5).
+
+The paper's motivating application: given
+
+    for i := 2 to N-1 do
+      for j := 2 to N-1 do
+        a(i,j) = (2*a(i,j) + a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1))/6
+
+count the distinct memory locations and cache lines touched, estimate
+the computation/memory balance, and decide whether the loop will flush
+the cache -- all symbolically in N.
+
+Run:  python examples/cache_analysis.py
+"""
+
+from repro.apps import (
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Statement,
+    cache_lines_touched,
+    count_flops,
+    count_iterations,
+    memory_locations_touched,
+)
+
+
+def build_sor():
+    return LoopNest(
+        loops=[Loop("i", 2, "N - 1"), Loop("j", 2, "N - 1")],
+        statements=[
+            Statement(
+                flops=6,
+                refs=[
+                    ArrayRef("a", ["i", "j"]),
+                    ArrayRef("a", ["i - 1", "j"]),
+                    ArrayRef("a", ["i + 1", "j"]),
+                    ArrayRef("a", ["i", "j - 1"]),
+                    ArrayRef("a", ["i", "j + 1"]),
+                ],
+            )
+        ],
+    )
+
+
+def main():
+    nest = build_sor()
+    print("SOR kernel:", nest.loops[0], "/", nest.loops[1])
+
+    iters = count_iterations(nest)
+    flops = count_flops(nest)
+    print("\niterations:", iters.simplified())
+    print("flops:     ", flops.simplified())
+
+    mem = memory_locations_touched(nest, "a")
+    print("\ndistinct memory locations (symbolic):")
+    for term in mem.simplified().terms:
+        print("   ", term)
+    print("at N=500:", mem.evaluate(N=500), "(paper: 249996)")
+
+    lines = cache_lines_touched(nest, "a", line_size=16)
+    print("\ndistinct 16-element cache lines at N=500:",
+          lines.evaluate(N=500), "(paper: 16000)")
+
+    print("\ncomputation/memory balance (flops per distinct location):")
+    for N in (10, 100, 500, 1000):
+        f = flops.evaluate(N=N)
+        m = mem.evaluate(N=N)
+        print("   N=%-5d  %d flops / %d locations = %.3f" % (N, f, m, f / m))
+
+    print("\ncache-flush estimate: a 32KB cache holds %d lines of 16" % 2048)
+    for N in (100, 180, 200, 500):
+        touched = lines.evaluate(N=N)
+        verdict = "flushes" if touched > 2048 else "fits"
+        print("   N=%-5d touches %6d lines -> %s" % (N, touched, verdict))
+
+
+if __name__ == "__main__":
+    main()

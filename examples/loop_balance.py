@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Load balance analysis and balanced chunk scheduling ([TF92], [HP93a]).
+
+A triangular loop nest
+
+    for i := 1 to n do
+      for j := 1 to i do
+        2 flops
+
+is badly load-unbalanced if the outer iterations are divided evenly
+among processors.  The paper's application: count the flops of each
+outer iteration symbolically, detect the imbalance, and compute chunk
+boundaries so that every processor receives the same total work.
+
+Run:  python examples/loop_balance.py
+"""
+
+from repro.apps import (
+    Loop,
+    LoopNest,
+    Statement,
+    balanced_chunks,
+    count_flops,
+    flops_by_outer_iteration,
+    is_load_balanced,
+)
+
+
+def main():
+    tri = LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "i")], [Statement(flops=2)]
+    )
+    rect = LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "m")], [Statement(flops=2)]
+    )
+
+    print("rectangular nest: for i=1..n, j=1..m")
+    ok, per = is_load_balanced(rect)
+    print("   per-outer-iteration work:", per)
+    print("   load balanced:", ok)
+
+    print("\ntriangular nest: for i=1..n, j=1..i")
+    ok, per = is_load_balanced(tri)
+    print("   per-outer-iteration work:", per)
+    print("   load balanced:", ok)
+
+    total = count_flops(tri)
+    print("   total flops:", total.simplified())
+
+    n, procs = 1000, 4
+    print("\nnaive even split of i = 1..%d over %d processors:" % (n, procs))
+    per_expr = flops_by_outer_iteration(tri)
+    step = n // procs
+    for k in range(procs):
+        first, last = k * step + 1, (k + 1) * step
+        work = sum(per_expr.evaluate(i=i, n=n) for i in range(first, last + 1))
+        print("   proc %d: i in [%4d, %4d]  flops: %8d" % (k, first, last, work))
+
+    print("\nbalanced chunk scheduling ([HP93a]):")
+    chunks = balanced_chunks(tri, procs, {"n": n})
+    for k, (first, last, flops) in enumerate(chunks):
+        print("   proc %d: i in [%4d, %4d]  flops: %8d" % (k, first, last, flops))
+    spread = max(c[2] for c in chunks) - min(c[2] for c in chunks)
+    print("   max-min spread: %d flops (vs ~%d for the naive split)" % (
+        spread, 2 * (n * step - step * step)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: counting solutions to Presburger formulas.
+
+Reproduces the flavor of the paper's introduction: symbolic counts and
+sums over integer solution sets, with guarded piecewise answers that
+are correct for *every* value of the symbolic constants.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Strategy, SumOptions, count, count_bounds, sum_poly
+
+
+def main():
+    print("=" * 70)
+    print("Counting Solutions to Presburger Formulas -- quickstart")
+    print("=" * 70)
+
+    # -- the introduction's table ---------------------------------------
+    print("\n1. Simple symbolic counts (the paper's intro table):")
+    for text, over in [
+        ("1 <= i <= 10", ["i"]),
+        ("1 <= i <= n", ["i"]),
+        ("1 <= i <= n and 1 <= j <= n", ["i", "j"]),
+        ("1 <= i and i < j and j <= n", ["i", "j"]),
+    ]:
+        result = count(text, over)
+        print("   (Σ %s : %s : 1) = %s" % (", ".join(over), text, result))
+
+    # -- guarded answers vs CAS assumptions -----------------------------
+    print("\n2. Why guards matter (the Mathematica example):")
+    r = count("1 <= i <= n and i <= j <= m", ["i", "j"])
+    print("   Σ_{i=1..n} Σ_{j=i..m} 1 =", r)
+    print("   at n=3, m=5:", r.evaluate(n=3, m=5), " (naive formula: 12)")
+    print("   at n=5, m=3:", r.evaluate(n=5, m=3), " (naive formula: 5 -- wrong!)")
+
+    # -- summing polynomials ----------------------------------------------
+    print("\n3. Summing a polynomial over the solutions:")
+    s = sum_poly("1 <= i <= n", ["i"], "i*i")
+    print("   Σ_{i=1..n} i² =", s)
+    print("   at n=100:", s.evaluate(n=100))
+
+    # -- quasi-polynomials: Example 6 ------------------------------------
+    print("\n4. Quasi-polynomial answers (the paper's Example 6):")
+    e6 = count("1 <= i and 1 <= j <= n and 2*i <= 3*j", ["i", "j"]).simplified()
+    print("   (Σ i,j : 1<=i, j<=n, 2i<=3j : 1) =", e6)
+    print("   at n=10:", e6.evaluate(n=10))
+
+    # -- floors, mods, strides ----------------------------------------------
+    print("\n5. Nonlinear-but-Presburger constraints (Section 3):")
+    fl = count("1 <= i and 3*i <= n", ["i"]).simplified()
+    print("   #{ i : 1 <= i <= floor(n/3) } =", fl)
+    ev = count("2 | i and 1 <= i <= n", ["i"]).simplified()
+    print("   even i in 1..n:", ev)
+
+    # -- upper/lower bounds instead of exact answers -----------------------
+    print("\n6. Approximate answers (Section 4.6):")
+    lo, hi = count_bounds("1 <= i and 7*i <= n", ["i"])
+    print("   lower:", lo)
+    print("   upper:", hi)
+    print("   exact at n=30:", count("1 <= i and 7*i <= n", ["i"]).evaluate(n=30),
+          " bracket: [%s, %s]" % (lo.evaluate(n=30), hi.evaluate(n=30)))
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro -- Counting Solutions to Presburger Formulas: How and Why.
+
+A from-scratch reproduction of William Pugh's PLDI 1994 paper: count
+the number of integer solutions to selected free variables of a
+Presburger formula, or sum a polynomial over those solutions, with the
+answer given *symbolically* in terms of the remaining free variables.
+
+Quickstart::
+
+    >>> from repro import count
+    >>> r = count("1 <= i and i < j and j <= n", over=["i", "j"])
+    >>> print(r)
+    (Σ : n - 2 >= 0 : 1/2*n**2 - 1/2*n)
+    >>> r.evaluate(n=10)
+    45
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.omega` -- the Omega test: integer linear constraints,
+  projection with dark shadows and splintering, satisfiability, gist.
+* :mod:`repro.presburger` -- formula AST, parser, DNF and disjoint DNF.
+* :mod:`repro.core` -- the counting/summation engine.
+* :mod:`repro.polyhedra` -- stencil summarization (§5.1).
+* :mod:`repro.apps` -- loop analysis: iterations, flops, memory and
+  cache footprints, HPF communication, load balance.
+* :mod:`repro.baselines` -- naive CAS summation, Tawbi, FST91,
+  Haghighat-Polychronopoulos comparators.
+"""
+
+from repro.core import (
+    Strategy,
+    SumOptions,
+    SymbolicSum,
+    Term,
+    count,
+    count_conjunct,
+    sum_poly,
+)
+from repro.core.general import count_bounds
+from repro.omega import Affine, Conjunct, Constraint
+from repro.presburger import parse, simplify, to_disjoint_dnf, to_dnf
+from repro.qpoly import ModAtom, Polynomial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Affine",
+    "Conjunct",
+    "Constraint",
+    "ModAtom",
+    "Polynomial",
+    "Strategy",
+    "SumOptions",
+    "SymbolicSum",
+    "Term",
+    "count",
+    "count_bounds",
+    "count_conjunct",
+    "parse",
+    "simplify",
+    "sum_poly",
+    "to_disjoint_dnf",
+    "to_dnf",
+]

@@ -1,0 +1,136 @@
+"""Command-line interface: count or sum from a shell.
+
+Examples::
+
+    python -m repro count "1 <= i and i < j and j <= n" --over i,j
+    python -m repro sum "1 <= i <= n" --over i --poly "i*i"
+    python -m repro count "1 <= i and 3*i <= n" --over i --simplify \
+        --table n=0:20
+    python -m repro simplify "x >= 1 and x >= 0 and (x <= 5 or x <= 9)"
+"""
+
+import argparse
+import sys
+
+from repro.core import Strategy, SumOptions, count, sum_poly
+from repro.presburger.parser import parse
+from repro.presburger.simplify import simplify
+
+
+def _parse_table(spec: str):
+    """``n=0:20`` or ``n=0:20:2`` -> (symbol, range)."""
+    name, _, rng = spec.partition("=")
+    parts = rng.split(":")
+    if not name or len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            "table spec must look like n=0:20 or n=0:20:2"
+        )
+    lo, hi = int(parts[0]), int(parts[1])
+    step = int(parts[2]) if len(parts) == 3 else 1
+    return name, range(lo, hi + 1, step)
+
+
+def _options(args) -> SumOptions:
+    return SumOptions(
+        strategy=Strategy(args.strategy),
+        remove_redundant=not args.keep_redundant,
+    )
+
+
+def _over(args):
+    return [v.strip() for v in args.over.split(",") if v.strip()]
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Count solutions to Presburger formulas (Pugh, PLDI 1994)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, needs_over=True):
+        p.add_argument("formula", help="formula text, e.g. '1 <= i <= n'")
+        if needs_over:
+            p.add_argument(
+                "--over",
+                required=True,
+                help="comma-separated variables to count/sum over",
+            )
+            p.add_argument(
+                "--strategy",
+                default="exact",
+                choices=[s.value for s in Strategy],
+                help="rational-bound strategy (default: exact)",
+            )
+            p.add_argument(
+                "--keep-redundant",
+                action="store_true",
+                help="skip redundant-constraint elimination",
+            )
+            p.add_argument(
+                "--simplify",
+                action="store_true",
+                help="post-process: merge residues, widen guards",
+            )
+            p.add_argument(
+                "--table",
+                type=_parse_table,
+                help="also print values along one symbol, e.g. n=0:20",
+            )
+            p.add_argument(
+                "--at",
+                action="append",
+                default=[],
+                metavar="sym=value",
+                help="evaluate at a symbol assignment (repeatable)",
+            )
+
+    common(sub.add_parser("count", help="count integer solutions"))
+    p_sum = sub.add_parser("sum", help="sum a polynomial over the solutions")
+    common(p_sum)
+    p_sum.add_argument(
+        "--poly", required=True, help="the summand, e.g. 'i*i + 2*j'"
+    )
+    p_simp = sub.add_parser(
+        "simplify", help="simplify a formula to (disjoint) DNF"
+    )
+    p_simp.add_argument("formula")
+    p_simp.add_argument(
+        "--disjoint", action="store_true", help="make the clauses disjoint"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "simplify":
+        clauses = simplify(parse(args.formula), disjoint=args.disjoint)
+        if not clauses:
+            print("FALSE")
+        for clause in clauses:
+            print(clause)
+        return 0
+
+    over = _over(args)
+    if args.command == "count":
+        result = count(args.formula, over, _options(args))
+    else:
+        result = sum_poly(args.formula, over, args.poly, _options(args))
+    if args.simplify:
+        result = result.simplified()
+    print(result)
+
+    fixed = {}
+    for spec in args.at:
+        name, _, value = spec.partition("=")
+        fixed[name.strip()] = int(value)
+    if fixed:
+        print("at %s: %s" % (fixed, result.evaluate(fixed)))
+    if args.table:
+        name, values = args.table
+        for v, c in result.table(name, values, **fixed):
+            print("  %s=%-6d %s" % (name, v, c))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Applications of symbolic counting (Section 1.1 of the paper).
+
+Given a loop nest with affine bounds, guards and subscripts, the
+modules here build Presburger formulas whose solutions correspond to:
+
+* the iterations executed / flops performed (:mod:`repro.apps.counting`),
+* the distinct memory locations or cache lines touched
+  (:mod:`repro.apps.memory`),
+* the array elements communicated under an HPF block-cyclic
+  distribution (:mod:`repro.apps.comm`),
+
+and count them -- estimating execution time, computing
+computation/memory balance, checking load balance and sizing message
+buffers (:mod:`repro.apps.balance`).
+"""
+
+from repro.apps.loopnest import ArrayRef, Loop, LoopNest, Statement
+from repro.apps.counting import (
+    count_flops,
+    count_iterations,
+    machine_balance,
+)
+from repro.apps.memory import cache_lines_touched, memory_locations_touched
+from repro.apps.comm import (
+    BlockCyclicDistribution,
+    communication_volume,
+    message_buffer_size,
+)
+from repro.apps.balance import (
+    balanced_chunks,
+    flops_by_outer_iteration,
+    is_load_balanced,
+)
+from repro.apps.cachewrap import cache_lines_worst_alignment, cache_lines_wrapped
+from repro.apps.deps import count_dependences, count_dependent_iterations
+from repro.apps.missrate import estimate_cache_behavior, flush_threshold
+from repro.apps.memory import total_footprint
+
+__all__ = [
+    "ArrayRef",
+    "BlockCyclicDistribution",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "balanced_chunks",
+    "cache_lines_touched",
+    "cache_lines_worst_alignment",
+    "cache_lines_wrapped",
+    "count_dependences",
+    "count_dependent_iterations",
+    "estimate_cache_behavior",
+    "flush_threshold",
+    "total_footprint",
+    "communication_volume",
+    "count_flops",
+    "count_iterations",
+    "flops_by_outer_iteration",
+    "is_load_balanced",
+    "machine_balance",
+    "memory_locations_touched",
+    "message_buffer_size",
+]

@@ -1,0 +1,137 @@
+"""Load balance and balanced chunk scheduling (§1.1, [TF92], [HP93a]).
+
+* ``flops_by_outer_iteration`` -- work performed by one iteration of an
+  outer loop, symbolically in the loop variable: the quantity [TF92]
+  uses to decide whether a parallel loop is load balanced.
+* ``is_load_balanced`` -- the work is independent of the iteration.
+* ``balanced_chunks`` -- given an unbalanced loop, assign contiguous
+  iteration ranges to processors so each gets (nearly) the same number
+  of flops (balanced chunk scheduling, [HP93a]).
+"""
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.loopnest import LoopNest
+from repro.apps.counting import count_flops
+from repro.core import SumOptions, SymbolicSum, count
+from repro.core.options import DEFAULT_OPTIONS
+from repro.presburger.ast import And
+from repro.presburger.parser import parse
+
+
+def flops_by_outer_iteration(
+    nest: LoopNest, options: SumOptions = DEFAULT_OPTIONS
+) -> SymbolicSum:
+    """Flops executed by one iteration of the outermost loop.
+
+    The outer loop variable is left symbolic: the result is a function
+    of it (and the other symbolic constants).
+    """
+    outer = nest.loops[0]
+    inner = LoopNest(
+        nest.loops[1:],
+        nest.statements,
+        guard=And.of(nest.guard, outer.bound_formula()),
+    )
+    total = SymbolicSum([])
+    for stmt in nest.statements:
+        domain = inner.statement_domain(stmt)
+        depth = None if stmt.depth is None else max(stmt.depth - 1, 0)
+        vars_ = inner.iter_vars if depth is None else inner.iter_vars[:depth]
+        total = total + count(domain, vars_, options).scale(stmt.flops)
+    return total
+
+
+def is_load_balanced(
+    nest: LoopNest, options: SumOptions = DEFAULT_OPTIONS
+) -> Tuple[bool, SymbolicSum]:
+    """Does every outer iteration perform the same number of flops?
+
+    Returns (balanced, per-iteration work).  Balanced means the work
+    does not depend on the outer loop variable -- neither in the values
+    nor in the guards.
+    """
+    per_iter = flops_by_outer_iteration(nest, options).simplified()
+    outer = nest.loops[0]
+    outer_var = outer.var
+    # Constraints merely restating the outer loop's own bounds do not
+    # make the loop unbalanced; gist them away before judging.
+    from repro.omega.redundancy import gist
+    from repro.presburger.dnf import to_dnf
+
+    context_clauses = to_dnf(And.of(nest.guard, outer.bound_formula()))
+    context = context_clauses[0] if len(context_clauses) == 1 else None
+    balanced = True
+    for term in per_iter.terms:
+        if outer_var in term.value.variables():
+            balanced = False
+            continue
+        guard = gist(term.guard, context) if context is not None else term.guard
+        if any(outer_var in c.variables() for c in guard.constraints):
+            balanced = False
+    return balanced, per_iter
+
+
+def balanced_chunks(
+    nest: LoopNest,
+    processors: int,
+    symbols: Optional[Dict[str, int]] = None,
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> List[Tuple[int, int, int]]:
+    """Contiguous chunks of the outer loop with near-equal flops.
+
+    Returns ``[(first, last, flops), ...]`` -- one triple per
+    processor (empty chunks get first > last).  Uses the symbolic
+    prefix count W(c) = flops of iterations with outer <= c, evaluated
+    at the concrete ``symbols``, and cuts at the P-quantiles.
+    """
+    symbols = dict(symbols or {})
+    outer = nest.loops[0]
+    per_iter = flops_by_outer_iteration(nest, options)
+
+    lo_val = _eval_bound(outer.lower, symbols)
+    hi_val = _eval_bound(outer.upper, symbols)
+    if hi_val < lo_val:
+        return [(lo_val, lo_val - 1, 0)] * processors
+
+    def work_at(c: int) -> Fraction:
+        env = dict(symbols)
+        env[outer.var] = c
+        return Fraction(per_iter.evaluate(env))
+
+    prefix = [Fraction(0)]
+    for c in range(lo_val, hi_val + 1):
+        prefix.append(prefix[-1] + work_at(c))
+    total = prefix[-1]
+
+    chunks: List[Tuple[int, int, int]] = []
+    start_idx = 0
+    for k in range(1, processors + 1):
+        target = total * k / processors
+        end_idx = start_idx
+        # Smallest cut with prefix >= target (monotone: binary search).
+        lo_i, hi_i = start_idx, len(prefix) - 1
+        while lo_i < hi_i:
+            mid = (lo_i + hi_i) // 2
+            if prefix[mid] >= target:
+                hi_i = mid
+            else:
+                lo_i = mid + 1
+        end_idx = lo_i
+        first = lo_val + start_idx
+        last = lo_val + end_idx - 1
+        flops = int(prefix[end_idx] - prefix[start_idx])
+        chunks.append((first, last, flops))
+        start_idx = end_idx
+    return chunks
+
+
+def _eval_bound(expr, symbols: Dict[str, int]) -> int:
+    from repro.presburger.nonlinear import lower as lower_expr
+    from repro.intarith import floor_div
+
+    affine, side, wilds = lower_expr(expr)
+    if side:
+        raise ValueError("chunking needs floor-free outer bounds")
+    return affine.evaluate(symbols)

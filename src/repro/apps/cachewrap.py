@@ -1,0 +1,95 @@
+"""Generalized cache-line mappings (Example 5's footnote).
+
+The paper's Example 5 uses the simple mapping "a reference to element
+a[i, j] references cache line (⌊(i-1)/16⌋, j)" and notes: "we could
+also assume more general mappings, in which the cache lines can wrap
+from one row to another and in which we don't know the alignment of
+the first element of the array with the cache lines."  Both are
+implemented here:
+
+* **wrapped**: the array is linearized column-major with a concrete
+  column extent; lines wrap across columns:
+  ``line = floor(((i - base) + (j - base)·rows + align) / L)``.
+* **unknown alignment**: the count is taken for every alignment
+  offset 0..L-1 and the maximum reported (a safe capacity estimate).
+"""
+
+from typing import Optional, Sequence
+
+from repro.apps.loopnest import LoopNest
+from repro.apps.memory import touched_elements_formula
+from repro.core import SumOptions, SymbolicSum, count
+from repro.core.options import DEFAULT_OPTIONS
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, fresh_var
+from repro.presburger.ast import And, Atom, Exists
+
+
+def cache_lines_wrapped(
+    nest: LoopNest,
+    array: str,
+    line_size: int,
+    rows: int,
+    alignment: int = 0,
+    base_index: int = 1,
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """Distinct cache lines under a wrapping column-major layout.
+
+    ``rows`` is the (concrete) column extent used for linearization:
+    element (i, j) lives at address (i - base) + (j - base)·rows, and
+    occupies line floor((address + alignment) / line_size).  Lines may
+    span the seam between consecutive columns, unlike the simple
+    mapping of Example 5.
+    """
+    if line_size <= 0 or rows <= 0:
+        raise ValueError("line_size and rows must be positive")
+    if not 0 <= alignment < line_size:
+        raise ValueError("alignment must be in 0..line_size-1")
+    refs = nest.references(array)
+    if not refs:
+        raise ValueError("array %r is not referenced" % array)
+    arity = len(refs[0][1].subscripts)
+    if arity != 2:
+        raise ValueError("wrapped mapping needs a 2-D array")
+    elem = [fresh_var("x") for _ in range(arity)]
+    touched = touched_elements_formula(nest, array, elem)
+    line = fresh_var("c")
+    lv = Affine.var(line)
+    address = (
+        Affine.var(elem[0])
+        + Affine({elem[1]: rows})
+        + (alignment - base_index - base_index * rows)
+    )
+    # line·L <= address <= line·L + L - 1
+    mapping = And.of(
+        Atom(Constraint.leq(lv * line_size, address)),
+        Atom(Constraint.leq(address, lv * line_size + (line_size - 1))),
+    )
+    formula = Exists(elem, And.of(touched, mapping))
+    return count(formula, [line], options)
+
+
+def cache_lines_worst_alignment(
+    nest: LoopNest,
+    array: str,
+    line_size: int,
+    rows: int,
+    base_index: int = 1,
+    options: SumOptions = DEFAULT_OPTIONS,
+    **symbols: int,
+):
+    """Max distinct lines over all alignments (safe capacity bound).
+
+    With the array's alignment unknown, a capacity estimate must cover
+    the worst case; returns (worst alignment, line count).
+    """
+    best = None
+    for align in range(line_size):
+        result = cache_lines_wrapped(
+            nest, array, line_size, rows, align, base_index, options
+        )
+        value = result.evaluate(symbols)
+        if best is None or value > best[1]:
+            best = (align, value)
+    return best

@@ -1,0 +1,139 @@
+"""HPF block-cyclic distributions and communication volume (§3.3).
+
+The paper's example: a template T(0:1024) distributed block-cyclic to
+8 processors with blocks of 4 is the mapping
+
+    t == l + 4·p + 32·c   ∧   0 <= l <= 3   ∧   0 <= p <= 7
+
+from template index t to processor p and local 2-D index (c, l).
+Counting solutions of formulas built from this mapping quantifies
+message traffic and sizes message buffers.
+"""
+
+from typing import Optional, Union
+
+from repro.core import SumOptions, SymbolicSum, count
+from repro.core.options import DEFAULT_OPTIONS
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.presburger.ast import And, Atom, Exists, Formula
+from repro.presburger.parser import parse
+
+
+class BlockCyclicDistribution:
+    """``DISTRIBUTE T(CYCLIC(block)) ONTO P(procs)``."""
+
+    def __init__(self, block: int, procs: int):
+        if block <= 0 or procs <= 0:
+            raise ValueError("block and procs must be positive")
+        self.block = block
+        self.procs = procs
+
+    def mapping_formula(
+        self, t: str = "t", p: str = "p", c: str = "c", l: str = "l"
+    ) -> Formula:
+        """t == l + B·p + B·P·c ∧ 0 <= l < B ∧ 0 <= p < P."""
+        b, pr = self.block, self.procs
+        cons = [
+            Constraint.equal(
+                Affine.var(t),
+                Affine({l: 1, p: b, c: b * pr}),
+            ),
+            Constraint.geq(Affine.var(l)),
+            Constraint.leq(Affine.var(l), Affine.const_expr(b - 1)),
+            Constraint.geq(Affine.var(p)),
+            Constraint.leq(Affine.var(p), Affine.const_expr(pr - 1)),
+        ]
+        return And.of(*(Atom(x) for x in cons))
+
+    def owner_formula(self, t: str, p: str) -> Formula:
+        """∃ c, l: mapping -- "processor p owns template cell t"."""
+        return Exists(["_c_own", "_l_own"], self.mapping_formula(t, p, "_c_own", "_l_own"))
+
+    def elements_per_processor(
+        self,
+        extent: Union[str, Formula],
+        t: str = "t",
+        p: str = "p",
+        options: SumOptions = DEFAULT_OPTIONS,
+    ) -> SymbolicSum:
+        """#template cells owned by processor p (p stays symbolic).
+
+        ``extent`` constrains t, e.g. ``"0 <= t <= 1024"``.
+        """
+        if isinstance(extent, str):
+            extent = parse(extent)
+        return count(And.of(extent, self.owner_formula(t, p)), [t], options)
+
+
+def communication_volume(
+    dist: BlockCyclicDistribution,
+    extent: Union[str, Formula],
+    shift: int,
+    t: str = "t",
+    sender: str = "q",
+    receiver: str = "p",
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """Elements moved for ``a[t] = b[t + shift]`` per processor pair.
+
+    Under the owner-computes rule, the owner of ``a[t]`` (receiver)
+    needs ``b[t + shift]`` from its owner (sender); an element is
+    communicated when the two owners differ.  The count is symbolic in
+    (sender, receiver).
+    """
+    if isinstance(extent, str):
+        extent = parse(extent)
+    t_src = "_tsrc"
+    link = Atom(
+        Constraint.equal(Affine.var(t_src), Affine.var(t) + shift)
+    )
+    different = parse("%s != %s" % (sender, receiver))
+    formula = And.of(
+        extent,
+        dist.owner_formula(t, receiver),
+        Exists([t_src], And.of(link, dist.owner_formula(t_src, sender))),
+        different,
+    )
+    return count(formula, [t], options)
+
+
+def message_buffer_size(
+    dist: BlockCyclicDistribution,
+    extent: Union[str, Formula],
+    shift: int,
+    options: SumOptions = DEFAULT_OPTIONS,
+    **symbols: int,
+) -> int:
+    """Max elements any processor pair exchanges (buffer allocation)."""
+    vol = communication_volume(dist, extent, shift, options=options)
+    best = 0
+    for q in range(dist.procs):
+        for p in range(dist.procs):
+            if p == q:
+                continue
+            env = dict(symbols)
+            env.update({"q": q, "p": p})
+            best = max(best, vol.evaluate(env))
+    return best
+
+
+def total_messages(
+    dist: BlockCyclicDistribution,
+    extent: Union[str, Formula],
+    shift: int,
+    options: SumOptions = DEFAULT_OPTIONS,
+    **symbols: int,
+) -> int:
+    """Number of (sender, receiver) pairs that exchange any data."""
+    vol = communication_volume(dist, extent, shift, options=options)
+    n = 0
+    for q in range(dist.procs):
+        for p in range(dist.procs):
+            if p == q:
+                continue
+            env = dict(symbols)
+            env.update({"q": q, "p": p})
+            if vol.evaluate(env) > 0:
+                n += 1
+    return n

@@ -1,0 +1,60 @@
+"""Iteration and flop counting; computation/memory balance (§1.1).
+
+"We can create a Presburger formula whose solutions correspond to the
+iterations of a loop.  By counting these, we obtain an estimate of the
+execution time of the loop."
+"""
+
+from typing import Optional
+
+from repro.apps.loopnest import LoopNest, Statement
+from repro.core import SumOptions, SymbolicSum, count, sum_poly
+from repro.core.options import DEFAULT_OPTIONS
+
+
+def count_iterations(
+    nest: LoopNest, options: SumOptions = DEFAULT_OPTIONS
+) -> SymbolicSum:
+    """Number of iterations of the full nest, symbolically."""
+    return count(nest.iteration_formula(), nest.iter_vars, options)
+
+
+def count_flops(
+    nest: LoopNest, options: SumOptions = DEFAULT_OPTIONS
+) -> SymbolicSum:
+    """Total flops: Σ over statements of flops · |domain|."""
+    total = SymbolicSum([])
+    for stmt in nest.statements:
+        domain = nest.statement_domain(stmt)
+        vars_ = nest.iter_vars if stmt.depth is None else nest.iter_vars[: stmt.depth]
+        total = total + count(domain, vars_, options).scale(stmt.flops)
+    return total
+
+
+def statement_executions(
+    nest: LoopNest, stmt: Statement, options: SumOptions = DEFAULT_OPTIONS
+) -> SymbolicSum:
+    """How many times one statement executes."""
+    vars_ = nest.iter_vars if stmt.depth is None else nest.iter_vars[: stmt.depth]
+    return count(nest.statement_domain(stmt), vars_, options)
+
+
+def machine_balance(nest: LoopNest, array: Optional[str] = None, **symbols: int):
+    """flops per distinct memory location touched, at concrete sizes.
+
+    The paper's computation/memory balance: compare the memory
+    bandwidth requirements against the flop count of a code segment.
+    Returns a Fraction (flops / locations).
+    """
+    from fractions import Fraction
+
+    from repro.apps.memory import memory_locations_touched
+
+    flops = count_flops(nest).evaluate(symbols)
+    arrays = [array] if array else nest.arrays()
+    locations = 0
+    for a in arrays:
+        locations += memory_locations_touched(nest, a).evaluate(symbols)
+    if locations == 0:
+        raise ValueError("loop touches no memory")
+    return Fraction(flops, locations)

@@ -1,0 +1,125 @@
+"""Counting data dependences between array references.
+
+The Omega test was "initially used in array data dependence testing"
+(Section 2); with counting on top we can go beyond yes/no dependence
+answers and *quantify* them: how many iteration pairs conflict, how
+many values flow -- the quantities that size communication and decide
+whether a transformation pays off.
+
+A dependence from iteration ī (writing ``a[f(ī)]``) to iteration ī′
+(reading ``a[g(ī′)]``) exists when
+
+    f(ī) == g(ī′)  ∧  ī, ī′ ∈ domain  ∧  ī ≺ ī′ (lexicographic).
+
+``dependence_formula`` builds that formula; ``count_dependences``
+counts its solutions symbolically.
+"""
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.apps.loopnest import ArrayRef, LoopNest
+from repro.core import SumOptions, SymbolicSum, count
+from repro.core.options import DEFAULT_OPTIONS
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.presburger.ast import And, Atom, Formula, Or
+
+
+def _lex_before(src_vars: Sequence[str], dst_vars: Sequence[str]) -> Formula:
+    """ī ≺ ī′ lexicographically (source executes strictly earlier)."""
+    cases: List[Formula] = []
+    for depth in range(len(src_vars)):
+        parts: List[Formula] = []
+        for k in range(depth):
+            parts.append(
+                Atom(
+                    Constraint.equal(
+                        Affine.var(src_vars[k]), Affine.var(dst_vars[k])
+                    )
+                )
+            )
+        parts.append(
+            Atom(
+                Constraint.leq(
+                    Affine.var(src_vars[depth]) + 1,
+                    Affine.var(dst_vars[depth]),
+                )
+            )
+        )
+        cases.append(And.of(*parts))
+    return Or.of(*cases)
+
+
+def dependence_formula(
+    nest: LoopNest,
+    source: ArrayRef,
+    sink: ArrayRef,
+    src_vars: Optional[Sequence[str]] = None,
+    dst_vars: Optional[Sequence[str]] = None,
+    require_order: bool = True,
+) -> Tuple[Formula, List[str], List[str]]:
+    """The conflict set between two references of one nest.
+
+    Returns (formula, source iteration variables, sink iteration
+    variables); the formula's free variables are those plus the
+    symbolic loop bounds.
+    """
+    if source.array != sink.array:
+        raise ValueError("references touch different arrays")
+    base = nest.iter_vars
+    src_vars = list(src_vars or ("%s_s" % v for v in base))
+    dst_vars = list(dst_vars or ("%s_d" % v for v in base))
+    src_domain = nest.iteration_formula().substitute_affine(
+        {v: Affine.var(s) for v, s in zip(base, src_vars)}
+    )
+    dst_domain = nest.iteration_formula().substitute_affine(
+        {v: Affine.var(d) for v, d in zip(base, dst_vars)}
+    )
+    cell = ["_dep%d" % k for k in range(len(source.subscripts))]
+    src_access = source.access_formula(cell).substitute_affine(
+        {v: Affine.var(s) for v, s in zip(base, src_vars)}
+    )
+    dst_access = sink.access_formula(cell).substitute_affine(
+        {v: Affine.var(d) for v, d in zip(base, dst_vars)}
+    )
+    from repro.presburger.ast import Exists
+
+    same_cell = Exists(cell, And.of(src_access, dst_access))
+    parts = [src_domain, dst_domain, same_cell]
+    if require_order:
+        parts.append(_lex_before(src_vars, dst_vars))
+    return And.of(*parts), src_vars, dst_vars
+
+
+def count_dependences(
+    nest: LoopNest,
+    source: ArrayRef,
+    sink: ArrayRef,
+    options: SumOptions = DEFAULT_OPTIONS,
+    require_order: bool = True,
+) -> SymbolicSum:
+    """Number of (source, sink) iteration pairs in conflict."""
+    formula, src_vars, dst_vars = dependence_formula(
+        nest, source, sink, require_order=require_order
+    )
+    return count(formula, src_vars + dst_vars, options)
+
+
+def count_dependent_iterations(
+    nest: LoopNest,
+    source: ArrayRef,
+    sink: ArrayRef,
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """Number of *sink* iterations that depend on some earlier write.
+
+    Projects the pair set onto the sink iteration: the count of
+    iterations that cannot start before a producer finishes -- a proxy
+    for serialization (and for values communicated when producer and
+    consumer land on different processors).
+    """
+    formula, src_vars, dst_vars = dependence_formula(nest, source, sink)
+    from repro.presburger.ast import Exists
+
+    projected = Exists(src_vars, formula)
+    return count(projected, dst_vars, options)

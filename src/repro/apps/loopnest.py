@@ -1,0 +1,203 @@
+"""A model of affine loop nests.
+
+The programs the paper analyzes: perfectly or imperfectly nested loops
+with affine bounds (written in the formula expression syntax, floors
+and ceilings allowed), optional affine guards, and statements with
+affine array subscripts and a flop count.
+
+Example -- the SOR kernel of Section 5.1::
+
+    nest = LoopNest(
+        loops=[Loop("i", "2", "N - 1"), Loop("j", "2", "N - 1")],
+        statements=[
+            Statement(
+                flops=6,
+                refs=[
+                    ArrayRef("a", ["i", "j"]),
+                    ArrayRef("a", ["i - 1", "j"]),
+                    ArrayRef("a", ["i + 1", "j"]),
+                    ArrayRef("a", ["i", "j - 1"]),
+                    ArrayRef("a", ["i", "j + 1"]),
+                ],
+            )
+        ],
+    )
+"""
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, fresh_var
+from repro.presburger.ast import And, Atom, Exists, Formula, TrueF
+from repro.presburger.nonlinear import NLExpr, lower
+from repro.presburger.parser import parse, parse_expr
+
+ExprLike = Union[str, int, NLExpr, Affine]
+
+
+def _expr(value: ExprLike) -> NLExpr:
+    from repro.presburger.nonlinear import NLLin, _coerce
+
+    if isinstance(value, str):
+        return parse_expr(value)
+    return _coerce(value)
+
+
+class Loop:
+    """``for var := lower to upper by step`` with affine bounds."""
+
+    def __init__(
+        self, var: str, lower: ExprLike, upper: ExprLike, step: int = 1
+    ):
+        if step <= 0:
+            raise ValueError("only positive steps are supported")
+        self.var = var
+        self.lower = _expr(lower)
+        self.upper = _expr(upper)
+        self.step = step
+
+    def bound_formula(self) -> Formula:
+        """lower <= var <= upper (∧ step | var - lower for step > 1)."""
+        lo_affine, lo_side, lo_wilds = lower(self.lower)
+        hi_affine, hi_side, hi_wilds = lower(self.upper)
+        v = Affine.var(self.var)
+        atoms = [
+            Atom(c)
+            for c in lo_side
+            + hi_side
+            + [Constraint.leq(lo_affine, v), Constraint.leq(v, hi_affine)]
+        ]
+        body: Formula = And.of(*atoms)
+        if self.step > 1:
+            from repro.presburger.ast import StrideAtom
+
+            body = And.of(body, StrideAtom(self.step, v - lo_affine))
+        wilds = lo_wilds + hi_wilds
+        if wilds:
+            return Exists(wilds, body)
+        return body
+
+    def __repr__(self):
+        s = " by %d" % self.step if self.step != 1 else ""
+        return "for %s := %s to %s%s" % (self.var, self.lower, self.upper, s)
+
+
+class ArrayRef:
+    """``array[sub1, sub2, ...]`` with affine subscript expressions."""
+
+    def __init__(self, array: str, subscripts: Sequence[ExprLike]):
+        self.array = array
+        self.subscripts = [_expr(s) for s in subscripts]
+
+    def access_formula(self, target_vars: Sequence[str]) -> Formula:
+        """target_vars == subscripts (with floor/ceil side conditions)."""
+        if len(target_vars) != len(self.subscripts):
+            raise ValueError("subscript arity mismatch")
+        atoms: List[Formula] = []
+        wilds: List[str] = []
+        for tv, sub in zip(target_vars, self.subscripts):
+            affine, side, ws = lower(sub)
+            atoms.extend(Atom(c) for c in side)
+            atoms.append(Atom(Constraint.equal(Affine.var(tv), affine)))
+            wilds.extend(ws)
+        body = And.of(*atoms)
+        if wilds:
+            return Exists(wilds, body)
+        return body
+
+    def constant_offset_from(self, other: "ArrayRef") -> Optional[Tuple[int, ...]]:
+        """The constant vector d with self == other + d, if it exists.
+
+        Two references are *uniformly generated* (§5.1, [GJ88]) when
+        their subscripts differ only by constants.
+        """
+        from repro.presburger.nonlinear import NLLin
+
+        if self.array != other.array or len(self.subscripts) != len(
+            other.subscripts
+        ):
+            return None
+        offsets = []
+        for a, b in zip(self.subscripts, other.subscripts):
+            la, ca, wa = lower(a)
+            lb, cb, wb = lower(b)
+            if ca or cb:
+                return None  # floors involved: not a constant offset
+            diff = la - lb
+            if not diff.is_constant():
+                return None
+            offsets.append(diff.const)
+        return tuple(offsets)
+
+    def __repr__(self):
+        return "%s[%s]" % (self.array, ", ".join(map(str, self.subscripts)))
+
+
+class Statement:
+    """A loop body statement: optional guard, flops, array references."""
+
+    def __init__(
+        self,
+        flops: int = 1,
+        refs: Sequence[ArrayRef] = (),
+        guard: Optional[Union[str, Formula]] = None,
+        depth: Optional[int] = None,
+    ):
+        self.flops = flops
+        self.refs = list(refs)
+        if isinstance(guard, str):
+            guard = parse(guard)
+        self.guard = guard if guard is not None else TrueF
+        self.depth = depth  # number of enclosing loops; None = all
+
+    def __repr__(self):
+        return "Statement(flops=%d, refs=%r)" % (self.flops, self.refs)
+
+
+class LoopNest:
+    """An (im)perfect nest: loops outermost-first plus statements."""
+
+    def __init__(
+        self,
+        loops: Sequence[Loop],
+        statements: Sequence[Statement],
+        guard: Optional[Union[str, Formula]] = None,
+    ):
+        self.loops = list(loops)
+        self.statements = list(statements)
+        if isinstance(guard, str):
+            guard = parse(guard)
+        self.guard = guard if guard is not None else TrueF
+        names = [l.var for l in self.loops]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate loop variables")
+
+    @property
+    def iter_vars(self) -> List[str]:
+        return [l.var for l in self.loops]
+
+    def iteration_formula(self, depth: Optional[int] = None) -> Formula:
+        """The iteration space of the outermost ``depth`` loops."""
+        loops = self.loops if depth is None else self.loops[:depth]
+        return And.of(self.guard, *(l.bound_formula() for l in loops))
+
+    def statement_domain(self, stmt: Statement) -> Formula:
+        """Iteration space in which ``stmt`` executes."""
+        return And.of(self.iteration_formula(stmt.depth), stmt.guard)
+
+    def references(self, array: Optional[str] = None) -> List[Tuple[Statement, ArrayRef]]:
+        out = []
+        for stmt in self.statements:
+            for ref in stmt.refs:
+                if array is None or ref.array == array:
+                    out.append((stmt, ref))
+        return out
+
+    def arrays(self) -> List[str]:
+        seen = {}
+        for _, ref in self.references():
+            seen.setdefault(ref.array, None)
+        return list(seen)
+
+    def __repr__(self):
+        return "LoopNest(%r, %d statements)" % (self.loops, len(self.statements))

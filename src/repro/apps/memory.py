@@ -1,0 +1,173 @@
+"""Distinct memory locations and cache lines touched (§1.1, §6 Ex. 4-5).
+
+The set of array elements touched by a nest is
+
+    { x : ∃ iteration ∈ domain, ∃ ref : x == subscript(iteration) }.
+
+When several references are *uniformly generated* (differ by constant
+offsets, like a stencil) we summarize them via the convex hull of the
+offsets (Section 5.1) to get a single clause; otherwise a union over
+the references is built and the disjoint-DNF machinery handles
+overlaps.
+
+Cache lines: a reference to element ``a[i, j]`` of a column-major
+array touches line ``(floor((i-1)/line), j)`` -- the simple mapping
+the paper uses in Example 5 (no wrap-around between columns).
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.apps.loopnest import ArrayRef, LoopNest
+from repro.core import SumOptions, SymbolicSum, count
+from repro.core.options import DEFAULT_OPTIONS
+from repro.omega.constraints import fresh_var
+from repro.presburger.ast import And, Exists, Formula, Or
+from repro.presburger.nonlinear import NLFloor, lower as lower_expr
+from repro.presburger.parser import parse_expr
+from repro.polyhedra.uniform import uniformly_generated_set
+
+
+def touched_elements_formula(
+    nest: LoopNest,
+    array: str,
+    target_vars: Sequence[str],
+    use_hull: bool = True,
+) -> Formula:
+    """Formula over target_vars: the elements of ``array`` touched."""
+    refs = nest.references(array)
+    if not refs:
+        raise ValueError("array %r is not referenced" % array)
+    groups = _group_uniformly_generated(refs)
+    pieces: List[Formula] = []
+    for (stmt, base), offsets in groups:
+        domain = nest.statement_domain(stmt)
+        if use_hull and len(offsets) > 1:
+            # Shift the domain through the base ref's subscripts:
+            # x = subscript(iter) + offset.  Express iteration image.
+            formula, exact = _hull_piece(
+                nest, stmt, base, offsets, target_vars
+            )
+            if exact:
+                pieces.append(formula)
+                continue
+        for off in offsets:
+            shifted = ArrayRef(
+                array,
+                [s + int(o) for s, o in zip(base.subscripts, off)],
+            )
+            pieces.append(
+                Exists(
+                    nest.iter_vars,
+                    And.of(domain, shifted.access_formula(target_vars)),
+                )
+            )
+    return Or.of(*pieces)
+
+
+def _group_uniformly_generated(refs):
+    """Group (statement, ref) pairs by uniformly generated classes."""
+    groups = []  # [((stmt, base_ref), [offsets])]
+    for stmt, ref in refs:
+        placed = False
+        for (gstmt, base), offsets in groups:
+            if gstmt is stmt:
+                off = ref.constant_offset_from(base)
+                if off is not None:
+                    offsets.append(off)
+                    placed = True
+                    break
+        if not placed:
+            groups.append(
+                ((stmt, ref), [tuple(0 for _ in ref.subscripts)])
+            )
+    return groups
+
+
+def _hull_piece(nest, stmt, base, offsets, target_vars):
+    """One summarized clause: x = base_subscript(iter) + Δ, Δ in hull."""
+    domain = nest.statement_domain(stmt)
+    # Rebase: y_k = base subscript value; then x = y + Δ.
+    sub_vars = [fresh_var("m") for _ in base.subscripts]
+    access = base.access_formula(sub_vars)
+    inner, exact = uniformly_generated_set(
+        And.of(domain, access),
+        sub_vars,
+        offsets,
+        target_vars,
+    )
+    return Exists(nest.iter_vars, inner), exact
+
+
+def memory_locations_touched(
+    nest: LoopNest,
+    array: str,
+    options: SumOptions = DEFAULT_OPTIONS,
+    use_hull: bool = True,
+) -> SymbolicSum:
+    """Number of distinct elements of ``array`` touched by the nest."""
+    refs = nest.references(array)
+    if not refs:
+        raise ValueError("array %r is not referenced" % array)
+    arity = len(refs[0][1].subscripts)
+    target = [fresh_var("x") for _ in range(arity)]
+    formula = touched_elements_formula(nest, array, target, use_hull)
+    return count(formula, target, options)
+
+
+def total_footprint(
+    nest: LoopNest,
+    options: SumOptions = DEFAULT_OPTIONS,
+    **symbols: int,
+) -> int:
+    """Total distinct locations across every array the nest touches.
+
+    The "memory bandwidth requirement" side of the paper's
+    computation/memory balance; evaluated at concrete sizes because
+    different arrays' symbolic counts cannot be meaningfully added as
+    formulas over different index spaces.
+    """
+    total = 0
+    for array in nest.arrays():
+        total += memory_locations_touched(nest, array, options).evaluate(
+            symbols
+        )
+    return total
+
+
+def cache_lines_touched(
+    nest: LoopNest,
+    array: str,
+    line_size: int = 16,
+    options: SumOptions = DEFAULT_OPTIONS,
+    use_hull: bool = True,
+    base_index: int = 1,
+) -> SymbolicSum:
+    """Number of distinct cache lines touched (Example 5's mapping).
+
+    Element (i, j, ...) maps to line (floor((i - base_index)/line_size),
+    j, ...): lines are contiguous runs of ``line_size`` elements along
+    the first dimension, aligned to the array start.
+    """
+    refs = nest.references(array)
+    arity = len(refs[0][1].subscripts)
+    elem = [fresh_var("x") for _ in range(arity)]
+    line = [fresh_var("c") for _ in range(arity)]
+    touched = touched_elements_formula(nest, array, elem, use_hull)
+    from repro.omega.affine import Affine
+    from repro.omega.constraints import Constraint
+    from repro.presburger.ast import Atom
+
+    first = NLFloor(
+        parse_expr(elem[0]) - base_index, line_size
+    )
+    affine, side, wilds = lower_expr(first)
+    mapping = [Atom(Constraint.equal(Affine.var(line[0]), affine))]
+    mapping.extend(Atom(c) for c in side)
+    for k in range(1, arity):
+        mapping.append(
+            Atom(Constraint.equal(Affine.var(line[k]), Affine.var(elem[k])))
+        )
+    formula = Exists(
+        elem + wilds, And.of(touched, *mapping)
+    )
+    return count(formula, line, options)

@@ -1,0 +1,92 @@
+"""Cache-effectiveness estimation (§1.1, after [FST91]).
+
+"By counting the number of solutions to these formulas, we can ...
+determine which loops will flush the cache, allowing us to calculate
+the cache miss rate [FST91]."
+
+The model (following Ferrante-Sarkar-Thrash): a loop whose cache-line
+footprint fits in the cache pays one miss per distinct line touched
+(compulsory misses); a loop whose footprint exceeds the cache flushes
+it, so reuse across outer iterations is lost and every line reference
+that crosses an iteration boundary misses again.  The counts that feed
+the model are exactly the symbolic quantities this library computes.
+"""
+
+from fractions import Fraction
+from typing import Dict, NamedTuple
+
+from repro.apps.loopnest import LoopNest
+from repro.apps.counting import count_iterations
+from repro.apps.memory import cache_lines_touched
+from repro.core.options import DEFAULT_OPTIONS, SumOptions
+
+
+class CacheEstimate(NamedTuple):
+    """Outcome of the cache analysis for one array."""
+
+    lines_touched: int
+    references: int
+    flushes_cache: bool
+    estimated_misses: int
+    miss_rate: Fraction
+
+
+def estimate_cache_behavior(
+    nest: LoopNest,
+    array: str,
+    cache_lines: int,
+    line_size: int = 16,
+    options: SumOptions = DEFAULT_OPTIONS,
+    **symbols: int,
+) -> CacheEstimate:
+    """Estimate misses and miss rate for one array at concrete sizes.
+
+    ``cache_lines`` is the cache capacity in lines.  If the footprint
+    fits, misses = distinct lines (compulsory only).  If it does not,
+    the loop flushes the cache: we charge one miss per line per
+    *reference group* traversal -- the pessimistic bound [FST91] uses
+    to flag loops needing tiling.
+    """
+    touched = cache_lines_touched(nest, array, line_size, options).evaluate(
+        symbols
+    )
+    iterations = count_iterations(nest, options).evaluate(symbols)
+    refs_per_iter = len(nest.references(array))
+    references = iterations * refs_per_iter
+    flushes = touched > cache_lines
+    if not flushes:
+        misses = touched
+    else:
+        # every line is evicted before reuse: each reference that
+        # starts a new line run misses; bound by one miss per
+        # reference per line-size stride of the traversal.
+        from repro.intarith import ceil_div
+
+        misses = min(references, touched * max(refs_per_iter, 1))
+        misses = max(misses, touched)
+    rate = Fraction(misses, references) if references else Fraction(0)
+    return CacheEstimate(touched, references, flushes, misses, rate)
+
+
+def flush_threshold(
+    nest: LoopNest,
+    array: str,
+    cache_lines: int,
+    symbol: str,
+    search_range,
+    line_size: int = 16,
+    options: SumOptions = DEFAULT_OPTIONS,
+    **fixed: int,
+) -> Dict[int, bool]:
+    """Map each size to whether the loop flushes the cache.
+
+    The symbolic count makes this a table lookup, not a simulation:
+    the paper's "determine which loops will flush the cache".
+    """
+    touched = cache_lines_touched(nest, array, line_size, options)
+    out = {}
+    for value in search_range:
+        env = dict(fixed)
+        env[symbol] = value
+        out[value] = touched.evaluate(env) > cache_lines
+    return out

@@ -1,0 +1,27 @@
+"""Comparators from Section 6's related work.
+
+* :mod:`repro.baselines.naive` -- CAS-style symbolic summation that
+  assumes ranges are non-empty (the Mathematica behaviour the paper's
+  introduction calls out as incorrect).
+* :mod:`repro.baselines.tawbi` -- Tawbi's algorithm [Taw91, TF92,
+  Taw94]: fixed elimination order, polyhedral splitting so no
+  summation is empty, no redundant-constraint elimination.
+* :mod:`repro.baselines.fst` -- Ferrante, Sarkar and Thrash [FST91]:
+  inclusion-exclusion over overlapping reference sets.
+* :mod:`repro.baselines.haghighat` -- Haghighat and Polychronopoulos
+  [HP93a]: symbolic sums with min/max and positive-part operators.
+"""
+
+from repro.baselines.naive import naive_nested_sum
+from repro.baselines.tawbi import tawbi_count, tawbi_sum
+from repro.baselines.fst import inclusion_exclusion_count
+from repro.baselines.haghighat import MinMaxExpr, hp_nested_sum
+
+__all__ = [
+    "MinMaxExpr",
+    "hp_nested_sum",
+    "inclusion_exclusion_count",
+    "naive_nested_sum",
+    "tawbi_count",
+    "tawbi_sum",
+]

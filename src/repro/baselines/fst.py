@@ -1,0 +1,60 @@
+"""Ferrante-Sarkar-Thrash style inclusion-exclusion [FST91] (§4.5.1).
+
+To count the union of overlapping reference sets, [FST91] subtracts
+the doubly-counted overlaps:
+
+    (Σ V : P ∨ Q : z) = (Σ V : P : z) + (Σ V : Q : z) - (Σ V : P∧Q : z)
+
+"The problem with this is that it quickly gets out of control if there
+are more than a few clauses (7 summations are needed for 3 clauses)" --
+2^k - 1 summations for k clauses, versus the paper's disjoint DNF.
+This module implements the full inclusion-exclusion so the benchmarks
+can measure that growth against ``disjointify``.
+"""
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.core.general import count_conjunct
+from repro.core.options import DEFAULT_OPTIONS, SumOptions
+from repro.core.result import SymbolicSum
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import satisfiable
+
+
+def inclusion_exclusion_count(
+    clauses: Sequence[Conjunct],
+    over: Sequence[str],
+    options: SumOptions = DEFAULT_OPTIONS,
+    prune_infeasible: bool = True,
+) -> Tuple[SymbolicSum, int]:
+    """Count |C1 ∪ ... ∪ Ck| by inclusion-exclusion.
+
+    Returns (symbolic count, number of summations performed).  With
+    ``prune_infeasible`` empty intersections are detected by the
+    satisfiability test and skipped (they still count as work: the
+    satisfiability test replaces the summation).
+    """
+    clauses = list(clauses)
+    total = SymbolicSum([])
+    summations = 0
+    for size in range(1, len(clauses) + 1):
+        sign = 1 if size % 2 == 1 else -1
+        for subset in itertools.combinations(range(len(clauses)), size):
+            summations += 1
+            merged = clauses[subset[0]]
+            for idx in subset[1:]:
+                merged = merged.merge(clauses[idx])
+            normalized = merged.normalize()
+            if normalized is None:
+                continue
+            if prune_infeasible and not satisfiable(normalized):
+                continue
+            piece = count_conjunct(normalized, over, options)
+            total = total + (piece if sign > 0 else -piece)
+    return total, summations
+
+
+def union_count_work(k: int) -> int:
+    """Summations inclusion-exclusion needs for k clauses: 2^k - 1."""
+    return 2 ** k - 1

@@ -1,0 +1,467 @@
+"""Haghighat-Polychronopoulos style summation [HP93a, HP93b] (§6).
+
+Their symbolic-analysis framework sums loops in a fixed order and
+handles multiple bounds by introducing **min/max** expressions and the
+positive-part operator p(x) (1 if x > 0 else 0) rather than splitting,
+producing answers like (their Example 1)
+
+    p(min(n-2, 3)) · ((min(n,5))³ - 15(min(n,5))² + ...) / 6 + 6·max(n-5, 0)
+
+The paper notes such answers agree numerically with its own but "the
+results tend to be much more complicated" and the method "requires 9
+steps / 15 steps" on their examples.  We reproduce the method: a small
+min/max expression calculus plus a fixed-order summation that never
+splits, so the benchmarks can compare complexity and agreement.
+"""
+
+from fractions import Fraction
+from typing import List, Mapping, Sequence, Tuple, Union
+
+from repro.core.powersums import faulhaber_polynomial
+from repro.intarith.bernoulli import faulhaber_coefficients
+from repro.omega.affine import Affine
+from repro.omega.problem import Conjunct
+from repro.qpoly import Polynomial
+
+
+class MinMaxExpr:
+    """Expression over polynomials closed under min, max, p(), +, ·."""
+
+    def evaluate(self, env: Mapping[str, int]) -> Fraction:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Node count -- the complexity measure used by the benches."""
+        raise NotImplementedError
+
+    def __add__(self, other):
+        return _add(self, _coerce(other))
+
+    def __radd__(self, other):
+        return _add(_coerce(other), self)
+
+    def __mul__(self, other):
+        return _mul(self, _coerce(other))
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        return _add(self, _mul(_coerce(-1), _coerce(other)))
+
+
+def _coerce(value) -> MinMaxExpr:
+    if isinstance(value, MinMaxExpr):
+        return value
+    if isinstance(value, (int, Fraction)):
+        return Leaf(Polynomial.constant(value))
+    if isinstance(value, Polynomial):
+        return Leaf(value)
+    raise TypeError("cannot use %r" % (value,))
+
+
+def _add(a: "MinMaxExpr", b: "MinMaxExpr") -> "MinMaxExpr":
+    """Addition with constant folding on polynomial leaves."""
+    if isinstance(a, Leaf) and isinstance(b, Leaf):
+        return Leaf(a.poly + b.poly)
+    if isinstance(a, Leaf) and a.poly.is_zero():
+        return b
+    if isinstance(b, Leaf) and b.poly.is_zero():
+        return a
+    return _Add(a, b)
+
+
+def _mul(a: "MinMaxExpr", b: "MinMaxExpr") -> "MinMaxExpr":
+    """Multiplication with constant folding on polynomial leaves."""
+    if isinstance(a, Leaf) and isinstance(b, Leaf):
+        return Leaf(a.poly * b.poly)
+    for x, y in ((a, b), (b, a)):
+        if isinstance(x, Leaf):
+            if x.poly.is_zero():
+                return Leaf(Polynomial())
+            if x.poly == Polynomial.one:
+                return y
+    return _Mul(a, b)
+
+
+class Leaf(MinMaxExpr):
+    def __init__(self, poly: Polynomial):
+        self.poly = poly
+
+    def evaluate(self, env):
+        return self.poly.evaluate(env)
+
+    def size(self):
+        return 1
+
+    def __str__(self):
+        return str(self.poly)
+
+
+class _Add(MinMaxExpr):
+    def __init__(self, a, b):
+        self.a, self.b = a, b
+
+    def evaluate(self, env):
+        return self.a.evaluate(env) + self.b.evaluate(env)
+
+    def size(self):
+        return 1 + self.a.size() + self.b.size()
+
+    def __str__(self):
+        return "(%s + %s)" % (self.a, self.b)
+
+
+class _Mul(MinMaxExpr):
+    def __init__(self, a, b):
+        self.a, self.b = a, b
+
+    def evaluate(self, env):
+        return self.a.evaluate(env) * self.b.evaluate(env)
+
+    def size(self):
+        return 1 + self.a.size() + self.b.size()
+
+    def __str__(self):
+        return "(%s * %s)" % (self.a, self.b)
+
+
+class Min(MinMaxExpr):
+    def __init__(self, children: Sequence[MinMaxExpr]):
+        self.children = [_coerce(c) for c in children]
+
+    def evaluate(self, env):
+        return min(c.evaluate(env) for c in self.children)
+
+    def size(self):
+        return 1 + sum(c.size() for c in self.children)
+
+    def __str__(self):
+        return "min(%s)" % ", ".join(map(str, self.children))
+
+
+class Max(MinMaxExpr):
+    def __init__(self, children: Sequence[MinMaxExpr]):
+        self.children = [_coerce(c) for c in children]
+
+    def evaluate(self, env):
+        return max(c.evaluate(env) for c in self.children)
+
+    def size(self):
+        return 1 + sum(c.size() for c in self.children)
+
+    def __str__(self):
+        return "max(%s)" % ", ".join(map(str, self.children))
+
+
+class Pos(MinMaxExpr):
+    """p(x): 1 when x > 0, else 0 (HP's guard operator)."""
+
+    def __init__(self, child: MinMaxExpr):
+        self.child = _coerce(child)
+
+    def evaluate(self, env):
+        return Fraction(1) if self.child.evaluate(env) > 0 else Fraction(0)
+
+    def size(self):
+        return 1 + self.child.size()
+
+    def __str__(self):
+        return "p(%s)" % self.child
+
+
+class _Compose(MinMaxExpr):
+    """A univariate polynomial applied to a min/max expression."""
+
+    def __init__(self, coeffs: Sequence[Fraction], arg: MinMaxExpr):
+        self.coeffs = list(coeffs)
+        self.arg = arg
+
+    def evaluate(self, env):
+        x = self.arg.evaluate(env)
+        total = Fraction(0)
+        power = Fraction(1)
+        for c in self.coeffs:
+            total += c * power
+            power *= x
+        return total
+
+    def size(self):
+        return 1 + len(self.coeffs) + self.arg.size()
+
+    def __str__(self):
+        return "poly<deg %d>(%s)" % (len(self.coeffs) - 1, self.arg)
+
+
+def hp_nested_sum(
+    conj: Conjunct, order: Sequence[str], z: Union[Polynomial, int]
+) -> MinMaxExpr:
+    """Fixed-order summation with min/max bounds (no splitting).
+
+    Requires unit coefficients on the summation variables.  Each
+    variable is summed between ``max(lowers)`` and ``min(uppers)``,
+    guarded by ``p(U - L + 1)``; when bounds involve min/max from an
+    inner step the closed forms compose symbolically.
+    """
+    if isinstance(z, int):
+        z = Polynomial.constant(z)
+    value: MinMaxExpr = Leaf(z)
+    current = conj.normalize()
+    if current is None:
+        return Leaf(Polynomial())
+    remaining = current
+    env_exprs = {}
+    # Work innermost-first; bounds of later variables stay affine
+    # because inner sums only changed the *value*, not the constraints.
+    for v in order:
+        lowers, uppers, rest = remaining.bounds_on(v)
+        if not lowers or not uppers:
+            raise ValueError("variable %s unbounded" % v)
+        if any(b != 1 for b, _ in lowers) or any(a != 1 for a, _ in uppers):
+            raise ValueError("HP baseline handles unit coefficients only")
+        lo_exprs = _dedupe_leaves(
+            [Leaf(beta.to_polynomial()) for _, beta in lowers]
+        )
+        hi_exprs = _dedupe_leaves(
+            [Leaf(alpha.to_polynomial()) for _, alpha in uppers]
+        )
+        lo: MinMaxExpr = lo_exprs[0] if len(lo_exprs) == 1 else Max(lo_exprs)
+        hi: MinMaxExpr = hi_exprs[0] if len(hi_exprs) == 1 else Min(hi_exprs)
+        value = _sum_value(value, v, lo, hi)
+        remaining = Conjunct(rest, remaining.wildcards)
+    return value
+
+
+def _fold(cls, exprs):
+    """Build Min/Max with constant folding.
+
+    Duplicate leaves collapse, constant leaves combine (max(2, 1) is
+    2), and a single survivor is returned unwrapped.
+    """
+    constants = []
+    rest = []
+    for e in exprs:
+        if isinstance(e, Leaf) and e.poly.is_constant():
+            constants.append(e.poly.constant_value())
+        else:
+            rest.append(e)
+    if constants:
+        combined = max(constants) if cls is Max else min(constants)
+        rest.append(Leaf(Polynomial.constant(combined)))
+    rest = _dedupe_leaves(rest)
+    if len(rest) == 1:
+        return rest[0]
+    return cls(rest)
+
+
+def _dedupe_leaves(exprs):
+    """Drop duplicate polynomial bounds (min(x, x) == x)."""
+    seen = []
+    for e in exprs:
+        if isinstance(e, Leaf) and any(
+            isinstance(s, Leaf) and s.poly == e.poly for s in seen
+        ):
+            continue
+        seen.append(e)
+    return seen
+
+
+def _sum_value(
+    value: MinMaxExpr, v: str, lo: MinMaxExpr, hi: MinMaxExpr
+) -> MinMaxExpr:
+    """Σ_{v=lo}^{hi} value, guarded by p(hi - lo + 1).
+
+    ``value`` must be a Leaf polynomial in v (HP's method cannot sum a
+    min/max-valued summand over a deeper variable; in their examples
+    the min/max only ever appears in the *outermost* remaining value).
+    """
+    guard = Pos(hi - lo + 1)
+    if isinstance(value, Leaf):
+        by_power = value.poly.coefficients_in(v)
+        total: MinMaxExpr = Leaf(Polynomial())
+        for p, coeff in by_power.items():
+            upper = _compose_faulhaber(p, hi)
+            lower = _compose_faulhaber(p, lo - 1)
+            total = total + Leaf(coeff) * (upper - lower)
+        return guard * total
+    # Min/max-valued summand: sum term-by-term through + and ·const.
+    if isinstance(value, _Add):
+        return _sum_value(value.a, v, lo, hi) + _sum_value(value.b, v, lo, hi)
+    if isinstance(value, _Mul):
+        # A p(a·v + b) factor tightens the bound instead of splitting:
+        # Σ p(v - c)·f(v) over lo..hi == Σ f(v) over max(lo, c+1)..hi
+        # (HP's guard-absorption rule).
+        for first, second in ((value.a, value.b), (value.b, value.a)):
+            adj = _pos_bound_adjustment(first, v)
+            if adj is not None:
+                which, bound = adj
+                if which == "lo":
+                    return _sum_value(second, v, _fold(Max, [lo, bound]), hi)
+                return _sum_value(second, v, lo, _fold(Min, [hi, bound]))
+        if isinstance(value.a, Leaf) and not value.a.poly.uses_var(v):
+            return value.a * _sum_value(value.b, v, lo, hi)
+        if isinstance(value.b, Leaf) and not value.b.poly.uses_var(v):
+            return value.b * _sum_value(value.a, v, lo, hi)
+        if not _uses(value, v):
+            return guard * value * (hi - lo + 1)
+    if not _uses(value, v):
+        # constant in v: multiply by the guarded length
+        return guard * value * (hi - lo + 1)
+    split = _split_minmax(value, v)
+    if split is not None:
+        low_piece, high_piece = split
+        return _sum_value(low_piece, v, lo, hi) + _sum_value(
+            high_piece, v, lo, hi
+        )
+    raise ValueError(
+        "HP baseline cannot sum %s over %s symbolically" % (value, v)
+    )
+
+
+def _split_minmax(value: MinMaxExpr, v: str):
+    """Split one min/max of affine arguments into guarded branches.
+
+    ``min(A, B)`` becomes ``p(B-A+1)·[min→A] + p(A-B)·[min→B]`` (the
+    branches are disjoint); the p() factors are later absorbed into
+    the summation bounds.  Returns the two replacement values or None.
+    """
+    node = _find_minmax(value, v)
+    if node is None:
+        return None
+    kids = node.children
+    if len(kids) > 2:
+        # fold left: min(a, b, c) == min(min(a, b), c)
+        folded = type(node)([type(node)(kids[:2])] + list(kids[2:]))
+        return _split_minmax(_substitute_node(value, node, folded), v)
+    a, b = kids
+    if not (isinstance(a, Leaf) and isinstance(b, Leaf)):
+        return None
+    diff = b.poly - a.poly  # B - A
+    if isinstance(node, Min):
+        guard_a = Pos(Leaf(diff + 1))   # A <= B
+        guard_b = Pos(Leaf(-diff))      # A > B
+    else:
+        guard_a = Pos(Leaf(-diff + 1))  # A >= B
+        guard_b = Pos(Leaf(diff))       # A < B
+    piece_a = guard_a * _substitute_node(value, node, a)
+    piece_b = guard_b * _substitute_node(value, node, b)
+    return piece_a, piece_b
+
+
+def _find_minmax(expr: MinMaxExpr, v: str):
+    if isinstance(expr, (Min, Max)) and _uses(expr, v):
+        inner = next(
+            (c for c in expr.children if not isinstance(c, Leaf)), None
+        )
+        if inner is None:
+            return expr
+        return _find_minmax(inner, v) or expr
+    if isinstance(expr, (_Add, _Mul)):
+        return _find_minmax(expr.a, v) or _find_minmax(expr.b, v)
+    if isinstance(expr, Pos):
+        return _find_minmax(expr.child, v)
+    if isinstance(expr, _Compose):
+        return _find_minmax(expr.arg, v)
+    return None
+
+
+def _substitute_node(
+    expr: MinMaxExpr, target: MinMaxExpr, replacement: MinMaxExpr
+) -> MinMaxExpr:
+    """Replace a node (by identity) throughout an expression tree."""
+    if expr is target:
+        return replacement
+    if isinstance(expr, Leaf):
+        return expr
+    if isinstance(expr, _Add):
+        return _add(
+            _substitute_node(expr.a, target, replacement),
+            _substitute_node(expr.b, target, replacement),
+        )
+    if isinstance(expr, _Mul):
+        return _mul(
+            _substitute_node(expr.a, target, replacement),
+            _substitute_node(expr.b, target, replacement),
+        )
+    if isinstance(expr, (Min, Max)):
+        return type(expr)(
+            [_substitute_node(c, target, replacement) for c in expr.children]
+        )
+    if isinstance(expr, Pos):
+        return Pos(_substitute_node(expr.child, target, replacement))
+    if isinstance(expr, _Compose):
+        arg = _substitute_node(expr.arg, target, replacement)
+        if isinstance(arg, Leaf):
+            total = Polynomial()
+            power = Polynomial.one
+            for c in expr.coeffs:
+                if c:
+                    total = total + power * c
+                power = power * arg.poly
+            return Leaf(total)
+        return _Compose(expr.coeffs, arg)
+    raise TypeError(expr)
+
+
+def _pos_bound_adjustment(expr: MinMaxExpr, v: str):
+    """p(k·v + rest) factors become bound adjustments on v.
+
+    For |k| > 1 the threshold is exact only when the division comes
+    out even; otherwise None is returned and the caller gives up --
+    reproducing the limits of a min/max calculus without floors.
+    """
+    if not isinstance(expr, Pos) or not isinstance(expr.child, Leaf):
+        return None
+    try:
+        coeffs, const = expr.child.poly.as_integer_affine()
+    except ValueError:
+        return None
+    from repro.intarith import ceil_div, floor_div
+
+    k = coeffs.pop(v, 0)
+    if k == 0:
+        return None
+    if k > 0:
+        # k·v + rest >= 1  =>  v >= ceil((1 - rest)/k); affine exactly
+        # when every variable coefficient of rest is divisible by k.
+        num = {x: -c for x, c in coeffs.items()}
+        num_const = 1 - const
+        if any(c % k for c in num.values()):
+            return None
+        bound = Leaf(
+            Polynomial.from_affine(
+                {x: c // k for x, c in num.items()}, ceil_div(num_const, k)
+            )
+        )
+        return "lo", bound
+    k = -k
+    # k·v <= rest - 1  =>  v <= floor((rest - 1)/k)
+    num = dict(coeffs)
+    num_const = const - 1
+    if any(c % k for c in num.values()):
+        return None
+    bound = Leaf(
+        Polynomial.from_affine(
+            {x: c // k for x, c in num.items()}, floor_div(num_const, k)
+        )
+    )
+    return "hi", bound
+
+
+def _uses(expr: MinMaxExpr, v: str) -> bool:
+    if isinstance(expr, Leaf):
+        return expr.poly.uses_var(v)
+    if isinstance(expr, (_Add, _Mul)):
+        return _uses(expr.a, v) or _uses(expr.b, v)
+    if isinstance(expr, (Min, Max)):
+        return any(_uses(c, v) for c in expr.children)
+    if isinstance(expr, Pos):
+        return _uses(expr.child, v)
+    if isinstance(expr, _Compose):
+        return _uses(expr.arg, v)
+    raise TypeError(expr)
+
+
+def _compose_faulhaber(p: int, arg: MinMaxExpr) -> MinMaxExpr:
+    if isinstance(arg, Leaf):
+        return Leaf(faulhaber_polynomial(p, arg.poly))
+    return _Compose(faulhaber_coefficients(p), arg)

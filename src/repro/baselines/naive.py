@@ -1,0 +1,49 @@
+"""Naive CAS-style nested summation (the paper's introduction).
+
+Symbolic math packages compute ``Σ_{i=L}^{U} f(i)`` as
+``F(U) - F(L-1)`` *assuming the range is non-empty*.  For nested sums
+with dependent bounds the assumption silently fails: the paper's
+example,
+
+    Σ_{i=1}^{n} Σ_{j=i}^{m} 1,
+
+is reported by Mathematica as ``n(2m - n + 1)/2``, which is only valid
+for 1 <= n <= m (for 1 <= m < n the true answer is m(m+1)/2).
+
+``naive_nested_sum`` reproduces that behaviour: it applies the closed
+form unconditionally, producing a single polynomial with no guards.
+The benchmarks compare it against the engine's guarded answer.
+"""
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.powersums import sum_over_range
+from repro.qpoly import Polynomial
+from repro.qpoly.parse import parse_polynomial
+
+PolyLike = Union[Polynomial, int, str]
+
+
+def _poly(value: PolyLike) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, int):
+        return Polynomial.constant(value)
+    return parse_polynomial(value)
+
+
+def naive_nested_sum(
+    ranges: Sequence[Tuple[str, PolyLike, PolyLike]], z: PolyLike
+) -> Polynomial:
+    """Sum ``z`` over nested ranges, innermost last, no emptiness guards.
+
+    ``ranges`` is ``[(var, lower, upper), ...]`` outermost first, each
+    bound a polynomial in the outer variables and symbolic constants.
+    The summations are performed innermost-first in the given nesting
+    order (the predetermined order the paper criticizes), always
+    assuming lower <= upper.
+    """
+    value = _poly(z)
+    for var, lo, hi in reversed(list(ranges)):
+        value = sum_over_range(value, var, _poly(lo), _poly(hi))
+    return value

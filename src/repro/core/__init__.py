@@ -1,0 +1,27 @@
+"""The counting/summation engine (Sections 4 and 5 of the paper).
+
+Public entry points:
+
+* :func:`repro.core.general.count` -- number of integer solutions of
+  selected free variables of a Presburger formula, symbolically.
+* :func:`repro.core.general.sum_poly` -- sum of a polynomial over those
+  solutions.
+
+Both return a :class:`repro.core.result.SymbolicSum`: a sum of guarded
+quasi-polynomial terms ``(Σ : guard : value)`` in the remaining free
+variables (the symbolic constants).
+"""
+
+from repro.core.general import count, count_conjunct, sum_poly
+from repro.core.options import Strategy, SumOptions
+from repro.core.result import SymbolicSum, Term
+
+__all__ = [
+    "Strategy",
+    "SumOptions",
+    "SymbolicSum",
+    "Term",
+    "count",
+    "count_conjunct",
+    "sum_poly",
+]

@@ -1,0 +1,84 @@
+"""Basic sums via the paper's four-piece decomposition (Section 4.2).
+
+The paper reduces ``(Σ i : L <= i <= U : i**p)`` to sums that start at
+1, splitting into four guarded pieces to handle lower bounds other
+than 1 and negative bounds:
+
+    (Σ i : 1 <= i <= U ∧ L <= U : i**p)
+  - (Σ i : 1 <= i <= L-1 < U : i**p)
+  + (-1)**p (Σ i : 1 <= i <= -L ∧ L <= U : i**p)
+  - (-1)**p (Σ i : 1 <= i <= -U-1 < -L : i**p)
+
+The engine itself uses the equivalent telescoping identity
+``F_p(U) - F_p(L-1)`` (see :mod:`repro.core.powersums`); this module
+implements the literal four-piece form so tests can confirm the two
+agree, and so the baselines can share it.
+"""
+
+from typing import List
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.core.powersums import power_sum
+from repro.core.result import SymbolicSum, Term
+
+
+def four_piece_power_sum(p: int, lower: Affine, upper: Affine) -> SymbolicSum:
+    """(Σ i : lower <= i <= upper : i**p) by the four-piece decomposition.
+
+    ``lower`` and ``upper`` are affine in the symbolic constants; the
+    result is a guarded sum valid for *all* integer values of the
+    symbols (empty ranges contribute 0).
+    """
+    sign = -1 if p % 2 else 1
+    le = Constraint.leq(lower, upper)  # L <= U, common to every piece
+    if p == 0:
+        # §4.2: "If p is equal to zero, the sum is simply
+        # (Σ : L <= U : U - L + 1)" -- the pieces below would miss the
+        # i = 0 term (0**0 counts as 1 in a range count).
+        return SymbolicSum(
+            [Term(Conjunct([le]), (upper - lower + 1).to_polynomial())]
+        )
+    terms: List[Term] = []
+
+    # + (Σ : 1 <= U ∧ L <= U : S_p(U))
+    terms.append(
+        Term(
+            Conjunct([Constraint.leq(Affine.const_expr(1), upper), le]),
+            power_sum(p, upper.to_polynomial()),
+        )
+    )
+    # - (Σ : 1 <= L-1 ∧ L <= U : S_p(L-1))
+    terms.append(
+        Term(
+            Conjunct([Constraint.leq(Affine.const_expr(2), lower), le]),
+            -power_sum(p, (lower - 1).to_polynomial()),
+        )
+    )
+    # + (-1)^p (Σ : 1 <= -L ∧ L <= U : S_p(-L))
+    terms.append(
+        Term(
+            Conjunct([Constraint.leq(lower, Affine.const_expr(-1)), le]),
+            power_sum(p, (-lower).to_polynomial()) * sign,
+        )
+    )
+    # - (-1)^p (Σ : 1 <= -U-1 ∧ L <= U : S_p(-U-1))
+    terms.append(
+        Term(
+            Conjunct([Constraint.leq(upper, Affine.const_expr(-2)), le]),
+            -power_sum(p, (-upper - 1).to_polynomial()) * sign,
+        )
+    )
+    return SymbolicSum(terms)
+
+
+def four_piece_polynomial_sum(
+    coefficients: List, lower: Affine, upper: Affine
+) -> SymbolicSum:
+    """(Σ i : L <= i <= U : Σ_p c_p·i**p)  (Section 4.3's rewrite)."""
+    total = SymbolicSum([])
+    for p, c in enumerate(coefficients):
+        if c:
+            total = total + four_piece_power_sum(p, lower, upper).scale(c)
+    return total

@@ -1,0 +1,179 @@
+"""Compacting single-symbol answers into one quasi-polynomial term.
+
+A sum of guarded terms over one symbolic constant n is, beyond the
+largest guard threshold, a single quasi-polynomial: every affine guard
+``a·n + c >= 0`` with a > 0 has stabilized to true, every stride guard
+is periodic, and the values are quasi-polynomials.  So the whole
+answer can be rewritten as
+
+    (Σ : n >= N0 : Q(n))  +  one point term per n below N0,
+
+with Q recovered *exactly* by interpolation: on [N0, ∞) the total is a
+quasi-polynomial of degree <= d and period p, so agreement on d+1
+sample points per residue class determines it (polynomial identity
+theorem, per class).
+
+This reproduces by algorithm what the paper does by hand at the end of
+Example 6 and in Example 2 ("we realize that it can be defined by a
+first degree polynomial"): recognizing that piecewise answers collapse.
+"""
+
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.intarith import ceil_div, lcm_list
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.core.result import SymbolicSum, Term
+from repro.qpoly import ModAtom, Polynomial
+
+
+def compact_single_symbol(
+    sum_: SymbolicSum, symbol: Optional[str] = None, max_points: int = 512
+) -> SymbolicSum:
+    """Rewrite a single-symbol answer as one tail term + point terms.
+
+    Returns the input unchanged when the preconditions fail (more than
+    one symbol, wildcard guards that do not tidy away, terms without a
+    lower bound on the symbol, or a boundary region larger than
+    ``max_points``).
+    """
+    from repro.core.merge import simplify_guard
+
+    if not sum_.terms:
+        return sum_
+    symbols = sum_.symbols()
+    if symbol is None:
+        if len(symbols) != 1:
+            return sum_
+        symbol = symbols[0]
+    elif symbols and symbols != [symbol]:
+        return sum_
+
+    # Tidy guards (project floor-definition wildcards away) and collect
+    # thresholds, strides and degrees.
+    degree = 0
+    moduli: List[int] = [1]
+    thresholds: List[int] = []
+    tidied: List[Term] = []
+    for term in sum_.terms:
+        guard = simplify_guard(term.guard)
+        if any(
+            not guard.is_stride_wildcard(w) for w in guard.wildcards
+        ):
+            return sum_
+        has_lower = False
+        for c in guard.constraints:
+            if c.is_eq():
+                wilds = [v for v in c.variables() if v in guard.wildcards]
+                if wilds:
+                    moduli.append(abs(c.coeff(wilds[0])))
+                    continue
+                # n == k: a point guard
+                a = c.coeff(symbol)
+                if a == 0:
+                    return sum_
+                if (-c.expr.const) % a:
+                    continue  # never satisfied
+                thresholds.append((-c.expr.const) // a + 1)
+                has_lower = True
+                continue
+            a = c.coeff(symbol)
+            if a == 0:
+                if c.expr.is_constant():
+                    continue
+                return sum_
+            # a·n + const >= 0: true from ceil(-const/a) upward (a>0)
+            # or up to floor(-const/-a) (a<0): both give a threshold
+            # past which the truth value is constant.
+            if a > 0:
+                has_lower = True
+                thresholds.append(ceil_div(-c.expr.const, a))
+            else:
+                thresholds.append(ceil_div(-c.expr.const, a) + 1)
+        if not has_lower:
+            return sum_  # a left-infinite piece: no compact tail form
+        for atom in term.value.atoms():
+            if isinstance(atom, ModAtom):
+                moduli.append(atom.modulus)
+        degree = max(degree, term.value.total_degree())
+        tidied.append(Term(guard, term.value))
+
+    period = lcm_list(moduli)
+    n0 = max(thresholds) if thresholds else 0
+    n_min = min(thresholds) if thresholds else 0
+    if n0 - n_min > max_points or period * (degree + 1) > max_points:
+        return sum_
+    working = SymbolicSum(tidied, sum_.exactness)
+
+    # Interpolate the stable tail per residue class of the period.
+    tail_value = Polynomial()
+    n_poly = Polynomial.variable(symbol)
+    mod_atom = (
+        Polynomial.atom(ModAtom({symbol: 1}, 0, period))
+        if period > 1
+        else None
+    )
+    for residue in range(period):
+        # d+1 sample points in this class at or beyond n0
+        first = n0 + ((residue - n0) % period)
+        xs = [first + period * k for k in range(degree + 1)]
+        ys = [Fraction(working.evaluate({symbol: x})) for x in xs]
+        poly_r = _lagrange(xs, ys, n_poly)
+        if period == 1:
+            tail_value = poly_r
+        else:
+            indicator = _residue_indicator(mod_atom, residue, period)
+            tail_value = tail_value + poly_r * indicator
+
+    # Absorb boundary points that already agree with the tail: extend
+    # the guard downward while total(n) == Q(n) (the move the paper
+    # makes in Example 6: "we can safely relax the guard").
+    while n0 > n_min and Fraction(
+        working.evaluate({symbol: n0 - 1})
+    ) == tail_value.evaluate({symbol: n0 - 1}):
+        n0 -= 1
+
+    tail_guard = Conjunct(
+        [Constraint.geq(Affine({symbol: 1}, -n0))]
+    )
+    out = [Term(tail_guard, tail_value)]
+
+    # Points below the stable region get explicit point terms.
+    for n in range(n_min, n0):
+        v = working.evaluate({symbol: n})
+        if v:
+            point = Conjunct([Constraint.eq(Affine({symbol: 1}, -n))])
+            out.append(Term(point, Polynomial.constant(v)))
+    return SymbolicSum(out, sum_.exactness)
+
+
+def _lagrange(xs, ys, x_poly: Polynomial) -> Polynomial:
+    total = Polynomial()
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if not yi:
+            continue
+        basis = Polynomial.one
+        denom = Fraction(1)
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            basis = basis * (x_poly - xj)
+            denom *= xi - xj
+        total = total + basis * (yi / denom)
+    return total
+
+
+def _residue_indicator(
+    mod_atom: Polynomial, residue: int, period: int
+) -> Polynomial:
+    """A polynomial in (n mod p) that is 1 at ``residue``, 0 elsewhere."""
+    total = Polynomial.one
+    denom = Fraction(1)
+    for r in range(period):
+        if r == residue:
+            continue
+        total = total * (mod_atom - r)
+        denom *= residue - r
+    return total * (Fraction(1) / denom)

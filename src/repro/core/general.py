@@ -1,0 +1,118 @@
+"""Top-level counting and summation API (Section 4.5, "General Sums").
+
+``count`` / ``sum_poly`` accept an arbitrary Presburger formula (or a
+text formula for convenience), put it in **disjoint** disjunctive
+normal form with the Omega test (Section 5 -- overlapping clauses would
+be counted more than once), and sum each clause with the convex-sum
+recursion.
+"""
+
+from typing import List, Optional, Sequence, Union
+
+from repro.omega.problem import Conjunct
+from repro.presburger.ast import Formula
+from repro.presburger.disjoint import disjointify
+from repro.presburger.dnf import to_dnf
+from repro.core.convex import sum_over_conjunct
+from repro.core.options import DEFAULT_OPTIONS, Strategy, SumOptions
+from repro.core.result import SymbolicSum, Term
+from repro.qpoly import Polynomial
+
+FormulaLike = Union[Formula, str, Conjunct, Sequence[Conjunct]]
+PolyLike = Union[Polynomial, int, str]
+
+
+def _clauses(formula: FormulaLike, disjoint: bool = True) -> List[Conjunct]:
+    if isinstance(formula, str):
+        from repro.presburger.parser import parse
+
+        formula = parse(formula)
+    if isinstance(formula, Formula):
+        clauses = to_dnf(formula)
+    elif isinstance(formula, Conjunct):
+        clauses = [formula]
+    else:
+        clauses = list(formula)
+    if disjoint and len(clauses) > 1:
+        clauses = disjointify(clauses)
+    return clauses
+
+
+def _poly(value: PolyLike) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, int):
+        return Polynomial.constant(value)
+    if isinstance(value, str):
+        from repro.qpoly.parse import parse_polynomial
+
+        return parse_polynomial(value)
+    raise TypeError("cannot interpret summand %r" % (value,))
+
+
+def sum_poly(
+    formula: FormulaLike,
+    over: Sequence[str],
+    z: PolyLike,
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """(Σ over : formula : z), symbolically in the other free variables.
+
+    ``over`` lists the variables summed; every other free variable of
+    the formula (and of z) is a symbolic constant and appears in the
+    result's guards and values.
+    """
+    z = _poly(z)
+    clauses = _clauses(formula)
+    terms: List[Term] = []
+    exactness = "exact"
+    for clause in clauses:
+        clause_terms, clause_exact = sum_over_conjunct(
+            clause, tuple(over), z, options
+        )
+        terms.extend(clause_terms)
+        if clause_exact != "exact":
+            exactness = (
+                clause_exact
+                if exactness in ("exact", clause_exact)
+                else "approx"
+            )
+    return SymbolicSum(terms, exactness)
+
+
+def count(
+    formula: FormulaLike,
+    over: Sequence[str],
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """Number of integer solutions of ``over`` in the formula.
+
+    The paper's ``(Σ V : P : 1)``.
+    """
+    return sum_poly(formula, over, 1, options)
+
+
+def count_conjunct(
+    conj: Conjunct,
+    over: Sequence[str],
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """Count solutions of a single conjunct (no disjointification)."""
+    terms, exactness = sum_over_conjunct(
+        conj, tuple(over), Polynomial.one, options
+    )
+    return SymbolicSum(terms, exactness)
+
+
+def count_bounds(
+    formula: FormulaLike, over: Sequence[str]
+) -> tuple:
+    """(lower bound, upper bound) symbolic counts (Section 4.6).
+
+    Cheaper than an exact count when floors would splinter; the paper
+    suggests computing both and only going exact when they are far
+    apart.
+    """
+    lo = count(formula, over, DEFAULT_OPTIONS.with_strategy(Strategy.LOWER))
+    hi = count(formula, over, DEFAULT_OPTIONS.with_strategy(Strategy.UPPER))
+    return lo, hi

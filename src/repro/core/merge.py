@@ -1,0 +1,320 @@
+"""Post-processing of symbolic sums: residue merging and guard widening.
+
+``merge_residues`` recombines a full set of residue-class splinters
+into a single quasi-polynomial term with a ``mod`` atom -- the move the
+paper performs by hand at the end of Example 6, turning two parity
+splinters into ``(3n² + 2n - (n mod 2))/4``.
+
+``widen_guards`` relaxes a guard constraint when the term's value
+provably vanishes on the region the relaxation adds -- the paper's
+"the value of the first clause for n = 1 is 0, so we can safely relax
+the guard to n >= 1 and combine the terms" (Example 6).
+"""
+
+import itertools
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import satisfiable
+from repro.core.result import SymbolicSum, Term
+from repro.qpoly import ModAtom, Polynomial
+
+
+def simplify_guard(conj: Conjunct) -> Conjunct:
+    """Put a guard in its simplest equivalent form.
+
+    Guards produced by the engine often carry determined wildcards
+    (floor definitions like ∃g: 2g <= n <= 2g+1 ∧ g >= 1, meaning
+    n >= 2).  Projecting the wildcards exactly recovers the affine
+    form whenever the projection yields a single piece.
+    """
+    from repro.omega.redundancy import remove_redundant
+    from repro.presburger.disjoint import project_to_stride_only
+
+    n = conj.normalize()
+    if n is None:
+        return conj
+    if not n.stride_only():
+        pieces = project_to_stride_only(n)
+        if len(pieces) != 1:
+            return remove_redundant(n)
+        n = pieces[0]
+    return remove_redundant(n)
+
+
+def reduce_mod_powers(poly: Polynomial) -> Polynomial:
+    """Rewrite powers of mod atoms below their modulus.
+
+    ``(e mod M)**k`` for k >= M is a function of ``e mod M`` taking the
+    values r**k on r = 0..M-1; interpolation rewrites it as a
+    polynomial of degree < M.  The paper uses the M = 2 instance:
+    ``(n mod 2)² == n mod 2`` (Example 6).
+    """
+    out = Polynomial()
+    for mono, coef in poly.terms.items():
+        piece = Polynomial.constant(coef)
+        for atom, exp in mono:
+            if isinstance(atom, ModAtom) and exp >= atom.modulus > 1:
+                values = {
+                    r: Polynomial.constant(Fraction(r) ** exp)
+                    for r in range(atom.modulus)
+                }
+                piece = piece * _interpolate(
+                    values, Polynomial.atom(atom), atom.modulus
+                )
+            else:
+                piece = piece * Polynomial.atom(atom) ** exp
+        out = out + piece
+    return out
+
+
+def canonicalize_mod_shifts(poly: Polynomial, max_modulus: int = 8) -> Polynomial:
+    """Express shifted mod atoms through their constant-free form.
+
+    ``(e + c) mod M`` takes the value ((r + c) mod M) when
+    ``e mod M == r``; interpolation rewrites it as a polynomial in
+    ``e mod M``, so e.g. ``(n+1) mod 2 == 1 - (n mod 2)``.  This lets
+    terms produced by different residue splits combine.
+    """
+    out = Polynomial()
+    for mono, coef in poly.terms.items():
+        piece = Polynomial.constant(coef)
+        for atom, exp in mono:
+            if (
+                isinstance(atom, ModAtom)
+                and atom.const != 0
+                and atom.coeffs
+                and atom.modulus <= max_modulus
+            ):
+                base = ModAtom(dict(atom.coeffs), 0, atom.modulus)
+                values = {
+                    r: Polynomial.constant(
+                        Fraction((r + atom.const) % atom.modulus)
+                    )
+                    for r in range(atom.modulus)
+                }
+                repl = _interpolate(
+                    values, Polynomial.atom(base), atom.modulus
+                )
+                piece = piece * repl ** exp
+            else:
+                piece = piece * Polynomial.atom(atom) ** exp
+        out = out + piece
+    return out
+
+
+def tidy_values(sum_: SymbolicSum) -> SymbolicSum:
+    """Guard simplification + mod-atom canonicalization on every term."""
+    terms = []
+    for t in sum_.terms:
+        value = reduce_mod_powers(canonicalize_mod_shifts(t.value))
+        value = reduce_mod_powers(value)
+        terms.append(Term(simplify_guard(t.guard), value))
+    return SymbolicSum(terms, sum_.exactness)
+
+
+def merge_residues(sum_: SymbolicSum) -> SymbolicSum:
+    """Merge complete residue-class splits into mod-atom terms.
+
+    Looks for groups of terms whose guards are identical except for a
+    single stride constraint ``M | (e - r)`` with r covering all of
+    0..M-1; the group is replaced by one term whose value interpolates
+    the pieces as a polynomial in the atom ``e mod M``.
+    """
+    groups: Dict[tuple, Dict[int, Term]] = {}
+    order: List[tuple] = []
+    passthrough: List[Tuple[int, Term]] = []
+    for idx, term in enumerate(sum_.terms):
+        split = _split_one_stride(term.guard)
+        if split is None:
+            passthrough.append((idx, term))
+            continue
+        base, modulus, expr, residue = split
+        key = (base.constraints, modulus, expr.coeffs, expr.const)
+        if key not in groups:
+            groups[key] = {}
+            order.append((idx, key, base, modulus, expr))
+        if residue in groups[key]:
+            # duplicate residue: give up on this group member
+            passthrough.append((idx, term))
+        else:
+            groups[key][residue] = term
+
+    out: List[Tuple[int, Term]] = list(passthrough)
+    for idx, key, base, modulus, expr in order:
+        members = groups[key]
+        if set(members) == set(range(modulus)):
+            atom = Polynomial.atom(
+                ModAtom(expr.coeff_dict(), expr.const, modulus)
+            )
+            merged_value = _interpolate(
+                {r: members[r].value for r in members}, atom, modulus
+            )
+            if merged_value is not None:
+                out.append((idx, Term(base, merged_value)))
+                continue
+        out.extend(
+            (idx, t) for t in members.values()
+        )
+    out.sort(key=lambda it: it[0])
+    return SymbolicSum((t for _, t in out), sum_.exactness)
+
+
+def _split_one_stride(
+    guard: Conjunct,
+) -> Optional[Tuple[Conjunct, int, Affine, int]]:
+    """If the guard has exactly one stride, factor it out.
+
+    Returns (guard without the stride, modulus M, expr e, residue r)
+    where the stride means ``e ≡ r (mod M)`` with e's constant dropped
+    to zero (the residue captures it).
+    """
+    others, strides = guard.stride_view()
+    if len(strides) != 1:
+        return None
+    modulus, expr = strides[0]
+    # stride M | expr with expr = e0 + const:  e0 mod M == (-const) mod M
+    e0 = Affine(expr.coeff_dict(), 0)
+    r = (-expr.const) % modulus
+    base = Conjunct(others)
+    return base, modulus, e0, r
+
+
+def _interpolate(
+    values: Dict[int, Polynomial], atom: Polynomial, modulus: int
+) -> Optional[Polynomial]:
+    """Find Q with Q(r) == values[r] for r in 0..M-1, Q polynomial in atom.
+
+    Lagrange interpolation over the residue points; coefficients are
+    polynomials in the symbolic constants.  Returns None if any value
+    itself contains the target's variables inside other mod atoms in a
+    way interpolation cannot absorb (conservatively: never -- Lagrange
+    always succeeds; kept for future-proofing).
+    """
+    total = Polynomial()
+    points = list(range(modulus))
+    for r in points:
+        basis = Polynomial.one
+        denom = Fraction(1)
+        for s in points:
+            if s == r:
+                continue
+            basis = basis * (atom - s)
+            denom *= r - s
+        total = total + values[r] * basis * Fraction(1, denom)
+    return total
+
+
+def widen_guards(sum_: SymbolicSum, max_steps: int = 8) -> SymbolicSum:
+    """Align guards that differ by a boundary when the value vanishes.
+
+    Example 6's final move: the guard ``n >= 2`` can be relaxed to
+    ``n >= 1`` because the term's value is 0 at n = 1; the two terms
+    then share a guard and combine.  We look for pairs of terms whose
+    guards differ in exactly one GEQ constraint by a constant offset,
+    and widen the stronger one step by step, checking symbolically
+    (substituting the boundary slice into the value) that each added
+    slice contributes 0.
+    """
+    terms = list(sum_.terms)
+    changed = True
+    while changed:
+        changed = False
+        for i, t1 in enumerate(terms):
+            for j, t2 in enumerate(terms):
+                if i == j:
+                    continue
+                widened = _try_align(t1, t2, max_steps)
+                if widened is not None:
+                    terms[i] = widened
+                    changed = True
+        if changed:
+            combined = SymbolicSum(terms, sum_.exactness).combine_like_guards()
+            terms = list(combined.terms)
+    return SymbolicSum(terms, sum_.exactness).combine_like_guards()
+
+
+def _try_align(t1: Term, t2: Term, max_steps: int) -> Optional[Term]:
+    """Widen t1's guard to equal t2's when only zero-value slices join."""
+    g1, g2 = t1.guard.normalize(), t2.guard.normalize()
+    if g1 is None or g2 is None:
+        return None
+    c1_set, c2_set = set(g1.constraints), set(g2.constraints)
+    only1 = [c for c in g1.constraints if c not in c2_set]
+    only2 = [c for c in g2.constraints if c not in c1_set]
+    if len(only1) != 1 or len(only2) != 1:
+        return None
+    c1, c2 = only1[0], only2[0]
+    if not (c1.is_geq() and c2.is_geq()):
+        return None
+    if c1.expr.coeffs != c2.expr.coeffs:
+        return None
+    d = c2.expr.const - c1.expr.const
+    if not 0 < d <= max_steps:
+        return None  # t1 must be strictly stronger, by few steps
+    # slices: expr1 == -1, -2, ..., -d  (i.e. expr2 == d-1, ..., 0)
+    for k in range(1, d + 1):
+        if not _slice_value_zero(t1.value, c1.expr, -k):
+            return None
+    return Term(g2, t1.value)
+
+
+def _slice_value_zero(value: Polynomial, expr: Affine, const: int) -> bool:
+    """Is the value identically zero on the slice ``expr == const``?
+
+    Conservative: solves the slice for a unit-coefficient symbol and
+    substitutes; returns False when no unit symbol exists.
+    """
+    unit = next((v for v, c in expr.coeffs if abs(c) == 1), None)
+    if unit is None:
+        return False
+    k = expr.coeff(unit)
+    rest = Affine(
+        {v: c for v, c in expr.coeffs if v != unit}, expr.const - const
+    )
+    # k·unit + rest' == 0 with rest' = expr - k·unit - const
+    replacement = (rest if k == -1 else -rest).to_polynomial()
+    try:
+        substituted = value.substitute(unit, replacement)
+    except ValueError:
+        return False
+    return substituted.is_zero()
+
+
+def _enumerate_region(
+    conj: Conjunct, max_enum: int
+) -> Optional[List[Dict[str, int]]]:
+    """All integer points of a conjunct if provably few, else None."""
+    n = conj.normalize()
+    if n is None:
+        return []
+    free = n.free_variables()
+    if not free:
+        return [{}] if satisfiable(n) else []
+    boxes = []
+    for v in free:
+        lo, hi = None, None
+        for c in n.geqs():
+            coeffs = dict(c.expr.coeffs)
+            k = coeffs.get(v)
+            if k is None or len(coeffs) != 1:
+                continue
+            # single-variable bounds only (normalize keeps them unit)
+            if k == 1:
+                lo = max(lo, -c.expr.const) if lo is not None else -c.expr.const
+            elif k == -1:
+                hi = min(hi, c.expr.const) if hi is not None else c.expr.const
+        if lo is None or hi is None or hi - lo + 1 > max_enum:
+            return None
+        boxes.append(range(lo, hi + 1))
+    pts = []
+    for vals in itertools.product(*boxes):
+        env = dict(zip(free, vals))
+        if n.is_satisfied(env):
+            pts.append(env)
+        if len(pts) > max_enum:
+            return None
+    return pts

@@ -1,0 +1,58 @@
+"""Optional min/max-form answers (Section 6, Example 2 discussion).
+
+"We have developed a way of introducing min's and max's into the
+result.  Although it sometimes allows us to avoid splitting a
+summation because of a multiple upper or lower bound, the results tend
+to be much more complicated.  We have decided that in general it is
+not worth generating min's and max's."
+
+The capability is provided anyway (it is occasionally the right
+output for human consumption): ``min_max_sum`` computes a single
+min/max/p() expression instead of guarded pieces, sharing the
+calculus with the Haghighat-Polychronopoulos baseline.
+"""
+
+from typing import Sequence, Union
+
+from repro.baselines.haghighat import MinMaxExpr, hp_nested_sum
+from repro.omega.problem import Conjunct
+from repro.presburger.ast import Formula
+from repro.qpoly import Polynomial
+
+
+def min_max_sum(
+    formula: Union[str, Formula, Conjunct],
+    over: Sequence[str],
+    z: Union[Polynomial, int] = 1,
+) -> MinMaxExpr:
+    """(Σ over : formula : z) as one min/max expression, no splitting.
+
+    The formula must lower to a single convex clause with unit
+    coefficients on the summation variables (the regime where min/max
+    answers make sense).  The summation order is innermost-first over
+    ``over`` reversed, matching loop-nest usage.
+    """
+    if isinstance(formula, Conjunct):
+        clause = formula
+    else:
+        if isinstance(formula, str):
+            from repro.presburger.parser import parse
+
+            formula = parse(formula)
+        from repro.presburger.dnf import to_dnf
+
+        clauses = to_dnf(formula)
+        if len(clauses) != 1:
+            raise ValueError(
+                "min/max answers need a single convex clause; "
+                "got %d clauses" % len(clauses)
+            )
+        clause = clauses[0]
+    return hp_nested_sum(clause, list(reversed(list(over))), z)
+
+
+def min_max_count(
+    formula: Union[str, Formula, Conjunct], over: Sequence[str]
+) -> MinMaxExpr:
+    """Count of solutions as a single min/max expression."""
+    return min_max_sum(formula, over, 1)

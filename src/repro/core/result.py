@@ -1,0 +1,193 @@
+"""Guarded piecewise quasi-polynomial results.
+
+The answer to ``(Σ V : P : z)`` is a *sum of guarded terms*
+
+    (Σ : G1 : q1) + (Σ : G2 : q2) + ...
+
+where each guard Gi is a conjunct over the symbolic constants (affine
+constraints plus strides) and each value qi is a quasi-polynomial.
+A term contributes its value when its guard holds and 0 otherwise
+(the paper's "nullary form of a summation", Section 1).  Terms need
+not be disjoint -- values add -- though the engine produces disjoint
+guards wherever the pieces partition a case split.
+"""
+
+from fractions import Fraction
+from typing import Iterable, List, Mapping, NamedTuple, Optional, Union
+
+from repro.omega.problem import Conjunct
+from repro.qpoly import Polynomial
+
+
+class Term(NamedTuple):
+    """One guarded value: contributes ``value`` when ``guard`` holds."""
+
+    guard: Conjunct
+    value: Polynomial
+
+    def evaluate(self, env: Mapping[str, int]) -> Fraction:
+        if self.guard.is_satisfied(env):
+            return self.value.evaluate(env)
+        return Fraction(0)
+
+    def __str__(self) -> str:
+        guard = str(self.guard)
+        if guard == "TRUE":
+            return "(Σ : %s)" % (self.value,)
+        return "(Σ : %s : %s)" % (guard, self.value)
+
+
+class SymbolicSum:
+    """A symbolic count or sum: guarded terms plus an exactness tag.
+
+    ``exactness`` is one of ``"exact"``, ``"upper"``, ``"lower"``,
+    ``"approx"`` -- approximate answers arise from the UPPER / LOWER /
+    MIDPOINT strategies of Section 4.2.1 and from approximate
+    simplification (Section 4.6).
+    """
+
+    __slots__ = ("terms", "exactness")
+
+    def __init__(self, terms: Iterable[Term], exactness: str = "exact"):
+        if exactness not in ("exact", "upper", "lower", "approx"):
+            raise ValueError("bad exactness %r" % exactness)
+        cleaned = [t for t in terms if not t.value.is_zero()]
+        object.__setattr__(self, "terms", tuple(cleaned))
+        object.__setattr__(self, "exactness", exactness)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SymbolicSum is immutable")
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate(self, env: Optional[Mapping[str, int]] = None, **kwargs: int):
+        """Evaluate at concrete values of the symbolic constants.
+
+        Returns an int when the result is integral (it always is for
+        exact counts), otherwise a Fraction.
+        """
+        full = dict(env or {})
+        full.update(kwargs)
+        total = Fraction(0)
+        for term in self.terms:
+            total += term.evaluate(full)
+        if total.denominator == 1:
+            return int(total)
+        return total
+
+    def __call__(self, **kwargs: int):
+        return self.evaluate(kwargs)
+
+    # -- algebra ----------------------------------------------------------
+
+    def __add__(self, other: "SymbolicSum") -> "SymbolicSum":
+        exactness = _combine_exactness(self.exactness, other.exactness)
+        return SymbolicSum(self.terms + other.terms, exactness)
+
+    def scale(self, factor: Union[int, Fraction]) -> "SymbolicSum":
+        return SymbolicSum(
+            (Term(t.guard, t.value * factor) for t in self.terms),
+            self.exactness,
+        )
+
+    def __neg__(self) -> "SymbolicSum":
+        flipped = {"upper": "lower", "lower": "upper"}
+        return SymbolicSum(
+            (Term(t.guard, -t.value) for t in self.terms),
+            flipped.get(self.exactness, self.exactness),
+        )
+
+    def __sub__(self, other: "SymbolicSum") -> "SymbolicSum":
+        return self + (-other)
+
+    # -- structure ------------------------------------------------------------
+
+    def combine_like_guards(self) -> "SymbolicSum":
+        """Add up the values of terms with identical guards."""
+        buckets = {}
+        order = []
+        for t in self.terms:
+            key = (t.guard.constraints, t.guard.wildcards)
+            if key not in buckets:
+                buckets[key] = Term(t.guard, Polynomial())
+                order.append(key)
+            buckets[key] = Term(t.guard, buckets[key].value + t.value)
+        return SymbolicSum((buckets[k] for k in order), self.exactness)
+
+    def symbols(self) -> List[str]:
+        seen = {}
+        for t in self.terms:
+            for v in t.guard.free_variables():
+                seen.setdefault(v, None)
+            for v in t.value.variables():
+                seen.setdefault(v, None)
+        return list(seen)
+
+    def is_constant(self) -> bool:
+        return not self.symbols()
+
+    def constant_value(self):
+        if not self.is_constant():
+            raise ValueError("symbolic result: %s" % self)
+        return self.evaluate({})
+
+    def simplified(self) -> "SymbolicSum":
+        """Tidy guards/values, merge residue classes, widen guards."""
+        from repro.core.merge import merge_residues, tidy_values, widen_guards
+
+        tidied = tidy_values(self).combine_like_guards()
+        return widen_guards(merge_residues(tidied))
+
+    def compacted(self, symbol: Optional[str] = None) -> "SymbolicSum":
+        """Collapse a single-symbol answer to one tail quasi-polynomial.
+
+        Exact: past the largest guard threshold the piecewise answer is
+        a quasi-polynomial recovered by interpolation; boundary points
+        become explicit point terms.  Returns self unchanged when the
+        preconditions do not hold (see :mod:`repro.core.compact`).
+        """
+        from repro.core.compact import compact_single_symbol
+
+        return compact_single_symbol(self.simplified(), symbol)
+
+    def as_function(self):
+        """A plain Python callable over the symbolic constants.
+
+        ``f = result.as_function(); f(n=10)`` -- convenient for
+        plugging counts into schedulers or cost models.
+        """
+
+        def evaluate(**kwargs: int):
+            return self.evaluate(kwargs)
+
+        return evaluate
+
+    def table(self, var: str, values, **fixed: int):
+        """Tabulate the result along one symbol: [(value, count), ...]."""
+        out = []
+        for v in values:
+            env = dict(fixed)
+            env[var] = v
+            out.append((v, self.evaluate(env)))
+        return out
+
+    # -- display -----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        body = " + ".join(str(t) for t in self.terms)
+        if self.exactness != "exact":
+            return "%s  [%s bound]" % (body, self.exactness)
+        return body
+
+    def __repr__(self) -> str:
+        return "SymbolicSum(%s)" % self
+
+
+def _combine_exactness(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if "exact" in (a, b):
+        return a if b == "exact" else b
+    return "approx"

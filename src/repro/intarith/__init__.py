@@ -1,0 +1,33 @@
+"""Exact integer arithmetic substrate.
+
+Everything the Omega test and the summation engine need from number
+theory and integer linear algebra: gcd/lcm helpers, symmetric residues,
+exact rational matrices, Hermite and Smith normal forms, Bernoulli
+numbers and Faulhaber (power-sum) polynomials.
+"""
+
+from repro.intarith.gcdlcm import (
+    ceil_div,
+    ext_gcd,
+    floor_div,
+    gcd_list,
+    lcm_list,
+    sym_mod,
+)
+from repro.intarith.matrix import IntMatrix
+from repro.intarith.smith import hermite_normal_form, smith_normal_form
+from repro.intarith.bernoulli import bernoulli, faulhaber_coefficients
+
+__all__ = [
+    "IntMatrix",
+    "bernoulli",
+    "ceil_div",
+    "ext_gcd",
+    "faulhaber_coefficients",
+    "floor_div",
+    "gcd_list",
+    "hermite_normal_form",
+    "lcm_list",
+    "smith_normal_form",
+    "sym_mod",
+]

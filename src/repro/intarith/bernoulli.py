@@ -1,0 +1,165 @@
+"""Bernoulli numbers and Faulhaber power-sum polynomials.
+
+Section 4.1 of the paper uses the standard closed forms for
+``sum(i**p for i in 1..n)`` ("described in the CRC Standard
+Mathematical Tables"); the paper hard-codes p up to 10.  We keep a
+hard-coded table for p <= 10 (tested against the general formula) and
+compute arbitrary p through Bernoulli numbers, so the engine has no
+degree limit.
+"""
+
+from fractions import Fraction
+from functools import lru_cache
+from math import comb
+from typing import Dict, List
+
+
+@lru_cache(maxsize=None)
+def bernoulli(n: int) -> Fraction:
+    """The n-th Bernoulli number with the B1 = +1/2 convention.
+
+    The +1/2 convention makes Faulhaber's formula come out as
+    ``S_p(n) = (1/(p+1)) * sum_j C(p+1, j) * B_j * n**(p+1-j)``.
+    """
+    if n < 0:
+        raise ValueError("Bernoulli numbers are indexed by n >= 0")
+    if n == 0:
+        return Fraction(1)
+    if n == 1:
+        return Fraction(1, 2)
+    if n % 2 == 1:
+        return Fraction(0)
+    # B_n = 1 - sum_{k=0}^{n-1} C(n, k) B_k / (n - k + 1)
+    total = Fraction(1)
+    for k in range(n):
+        bk = bernoulli(k)
+        if bk:
+            total -= Fraction(comb(n, k), n - k + 1) * bk
+    return total
+
+
+@lru_cache(maxsize=None)
+def faulhaber_coefficients(p: int) -> tuple:
+    """Coefficients of F_p(x) = sum(i**p for i in 1..x) as a polynomial.
+
+    Returns a tuple ``(c0, c1, ..., c_{p+1})`` of Fractions so that
+    ``F_p(x) = sum(c_k * x**k)``.  The identity
+    ``F_p(x) - F_p(x-1) == x**p`` holds for *all* integers x and
+    ``F_p(0) == 0``, so ``sum(i**p for i in L..U) == F_p(U) - F_p(L-1)``
+    for any integers L <= U (including negative bounds).  This is the
+    telescoping form the engine uses instead of the paper's literal
+    four-piece decomposition (see DESIGN.md).
+    """
+    if p < 0:
+        raise ValueError("power must be non-negative")
+    coeffs: List[Fraction] = [Fraction(0)] * (p + 2)
+    inv = Fraction(1, p + 1)
+    for j in range(p + 1):
+        bj = bernoulli(j)
+        if bj:
+            coeffs[p + 1 - j] += inv * comb(p + 1, j) * bj
+    return tuple(coeffs)
+
+
+#: Hard-coded table for p <= 10, as the paper's implementation planned.
+#: Maps p to the coefficient tuple of F_p; verified against
+#: :func:`faulhaber_coefficients` in the tests.
+HARDCODED_POWER_SUMS: Dict[int, tuple] = {
+    0: (Fraction(0), Fraction(1)),
+    1: (Fraction(0), Fraction(1, 2), Fraction(1, 2)),
+    2: (Fraction(0), Fraction(1, 6), Fraction(1, 2), Fraction(1, 3)),
+    3: (Fraction(0), Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(1, 4)),
+    4: (
+        Fraction(0),
+        Fraction(-1, 30),
+        Fraction(0),
+        Fraction(1, 3),
+        Fraction(1, 2),
+        Fraction(1, 5),
+    ),
+    5: (
+        Fraction(0),
+        Fraction(0),
+        Fraction(-1, 12),
+        Fraction(0),
+        Fraction(5, 12),
+        Fraction(1, 2),
+        Fraction(1, 6),
+    ),
+    6: (
+        Fraction(0),
+        Fraction(1, 42),
+        Fraction(0),
+        Fraction(-1, 6),
+        Fraction(0),
+        Fraction(1, 2),
+        Fraction(1, 2),
+        Fraction(1, 7),
+    ),
+    7: (
+        Fraction(0),
+        Fraction(0),
+        Fraction(1, 12),
+        Fraction(0),
+        Fraction(-7, 24),
+        Fraction(0),
+        Fraction(7, 12),
+        Fraction(1, 2),
+        Fraction(1, 8),
+    ),
+    8: (
+        Fraction(0),
+        Fraction(-1, 30),
+        Fraction(0),
+        Fraction(2, 9),
+        Fraction(0),
+        Fraction(-7, 15),
+        Fraction(0),
+        Fraction(2, 3),
+        Fraction(1, 2),
+        Fraction(1, 9),
+    ),
+    9: (
+        Fraction(0),
+        Fraction(0),
+        Fraction(-3, 20),
+        Fraction(0),
+        Fraction(1, 2),
+        Fraction(0),
+        Fraction(-7, 10),
+        Fraction(0),
+        Fraction(3, 4),
+        Fraction(1, 2),
+        Fraction(1, 10),
+    ),
+    10: (
+        Fraction(0),
+        Fraction(5, 66),
+        Fraction(0),
+        Fraction(-1, 2),
+        Fraction(0),
+        Fraction(1),
+        Fraction(0),
+        Fraction(-1),
+        Fraction(0),
+        Fraction(5, 6),
+        Fraction(1, 2),
+        Fraction(1, 11),
+    ),
+}
+
+
+def power_sum_value(p: int, n: int) -> Fraction:
+    """Evaluate F_p(n) = sum(i**p for i in 1..n) for any integer n.
+
+    For n < 0 this evaluates the Faulhaber polynomial (which is what
+    the telescoping identity needs), not a literal sum.
+    """
+    coeffs = HARDCODED_POWER_SUMS.get(p) or faulhaber_coefficients(p)
+    acc = Fraction(0)
+    xk = 1
+    for c in coeffs:
+        if c:
+            acc += c * xk
+        xk *= n
+    return acc

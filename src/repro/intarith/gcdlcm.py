@@ -1,0 +1,77 @@
+"""Elementary integer helpers used throughout the Omega test.
+
+The Omega test works exclusively with exact integer arithmetic; the
+helpers here centralize the handful of operations (floor/ceiling
+division, gcd over lists, the symmetric residue ``a mod^ b`` from
+Pugh's equality elimination) so the rest of the code never reaches for
+floating point.
+"""
+
+from math import gcd
+from typing import Iterable
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor of a/b for integers, b may be negative but not zero."""
+    if b == 0:
+        raise ZeroDivisionError("floor_div by zero")
+    q, r = divmod(a, b)
+    return q
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of a/b for integers, b may be negative but not zero."""
+    return -floor_div(-a, b)
+
+
+def ext_gcd(a: int, b: int):
+    """Extended gcd: return (g, x, y) with a*x + b*y == g == gcd(a, b).
+
+    g is non-negative.
+    """
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def gcd_list(values: Iterable[int]) -> int:
+    """gcd of an iterable of integers; gcd of an empty iterable is 0."""
+    g = 0
+    for v in values:
+        g = gcd(g, v)
+        if g == 1:
+            return 1
+    return g
+
+
+def lcm_list(values: Iterable[int]) -> int:
+    """lcm of an iterable of positive integers; empty iterable gives 1."""
+    result = 1
+    for v in values:
+        if v == 0:
+            return 0
+        result = result // gcd(result, v) * abs(v)
+    return result
+
+
+def sym_mod(a: int, b: int) -> int:
+    """Pugh's symmetric residue ``a mod^ b``.
+
+    Returns the unique r congruent to a (mod b) with -b/2 < r <= b/2.
+    This is the residue used by the Omega test's equality elimination
+    (it shrinks coefficients as fast as possible).
+    """
+    if b <= 0:
+        raise ValueError("sym_mod modulus must be positive")
+    r = a % b
+    if 2 * r > b:
+        r -= b
+    return r

@@ -1,0 +1,169 @@
+"""Small exact integer/rational matrices.
+
+The summation engine needs exact linear algebra in low dimensions
+(Smith normal form of subscript maps, solving small systems for the
+quasi-polynomial interpolation in residue merging).  numpy's float
+matrices are useless for this, so we carry a tiny exact implementation
+on top of ``fractions.Fraction``.
+"""
+
+from fractions import Fraction
+from typing import List, Sequence, Union
+
+Number = Union[int, Fraction]
+
+
+class IntMatrix:
+    """A dense exact matrix with integer or rational entries.
+
+    Rows are stored as lists; all arithmetic is exact.  The class is
+    deliberately small: just what HNF/SNF and interpolation need.
+    """
+
+    def __init__(self, rows: Sequence[Sequence[Number]]):
+        self.rows: List[List[Number]] = [list(r) for r in rows]
+        if self.rows:
+            width = len(self.rows[0])
+            if any(len(r) != width for r in self.rows):
+                raise ValueError("ragged matrix")
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "IntMatrix":
+        return cls([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, m: int, n: int) -> "IntMatrix":
+        return cls([[0] * n for _ in range(m)])
+
+    def copy(self) -> "IntMatrix":
+        return IntMatrix(self.rows)
+
+    # -- shape / access ----------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def ncols(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    def __getitem__(self, ij):
+        i, j = ij
+        return self.rows[i][j]
+
+    def __setitem__(self, ij, value):
+        i, j = ij
+        self.rows[i][j] = value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IntMatrix) and self.rows == other.rows
+
+    def __repr__(self) -> str:
+        return "IntMatrix(%r)" % (self.rows,)
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __mul__(self, other: "IntMatrix") -> "IntMatrix":
+        if self.ncols != other.nrows:
+            raise ValueError("dimension mismatch in matrix product")
+        out = []
+        for i in range(self.nrows):
+            row = []
+            for j in range(other.ncols):
+                acc = 0
+                for k in range(self.ncols):
+                    acc += self.rows[i][k] * other.rows[k][j]
+                row.append(acc)
+            out.append(row)
+        return IntMatrix(out)
+
+    def mul_vector(self, vec: Sequence[Number]) -> List[Number]:
+        if self.ncols != len(vec):
+            raise ValueError("dimension mismatch in matrix-vector product")
+        return [
+            sum(self.rows[i][k] * vec[k] for k in range(self.ncols))
+            for i in range(self.nrows)
+        ]
+
+    def transpose(self) -> "IntMatrix":
+        return IntMatrix(
+            [[self.rows[i][j] for i in range(self.nrows)] for j in range(self.ncols)]
+        )
+
+    # -- row / column operations (in place) ---------------------------
+
+    def swap_rows(self, i: int, j: int) -> None:
+        self.rows[i], self.rows[j] = self.rows[j], self.rows[i]
+
+    def swap_cols(self, i: int, j: int) -> None:
+        for row in self.rows:
+            row[i], row[j] = row[j], row[i]
+
+    def add_row_multiple(self, dst: int, src: int, factor: Number) -> None:
+        """row[dst] += factor * row[src]"""
+        self.rows[dst] = [
+            d + factor * s for d, s in zip(self.rows[dst], self.rows[src])
+        ]
+
+    def add_col_multiple(self, dst: int, src: int, factor: Number) -> None:
+        """col[dst] += factor * col[src]"""
+        for row in self.rows:
+            row[dst] += factor * row[src]
+
+    def scale_row(self, i: int, factor: Number) -> None:
+        self.rows[i] = [factor * v for v in self.rows[i]]
+
+    def scale_col(self, j: int, factor: Number) -> None:
+        for row in self.rows:
+            row[j] *= factor
+
+    # -- solving -------------------------------------------------------
+
+    def solve(self, rhs: Sequence[Number]) -> List[Fraction]:
+        """Solve self @ x == rhs exactly (square, nonsingular).
+
+        Gaussian elimination over the rationals.  Raises ValueError when
+        the matrix is singular.
+        """
+        n = self.nrows
+        if n != self.ncols or n != len(rhs):
+            raise ValueError("solve needs a square system")
+        a = [[Fraction(v) for v in row] + [Fraction(rhs[i])]
+             for i, row in enumerate(self.rows)]
+        for col in range(n):
+            pivot = next((r for r in range(col, n) if a[r][col] != 0), None)
+            if pivot is None:
+                raise ValueError("singular matrix")
+            a[col], a[pivot] = a[pivot], a[col]
+            inv = 1 / a[col][col]
+            a[col] = [v * inv for v in a[col]]
+            for r in range(n):
+                if r != col and a[r][col] != 0:
+                    f = a[r][col]
+                    a[r] = [v - f * w for v, w in zip(a[r], a[col])]
+        return [a[i][n] for i in range(n)]
+
+    def determinant(self) -> Fraction:
+        """Exact determinant via fraction-free-ish Gaussian elimination."""
+        n = self.nrows
+        if n != self.ncols:
+            raise ValueError("determinant of a non-square matrix")
+        a = [[Fraction(v) for v in row] for row in self.rows]
+        det = Fraction(1)
+        for col in range(n):
+            pivot = next((r for r in range(col, n) if a[r][col] != 0), None)
+            if pivot is None:
+                return Fraction(0)
+            if pivot != col:
+                a[col], a[pivot] = a[pivot], a[col]
+                det = -det
+            det *= a[col][col]
+            inv = 1 / a[col][col]
+            for r in range(col + 1, n):
+                if a[r][col] != 0:
+                    f = a[r][col] * inv
+                    a[r] = [v - f * w for v, w in zip(a[r], a[col])]
+        return det

@@ -1,0 +1,142 @@
+"""Hermite and Smith normal forms of integer matrices.
+
+Section 4.5.2 of the paper reduces a "projected" clause -- a clause
+whose variables are defined by an affine map from auxiliary wildcard
+variables -- to a directly summable form by computing the Smith normal
+form U @ A @ V = D of the map.  We implement both HNF and SNF with the
+accompanying unimodular transforms.
+"""
+
+from typing import Tuple
+
+from repro.intarith.matrix import IntMatrix
+
+
+def _check_integer(mat: IntMatrix) -> None:
+    for row in mat.rows:
+        for v in row:
+            if v != int(v):
+                raise ValueError("normal forms require integer matrices")
+
+
+def hermite_normal_form(mat: IntMatrix) -> Tuple[IntMatrix, IntMatrix]:
+    """Column-style Hermite normal form.
+
+    Returns (H, V) with ``mat @ V == H``, V unimodular, H lower
+    triangular with non-negative entries and each row's off-diagonal
+    entries reduced modulo the pivot.
+    """
+    _check_integer(mat)
+    h = IntMatrix([[int(v) for v in row] for row in mat.rows])
+    n = h.ncols
+    v = IntMatrix.identity(n)
+    pivot_col = 0
+    for row in range(h.nrows):
+        if pivot_col >= n:
+            break
+        # Find a nonzero entry in this row at or after pivot_col.
+        nz = [c for c in range(pivot_col, n) if h[row, c] != 0]
+        if not nz:
+            continue
+        # Euclidean reduction across columns until one nonzero remains.
+        while len(nz) > 1:
+            nz.sort(key=lambda c: abs(h[row, c]))
+            c0 = nz[0]
+            for c in nz[1:]:
+                q = h[row, c] // h[row, c0]
+                if q:
+                    h.add_col_multiple(c, c0, -q)
+                    v.add_col_multiple(c, c0, -q)
+            nz = [c for c in nz if h[row, c] != 0]
+        c0 = nz[0]
+        if c0 != pivot_col:
+            h.swap_cols(c0, pivot_col)
+            v.swap_cols(c0, pivot_col)
+        if h[row, pivot_col] < 0:
+            h.scale_col(pivot_col, -1)
+            v.scale_col(pivot_col, -1)
+        # Reduce the entries to the left of the pivot.
+        p = h[row, pivot_col]
+        for c in range(pivot_col):
+            q = h[row, c] // p
+            if q:
+                h.add_col_multiple(c, pivot_col, -q)
+                v.add_col_multiple(c, pivot_col, -q)
+        pivot_col += 1
+    return h, v
+
+
+def smith_normal_form(
+    mat: IntMatrix,
+) -> Tuple[IntMatrix, IntMatrix, IntMatrix]:
+    """Smith normal form.
+
+    Returns (U, D, V) with ``U @ mat @ V == D``, U and V unimodular and
+    D diagonal with d1 | d2 | ... (non-negative diagonal).
+    """
+    _check_integer(mat)
+    d = IntMatrix([[int(v) for v in row] for row in mat.rows])
+    m, n = d.nrows, d.ncols
+    u = IntMatrix.identity(m)
+    v = IntMatrix.identity(n)
+
+    def smallest_nonzero(start: int):
+        best = None
+        for i in range(start, m):
+            for j in range(start, n):
+                if d[i, j] != 0 and (best is None or abs(d[i, j]) < abs(d[best[0], best[1]])):
+                    best = (i, j)
+        return best
+
+    k = 0
+    while k < min(m, n):
+        pos = smallest_nonzero(k)
+        if pos is None:
+            break
+        i, j = pos
+        if i != k:
+            d.swap_rows(i, k)
+            u.swap_rows(i, k)
+        if j != k:
+            d.swap_cols(j, k)
+            v.swap_cols(j, k)
+        # Eliminate the rest of row k and column k.
+        dirty = True
+        while dirty:
+            dirty = False
+            for r in range(k + 1, m):
+                if d[r, k] != 0:
+                    q = d[r, k] // d[k, k]
+                    d.add_row_multiple(r, k, -q)
+                    u.add_row_multiple(r, k, -q)
+                    if d[r, k] != 0:
+                        d.swap_rows(r, k)
+                        u.swap_rows(r, k)
+                        dirty = True
+            for c in range(k + 1, n):
+                if d[k, c] != 0:
+                    q = d[k, c] // d[k, k]
+                    d.add_col_multiple(c, k, -q)
+                    v.add_col_multiple(c, k, -q)
+                    if d[k, c] != 0:
+                        d.swap_cols(c, k)
+                        v.swap_cols(c, k)
+                        dirty = True
+        if d[k, k] < 0:
+            d.scale_row(k, -1)
+            u.scale_row(k, -1)
+        # Divisibility fix-up: d[k,k] must divide every later entry.
+        fixed = False
+        for r in range(k + 1, m):
+            for c in range(k + 1, n):
+                if d[r, c] % d[k, k] != 0:
+                    d.add_row_multiple(k, r, 1)
+                    u.add_row_multiple(k, r, 1)
+                    fixed = True
+                    break
+            if fixed:
+                break
+        if fixed:
+            continue  # redo this k with the new row folded in
+        k += 1
+    return u, d, v

@@ -1,0 +1,179 @@
+"""Integer affine expressions.
+
+An :class:`Affine` is ``sum(coef * var) + const`` with integer
+coefficients.  It is the building block of every Omega-test constraint.
+All operations are exact and return new objects; Affine is immutable
+and hashable so constraints can live in sets.
+"""
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.intarith import gcd_list
+from repro.qpoly import Polynomial
+
+
+class Affine:
+    """An immutable integer affine expression ``Σ coef·var + const``."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Optional[Mapping[str, int]] = None, const: int = 0):
+        clean = {}
+        if coeffs:
+            for var, c in coeffs.items():
+                if not isinstance(c, int):
+                    raise TypeError("affine coefficients must be int, got %r" % (c,))
+                if c:
+                    clean[var] = c
+        if not isinstance(const, int):
+            raise TypeError("affine constant must be int, got %r" % (const,))
+        object.__setattr__(self, "coeffs", tuple(sorted(clean.items())))
+        object.__setattr__(self, "const", const)
+        object.__setattr__(self, "_hash", hash((self.coeffs, self.const)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Affine is immutable")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def var(cls, name: str) -> "Affine":
+        return cls({name: 1})
+
+    @classmethod
+    def const_expr(cls, value: int) -> "Affine":
+        return cls({}, value)
+
+    # -- queries ----------------------------------------------------------
+
+    def coeff(self, var: str) -> int:
+        for v, c in self.coeffs:
+            if v == var:
+                return c
+        return 0
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(v for v, _ in self.coeffs)
+
+    def uses(self, var: str) -> bool:
+        return any(v == var for v, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.coeffs)
+
+    def coeff_dict(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    def content(self) -> int:
+        """gcd of the variable coefficients (0 when constant)."""
+        return gcd_list(c for _, c in self.coeffs)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _coerce(self, other) -> "Affine":
+        if isinstance(other, Affine):
+            return other
+        if isinstance(other, int):
+            return Affine({}, other)
+        return NotImplemented
+
+    def __add__(self, other) -> "Affine":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        coeffs = dict(self.coeffs)
+        for var, c in other.coeffs:
+            coeffs[var] = coeffs.get(var, 0) + c
+        return Affine(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine({v: -c for v, c in self.coeffs}, -self.const)
+
+    def __sub__(self, other) -> "Affine":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Affine":
+        return (-self) + other
+
+    def __mul__(self, scalar: int) -> "Affine":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        return Affine({v: c * scalar for v, c in self.coeffs}, self.const * scalar)
+
+    __rmul__ = __mul__
+
+    def exact_div(self, d: int) -> "Affine":
+        """Divide by d; every coefficient and the constant must divide."""
+        if any(c % d for _, c in self.coeffs) or self.const % d:
+            raise ValueError("%s not divisible by %d" % (self, d))
+        return Affine({v: c // d for v, c in self.coeffs}, self.const // d)
+
+    def __eq__(self, other) -> bool:
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- substitution / evaluation ------------------------------------------
+
+    def substitute(self, var: str, replacement: "Affine") -> "Affine":
+        k = self.coeff(var)
+        if k == 0:
+            return self
+        coeffs = {v: c for v, c in self.coeffs if v != var}
+        base = Affine(coeffs, self.const)
+        return base + replacement * k
+
+    def rename(self, mapping: Mapping[str, str]) -> "Affine":
+        coeffs: Dict[str, int] = {}
+        for v, c in self.coeffs:
+            nv = mapping.get(v, v)
+            coeffs[nv] = coeffs.get(nv, 0) + c
+        return Affine(coeffs, self.const)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        total = self.const
+        for var, c in self.coeffs:
+            total += c * env[var]
+        return total
+
+    def to_polynomial(self) -> Polynomial:
+        return Polynomial.from_affine(dict(self.coeffs), self.const)
+
+    # -- display ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts = []
+        for var, c in self.coeffs:
+            if c == 1:
+                parts.append("+ %s" % var)
+            elif c == -1:
+                parts.append("- %s" % var)
+            elif c > 0:
+                parts.append("+ %d*%s" % (c, var))
+            else:
+                parts.append("- %d*%s" % (-c, var))
+        if self.const > 0 or not parts:
+            parts.append("+ %d" % self.const)
+        elif self.const < 0:
+            parts.append("- %d" % -self.const)
+        text = " ".join(parts)
+        if text.startswith("+ "):
+            text = text[2:]
+        elif text.startswith("- "):
+            text = "-" + text[2:]
+        return text
+
+    def __repr__(self) -> str:
+        return "Affine(%s)" % self

@@ -1,0 +1,143 @@
+"""Linear constraints over integer variables.
+
+Two kinds of atomic constraints, as in the Omega test:
+
+* ``GEQ``:  e >= 0
+* ``EQ``:   e == 0
+
+Stride constraints ``c | e`` ("c evenly divides e", Section 3.2) are
+represented in *projected format* -- ``e == c·α`` for a fresh
+existentially quantified wildcard α -- which the paper notes "works
+better for the purposes of this paper".  The conversion happens when a
+formula atom is lowered into a conjunct (see
+:mod:`repro.presburger.atoms` and :class:`repro.omega.problem.Conjunct`).
+"""
+
+import itertools
+from typing import Mapping
+
+from repro.omega.affine import Affine
+
+GEQ = "geq"
+EQ = "eq"
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_var(prefix: str = "w") -> str:
+    """A globally fresh variable name (used for wildcards)."""
+    return "_%s%d" % (prefix, next(_fresh_counter))
+
+
+class Constraint:
+    """An immutable atomic constraint ``affine >= 0`` or ``affine == 0``."""
+
+    __slots__ = ("expr", "kind", "_hash")
+
+    def __init__(self, expr: Affine, kind: str):
+        if kind not in (GEQ, EQ):
+            raise ValueError("unknown constraint kind %r" % kind)
+        if kind == EQ:
+            # Canonical sign for equalities: first nonzero coefficient
+            # positive (or positive constant when no variables).
+            lead = expr.coeffs[0][1] if expr.coeffs else expr.const
+            if lead < 0:
+                expr = -expr
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "_hash", hash((expr, kind)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Constraint is immutable")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def geq(cls, expr: Affine) -> "Constraint":
+        """expr >= 0"""
+        return cls(expr, GEQ)
+
+    @classmethod
+    def leq(cls, lhs: Affine, rhs: Affine) -> "Constraint":
+        """lhs <= rhs"""
+        return cls(rhs - lhs, GEQ)
+
+    @classmethod
+    def eq(cls, expr: Affine) -> "Constraint":
+        """expr == 0"""
+        return cls(expr, EQ)
+
+    @classmethod
+    def equal(cls, lhs: Affine, rhs: Affine) -> "Constraint":
+        """lhs == rhs"""
+        return cls(lhs - rhs, EQ)
+
+    # -- queries ---------------------------------------------------------
+
+    def is_geq(self) -> bool:
+        return self.kind == GEQ
+
+    def is_eq(self) -> bool:
+        return self.kind == EQ
+
+    def variables(self):
+        return self.expr.variables()
+
+    def uses(self, var: str) -> bool:
+        return self.expr.uses(var)
+
+    def coeff(self, var: str) -> int:
+        return self.expr.coeff(var)
+
+    def is_trivial_true(self) -> bool:
+        if not self.expr.is_constant():
+            return False
+        if self.kind == GEQ:
+            return self.expr.const >= 0
+        return self.expr.const == 0
+
+    def is_trivial_false(self) -> bool:
+        if not self.expr.is_constant():
+            return False
+        if self.kind == GEQ:
+            return self.expr.const < 0
+        return self.expr.const != 0
+
+    # -- transforms ---------------------------------------------------------
+
+    def substitute(self, var: str, replacement: Affine) -> "Constraint":
+        return Constraint(self.expr.substitute(var, replacement), self.kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    def negate_geq(self) -> "Constraint":
+        """¬(e >= 0)  ==  -e - 1 >= 0 (only valid for GEQ constraints)."""
+        if self.kind != GEQ:
+            raise ValueError("negate_geq on an equality")
+        return Constraint(-self.expr - 1, GEQ)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def satisfied(self, env: Mapping[str, int]) -> bool:
+        value = self.expr.evaluate(env)
+        return value >= 0 if self.kind == GEQ else value == 0
+
+    # -- identity --------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and self.kind == other.kind
+            and self.expr == other.expr
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        op = ">=" if self.kind == GEQ else "="
+        return "%s %s 0" % (self.expr, op)
+
+    def __repr__(self) -> str:
+        return "Constraint(%s)" % self

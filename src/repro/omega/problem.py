@@ -1,0 +1,392 @@
+"""Conjuncts: conjunctions of constraints with existential wildcards.
+
+A :class:`Conjunct` is the Omega test's unit of work: a set of GEQ/EQ
+constraints over named integer variables, together with a set of
+*wildcard* variables that are implicitly existentially quantified
+(the "auxiliary variables" of the paper's projected format).
+
+Stride constraints ``c | e`` are stored as ``c·w == e`` for a wildcard
+``w`` that appears in no other constraint ("stride-only" wildcards);
+:meth:`Conjunct.stride_view` recovers the readable form.
+"""
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.intarith import floor_div, gcd_list
+from repro.omega.affine import Affine
+from repro.omega.constraints import EQ, GEQ, Constraint, fresh_var
+
+
+class Conjunct:
+    """An immutable conjunction ``∃ wildcards . c1 ∧ c2 ∧ ...``."""
+
+    __slots__ = ("constraints", "wildcards", "_hash")
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint] = (),
+        wildcards: Iterable[str] = (),
+    ):
+        cons = tuple(dict.fromkeys(constraints))
+        used = set()
+        for c in cons:
+            used.update(c.variables())
+        object.__setattr__(
+            self,
+            "constraints",
+            cons,
+        )
+        object.__setattr__(
+            self,
+            "wildcards",
+            frozenset(w for w in wildcards if w in used),
+        )
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Conjunct is immutable")
+
+    # -- basic views -----------------------------------------------------
+
+    @classmethod
+    def true(cls) -> "Conjunct":
+        return cls()
+
+    def variables(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for c in self.constraints:
+            for v in c.variables():
+                seen.setdefault(v, None)
+        return tuple(seen)
+
+    def free_variables(self) -> Tuple[str, ...]:
+        return tuple(v for v in self.variables() if v not in self.wildcards)
+
+    def geqs(self) -> List[Constraint]:
+        return [c for c in self.constraints if c.is_geq()]
+
+    def eqs(self) -> List[Constraint]:
+        return [c for c in self.constraints if c.is_eq()]
+
+    def is_trivial_true(self) -> bool:
+        return not self.constraints
+
+    def uses(self, var: str) -> bool:
+        return any(c.uses(var) for c in self.constraints)
+
+    def constraints_on(self, var: str) -> List[Constraint]:
+        return [c for c in self.constraints if c.uses(var)]
+
+    def is_stride_wildcard(self, w: str) -> bool:
+        """True if w occurs in exactly one constraint and it is an EQ."""
+        hits = self.constraints_on(w)
+        return len(hits) == 1 and hits[0].is_eq()
+
+    def stride_only(self) -> bool:
+        """All wildcards are stride-only (answer-format conjunct)."""
+        return all(self.is_stride_wildcard(w) for w in self.wildcards)
+
+    # -- construction helpers ----------------------------------------------
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "Conjunct":
+        return Conjunct(self.constraints + tuple(extra), self.wildcards)
+
+    def with_wildcards(self, extra: Iterable[str]) -> "Conjunct":
+        return Conjunct(self.constraints, tuple(self.wildcards) + tuple(extra))
+
+    def without_constraints(self, remove: Iterable[Constraint]) -> "Conjunct":
+        removed = set(remove)
+        return Conjunct(
+            (c for c in self.constraints if c not in removed), self.wildcards
+        )
+
+    def add_stride(self, modulus: int, expr: Affine) -> "Conjunct":
+        """Add the stride constraint ``modulus | expr``."""
+        if modulus <= 0:
+            raise ValueError("stride modulus must be positive")
+        if modulus == 1:
+            return self
+        w = fresh_var("s")
+        eq = Constraint.equal(Affine({w: modulus}), expr)
+        return Conjunct(self.constraints + (eq,), tuple(self.wildcards) + (w,))
+
+    def merge(self, other: "Conjunct") -> "Conjunct":
+        """Conjoin two conjuncts, renaming wildcards to avoid capture."""
+        other = other.rename_wildcards()
+        return Conjunct(
+            self.constraints + other.constraints,
+            tuple(self.wildcards) + tuple(other.wildcards),
+        )
+
+    def rename_wildcards(self) -> "Conjunct":
+        if not self.wildcards:
+            return self
+        mapping = {w: fresh_var("r") for w in self.wildcards}
+        return Conjunct(
+            (c.rename(mapping) for c in self.constraints), mapping.values()
+        )
+
+    def substitute(self, var: str, replacement: Affine) -> "Conjunct":
+        return Conjunct(
+            (c.substitute(var, replacement) for c in self.constraints),
+            self.wildcards,
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Conjunct":
+        return Conjunct(
+            (c.rename(mapping) for c in self.constraints),
+            (mapping.get(w, w) for w in self.wildcards),
+        )
+
+    # -- normalization ------------------------------------------------------
+
+    def normalize(self) -> Optional["Conjunct"]:
+        """Canonicalize; return None when trivially unsatisfiable.
+
+        * GEQs are tightened: ``Σ a·x + c >= 0`` with g = gcd(a) becomes
+          ``Σ (a/g)·x + floor(c/g) >= 0`` (integer points preserved).
+        * EQs are divided by the gcd of all coefficients; when the gcd of
+          the variable coefficients does not divide the constant the
+          conjunct is infeasible.
+        * EQs whose only variables are stride wildcards are rewritten as
+          a single canonical stride (coefficients reduced mod the
+          stride); a stride of 1 disappears.
+        * Parallel GEQs are merged (tightest kept); opposed parallel
+          GEQs that pin an expression to a point become an EQ, and an
+          empty interval kills the conjunct.
+        """
+        geqs: Dict[Tuple, Constraint] = {}
+        eqs: List[Constraint] = []
+        for c in self.constraints:
+            if c.is_trivial_true():
+                continue
+            if c.is_trivial_false():
+                return None
+            expr = c.expr
+            if c.is_eq():
+                g = gcd_list([cf for _, cf in expr.coeffs] + [expr.const])
+                if g > 1:
+                    expr = expr.exact_div(g)
+                gv = expr.content()
+                if gv and expr.const % gv:
+                    return None
+                eqs.append(Constraint.eq(expr))
+            else:
+                g = expr.content()
+                if g > 1:
+                    expr = Affine(
+                        {v: cf // g for v, cf in expr.coeffs},
+                        floor_div(expr.const, g),
+                    )
+                key = expr.coeffs
+                prev = geqs.get(key)
+                if prev is None or expr.const < prev.expr.const:
+                    geqs[key] = Constraint.geq(expr)
+
+        # Opposed parallel inequality pairs.
+        out_geqs: List[Constraint] = []
+        new_eqs: List[Constraint] = []
+        for key, c in list(geqs.items()):
+            neg_key = tuple((v, -cf) for v, cf in key)
+            opp = geqs.get(neg_key)
+            if opp is None:
+                out_geqs.append(c)
+                continue
+            # c: e + c1 >= 0, opp: -e + c2 >= 0  =>  -c1 <= e <= c2
+            c1, c2 = c.expr.const, opp.expr.const
+            if c2 < -c1:
+                return None
+            if c2 == -c1:
+                if key and key[0][1] > 0:  # emit the equality only once
+                    new_eqs.append(Constraint.eq(c.expr))
+            else:
+                out_geqs.append(c)
+
+        eqs.extend(new_eqs)
+
+        # Canonicalize strides.
+        stride_eqs: List[Constraint] = []
+        stride_seen: Dict[Tuple, str] = {}
+        wildcards = set(self.wildcards)
+        plain_eqs: List[Constraint] = []
+        occurrences: Dict[str, int] = {}
+        for c in eqs + out_geqs:
+            for v in c.variables():
+                occurrences[v] = occurrences.get(v, 0) + 1
+        for c in dict.fromkeys(eqs):
+            lone = [
+                (v, cf)
+                for v, cf in c.expr.coeffs
+                if v in wildcards and occurrences.get(v) == 1
+            ]
+            if not lone:
+                plain_eqs.append(c)
+                continue
+            g = gcd_list(cf for _, cf in lone)
+            rest = Affine(
+                {v: cf for v, cf in c.expr.coeffs if (v, cf) not in lone},
+                c.expr.const,
+            )
+            if g == 1:
+                for v, _ in lone:
+                    wildcards.discard(v)
+                continue  # ∃w: g·w == rest is always solvable
+            # The stride is determined by g and the residue class of
+            # ``rest`` up to sign; pick the lexicographically smaller of
+            # the two reduced representatives so normalization is a
+            # fixed point (see tests: strides must not oscillate).
+            r0 = Affine({v: cf % g for v, cf in rest.coeffs}, rest.const % g)
+            r1 = Affine(
+                {v: (-cf) % g for v, cf in rest.coeffs}, (-rest.const) % g
+            )
+            reduced = min(r0, r1, key=lambda a: (a.coeffs, a.const))
+            if reduced.is_constant():
+                for v, _ in lone:
+                    wildcards.discard(v)
+                if reduced.const % g:
+                    return None
+                continue
+            # Reuse the existing wildcard when the constraint is already
+            # canonical (otherwise normalize would never reach a fixed
+            # point, minting a fresh name each pass).
+            key = (g, reduced)
+            if key in stride_seen:  # duplicate stride: drop this copy
+                for v, _ in lone:
+                    wildcards.discard(v)
+                continue
+            w_old = lone[0][0]
+            canonical = Constraint.equal(Affine({w_old: g}), reduced)
+            if len(lone) == 1 and c == canonical:
+                stride_seen[key] = w_old
+                stride_eqs.append(c)
+                continue
+            for v, _ in lone:
+                wildcards.discard(v)
+            w = fresh_var("s")
+            wildcards.add(w)
+            stride_seen[key] = w
+            stride_eqs.append(Constraint.equal(Affine({w: g}), reduced))
+
+        result = Conjunct(plain_eqs + stride_eqs + out_geqs, wildcards)
+        if result.constraints == self.constraints and result.wildcards == self.wildcards:
+            return result
+        return result.normalize()  # iterate to a fixed point
+
+    # -- bounds ------------------------------------------------------------
+
+    def bounds_on(self, var: str):
+        """Split the GEQ constraints into bounds on ``var``.
+
+        Returns ``(lowers, uppers, rest)`` where ``lowers`` is a list of
+        ``(b, β)`` meaning β <= b·var (b > 0), ``uppers`` a list of
+        ``(a, α)`` meaning a·var <= α (a > 0), and ``rest`` the
+        constraints not mentioning ``var``.  Equalities mentioning
+        ``var`` are a caller error (eliminate them first).
+        """
+        lowers: List[Tuple[int, Affine]] = []
+        uppers: List[Tuple[int, Affine]] = []
+        rest: List[Constraint] = []
+        for c in self.constraints:
+            k = c.coeff(var)
+            if k == 0:
+                rest.append(c)
+                continue
+            if c.is_eq():
+                raise ValueError(
+                    "bounds_on(%s): equality %s not eliminated" % (var, c)
+                )
+            other = Affine(
+                {v: cf for v, cf in c.expr.coeffs if v != var}, c.expr.const
+            )
+            if k > 0:  # k·var + other >= 0  =>  -other <= k·var
+                lowers.append((k, -other))
+            else:  # other >= -k·var = |k|·var
+                uppers.append((-k, other))
+        return lowers, uppers, rest
+
+    # -- evaluation -----------------------------------------------------------
+
+    def satisfied_by(self, env: Mapping[str, int]) -> bool:
+        """Truth under a *complete* assignment (wildcards included)."""
+        return all(c.satisfied(env) for c in self.constraints)
+
+    def is_satisfied(self, env: Mapping[str, int]) -> bool:
+        """Truth under an assignment of the free variables.
+
+        Wildcards are existentially quantified: we substitute the given
+        values and run the exact integer satisfiability test on what
+        remains.
+        """
+        from repro.omega.satisfiability import satisfiable
+
+        conj = self
+        for var, value in env.items():
+            if conj.uses(var):
+                conj = conj.substitute(var, Affine.const_expr(value))
+        leftover = [v for v in conj.variables() if v not in self.wildcards]
+        if leftover:
+            raise ValueError("unassigned free variables: %s" % (leftover,))
+        return satisfiable(conj)
+
+    # -- display ------------------------------------------------------------
+
+    def stride_view(self) -> Tuple[List[Constraint], List[Tuple[int, Affine]]]:
+        """Separate ordinary constraints from printable strides.
+
+        Returns (other_constraints, strides) where each stride is
+        ``(c, e)`` meaning ``c | e``.
+        """
+        others: List[Constraint] = []
+        strides: List[Tuple[int, Affine]] = []
+        for c in self.constraints:
+            if c.is_eq():
+                lone = [
+                    v
+                    for v in c.variables()
+                    if v in self.wildcards and self.is_stride_wildcard(v)
+                ]
+                if len(lone) == 1:
+                    w = lone[0]
+                    k = c.coeff(w)
+                    rest = Affine(
+                        {v: cf for v, cf in c.expr.coeffs if v != w},
+                        c.expr.const,
+                    )
+                    strides.append((abs(k), -rest if k > 0 else rest))
+                    continue
+            others.append(c)
+        return others, strides
+
+    def __str__(self) -> str:
+        others, strides = self.stride_view()
+        parts = [str(c) for c in others]
+        parts.extend("%d | (%s)" % (m, e) for m, e in strides)
+        body = " and ".join(parts) if parts else "TRUE"
+        hidden = [
+            w
+            for w in self.wildcards
+            if not self.is_stride_wildcard(w) and self.uses(w)
+        ]
+        if hidden:
+            return "exists %s: %s" % (", ".join(sorted(hidden)), body)
+        return body
+
+    def __repr__(self) -> str:
+        return "Conjunct(%s)" % self
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Conjunct)
+            and self.constraints == other.constraints
+            and self.wildcards == other.wildcards
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash((self.constraints, self.wildcards))
+            )
+        return self._hash
+
+
+FALSE_CONJUNCTS: Tuple[Conjunct, ...] = ()

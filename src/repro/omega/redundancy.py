@@ -1,0 +1,98 @@
+"""Redundant constraint removal and the gist operator (Section 2.3).
+
+In normal operation the Omega test removes constraints made redundant
+by a *single* other constraint (fast, incomplete -- handled by
+``Conjunct.normalize``).  On request we use the complete test:
+constraint c is redundant in P iff P∖{c} ∧ ¬c has no integer solution.
+
+``gist P given Q`` returns a minimal subset G of P's constraints with
+``G ∧ Q  ≡  P ∧ Q`` (what is "interesting" about P when Q is known).
+"""
+
+from typing import Iterable, List, Optional
+
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import satisfiable
+
+
+def constraint_redundant(
+    conj: Conjunct, constraint: Constraint, context: Optional[Conjunct] = None
+) -> bool:
+    """Is ``constraint`` implied by the rest of ``conj`` (and context)?"""
+    rest = Conjunct(
+        (c for c in conj.constraints if c != constraint), conj.wildcards
+    )
+    if context is not None:
+        rest = rest.merge(context)
+    from repro.presburger.disjoint import negate_constraint_in
+
+    for piece in negate_constraint_in(conj, constraint):
+        if satisfiable(rest.merge(piece)):
+            return False
+    return True
+
+
+def remove_redundant(
+    conj: Conjunct, context: Optional[Conjunct] = None
+) -> Conjunct:
+    """Drop every GEQ constraint implied by the others (complete test).
+
+    Equalities and strides are kept (they carry the conjunct's
+    structure; the elimination machinery consumes them directly).
+    """
+    normalized = conj.normalize()
+    if normalized is None:
+        return conj
+    conj = normalized
+    # Try to drop the syntactically largest constraints first so the
+    # kept set stays simple.
+    order = sorted(
+        (c for c in conj.constraints if c.is_geq()),
+        key=lambda c: (-len(c.expr.coeffs), c.expr.const),
+    )
+    current = conj
+    for c in order:
+        if c not in current.constraints:
+            continue
+        if constraint_redundant(current, c, context):
+            current = current.without_constraints([c])
+    return current
+
+
+def gist(p: Conjunct, q: Conjunct) -> Conjunct:
+    """gist P given Q: a subset G of P's constraints with G∧Q ≡ P∧Q.
+
+    None of the returned constraints is implied by Q together with the
+    other returned constraints.  If P∧Q is infeasible the result is a
+    canonical FALSE conjunct (0 >= 1).
+    """
+    from repro.omega.affine import Affine
+
+    combined = p.merge(q)
+    if not satisfiable(combined):
+        return Conjunct([Constraint.geq(Affine.const_expr(-1))])
+    p_n = p.normalize()
+    if p_n is None:
+        return Conjunct([Constraint.geq(Affine.const_expr(-1))])
+    current = p_n
+    for c in sorted(
+        p_n.constraints,
+        key=lambda c: (not c.is_geq(), -len(c.expr.coeffs)),
+    ):
+        if c not in current.constraints:
+            continue
+        if c.is_eq() and any(
+            v in current.wildcards for v in c.variables()
+        ):
+            continue  # keep strides intact
+        if constraint_redundant(current, c, q):
+            current = current.without_constraints([c])
+    return current
+
+
+def keep_nonredundant(
+    constraints: Iterable[Constraint], wildcards: Iterable[str] = ()
+) -> List[Constraint]:
+    """Convenience wrapper returning the surviving constraint list."""
+    return list(remove_redundant(Conjunct(constraints, wildcards)).constraints)

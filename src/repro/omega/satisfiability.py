@@ -1,0 +1,155 @@
+"""Integer satisfiability of a conjunct (Section 2.2).
+
+The Omega test checks for integer solutions by treating every variable
+as existentially quantified and eliminating variables until the problem
+is trivial.  Equalities are eliminated first (exact and cheap); for
+inequalities we prefer a variable whose elimination is exact, otherwise
+we try the dark shadow (sufficient) and fall back to splinters
+(complete).
+"""
+
+from typing import Optional
+
+from repro.omega.problem import Conjunct
+from repro.omega.equalities import mod_hat_eliminate, solve_unit
+from repro.omega.eliminate import (
+    dark_shadow,
+    elimination_is_exact,
+    real_shadow,
+    splinters,
+)
+
+_MAX_DEPTH = 200
+
+#: Fourier-Motzkin elimination can square the constraint count per
+#: step; past this size a single satisfiability call would take
+#: minutes, so we fail loudly instead (callers that explore hard
+#: search spaces, like the 0-1 stencil encoding, catch this and fall
+#: back -- exactly the "prohibitively expensive" regime §2.6 warns
+#: about).
+_MAX_CONSTRAINTS = 600
+
+
+class SatBlowupError(RuntimeError):
+    """A satisfiability subproblem exceeded the size guard."""
+
+#: Memo for satisfiability results.  Conjuncts are immutable and
+#: hashable, and guard evaluation re-solves the same ground conjuncts
+#: over and over (every ``SymbolicSum.evaluate`` substitutes the same
+#: guards), so this cache is a large constant-factor win.
+_SAT_CACHE = {}
+_SAT_CACHE_LIMIT = 200000
+
+
+def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
+    """True iff the conjunct has an integer solution.
+
+    All variables (free and wildcard alike) are treated as
+    existentially quantified.
+    """
+    if depth > _MAX_DEPTH:
+        raise RecursionError("satisfiability recursion too deep")
+    cached = _SAT_CACHE.get(conj)
+    if cached is not None:
+        return cached
+    result = _satisfiable_uncached(conj, depth)
+    if len(_SAT_CACHE) >= _SAT_CACHE_LIMIT:
+        _SAT_CACHE.clear()
+    _SAT_CACHE[conj] = result
+    return result
+
+
+def _satisfiable_uncached(conj: Conjunct, depth: int) -> bool:
+    if len(conj.constraints) > _MAX_CONSTRAINTS:
+        raise SatBlowupError(
+            "conjunct grew to %d constraints during elimination"
+            % len(conj.constraints)
+        )
+    normalized = conj.normalize()
+    if normalized is None:
+        return False
+    conj = normalized
+    variables = conj.variables()
+    if not variables:
+        return True  # normalize() removed everything that was non-trivial
+
+    # Equalities first: exact, never splinters.
+    eqs = conj.eqs()
+    if eqs:
+        eq = min(eqs, key=lambda e: min(abs(c) for _, c in e.expr.coeffs))
+        unit = next((v for v, c in eq.expr.coeffs if abs(c) == 1), None)
+        if unit is not None:
+            solved, _ = solve_unit(conj, eq, unit)
+            return satisfiable(solved, depth + 1)
+        return satisfiable(mod_hat_eliminate(conj, eq), depth + 1)
+
+    # Pure inequalities: pick the variable with the cheapest elimination.
+    best_var, best_cost, best_exact = None, None, False
+    for var in variables:
+        lowers, uppers, _ = conj.bounds_on(var)
+        exact = elimination_is_exact(conj, var)
+        cost = (0 if exact else 1, len(lowers) * len(uppers))
+        if best_cost is None or cost < best_cost:
+            best_var, best_cost, best_exact = var, cost, exact
+
+    if best_exact:
+        shadow = real_shadow(conj, best_var)
+        return shadow is not None and satisfiable(shadow, depth + 1)
+
+    dark = dark_shadow(conj, best_var)
+    if dark is not None and satisfiable(dark, depth + 1):
+        return True
+    for sp in splinters(conj, best_var):
+        if satisfiable(sp, depth + 1):
+            return True
+    return False
+
+
+def implies(premise: Conjunct, conclusion: Conjunct) -> bool:
+    """premise ⇒ conclusion, both conjuncts over shared free variables.
+
+    Checked constraint by constraint: premise ∧ ¬c must be
+    unsatisfiable for each constraint c of the conclusion.  Stride
+    constraints (wildcard equalities) are checked through their
+    negation as a disjunction of shifted strides.
+    """
+    conclusion_n = conclusion.normalize()
+    if conclusion_n is None:
+        return not satisfiable(premise)
+    premise_n = premise.normalize()
+    if premise_n is None:
+        return True
+    from repro.presburger.disjoint import negate_constraint_in
+
+    for c in conclusion_n.constraints:
+        for piece in negate_constraint_in(conclusion_n, c):
+            if satisfiable(premise_n.merge(piece)):
+                return False
+    return True
+
+
+def equivalent(a: Conjunct, b: Conjunct) -> bool:
+    """Mutual implication of two conjuncts."""
+    return implies(a, b) and implies(b, a)
+
+
+def solve_sample(conj: Conjunct, box: int = 12) -> Optional[dict]:
+    """Find one integer solution by bounded search (testing helper).
+
+    Searches free variables in [-box, box]; wildcards are handled by
+    the exact satisfiability test.  Returns None when no solution lies
+    in the box (the conjunct may still be satisfiable outside it).
+    """
+    from itertools import product
+
+    from repro.omega.affine import Affine
+
+    free = conj.free_variables()
+    for values in product(range(-box, box + 1), repeat=len(free)):
+        env = dict(zip(free, values))
+        reduced = conj
+        for var, val in env.items():
+            reduced = reduced.substitute(var, Affine.const_expr(val))
+        if satisfiable(reduced):
+            return env
+    return None

@@ -1,0 +1,30 @@
+"""Implication verification (Section 2.4).
+
+``P ⇒ Q`` is checked by showing that the constraints of Q are redundant
+given P -- equivalently that ``gist Q given P`` is True -- or, for
+quantified formulas, that P ∧ ¬Q is unsatisfiable.
+"""
+
+from repro.omega.problem import Conjunct
+from repro.omega.redundancy import gist
+from repro.omega.satisfiability import implies as conjunct_implies
+
+
+def verify_implication(premise: Conjunct, conclusion: Conjunct) -> bool:
+    """P ⇒ Q for conjuncts, via the gist operator.
+
+    (gist Q given P) must be trivially true; this is the paper's
+    formulation.  Falls back to the satisfiability-based check when
+    gist keeps constraints (gist is conservative about strides).
+    """
+    g = gist(conclusion, premise)
+    if g.is_trivial_true():
+        return True
+    return conjunct_implies(premise, conclusion)
+
+
+def verify_formula_implication(premise, conclusion) -> bool:
+    """(∃... P) ⇒ (∃... Q) for arbitrary formulas (Section 2.4)."""
+    from repro.presburger.simplify import formula_implies
+
+    return formula_implies(premise, conclusion)

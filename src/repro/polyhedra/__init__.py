@@ -1,0 +1,27 @@
+"""Polyhedral helpers for summarizing uniformly generated sets (§5.1).
+
+Computing the memory locations touched by a set of array references
+that differ only by constant offsets (a stencil) requires describing
+the offset set ``{p1, ..., pm}`` by linear constraints.  The paper
+offers two methods, both implemented here:
+
+* the **convex hull** of the offsets plus detected stride constraints,
+  with an exactness check by counting (``summarize_offsets``);
+* Ancourt's **0-1 programming** encoding (``zero_one_formula``).
+"""
+
+from repro.polyhedra.hull import convex_hull_constraints, hull_formula
+from repro.polyhedra.uniform import (
+    summarize_offsets,
+    uniformly_generated_set,
+)
+from repro.polyhedra.zeroone import zero_one_formula, zero_one_summary
+
+__all__ = [
+    "convex_hull_constraints",
+    "hull_formula",
+    "summarize_offsets",
+    "uniformly_generated_set",
+    "zero_one_formula",
+    "zero_one_summary",
+]

@@ -1,0 +1,189 @@
+"""Exact integer convex hulls of small point sets.
+
+Stencil offset sets are tiny (a handful of points in 2-3 dimensions),
+so we enumerate candidate facet hyperplanes from point subsets and keep
+those with all points on one side.  Lower-dimensional hulls contribute
+equality constraints (the affine hull).  All arithmetic is exact.
+"""
+
+import itertools
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.intarith import lcm_list
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+
+
+Point = Tuple[int, ...]
+
+
+def _to_integer_vector(vec: Sequence[Fraction]) -> List[int]:
+    denom = lcm_list(v.denominator for v in vec)
+    ints = [int(v * denom) for v in vec]
+    from repro.intarith import gcd_list
+
+    g = gcd_list(ints)
+    if g > 1:
+        ints = [v // g for v in ints]
+    return ints
+
+
+def _affine_hull_basis(points: List[Point]):
+    """Orthogonal description of the affine hull.
+
+    Returns (span_basis, normal_basis): rational row vectors spanning
+    the difference space and its orthogonal complement.
+    """
+    d = len(points[0])
+    diffs = [
+        [Fraction(p[i] - points[0][i]) for i in range(d)] for p in points[1:]
+    ]
+    # Row-reduce the difference vectors.
+    basis: List[List[Fraction]] = []
+    pivots: List[int] = []
+    for row in diffs:
+        row = row[:]
+        for b, piv in zip(basis, pivots):
+            if row[piv]:
+                f = row[piv] / b[piv]
+                row = [x - f * y for x, y in zip(row, b)]
+        piv = next((i for i, x in enumerate(row) if x), None)
+        if piv is not None:
+            basis.append(row)
+            pivots.append(piv)
+    # Orthogonal complement via free coordinates of the row space.
+    normals: List[List[Fraction]] = []
+    for free in range(d):
+        if free in pivots:
+            continue
+        vec = [Fraction(0)] * d
+        vec[free] = Fraction(1)
+        # Make vec orthogonal to every basis vector (solve n·b == 0 by
+        # adjusting pivot coordinates).
+        for b, piv in reversed(list(zip(basis, pivots))):
+            dot = sum(x * y for x, y in zip(vec, b))
+            if dot:
+                vec[piv] -= dot / b[piv]
+        normals.append(vec)
+    return basis, normals
+
+
+def convex_hull_constraints(
+    points: Sequence[Point], variables: Sequence[str]
+) -> List[Constraint]:
+    """Linear constraints whose rational solutions are conv(points).
+
+    Includes equality constraints when the hull is lower-dimensional.
+    The *integer* points of the hull may be a superset of the input
+    (the summarization's exactness check lives in
+    :mod:`repro.polyhedra.uniform`).
+    """
+    points = [tuple(p) for p in points]
+    if not points:
+        raise ValueError("need at least one point")
+    d = len(points[0])
+    if any(len(p) != d for p in points):
+        raise ValueError("points of mixed dimension")
+    if len(variables) != d:
+        raise ValueError("need one variable per coordinate")
+    unique = sorted(set(points))
+    p0 = unique[0]
+
+    basis, normals = _affine_hull_basis(unique)
+    k = len(basis)
+    out: List[Constraint] = []
+
+    # Equalities: n·x == n·p0 for the orthogonal complement.
+    for n in normals:
+        n_int = _to_integer_vector(n)
+        expr = Affine(
+            {variables[i]: n_int[i] for i in range(d)},
+            -sum(n_int[i] * p0[i] for i in range(d)),
+        )
+        out.append(Constraint.eq(expr))
+
+    if k == 0:
+        return out  # single point: equalities pin everything
+
+    # Facets: hyperplanes (within the affine hull) through k of the
+    # points with every point on one side.
+    seen = set()
+    for subset in itertools.combinations(unique, k):
+        dirs = [
+            [Fraction(subset[i][j] - subset[0][j]) for j in range(d)]
+            for i in range(1, k)
+        ]
+        normal = _normal_in_span(basis, dirs)
+        if normal is None:
+            continue
+        n_int = _to_integer_vector(normal)
+        if not any(n_int):
+            continue
+        b = sum(n_int[i] * subset[0][i] for i in range(d))
+        dots = [sum(n_int[i] * p[i] for i in range(d)) for p in unique]
+        for sign in (1, -1):
+            if all(sign * dot <= sign * b for dot in dots):
+                key = tuple(sign * x for x in n_int) + (sign * b,)
+                if key in seen:
+                    continue
+                seen.add(key)
+                # sign·n·x <= sign·b   ==>   sign·b - sign·n·x >= 0
+                expr = Affine(
+                    {variables[i]: -sign * n_int[i] for i in range(d)},
+                    sign * b,
+                )
+                out.append(Constraint.geq(expr))
+    return out
+
+
+def _normal_in_span(basis, dirs):
+    """A vector in span(basis) orthogonal to every vector of dirs."""
+    k = len(basis)
+    if len(dirs) != k - 1:
+        return None
+    # normal = Σ c_j basis_j  with  normal · dir_i == 0 for all i.
+    # Build the (k-1) x k system over the c coefficients.
+    rows = []
+    for direc in dirs:
+        rows.append(
+            [sum(b[t] * direc[t] for t in range(len(direc))) for b in basis]
+        )
+    # Find a nonzero nullspace vector by Gaussian elimination.
+    m = [row[:] for row in rows]
+    piv_cols = []
+    r = 0
+    for col in range(k):
+        pivot = next((i for i in range(r, len(m)) if m[i][col]), None)
+        if pivot is None:
+            continue
+        m[r], m[pivot] = m[pivot], m[r]
+        inv = 1 / m[r][col]
+        m[r] = [x * inv for x in m[r]]
+        for i in range(len(m)):
+            if i != r and m[i][col]:
+                f = m[i][col]
+                m[i] = [x - f * y for x, y in zip(m[i], m[r])]
+        piv_cols.append(col)
+        r += 1
+    free = next((c for c in range(k) if c not in piv_cols), None)
+    if free is None:
+        return None
+    c = [Fraction(0)] * k
+    c[free] = Fraction(1)
+    for row, col in zip(m[: len(piv_cols)], piv_cols):
+        c[col] = -row[free]
+    normal = [
+        sum(c[j] * basis[j][t] for j in range(k))
+        for t in range(len(basis[0]))
+    ]
+    return normal
+
+
+def hull_formula(points: Sequence[Point], variables: Sequence[str]):
+    """The hull constraints as a Presburger formula."""
+    from repro.presburger.ast import And, Atom
+
+    return And.of(
+        *(Atom(c) for c in convex_hull_constraints(points, variables))
+    )

@@ -1,0 +1,156 @@
+"""Summarizing uniformly generated sets (Section 5.1).
+
+References ``a[i+p1], ..., a[i+pm]`` inside a loop nest touch
+``{ i + p : i ∈ D, p ∈ {p1..pm} }``.  Building the formula as a union
+of m shifted copies of D yields overlapping clauses; summarizing the
+offsets first -- as the integer points of their convex hull (plus
+stride constraints when the offsets are sparse) -- produces a single
+clause and hence disjoint DNF for free.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.intarith import IntMatrix, hermite_normal_form
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, fresh_var
+from repro.polyhedra.hull import Point, convex_hull_constraints
+from repro.presburger.ast import And, Atom, Exists, Formula
+
+__all__ = ["summarize_offsets", "uniformly_generated_set", "offset_strides"]
+
+
+def offset_strides(
+    points: Sequence[Point], variables: Sequence[str]
+) -> List[Constraint]:
+    """Stride constraints satisfied by every offset (paper's method 2).
+
+    The differences p_i - p_0 generate a sublattice; its Hermite normal
+    form yields congruences every point satisfies (e.g. "the first
+    coordinate is always odd").  Conservative: the returned strides may
+    admit extra points; exactness is checked by counting.
+    """
+    points = [tuple(p) for p in points]
+    d = len(points[0])
+    p0 = points[0]
+    diffs = [[p[i] - p0[i] for i in range(d)] for p in points[1:]]
+    out: List[Constraint] = []
+    if not diffs:
+        return out
+    # Column-HNF of the difference matrix: lattice basis.  A direction
+    # u (row of the inverse relation) with diagonal entry h gives the
+    # congruence u·(x - p0) ≡ 0 (mod h).  We use the simple per-
+    # coordinate and pairwise-difference congruences the paper cites.
+    from repro.intarith import gcd_list
+
+    candidates = []
+    for i in range(d):
+        candidates.append([1 if t == i else 0 for t in range(d)])
+    for i in range(d):
+        for j in range(i + 1, d):
+            vec = [0] * d
+            vec[i], vec[j] = 1, -1
+            candidates.append(vec)
+            vec2 = [0] * d
+            vec2[i], vec2[j] = 1, 1
+            candidates.append(vec2)
+    for u in candidates:
+        values = [sum(u[i] * diff[i] for i in range(d)) for diff in diffs]
+        g = gcd_list(values)
+        if g > 1:
+            expr = Affine(
+                {variables[i]: u[i] for i in range(d)},
+                -sum(u[i] * p0[i] for i in range(d)),
+            )
+            w = fresh_var("s")
+            out.append(Constraint.equal(Affine({w: g}), expr))
+    return out
+
+
+def summarize_offsets(
+    points: Sequence[Point], variables: Sequence[str]
+) -> Tuple[Formula, bool]:
+    """Describe an offset set by hull + stride constraints.
+
+    Returns ``(formula, exact)`` -- ``exact`` is True when the
+    constraints admit exactly the input points, verified by counting
+    (the paper's exactness check).
+    """
+    from repro.core.general import count
+    from repro.omega.problem import Conjunct
+
+    points = [tuple(p) for p in points]
+    hull = convex_hull_constraints(points, variables)
+    strides = offset_strides(points, variables)
+    wildcards = [
+        v
+        for c in strides
+        for v in c.variables()
+        if v.startswith("_s")
+    ]
+    conj = Conjunct(list(hull) + list(strides), wildcards)
+    n = count(conj, list(variables))
+    exact = n.is_constant() and n.constant_value() == len(set(points))
+    formula = _conjunct_to_formula(conj)
+    return formula, exact
+
+
+def _conjunct_to_formula(conj) -> Formula:
+    from repro.presburger.ast import StrideAtom
+
+    others, strides = conj.stride_view()
+    parts: List[Formula] = [Atom(c) for c in others]
+    parts.extend(StrideAtom(m, e) for m, e in strides)
+    return And.of(*parts)
+
+
+def uniformly_generated_set(
+    domain: Formula,
+    iter_vars: Sequence[str],
+    offsets: Sequence[Point],
+    target_vars: Sequence[str],
+    use_hull: bool = True,
+) -> Tuple[Formula, bool]:
+    """The set ``{ iter + offset : domain(iter), offset ∈ offsets }``.
+
+    With ``use_hull`` (the paper's preferred route) the offsets are
+    summarized by their convex hull + strides, giving a single-clause
+    formula; otherwise a union over the offsets is built (which needs
+    the disjoint-DNF machinery downstream).  Returns (formula, exact).
+    """
+    d = len(iter_vars)
+    offsets = [tuple(p) for p in offsets]
+    if any(len(p) != d for p in offsets):
+        raise ValueError("offset dimension mismatch")
+    if use_hull:
+        delta_vars = [fresh_var("d") for _ in range(d)]
+        summary, exact = summarize_offsets(offsets, delta_vars)
+        link = And.of(
+            *(
+                Atom(
+                    Constraint.equal(
+                        Affine.var(target_vars[i]),
+                        Affine.var(iter_vars[i]) + Affine.var(delta_vars[i]),
+                    )
+                )
+                for i in range(d)
+            )
+        )
+        body = And.of(domain, summary, link)
+        return Exists(list(iter_vars) + delta_vars, body), exact
+    from repro.presburger.ast import Or
+
+    copies = []
+    for p in offsets:
+        link = And.of(
+            *(
+                Atom(
+                    Constraint.equal(
+                        Affine.var(target_vars[i]),
+                        Affine.var(iter_vars[i]) + p[i],
+                    )
+                )
+                for i in range(d)
+            )
+        )
+        copies.append(Exists(list(iter_vars), And.of(domain, link)))
+    return Or.of(*copies), True

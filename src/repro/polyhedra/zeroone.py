@@ -1,0 +1,81 @@
+"""Ancourt's 0-1 programming encoding of constant offsets (§5.1.1).
+
+The offset set {p1, ..., pm} is described by m fresh 0-1 variables
+with Σ z_k == 1 and offset = Σ z_k·p_k.  The paper notes this "depends
+on the constraint system being able to simplify a 0-1 integer
+programming problem, an iffy proposition at best" -- their Omega
+implementation summarized 4- and 5-point stencils this way but not a
+9-point stencil.  We implement it so the benchmarks can compare both
+methods on the same stencils.
+"""
+
+from typing import List, Sequence, Tuple
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, fresh_var
+from repro.polyhedra.hull import Point
+from repro.presburger.ast import And, Atom, Exists, Formula
+
+
+def zero_one_formula(
+    points: Sequence[Point], variables: Sequence[str]
+) -> Formula:
+    """``x ∈ {p1..pm}`` via 0-1 selector variables."""
+    points = [tuple(p) for p in points]
+    d = len(points[0])
+    if len(variables) != d:
+        raise ValueError("need one variable per coordinate")
+    selectors = [fresh_var("z") for _ in points]
+    constraints: List[Constraint] = []
+    for z in selectors:
+        zv = Affine.var(z)
+        constraints.append(Constraint.geq(zv))            # z >= 0
+        constraints.append(Constraint.leq(zv, Affine.const_expr(1)))
+    total = Affine({z: 1 for z in selectors})
+    constraints.append(Constraint.equal(total, Affine.const_expr(1)))
+    for i in range(d):
+        combo = Affine({z: p[i] for z, p in zip(selectors, points) if p[i]})
+        constraints.append(
+            Constraint.equal(Affine.var(variables[i]), combo)
+        )
+    return Exists(selectors, And.of(*(Atom(c) for c in constraints)))
+
+
+def zero_one_summary(
+    points: Sequence[Point], variables: Sequence[str], budget: int = 4000
+) -> Tuple[List, bool]:
+    """Simplify the 0-1 encoding into disjoint clauses.
+
+    Returns ``(clauses, ok)``: ``ok`` reports whether the Omega-test
+    simplification produced a *compact* summary (at most as many
+    clauses as the paper's hull route would -- i.e. 1) rather than
+    falling back to one clause per point.
+
+    ``budget`` caps the disjointification work.  When it runs out --
+    which happens on the 9-point stencil, exactly the case the paper's
+    implementation "was unable to produce a convex summary for" -- the
+    raw per-point clauses are returned with ``ok = False``.
+    """
+    from repro.omega.satisfiability import SatBlowupError
+    from repro.presburger.disjoint import DisjointBudgetError, to_disjoint_dnf
+    from repro.presburger.dnf import to_dnf
+
+    formula = zero_one_formula(points, variables)
+    try:
+        clauses = to_disjoint_dnf(formula, budget=budget)
+    except (DisjointBudgetError, SatBlowupError):
+        from repro.omega.affine import Affine
+        from repro.omega.constraints import Constraint
+        from repro.omega.problem import Conjunct
+
+        clauses = [
+            Conjunct(
+                [
+                    Constraint.equal(Affine.var(v), Affine.const_expr(p[i]))
+                    for i, v in enumerate(variables)
+                ]
+            )
+            for p in sorted(set(map(tuple, points)))
+        ]
+        return clauses, False
+    return clauses, len(clauses) <= 1

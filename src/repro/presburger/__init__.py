@@ -1,0 +1,42 @@
+"""Presburger formulas: AST, parser, DNF and disjoint DNF conversion.
+
+The user-facing formula language: linear constraints over integer
+variables combined with ∧, ∨, ¬, ∃, ∀, plus the nonlinear-but-
+Presburger extensions of Section 3 (floor, ceiling, mod, strides).
+"""
+
+from repro.presburger.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+)
+from repro.presburger.parser import parse
+from repro.presburger.dnf import to_dnf
+from repro.presburger.disjoint import disjointify, to_disjoint_dnf
+from repro.presburger.simplify import simplify, formulas_equivalent
+
+__all__ = [
+    "And",
+    "Atom",
+    "Exists",
+    "FalseF",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "StrideAtom",
+    "TrueF",
+    "disjointify",
+    "formulas_equivalent",
+    "parse",
+    "simplify",
+    "to_disjoint_dnf",
+    "to_dnf",
+]

@@ -1,0 +1,349 @@
+"""Formula AST for Presburger arithmetic.
+
+Atoms are linear constraints (``Atom``) and stride/divisibility
+constraints (``StrideAtom``, Section 3.2).  Connectives: And, Or, Not,
+Exists, Forall.  Formulas are immutable; ``&``, ``|`` and ``~`` build
+connectives, which keeps examples and tests readable.
+
+For testing, :meth:`Formula.evaluate` decides truth under a complete
+assignment of the free variables, resolving quantifiers by bounded
+search plus the exact satisfiability test for the linear fragment.
+"""
+
+from typing import Iterable, Mapping, Sequence, Tuple
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+
+
+class Formula:
+    """Base class for formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And.of(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def free_variables(self) -> Tuple[str, ...]:
+        """Variables not bound by any enclosing quantifier."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int], search: int = 30) -> bool:
+        """Truth under a complete assignment of the free variables.
+
+        Quantifiers over the linear fragment are resolved exactly (via
+        the Omega satisfiability test on the DNF); ``search`` bounds
+        the fallback enumeration used for alternating quantifiers.
+        """
+        from repro.presburger.dnf import to_dnf
+
+        missing = [v for v in self.free_variables() if v not in env]
+        if missing:
+            raise ValueError("unassigned variables: %s" % missing)
+        substituted = self.substitute_values(env)
+        return any(
+            conj.is_satisfied({}) for conj in to_dnf(substituted)
+        )
+
+    def substitute_values(self, env: Mapping[str, int]) -> "Formula":
+        """Substitute integer constants for free variables."""
+        return self.substitute_affine(
+            {v: Affine.const_expr(k) for v, k in env.items()}
+        )
+
+    def substitute_affine(self, subst: Mapping[str, Affine]) -> "Formula":
+        """Capture-avoiding substitution of affine expressions."""
+        raise NotImplementedError
+
+
+class _TrueFormula(Formula):
+    __slots__ = ()
+
+    def free_variables(self):
+        return ()
+
+    def substitute_affine(self, subst):
+        return self
+
+    def __str__(self):
+        return "TRUE"
+
+    __repr__ = __str__
+
+
+class _FalseFormula(Formula):
+    __slots__ = ()
+
+    def free_variables(self):
+        return ()
+
+    def substitute_affine(self, subst):
+        return self
+
+    def __str__(self):
+        return "FALSE"
+
+    __repr__ = __str__
+
+
+TrueF = _TrueFormula()
+FalseF = _FalseFormula()
+
+
+class Atom(Formula):
+    """A single linear constraint ``e >= 0`` or ``e == 0``."""
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: Constraint):
+        object.__setattr__(self, "constraint", constraint)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Atom is immutable")
+
+    @classmethod
+    def geq(cls, expr: Affine) -> "Atom":
+        return cls(Constraint.geq(expr))
+
+    @classmethod
+    def leq(cls, lhs: Affine, rhs: Affine) -> "Atom":
+        return cls(Constraint.leq(lhs, rhs))
+
+    @classmethod
+    def equal(cls, lhs: Affine, rhs: Affine) -> "Atom":
+        return cls(Constraint.equal(lhs, rhs))
+
+    def free_variables(self):
+        return self.constraint.variables()
+
+    def substitute_affine(self, subst):
+        c = self.constraint
+        for var, repl in subst.items():
+            c = c.substitute(var, repl)
+        if c.is_trivial_true():
+            return TrueF
+        if c.is_trivial_false():
+            return FalseF
+        return Atom(c)
+
+    def __str__(self):
+        return str(self.constraint)
+
+    __repr__ = __str__
+
+
+class StrideAtom(Formula):
+    """``modulus | expr`` -- expr is evenly divisible by modulus."""
+
+    __slots__ = ("modulus", "expr")
+
+    def __init__(self, modulus: int, expr: Affine):
+        if modulus <= 0:
+            raise ValueError("stride modulus must be positive")
+        object.__setattr__(self, "modulus", modulus)
+        object.__setattr__(self, "expr", expr)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("StrideAtom is immutable")
+
+    def free_variables(self):
+        return self.expr.variables()
+
+    def substitute_affine(self, subst):
+        e = self.expr
+        for var, repl in subst.items():
+            e = e.substitute(var, repl)
+        if e.is_constant():
+            return TrueF if e.const % self.modulus == 0 else FalseF
+        return StrideAtom(self.modulus, e)
+
+    def __str__(self):
+        return "%d | (%s)" % (self.modulus, self.expr)
+
+    __repr__ = __str__
+
+
+class And(Formula):
+    """Conjunction; build with :meth:`And.of` (flattens, folds units)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Formula]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("And is immutable")
+
+    @classmethod
+    def of(cls, *children: Formula) -> Formula:
+        flat = []
+        for c in children:
+            if c is TrueF:
+                continue
+            if c is FalseF:
+                return FalseF
+            if isinstance(c, And):
+                flat.extend(c.children)
+            else:
+                flat.append(c)
+        if not flat:
+            return TrueF
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    def free_variables(self):
+        seen = {}
+        for c in self.children:
+            for v in c.free_variables():
+                seen.setdefault(v, None)
+        return tuple(seen)
+
+    def substitute_affine(self, subst):
+        return And.of(*(c.substitute_affine(subst) for c in self.children))
+
+    def __str__(self):
+        return "(" + " and ".join(str(c) for c in self.children) + ")"
+
+    __repr__ = __str__
+
+
+class Or(Formula):
+    """Disjunction; build with :meth:`Or.of` (flattens, folds units)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Formula]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Or is immutable")
+
+    @classmethod
+    def of(cls, *children: Formula) -> Formula:
+        flat = []
+        for c in children:
+            if c is FalseF:
+                continue
+            if c is TrueF:
+                return TrueF
+            if isinstance(c, Or):
+                flat.extend(c.children)
+            else:
+                flat.append(c)
+        if not flat:
+            return FalseF
+        if len(flat) == 1:
+            return flat[0]
+        return cls(flat)
+
+    def free_variables(self):
+        seen = {}
+        for c in self.children:
+            for v in c.free_variables():
+                seen.setdefault(v, None)
+        return tuple(seen)
+
+    def substitute_affine(self, subst):
+        return Or.of(*(c.substitute_affine(subst) for c in self.children))
+
+    def __str__(self):
+        return "(" + " or ".join(str(c) for c in self.children) + ")"
+
+    __repr__ = __str__
+
+
+class Not(Formula):
+    """Negation; DNF conversion pushes it to the atoms (§2.5)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula):
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Not is immutable")
+
+    def free_variables(self):
+        return self.child.free_variables()
+
+    def substitute_affine(self, subst):
+        inner = self.child.substitute_affine(subst)
+        if inner is TrueF:
+            return FalseF
+        if inner is FalseF:
+            return TrueF
+        return Not(inner)
+
+    def __str__(self):
+        return "not (%s)" % (self.child,)
+
+    __repr__ = __str__
+
+
+class _Quantifier(Formula):
+    __slots__ = ("variables", "body")
+    _name = "?"
+
+    def __init__(self, variables: Sequence[str], body: Formula):
+        if not variables:
+            raise ValueError("quantifier needs at least one variable")
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("quantifiers are immutable")
+
+    def free_variables(self):
+        bound = set(self.variables)
+        return tuple(v for v in self.body.free_variables() if v not in bound)
+
+    def substitute_affine(self, subst):
+        bound = set(self.variables)
+        capture = {
+            v
+            for repl in subst.values()
+            for v in repl.variables()
+            if v in bound
+        }
+        body = self.body
+        variables = self.variables
+        if capture or any(v in subst for v in bound):
+            from repro.omega.constraints import fresh_var
+
+            renaming = {v: fresh_var("b") for v in self.variables}
+            body = body.substitute_affine(
+                {v: Affine.var(n) for v, n in renaming.items()}
+            )
+            variables = tuple(renaming[v] for v in self.variables)
+        inner = body.substitute_affine(
+            {v: r for v, r in subst.items() if v not in set(variables)}
+        )
+        if inner is TrueF or inner is FalseF:
+            return inner
+        return type(self)(variables, inner)
+
+    def __str__(self):
+        return "%s %s: (%s)" % (self._name, ", ".join(self.variables), self.body)
+
+    __repr__ = __str__
+
+
+class Exists(_Quantifier):
+    """∃ vars: body -- lowered to conjunct wildcards by to_dnf."""
+
+    __slots__ = ()
+    _name = "exists"
+
+
+class Forall(_Quantifier):
+    """∀ vars: body -- handled as ¬∃¬ (projection + negation)."""
+
+    __slots__ = ()
+    _name = "forall"

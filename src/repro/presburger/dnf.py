@@ -1,0 +1,158 @@
+"""Conversion of Presburger formulas to disjunctive normal form.
+
+``to_dnf`` lowers a formula to a list of :class:`Conjunct`s whose union
+is the formula.  Negation is pushed inward; negated equalities split in
+two, negated strides fan out over the nonzero residues (Section 3.2),
+and negated existentials are resolved by *projecting* the quantified
+variables first (the Omega test's exact elimination) and then negating
+the resulting stride-only clauses -- the approach of [PW93a] that the
+paper relies on for formulas involving negation (Section 2.5).
+"""
+
+from typing import List
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, fresh_var
+from repro.omega.problem import Conjunct
+from repro.presburger.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+)
+
+_MAX_CLAUSES = 20000
+
+
+class DnfExplosion(RuntimeError):
+    """The DNF grew past the safety cap (the worst case is unavoidable:
+    Presburger simplification has nondeterministic lower bound 2^2^Ω(n))."""
+
+
+def to_dnf(formula: Formula) -> List[Conjunct]:
+    """Lower a formula to (possibly overlapping) DNF clauses."""
+    clauses = _dnf(formula)
+    out = []
+    for c in clauses:
+        n = c.normalize()
+        if n is not None:
+            out.append(n)
+    return out
+
+
+def _dnf(f: Formula) -> List[Conjunct]:
+    if f is TrueF:
+        return [Conjunct.true()]
+    if f is FalseF:
+        return []
+    if isinstance(f, Atom):
+        return [Conjunct([f.constraint])]
+    if isinstance(f, StrideAtom):
+        return [Conjunct.true().add_stride(f.modulus, f.expr)]
+    if isinstance(f, And):
+        lists = [_dnf(c) for c in f.children]
+        return _merge_product(lists)
+    if isinstance(f, Or):
+        out: List[Conjunct] = []
+        for c in f.children:
+            out.extend(_dnf(c))
+            _check_size(out)
+        return out
+    if isinstance(f, Not):
+        return _dnf_not(f.child)
+    if isinstance(f, Exists):
+        renaming = {v: fresh_var("e") for v in f.variables}
+        body = f.body.substitute_affine(
+            {v: Affine.var(n) for v, n in renaming.items()}
+        )
+        return [
+            piece.with_wildcards(renaming.values()) for piece in _dnf(body)
+        ]
+    if isinstance(f, Forall):
+        return _dnf(Not(Exists(f.variables, Not(f.body))))
+    raise TypeError("unknown formula node %r" % (f,))
+
+
+def _dnf_not(f: Formula) -> List[Conjunct]:
+    if f is TrueF:
+        return []
+    if f is FalseF:
+        return [Conjunct.true()]
+    if isinstance(f, Atom):
+        c = f.constraint
+        if c.is_geq():
+            return [Conjunct([c.negate_geq()])]
+        # ¬(e == 0)  ≡  e >= 1  ∨  e <= -1   (disjoint)
+        return [
+            Conjunct([Constraint.geq(c.expr - 1)]),
+            Conjunct([Constraint.geq(-c.expr - 1)]),
+        ]
+    if isinstance(f, StrideAtom):
+        # ¬(m | e)  ≡  ∨_{r=1..m-1}  m | (e - r)   (disjoint)
+        return [
+            Conjunct.true().add_stride(f.modulus, f.expr - r)
+            for r in range(1, f.modulus)
+        ]
+    if isinstance(f, And):
+        out: List[Conjunct] = []
+        for c in f.children:
+            out.extend(_dnf_not(c))
+            _check_size(out)
+        return out
+    if isinstance(f, Or):
+        return _merge_product([_dnf_not(c) for c in f.children])
+    if isinstance(f, Not):
+        return _dnf(f.child)
+    if isinstance(f, Forall):
+        return _dnf(Exists(f.variables, Not(f.body)))
+    if isinstance(f, Exists):
+        return _negate_clauses(_dnf(f))
+    raise TypeError("unknown formula node %r" % (f,))
+
+
+def _negate_clauses(clauses: List[Conjunct]) -> List[Conjunct]:
+    """¬(C1 ∨ ... ∨ Cp) as a DNF, projecting wildcards as needed."""
+    from repro.presburger.disjoint import (
+        disjoint_negation,
+        project_to_stride_only,
+    )
+
+    stride_only: List[Conjunct] = []
+    for c in clauses:
+        n = c.normalize()
+        if n is None:
+            continue
+        if n.stride_only():
+            stride_only.append(n)
+        else:
+            stride_only.extend(project_to_stride_only(n))
+    negations = [disjoint_negation(c) for c in stride_only]
+    return _merge_product(negations) if negations else [Conjunct.true()]
+
+
+def _merge_product(lists: List[List[Conjunct]]) -> List[Conjunct]:
+    result = [Conjunct.true()]
+    for options in lists:
+        new: List[Conjunct] = []
+        for base in result:
+            for extra in options:
+                new.append(base.merge(extra))
+        _check_size(new)
+        result = new
+        if not result:
+            break
+    return result
+
+
+def _check_size(clauses: List[Conjunct]) -> None:
+    if len(clauses) > _MAX_CLAUSES:
+        raise DnfExplosion(
+            "DNF exceeded %d clauses; simplify the formula first"
+            % _MAX_CLAUSES
+        )

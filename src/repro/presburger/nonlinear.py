@@ -1,0 +1,209 @@
+"""Nonlinear constraints that stay Presburger (Section 3).
+
+Floors, ceilings and mods of the form ``floor(e/c)``, ``ceil(e/c)``,
+``e mod c`` (c a positive integer constant) are representable inside
+Presburger formulas by introducing an existentially quantified variable
+with bounding constraints:
+
+* ``floor(e/c) -> α``  with  ``c·α <= e <= c·α + c - 1``
+* ``ceil(e/c)  -> β``  with  ``c·β - c + 1 <= e <= c·β``
+* ``e mod c    -> e - c·α``  with α as for floor.
+
+:class:`NLExpr` is a tiny expression tree for such terms; ``lower``
+flattens it to an affine expression plus side constraints over fresh
+variables, which the parser and the applications layer wrap in
+``Exists``.
+"""
+
+from typing import List, Tuple, Union
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, fresh_var
+
+
+class NLExpr:
+    """Expression possibly containing floor/ceil/mod subterms."""
+
+    __slots__ = ()
+
+    def __add__(self, other):
+        return NLSum(self, _coerce(other), 1)
+
+    def __radd__(self, other):
+        return NLSum(_coerce(other), self, 1)
+
+    def __sub__(self, other):
+        return NLSum(self, _coerce(other), -1)
+
+    def __rsub__(self, other):
+        return NLSum(_coerce(other), self, -1)
+
+    def __mul__(self, k: int):
+        if not isinstance(k, int):
+            return NotImplemented
+        return NLScale(self, k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return NLScale(self, -1)
+
+
+def _coerce(value) -> "NLExpr":
+    if isinstance(value, NLExpr):
+        return value
+    if isinstance(value, int):
+        return NLLin(Affine.const_expr(value))
+    if isinstance(value, Affine):
+        return NLLin(value)
+    raise TypeError("cannot use %r in an expression" % (value,))
+
+
+class NLLin(NLExpr):
+    __slots__ = ("affine",)
+
+    def __init__(self, affine: Affine):
+        object.__setattr__(self, "affine", affine)
+
+    def __str__(self):
+        return str(self.affine)
+
+
+class NLSum(NLExpr):
+    __slots__ = ("left", "right", "sign")
+
+    def __init__(self, left: NLExpr, right: NLExpr, sign: int):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "sign", sign)
+
+    def __str__(self):
+        op = "+" if self.sign > 0 else "-"
+        return "(%s %s %s)" % (self.left, op, self.right)
+
+
+class NLScale(NLExpr):
+    __slots__ = ("child", "factor")
+
+    def __init__(self, child: NLExpr, factor: int):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "factor", factor)
+
+    def __str__(self):
+        return "%d*%s" % (self.factor, self.child)
+
+
+class NLFloor(NLExpr):
+    """floor(child / divisor)"""
+
+    __slots__ = ("child", "divisor")
+
+    def __init__(self, child: NLExpr, divisor: int):
+        if divisor <= 0:
+            raise ValueError("floor divisor must be positive")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "divisor", divisor)
+
+    def __str__(self):
+        return "floor(%s / %d)" % (self.child, self.divisor)
+
+
+class NLCeil(NLExpr):
+    """ceil(child / divisor)"""
+
+    __slots__ = ("child", "divisor")
+
+    def __init__(self, child: NLExpr, divisor: int):
+        if divisor <= 0:
+            raise ValueError("ceil divisor must be positive")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "divisor", divisor)
+
+    def __str__(self):
+        return "ceil(%s / %d)" % (self.child, self.divisor)
+
+
+class NLMod(NLExpr):
+    """child mod divisor, in 0..divisor-1"""
+
+    __slots__ = ("child", "divisor")
+
+    def __init__(self, child: NLExpr, divisor: int):
+        if divisor <= 0:
+            raise ValueError("mod divisor must be positive")
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "divisor", divisor)
+
+    def __str__(self):
+        return "(%s mod %d)" % (self.child, self.divisor)
+
+
+Lowered = Tuple[Affine, List[Constraint], List[str]]
+
+
+def lower(expr: Union[NLExpr, Affine, int]) -> Lowered:
+    """Flatten to (affine, side constraints, fresh variables).
+
+    The expression equals the affine part whenever the side constraints
+    hold; the fresh variables are to be existentially quantified.
+    """
+    expr = _coerce(expr)
+    if isinstance(expr, NLLin):
+        return expr.affine, [], []
+    if isinstance(expr, NLSum):
+        la, lc, lw = lower(expr.left)
+        ra, rc, rw = lower(expr.right)
+        return la + ra * expr.sign, lc + rc, lw + rw
+    if isinstance(expr, NLScale):
+        a, cons, wilds = lower(expr.child)
+        return a * expr.factor, cons, wilds
+    if isinstance(expr, (NLFloor, NLCeil, NLMod)):
+        a, cons, wilds = lower(expr.child)
+        c = expr.divisor
+        alpha = fresh_var("f")
+        av = Affine.var(alpha)
+        if isinstance(expr, NLFloor):
+            # c·α <= a <= c·α + c - 1
+            cons = cons + [
+                Constraint.leq(av * c, a),
+                Constraint.leq(a, av * c + (c - 1)),
+            ]
+            return av, cons, wilds + [alpha]
+        if isinstance(expr, NLCeil):
+            # c·α - c + 1 <= a <= c·α
+            cons = cons + [
+                Constraint.leq(av * c - (c - 1), a),
+                Constraint.leq(a, av * c),
+            ]
+            return av, cons, wilds + [alpha]
+        # mod: a - c·α with α = floor(a/c)
+        cons = cons + [
+            Constraint.leq(av * c, a),
+            Constraint.leq(a, av * c + (c - 1)),
+        ]
+        return a - av * c, cons, wilds + [alpha]
+    raise TypeError("cannot lower %r" % (expr,))
+
+
+def lowered_atom(build_constraints, *exprs) -> "Formula":
+    """Lower expressions and wrap the produced atoms in Exists.
+
+    ``build_constraints`` receives the affine forms and returns a list
+    of :class:`Constraint`; the result is the conjunction, wrapped in
+    an Exists over the fresh floor/ceil/mod variables.
+    """
+    from repro.presburger.ast import And, Atom, Exists, TrueF
+
+    affines = []
+    side: List[Constraint] = []
+    wilds: List[str] = []
+    for e in exprs:
+        a, cons, ws = lower(e)
+        affines.append(a)
+        side.extend(cons)
+        wilds.extend(ws)
+    atoms = [Atom(c) for c in build_constraints(*affines)]
+    body = And.of(*(Atom(c) for c in side), *atoms)
+    if not wilds:
+        return body if atoms or side else TrueF
+    return Exists(wilds, body)

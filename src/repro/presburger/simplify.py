@@ -1,0 +1,108 @@
+"""Simplification of arbitrary Presburger formulas (Section 2.6).
+
+``simplify`` lowers a formula to DNF, normalizes every clause, removes
+redundant constraints and subsumed clauses, and (optionally) makes the
+clauses disjoint.  ``formulas_equivalent`` decides semantic equivalence
+exactly (both directions of implication via satisfiability).
+"""
+
+from typing import List, Union
+
+from repro.omega.problem import Conjunct
+from repro.omega.redundancy import remove_redundant
+from repro.omega.satisfiability import implies, satisfiable
+from repro.presburger.ast import Formula, Not, And
+from repro.presburger.dnf import to_dnf
+from repro.presburger.disjoint import disjointify
+
+
+def simplify(
+    formula: Union[Formula, List[Conjunct]],
+    disjoint: bool = False,
+    aggressive: bool = True,
+) -> List[Conjunct]:
+    """Simplify a formula into a compact list of DNF clauses.
+
+    * infeasible clauses are dropped;
+    * each clause is normalized and (with ``aggressive``) stripped of
+      redundant constraints using the complete redundancy test;
+    * clauses subsumed by another clause are removed;
+    * with ``disjoint=True`` the result is in disjoint DNF.
+    """
+    clauses = to_dnf(formula) if isinstance(formula, Formula) else list(formula)
+    cleaned: List[Conjunct] = []
+    for clause in clauses:
+        n = clause.normalize()
+        if n is None or not satisfiable(n):
+            continue
+        if aggressive:
+            n = remove_redundant(n)
+        cleaned.append(n)
+
+    kept: List[Conjunct] = []
+    for clause in cleaned:
+        if any(implies(clause, other) for other in kept):
+            continue
+        kept = [k for k in kept if not implies(k, clause)]
+        kept.append(clause)
+
+    if disjoint:
+        return disjointify(kept)
+    return kept
+
+
+def clause_union_equivalent(
+    a: List[Conjunct], b: List[Conjunct]
+) -> bool:
+    """Do two clause lists denote the same set of solutions?
+
+    Exact: every clause of one side must be covered by the union of the
+    other side.  Coverage of a clause C by clauses D1..Dk is checked by
+    verifying that C ∧ ¬D1 ∧ ... ∧ ¬Dk is unsatisfiable.
+    """
+    return _covered(a, b) and _covered(b, a)
+
+
+def _covered(clauses: List[Conjunct], cover: List[Conjunct]) -> bool:
+    from repro.presburger.disjoint import (
+        disjoint_negation,
+        project_to_stride_only,
+    )
+
+    prepared: List[Conjunct] = []
+    for d in cover:
+        n = d.normalize()
+        if n is None:
+            continue
+        if n.stride_only():
+            prepared.append(n)
+        else:
+            prepared.extend(project_to_stride_only(n))
+    for c in clauses:
+        n = c.normalize()
+        if n is None:
+            continue
+        residue = [n]
+        for d in prepared:
+            new_residue = []
+            for r in residue:
+                for neg in disjoint_negation(d):
+                    piece = r.merge(neg).normalize()
+                    if piece is not None and satisfiable(piece):
+                        new_residue.append(piece)
+            residue = new_residue
+            if not residue:
+                break
+        if residue:
+            return False
+    return True
+
+
+def formulas_equivalent(f: Formula, g: Formula) -> bool:
+    """Exact semantic equivalence of two formulas."""
+    return clause_union_equivalent(to_dnf(f), to_dnf(g))
+
+
+def formula_implies(f: Formula, g: Formula) -> bool:
+    """Exact implication f ⇒ g (Section 2.4 verification)."""
+    return _covered(to_dnf(f), to_dnf(g))

@@ -1,0 +1,14 @@
+"""Quasi-polynomials: the value domain of symbolic counting.
+
+The answers produced by the paper's method are polynomials in the
+symbolic constants whose coefficients may depend periodically on those
+constants -- e.g. ``(3*n**2 + 2*n - (n mod 2)) / 4`` from Example 6.
+We represent these as multivariate polynomials over Q whose generators
+("atoms") are either plain variables or ``(affine expression) mod c``
+terms.
+"""
+
+from repro.qpoly.atoms import ModAtom
+from repro.qpoly.polynomial import Polynomial
+
+__all__ = ["ModAtom", "Polynomial"]

@@ -1,0 +1,123 @@
+"""Atoms that can appear as polynomial generators.
+
+A polynomial generator is either a plain variable (a ``str``) or a
+:class:`ModAtom` -- an integer affine expression reduced modulo a
+positive constant.  Mod atoms are what make our polynomials
+*quasi*-polynomials: they are bounded, periodic functions of the
+symbolic constants, exactly the ``n mod 3`` terms of Section 4.2.1.
+"""
+
+from typing import Dict, Mapping, Tuple, Union
+
+Atom = Union[str, "ModAtom"]
+
+
+class ModAtom:
+    """``(sum(coef*var) + const) mod modulus`` with 0 <= value < modulus.
+
+    Immutable and hashable; the affine part is canonicalized by reducing
+    every coefficient and the constant modulo ``modulus`` and dropping
+    zero coefficients, so equal functions compare equal.
+    """
+
+    __slots__ = ("coeffs", "const", "modulus", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int], const: int, modulus: int):
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        reduced = {v: c % modulus for v, c in coeffs.items() if c % modulus}
+        object.__setattr__(self, "coeffs", tuple(sorted(reduced.items())))
+        object.__setattr__(self, "const", const % modulus)
+        object.__setattr__(self, "modulus", modulus)
+        object.__setattr__(
+            self, "_hash", hash((self.coeffs, self.const, self.modulus))
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ModAtom is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ModAtom)
+            and self.modulus == other.modulus
+            and self.const == other.const
+            and self.coeffs == other.coeffs
+        )
+
+    def __lt__(self, other) -> bool:
+        # Ordering only matters for canonical monomial sorting; order
+        # mod atoms after all plain variables, then structurally.
+        if isinstance(other, str):
+            return False
+        return (self.modulus, self.coeffs, self.const) < (
+            other.modulus,
+            other.coeffs,
+            other.const,
+        )
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(v for v, _ in self.coeffs)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        total = self.const
+        for var, coef in self.coeffs:
+            total += coef * env[var]
+        return total % self.modulus
+
+    def substitute_var(
+        self, var: str, coeffs: Mapping[str, int], const: int
+    ) -> "ModAtom":
+        """Replace ``var`` by an integer affine expression."""
+        my = dict(self.coeffs)
+        k = my.pop(var, 0)
+        if k == 0:
+            return self
+        new_const = self.const + k * const
+        for v, c in coeffs.items():
+            my[v] = my.get(v, 0) + k * c
+        return ModAtom(my, new_const, self.modulus)
+
+    def rename(self, mapping: Mapping[str, str]) -> "ModAtom":
+        return ModAtom(
+            {mapping.get(v, v): c for v, c in self.coeffs},
+            self.const,
+            self.modulus,
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for var, coef in self.coeffs:
+            if coef == 1:
+                parts.append(var)
+            else:
+                parts.append("%d*%s" % (coef, var))
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "((%s) mod %d)" % (" + ".join(parts), self.modulus)
+
+    __repr__ = __str__
+
+
+def atom_sort_key(atom: Atom):
+    """Total order over atoms: plain variables first, then mod atoms."""
+    if isinstance(atom, str):
+        return (0, atom, (), 0, 0)
+    return (1, "", atom.coeffs, atom.const, atom.modulus)
+
+
+def atom_variables(atom: Atom) -> Tuple[str, ...]:
+    if isinstance(atom, str):
+        return (atom,)
+    return atom.variables()
+
+
+def evaluate_atom(atom: Atom, env: Mapping[str, int]) -> int:
+    if isinstance(atom, str):
+        return env[atom]
+    return atom.evaluate(env)

@@ -1,0 +1,107 @@
+"""A tiny parser for polynomial summands.
+
+``parse_polynomial("i*i + 2*j - 3")`` builds the
+:class:`~repro.qpoly.polynomial.Polynomial` used as the summand z of
+``(Σ V : P : z)``.  Supports +, -, *, **, integer literals, variables
+and parentheses (full polynomial arithmetic, unlike the affine
+expressions of the constraint language).
+"""
+
+import re
+from typing import List, Optional
+
+from repro.qpoly.polynomial import Polynomial
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9']*)"
+    r"|(?P<op>\*\*|[-+*()]))"
+)
+
+
+class PolynomialParseError(ValueError):
+    pass
+
+
+def parse_polynomial(text: str) -> Polynomial:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise PolynomialParseError(
+                    "unexpected character %r" % text[pos]
+                )
+            break
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    state = _State(tokens)
+    poly = _sum(state)
+    if state.peek() is not None:
+        raise PolynomialParseError("trailing input %r" % state.peek())
+    return poly
+
+
+class _State:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise PolynomialParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+
+def _sum(s: _State) -> Polynomial:
+    value = _product(s)
+    while s.peek() in ("+", "-"):
+        op = s.next()
+        rhs = _product(s)
+        value = value + rhs if op == "+" else value - rhs
+    return value
+
+
+def _product(s: _State) -> Polynomial:
+    value = _power(s)
+    while s.peek() == "*":
+        s.next()
+        value = value * _power(s)
+    return value
+
+
+def _power(s: _State) -> Polynomial:
+    base = _atom(s)
+    if s.peek() == "**":
+        s.next()
+        exp = s.next()
+        if not exp.isdigit():
+            raise PolynomialParseError("exponent must be an integer")
+        return base ** int(exp)
+    return base
+
+
+def _atom(s: _State) -> Polynomial:
+    tok = s.peek()
+    if tok is None:
+        raise PolynomialParseError("unexpected end of input")
+    if tok == "-":
+        s.next()
+        return -_atom(s)
+    if tok == "(":
+        s.next()
+        inner = _sum(s)
+        if s.next() != ")":
+            raise PolynomialParseError("expected )")
+        return inner
+    s.next()
+    if tok.isdigit():
+        return Polynomial.constant(int(tok))
+    if re.match(r"^[A-Za-z_]", tok):
+        return Polynomial.variable(tok)
+    raise PolynomialParseError("unexpected token %r" % tok)

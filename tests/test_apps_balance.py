@@ -1,0 +1,85 @@
+"""Load balance and balanced chunk scheduling tests ([TF92], [HP93a])."""
+
+import pytest
+
+from repro.apps import (
+    Loop,
+    LoopNest,
+    Statement,
+    balanced_chunks,
+    flops_by_outer_iteration,
+    is_load_balanced,
+)
+
+
+def triangular():
+    return LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "i")], [Statement(flops=2)]
+    )
+
+
+def rectangular():
+    return LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "m")], [Statement(flops=3)]
+    )
+
+
+class TestPerIteration:
+    def test_triangular_work(self):
+        per = flops_by_outer_iteration(triangular())
+        for i in range(1, 6):
+            assert per.evaluate(i=i, n=10) == 2 * i
+
+    def test_rectangular_work(self):
+        per = flops_by_outer_iteration(rectangular())
+        assert per.evaluate(i=3, n=10, m=7) == 21
+
+
+class TestIsBalanced:
+    def test_rectangular_balanced(self):
+        balanced, _ = is_load_balanced(rectangular())
+        assert balanced
+
+    def test_triangular_unbalanced(self):
+        balanced, per = is_load_balanced(triangular())
+        assert not balanced
+
+    def test_guarded_unbalanced(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "m")],
+            [Statement(flops=1, guard="j <= i")],
+        )
+        balanced, _ = is_load_balanced(nest)
+        assert not balanced
+
+
+class TestBalancedChunks:
+    def test_chunks_partition(self):
+        chunks = balanced_chunks(triangular(), 4, {"n": 100})
+        assert chunks[0][0] == 1 and chunks[-1][1] == 100
+        for (a, b, _), (c, d, _) in zip(chunks, chunks[1:]):
+            assert c == b + 1
+        assert sum(c[2] for c in chunks) == 100 * 101  # 2 * n(n+1)/2
+
+    def test_chunks_near_equal(self):
+        chunks = balanced_chunks(triangular(), 4, {"n": 100})
+        total = sum(c[2] for c in chunks)
+        for _, _, flops in chunks:
+            # within one outer iteration's work of the ideal quarter
+            assert abs(flops - total / 4) <= 2 * 100
+
+    def test_triangle_cuts_shrink(self):
+        # balanced chunk scheduling gives the first processor the most
+        # iterations (they are cheap) -- the [HP93a] motivation
+        chunks = balanced_chunks(triangular(), 4, {"n": 100})
+        sizes = [b - a + 1 for a, b, _ in chunks]
+        assert sizes[0] > sizes[-1]
+
+    def test_rectangular_even_split(self):
+        chunks = balanced_chunks(rectangular(), 4, {"n": 80, "m": 5})
+        sizes = [b - a + 1 for a, b, _ in chunks]
+        assert sizes == [20, 20, 20, 20]
+
+    def test_empty_loop(self):
+        chunks = balanced_chunks(triangular(), 2, {"n": 0})
+        assert all(c[2] == 0 for c in chunks)

@@ -1,0 +1,84 @@
+"""Generalized (wrapping / unaligned) cache mappings tests."""
+
+import pytest
+
+from repro.apps import ArrayRef, Loop, LoopNest, Statement
+from repro.apps.cachewrap import (
+    cache_lines_worst_alignment,
+    cache_lines_wrapped,
+)
+
+
+def small_nest(n_rows):
+    return LoopNest(
+        [Loop("i", 1, n_rows), Loop("j", 1, 3)],
+        [Statement(refs=[ArrayRef("a", ["i", "j"])])],
+    )
+
+
+def brute_lines(n_rows, cols, rows_extent, line, align):
+    touched = {
+        (i, j) for i in range(1, n_rows + 1) for j in range(1, cols + 1)
+    }
+    return len(
+        {
+            ((i - 1) + (j - 1) * rows_extent + align) // line
+            for i, j in touched
+        }
+    )
+
+
+class TestWrapped:
+    def test_matches_brute_force(self):
+        r = cache_lines_wrapped(small_nest(5), "a", line_size=4, rows=5)
+        assert r.evaluate({}) == brute_lines(5, 3, 5, 4, 0)
+
+    def test_wrapping_differs_from_simple_mapping(self):
+        # rows=5, line=4: lines cross column boundaries, so the wrapped
+        # count (ceil(15/4) = 4) is lower than the per-column mapping
+        # (2 lines per column x 3 columns = 6).
+        r = cache_lines_wrapped(small_nest(5), "a", line_size=4, rows=5)
+        assert r.evaluate({}) == 4
+
+    def test_alignment_shifts_count(self):
+        for align in range(4):
+            r = cache_lines_wrapped(
+                small_nest(5), "a", line_size=4, rows=5, alignment=align
+            )
+            assert r.evaluate({}) == brute_lines(5, 3, 5, 4, align)
+
+    def test_larger_rows_padding(self):
+        # rows extent larger than the touched region: gaps between
+        # columns, more lines
+        r = cache_lines_wrapped(small_nest(5), "a", line_size=4, rows=8)
+        assert r.evaluate({}) == brute_lines(5, 3, 8, 4, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cache_lines_wrapped(small_nest(3), "a", line_size=0, rows=3)
+        with pytest.raises(ValueError):
+            cache_lines_wrapped(small_nest(3), "a", line_size=4, rows=3, alignment=7)
+        nest1d = LoopNest(
+            [Loop("i", 1, 5)], [Statement(refs=[ArrayRef("a", ["i"])])]
+        )
+        with pytest.raises(ValueError):
+            cache_lines_wrapped(nest1d, "a", line_size=4, rows=3)
+
+
+class TestWorstAlignment:
+    def test_bound_is_max(self):
+        align, worst = cache_lines_worst_alignment(
+            small_nest(5), "a", line_size=4, rows=5
+        )
+        per_align = [brute_lines(5, 3, 5, 4, a) for a in range(4)]
+        assert worst == max(per_align)
+        assert brute_lines(5, 3, 5, 4, align) == worst
+
+    def test_worst_at_least_aligned(self):
+        _, worst = cache_lines_worst_alignment(
+            small_nest(5), "a", line_size=4, rows=5
+        )
+        aligned = cache_lines_wrapped(
+            small_nest(5), "a", line_size=4, rows=5
+        ).evaluate({})
+        assert worst >= aligned

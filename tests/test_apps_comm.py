@@ -1,0 +1,88 @@
+"""HPF block-cyclic distribution tests (§3.3)."""
+
+import pytest
+
+from repro.apps import BlockCyclicDistribution, communication_volume, message_buffer_size
+from repro.apps.comm import total_messages
+
+
+def owner(t, block, procs):
+    return (t // block) % procs
+
+
+class TestMapping:
+    def test_paper_example(self):
+        """T(0:1024) block-cyclic on 8 procs with blocks of 4:
+        t == l + 4p + 32c, 0 <= l <= 3, 0 <= p <= 7 (§3.3)."""
+        dist = BlockCyclicDistribution(block=4, procs=8)
+        f = dist.mapping_formula()
+        # the paper's data points
+        assert f.evaluate({"t": 0, "p": 0, "c": 0, "l": 0})
+        assert f.evaluate({"t": 7, "p": 1, "c": 0, "l": 3})
+        assert f.evaluate({"t": 31, "p": 7, "c": 0, "l": 3})
+        assert f.evaluate({"t": 32, "p": 0, "c": 1, "l": 0})
+        assert not f.evaluate({"t": 32, "p": 1, "c": 0, "l": 0})
+
+    def test_owner_is_function(self):
+        dist = BlockCyclicDistribution(block=4, procs=8)
+        f = dist.owner_formula("t", "p")
+        for t in range(0, 70):
+            owners = [p for p in range(8) if f.evaluate({"t": t, "p": p})]
+            assert owners == [owner(t, 4, 8)]
+
+    def test_elements_per_processor(self):
+        dist = BlockCyclicDistribution(block=4, procs=8)
+        per = dist.elements_per_processor("0 <= t <= 1024")
+        counts = [per.evaluate(p=p) for p in range(8)]
+        assert sum(counts) == 1025
+        assert counts[0] == 129 and all(c == 128 for c in counts[1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCyclicDistribution(block=0, procs=4)
+
+
+class TestCommunication:
+    def test_shift_volume(self):
+        dist = BlockCyclicDistribution(block=4, procs=4)
+        vol = communication_volume(dist, "0 <= t <= 63", shift=1)
+        for q in range(4):
+            for p in range(4):
+                if p == q:
+                    continue
+                want = sum(
+                    1
+                    for t in range(0, 64)
+                    if owner(t, 4, 4) == p and owner(t + 1, 4, 4) == q
+                )
+                assert vol.evaluate(p=p, q=q) == want, (p, q)
+
+    def test_block_shift_heavy_traffic(self):
+        # a shift by a full block moves every element to the neighbour
+        dist = BlockCyclicDistribution(block=4, procs=4)
+        vol = communication_volume(dist, "0 <= t <= 63", shift=4)
+        moved = sum(
+            vol.evaluate(p=p, q=q)
+            for p in range(4)
+            for q in range(4)
+            if p != q
+        )
+        assert moved == 64
+
+    def test_buffer_size(self):
+        dist = BlockCyclicDistribution(block=4, procs=8)
+        assert message_buffer_size(dist, "0 <= t <= 127", 1) == 4
+
+    def test_message_count_shift1(self):
+        # shift-1 on block 4: only block boundaries cross processors:
+        # each proc sends to exactly one neighbour
+        dist = BlockCyclicDistribution(block=4, procs=8)
+        assert total_messages(dist, "0 <= t <= 127", 1) == 8
+
+    def test_zero_shift_no_traffic(self):
+        dist = BlockCyclicDistribution(block=4, procs=4)
+        vol = communication_volume(dist, "0 <= t <= 63", shift=0)
+        for q in range(4):
+            for p in range(4):
+                if p != q:
+                    assert vol.evaluate(p=p, q=q) == 0

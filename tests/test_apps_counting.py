@@ -1,0 +1,101 @@
+"""Iteration/flop counting and machine balance tests (§1.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps import (
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Statement,
+    count_flops,
+    count_iterations,
+    machine_balance,
+)
+from repro.apps.counting import statement_executions
+
+
+def triangular(n_flops=1):
+    return LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "i")],
+        [Statement(flops=n_flops)],
+    )
+
+
+class TestIterations:
+    def test_rectangular(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "m")], [Statement()]
+        )
+        r = count_iterations(nest)
+        for n in range(0, 5):
+            for m in range(0, 5):
+                assert r.evaluate(n=n, m=m) == max(n, 0) * max(m, 0)
+
+    def test_triangular(self):
+        r = count_iterations(triangular())
+        for n in range(0, 8):
+            assert r.evaluate(n=n) == n * (n + 1) // 2
+
+    def test_strided(self):
+        nest = LoopNest([Loop("i", 1, "n", step=2)], [Statement()])
+        r = count_iterations(nest)
+        for n in range(0, 12):
+            assert r.evaluate(n=n) == len(range(1, n + 1, 2))
+
+    def test_guarded(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")], [Statement(guard="3 | i")]
+        )
+        r = count_flops(nest)
+        for n in range(0, 12):
+            assert r.evaluate(n=n) == len(
+                [i for i in range(1, n + 1) if i % 3 == 0]
+            )
+
+
+class TestFlops:
+    def test_scaling(self):
+        r = count_flops(triangular(n_flops=6))
+        for n in range(0, 6):
+            assert r.evaluate(n=n) == 3 * n * (n + 1)
+
+    def test_multiple_statements(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n")],
+            [Statement(flops=2), Statement(flops=3, depth=1)],
+        )
+        r = count_flops(nest)
+        for n in range(0, 6):
+            assert r.evaluate(n=n) == 2 * n * n + 3 * n
+
+    def test_statement_executions(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n")],
+            [Statement(), Statement(depth=1)],
+        )
+        assert statement_executions(nest, nest.statements[1]).evaluate(n=4) == 4
+
+
+class TestMachineBalance:
+    def test_stream_like(self):
+        # one flop per element touched: balance 1
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [Statement(flops=1, refs=[ArrayRef("a", ["i"])])],
+        )
+        assert machine_balance(nest, n=100) == 1
+
+    def test_reuse_raises_balance(self):
+        # n^2 flops over 2n-1 locations (a[i+j] diagonal access)
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n")],
+            [Statement(flops=1, refs=[ArrayRef("a", ["i + j"])])],
+        )
+        assert machine_balance(nest, n=10) == Fraction(100, 19)
+
+    def test_no_memory(self):
+        nest = LoopNest([Loop("i", 1, "n")], [Statement()])
+        with pytest.raises(ValueError):
+            machine_balance(nest, n=10)

@@ -1,0 +1,114 @@
+"""Dependence counting tests."""
+
+import pytest
+
+from repro.apps import ArrayRef, Loop, LoopNest, Statement
+from repro.apps.deps import (
+    count_dependences,
+    count_dependent_iterations,
+    dependence_formula,
+)
+
+
+def nest_1d(upper="n"):
+    return LoopNest([Loop("i", 1, upper)], [Statement()])
+
+
+class TestPairCounting:
+    def test_write_read_shift(self):
+        # a[i] written, a[i-1] read: iteration i depends on i-1
+        nest = nest_1d()
+        write = ArrayRef("a", ["i"])
+        read = ArrayRef("a", ["i - 1"])
+        r = count_dependences(nest, write, read)
+        for n in range(0, 8):
+            # pairs (s, d) with s = d - 1, 1 <= s < d <= n
+            assert r.evaluate(n=n) == max(n - 1, 0)
+
+    def test_all_pairs_same_cell(self):
+        # a[0] touched by every iteration: all ordered pairs conflict
+        nest = nest_1d()
+        ref = ArrayRef("a", ["0"])
+        r = count_dependences(nest, ref, ref)
+        for n in range(0, 7):
+            assert r.evaluate(n=n) == n * (n - 1) // 2
+
+    def test_no_dependence_disjoint_cells(self):
+        nest = nest_1d()
+        write = ArrayRef("a", ["2*i"])
+        read = ArrayRef("a", ["2*i + 1"])
+        r = count_dependences(nest, write, read)
+        for n in range(0, 7):
+            assert r.evaluate(n=n) == 0
+
+    def test_strided_conflict(self):
+        # a[2i] vs a[i+2]: conflict when 2s = d + 2
+        nest = nest_1d()
+        write = ArrayRef("a", ["2*i"])
+        read = ArrayRef("a", ["i + 2"])
+        r = count_dependences(nest, write, read)
+        for n in range(0, 10):
+            want = sum(
+                1
+                for s in range(1, n + 1)
+                for d in range(s + 1, n + 1)
+                if 2 * s == d + 2
+            )
+            assert r.evaluate(n=n) == want
+
+    def test_unordered_counts_both_directions(self):
+        nest = nest_1d()
+        write = ArrayRef("a", ["i"])
+        read = ArrayRef("a", ["i - 1"])
+        ordered = count_dependences(nest, write, read)
+        unordered = count_dependences(nest, write, read, require_order=False)
+        for n in range(0, 8):
+            # without the order constraint the pair (d+1 reads what d
+            # writes) also matches in the reverse direction
+            assert unordered.evaluate(n=n) >= ordered.evaluate(n=n)
+
+    def test_different_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            count_dependences(
+                nest_1d(), ArrayRef("a", ["i"]), ArrayRef("b", ["i"])
+            )
+
+
+class Test2D:
+    def test_sor_like_flow(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n")], [Statement()]
+        )
+        write = ArrayRef("a", ["i", "j"])
+        read = ArrayRef("a", ["i - 1", "j"])
+        r = count_dependences(nest, write, read)
+        for n in range(0, 5):
+            want = sum(
+                1
+                for si in range(1, n + 1)
+                for sj in range(1, n + 1)
+                for di in range(1, n + 1)
+                for dj in range(1, n + 1)
+                if (si, sj) < (di, dj)
+                and si == di - 1
+                and sj == dj
+            )
+            assert r.evaluate(n=n) == want
+
+
+class TestDependentIterations:
+    def test_projection(self):
+        nest = nest_1d()
+        write = ArrayRef("a", ["i"])
+        read = ArrayRef("a", ["i - 1"])
+        r = count_dependent_iterations(nest, write, read)
+        for n in range(0, 8):
+            # every iteration except the first depends on a predecessor
+            assert r.evaluate(n=n) == max(n - 1, 0)
+
+    def test_single_hot_cell(self):
+        nest = nest_1d()
+        ref = ArrayRef("a", ["0"])
+        r = count_dependent_iterations(nest, ref, ref)
+        for n in range(0, 8):
+            assert r.evaluate(n=n) == max(n - 1, 0)

@@ -1,0 +1,110 @@
+"""Loop-nest model tests."""
+
+import pytest
+
+from conftest import enumerate_formula
+from repro.apps import ArrayRef, Loop, LoopNest, Statement
+
+
+class TestLoop:
+    def test_bound_formula(self):
+        loop = Loop("i", 2, "N - 1")
+        f = loop.bound_formula()
+        assert {i for i in range(0, 10) if f.evaluate({"i": i, "N": 8})} == set(
+            range(2, 8)
+        )
+
+    def test_step(self):
+        loop = Loop("i", 1, 10, step=3)
+        f = loop.bound_formula()
+        assert {i for i in range(0, 12) if f.evaluate({"i": i})} == {1, 4, 7, 10}
+
+    def test_symbolic_step_base(self):
+        loop = Loop("i", "m", "m + 6", step=2)
+        f = loop.bound_formula()
+        assert {
+            i for i in range(0, 12) if f.evaluate({"i": i, "m": 3})
+        } == {3, 5, 7, 9}
+
+    def test_floor_bound(self):
+        loop = Loop("i", 1, "floor(n/2)")
+        f = loop.bound_formula()
+        assert {i for i in range(0, 10) if f.evaluate({"i": i, "n": 7})} == {
+            1,
+            2,
+            3,
+        }
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", 1, 10, step=0)
+
+
+class TestArrayRef:
+    def test_access_formula(self):
+        ref = ArrayRef("a", ["2*i + 1"])
+        f = ref.access_formula(["x"])
+        assert f.evaluate({"i": 3, "x": 7})
+        assert not f.evaluate({"i": 3, "x": 8})
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayRef("a", ["i"]).access_formula(["x", "y"])
+
+    def test_constant_offset(self):
+        a = ArrayRef("a", ["i + 1", "j"])
+        b = ArrayRef("a", ["i", "j - 2"])
+        assert a.constant_offset_from(b) == (1, 2)
+
+    def test_offset_different_arrays(self):
+        a = ArrayRef("a", ["i"])
+        b = ArrayRef("b", ["i"])
+        assert a.constant_offset_from(b) is None
+
+    def test_offset_nonuniform(self):
+        a = ArrayRef("a", ["2*i"])
+        b = ArrayRef("a", ["i"])
+        assert a.constant_offset_from(b) is None
+
+
+class TestLoopNest:
+    def test_duplicate_vars_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest([Loop("i", 1, 2), Loop("i", 1, 2)], [Statement()])
+
+    def test_iteration_formula(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", "i", "n")], [Statement()]
+        )
+        f = nest.iteration_formula()
+        pts = enumerate_formula(f, ("i", "j"), box=6, env={"n": 4})
+        assert pts == {(i, j) for i in range(1, 5) for j in range(i, 5)}
+
+    def test_statement_depth(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n")],
+            [Statement(depth=1)],
+        )
+        f = nest.statement_domain(nest.statements[0])
+        assert sorted(f.free_variables()) == ["i", "n"]
+
+    def test_statement_guard(self):
+        nest = LoopNest(
+            [Loop("i", 1, 10)],
+            [Statement(guard="2 | i")],
+        )
+        f = nest.statement_domain(nest.statements[0])
+        assert {i for i in range(0, 12) if f.evaluate({"i": i})} == {
+            2, 4, 6, 8, 10,
+        }
+
+    def test_arrays_listing(self):
+        nest = LoopNest(
+            [Loop("i", 1, 5)],
+            [
+                Statement(refs=[ArrayRef("a", ["i"]), ArrayRef("b", ["i"])]),
+                Statement(refs=[ArrayRef("a", ["i + 1"])]),
+            ],
+        )
+        assert nest.arrays() == ["a", "b"]
+        assert len(nest.references("a")) == 2

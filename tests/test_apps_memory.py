@@ -1,0 +1,117 @@
+"""Memory-location and cache-line counting tests (§6 Ex. 4 and 5)."""
+
+import pytest
+
+from repro.apps import (
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Statement,
+    cache_lines_touched,
+    memory_locations_touched,
+)
+
+FIVE_POINT_REFS = [
+    ArrayRef("a", ["i", "j"]),
+    ArrayRef("a", ["i - 1", "j"]),
+    ArrayRef("a", ["i + 1", "j"]),
+    ArrayRef("a", ["i", "j - 1"]),
+    ArrayRef("a", ["i", "j + 1"]),
+]
+
+
+def sor_nest(upper="N - 1"):
+    return LoopNest(
+        [Loop("i", 2, upper), Loop("j", 2, upper)],
+        [Statement(flops=6, refs=FIVE_POINT_REFS)],
+    )
+
+
+def brute_locations(N):
+    return {
+        (i + di, j + dj)
+        for i in range(2, N)
+        for j in range(2, N)
+        for di, dj in ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1))
+    }
+
+
+class TestExample4:
+    def test_count_25(self):
+        nest = LoopNest(
+            [Loop("i", 1, 8), Loop("j", 1, 5)],
+            [Statement(refs=[ArrayRef("a", ["6*i + 9*j - 7"])])],
+        )
+        r = memory_locations_touched(nest, "a")
+        assert r.evaluate({}) == 25  # the paper's Example 4
+
+    def test_unreferenced_array(self):
+        nest = LoopNest([Loop("i", 1, 5)], [Statement()])
+        with pytest.raises(ValueError):
+            memory_locations_touched(nest, "a")
+
+
+class TestExample5SOR:
+    def test_symbolic_locations(self):
+        r = memory_locations_touched(sor_nest(), "a")
+        for N in range(1, 10):
+            assert r.evaluate(N=N) == len(brute_locations(N)), N
+
+    def test_numeric_500(self):
+        r = memory_locations_touched(sor_nest(), "a")
+        assert r.evaluate(N=500) == 249996  # the paper's figure 2
+
+    def test_union_route_agrees(self):
+        hull = memory_locations_touched(sor_nest(), "a", use_hull=True)
+        union = memory_locations_touched(sor_nest(), "a", use_hull=False)
+        for N in (3, 5, 10, 50):
+            assert hull.evaluate(N=N) == union.evaluate(N=N)
+
+    def test_cache_lines_numeric(self):
+        r = cache_lines_touched(sor_nest(), "a", line_size=16)
+        assert r.evaluate(N=500) == 16000  # the paper's figure
+
+    def test_cache_lines_symbolic(self):
+        r = cache_lines_touched(sor_nest(), "a", line_size=16)
+        for N in (2, 3, 4, 16, 17, 18, 33, 100):
+            want = len(
+                {((x - 1) // 16, y) for x, y in brute_locations(N)}
+            )
+            assert r.evaluate(N=N) == want, N
+
+    def test_cache_lines_other_line_size(self):
+        r = cache_lines_touched(sor_nest(), "a", line_size=4)
+        for N in (3, 4, 5, 9, 12):
+            want = len({((x - 1) // 4, y) for x, y in brute_locations(N)})
+            assert r.evaluate(N=N) == want, N
+
+
+class TestMultipleStatements:
+    def test_disjoint_refs_in_two_statements(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [
+                Statement(refs=[ArrayRef("a", ["i"])]),
+                Statement(refs=[ArrayRef("a", ["i + n"])]),
+            ],
+        )
+        r = memory_locations_touched(nest, "a")
+        for n in range(0, 8):
+            want = len(
+                {i for i in range(1, n + 1)}
+                | {i + n for i in range(1, n + 1)}
+            )
+            assert r.evaluate(n=n) == want
+
+    def test_overlapping_refs_counted_once(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [
+                Statement(refs=[ArrayRef("a", ["i"])]),
+                Statement(refs=[ArrayRef("a", ["i + 1"])]),
+            ],
+        )
+        r = memory_locations_touched(nest, "a")
+        for n in range(0, 8):
+            want = len(set(range(1, n + 1)) | set(range(2, n + 2)))
+            assert r.evaluate(n=n) == want

@@ -1,0 +1,70 @@
+"""Cache-effectiveness model tests."""
+
+from fractions import Fraction
+
+from repro.apps import ArrayRef, Loop, LoopNest, Statement
+from repro.apps.missrate import estimate_cache_behavior, flush_threshold
+
+
+def stream(upper="n"):
+    return LoopNest(
+        [Loop("i", 1, upper)],
+        [Statement(flops=1, refs=[ArrayRef("a", ["i"])])],
+    )
+
+
+class TestEstimate:
+    def test_fitting_loop_compulsory_only(self):
+        est = estimate_cache_behavior(
+            stream(), "a", cache_lines=1024, line_size=16, n=1000
+        )
+        assert not est.flushes_cache
+        assert est.lines_touched == 63  # ceil-ish of 1000/16 span
+        assert est.estimated_misses == est.lines_touched
+        assert est.miss_rate == Fraction(63, 1000)
+
+    def test_flushing_loop(self):
+        est = estimate_cache_behavior(
+            stream(), "a", cache_lines=8, line_size=16, n=1000
+        )
+        assert est.flushes_cache
+        assert est.estimated_misses >= est.lines_touched
+
+    def test_references_counted(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [Statement(refs=[ArrayRef("a", ["i"]), ArrayRef("a", ["i + 1"])])],
+        )
+        est = estimate_cache_behavior(
+            nest, "a", cache_lines=4096, line_size=16, n=100
+        )
+        assert est.references == 200
+
+    def test_empty_loop(self):
+        est = estimate_cache_behavior(
+            stream(), "a", cache_lines=64, line_size=16, n=0
+        )
+        assert est.references == 0 and est.miss_rate == 0
+
+
+class TestFlushThreshold:
+    def test_threshold_is_monotone(self):
+        table = flush_threshold(
+            stream(), "a", cache_lines=16, symbol="n",
+            search_range=range(50, 500, 50), line_size=16,
+        )
+        values = [table[k] for k in sorted(table)]
+        # once it flushes it keeps flushing as n grows
+        assert values == sorted(values)
+        assert values[0] is False and values[-1] is True
+
+    def test_2d_example_5_style(self):
+        sor = LoopNest(
+            [Loop("i", 2, "N - 1"), Loop("j", 2, "N - 1")],
+            [Statement(flops=6, refs=[ArrayRef("a", ["i", "j"])])],
+        )
+        table = flush_threshold(
+            sor, "a", cache_lines=2048, symbol="N",
+            search_range=[100, 200, 500],
+        )
+        assert table[100] is False and table[500] is True

@@ -1,0 +1,73 @@
+"""Inclusion-exclusion baseline tests ([FST91], §4.5.1)."""
+
+from repro.baselines import inclusion_exclusion_count
+from repro.baselines.fst import union_count_work
+from repro.core import count
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+
+
+def clauses(text):
+    return to_dnf(parse(text))
+
+
+class TestInclusionExclusion:
+    def test_two_intervals(self):
+        cs = clauses("(1 <= x <= 10) or (5 <= x <= 15)")
+        r, n = inclusion_exclusion_count(cs, ["x"])
+        assert n == 3  # P, Q, P∧Q
+        assert r.evaluate({}) == 15
+
+    def test_three_clauses_seven_summations(self):
+        """The paper: "7 summations are needed for 3 clauses"."""
+        cs = clauses("(1 <= x <= 10) or (5 <= x <= 15) or (8 <= x <= 20)")
+        r, n = inclusion_exclusion_count(cs, ["x"])
+        assert n == 7 == union_count_work(3)
+        assert r.evaluate({}) == 20
+
+    def test_exponential_growth(self):
+        assert union_count_work(5) == 31
+        assert union_count_work(10) == 1023
+
+    def test_symbolic(self):
+        cs = clauses("(1 <= x <= n) or (3 <= x <= 8)")
+        r, _ = inclusion_exclusion_count(cs, ["x"])
+        for n in range(0, 12):
+            want = len(set(range(1, n + 1)) | set(range(3, 9)))
+            assert r.evaluate(n=n) == want
+
+    def test_agrees_with_disjoint_dnf(self):
+        text = "(1 <= x <= 6 and 1 <= y <= 6) or (4 <= x <= 9 and 4 <= y <= 9)"
+        cs = clauses(text)
+        ie, _ = inclusion_exclusion_count(cs, ["x", "y"])
+        ours = count(text, ["x", "y"])
+        assert ie.evaluate({}) == ours.evaluate({}) == 63  # 36 + 36 - 9
+
+    def test_disjoint_clauses_cheap(self):
+        cs = clauses("(1 <= x <= 3) or (10 <= x <= 12)")
+        r, n = inclusion_exclusion_count(cs, ["x"])
+        assert r.evaluate({}) == 6
+        assert n == 3  # the empty intersection still counts as work
+
+    def test_sor_stencil_growth(self):
+        """5 overlapping shifted copies (the SOR refs) need 31
+        inclusion-exclusion summations; disjoint DNF is the fix."""
+        base = "2 <= i <= 9 and 2 <= j <= 9"
+        shifts = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+        text = " or ".join(
+            "(exists i, j: %s and x = i + %d and y = j + %d)" % (base, a, b)
+            for a, b in shifts
+        )
+        cs = clauses(text)
+        assert len(cs) == 5
+        r, n = inclusion_exclusion_count(cs, ["x", "y"])
+        assert n == 31
+        want = len(
+            {
+                (i + a, j + b)
+                for i in range(2, 10)
+                for j in range(2, 10)
+                for a, b in shifts
+            }
+        )
+        assert r.evaluate({}) == want

@@ -1,0 +1,106 @@
+"""Haghighat-Polychronopoulos baseline tests (§6 Examples 2-3)."""
+
+import pytest
+
+from repro.baselines import hp_nested_sum
+from repro.baselines.haghighat import Leaf, Max, Min, Pos
+from repro.core import count
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+from repro.qpoly import Polynomial
+
+
+def clause(text):
+    (c,) = to_dnf(parse(text))
+    return c
+
+
+class TestCalculus:
+    def test_min_max_eval(self):
+        n = Leaf(Polynomial.variable("n"))
+        e = Min([n, Leaf(Polynomial.constant(5))])
+        assert e.evaluate({"n": 3}) == 3
+        assert e.evaluate({"n": 9}) == 5
+        m = Max([n, Leaf(Polynomial.constant(0))])
+        assert m.evaluate({"n": -2}) == 0
+
+    def test_pos(self):
+        n = Leaf(Polynomial.variable("n"))
+        assert Pos(n).evaluate({"n": 1}) == 1
+        assert Pos(n).evaluate({"n": 0}) == 0
+        assert Pos(n).evaluate({"n": -3}) == 0
+
+    def test_size_counts_nodes(self):
+        n = Leaf(Polynomial.variable("n"))
+        assert Min([n, n]).size() == 3
+
+    def test_leaf_folding(self):
+        a = Leaf(Polynomial.constant(2)) + Leaf(Polynomial.constant(3))
+        assert isinstance(a, Leaf) and a.poly.constant_value() == 5
+
+
+class TestHPExample1:
+    """The paper's Example 2: their answer has the form
+    p(min(n-2,3))·(cubic in min(n,5)) + 6·max(n-5, 0)."""
+
+    TEXT = "1 <= i <= n and 3 <= j <= i and j <= k <= 5"
+
+    def test_agrees_with_brute_force(self):
+        e = hp_nested_sum(clause(self.TEXT), ["k", "j", "i"], 1)
+        for n in range(0, 15):
+            want = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(3, i + 1)
+                for k in range(j, 6)
+            )
+            assert e.evaluate({"n": n}) == want, n
+
+    def test_agrees_with_engine(self):
+        e = hp_nested_sum(clause(self.TEXT), ["k", "j", "i"], 1)
+        ours = count(self.TEXT, ["i", "j", "k"])
+        for n in range(0, 15):
+            assert e.evaluate({"n": n}) == ours.evaluate(n=n)
+
+    def test_more_complicated_than_ours(self):
+        """"The results tend to be much more complicated" -- compare
+        expression sizes."""
+        e = hp_nested_sum(clause(self.TEXT), ["k", "j", "i"], 1)
+        ours = count(self.TEXT, ["i", "j", "k"]).simplified()
+        ours_size = sum(
+            len(t.value.terms) + len(t.guard.constraints) for t in ours.terms
+        )
+        assert e.size() > ours_size
+
+
+class TestHPExample2:
+    TEXT = "1 <= i <= 2*n and 1 <= j <= i and i + j <= 2*n"
+
+    def test_agrees_with_brute_force(self):
+        e = hp_nested_sum(clause(self.TEXT), ["j", "i"], 1)
+        for n in range(0, 10):
+            want = sum(
+                1
+                for i in range(1, 2 * n + 1)
+                for j in range(1, i + 1)
+                if i + j <= 2 * n
+            )
+            assert e.evaluate({"n": n}) == want, n
+
+    def test_ours_is_n_squared(self):
+        """The paper computes this example to exactly n² (for n >= 1)
+        in 4 steps; HP's own derivation takes 15 steps."""
+        ours = count(self.TEXT, ["i", "j"]).simplified()
+        assert len(ours.terms) == 1
+        assert str(ours.terms[0].value) == "n**2"
+
+
+class TestLimits:
+    def test_non_unit_rejected(self):
+        with pytest.raises(ValueError):
+            hp_nested_sum(clause("1 <= 2*i <= n"), ["i"], 1)
+
+    def test_polynomial_summand(self):
+        e = hp_nested_sum(clause("1 <= i <= n"), ["i"], Polynomial.variable("i"))
+        for n in range(0, 8):
+            assert e.evaluate({"n": n}) == n * (n + 1) // 2

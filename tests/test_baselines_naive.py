@@ -1,0 +1,52 @@
+"""Naive CAS summation baseline tests (the paper's introduction)."""
+
+from fractions import Fraction
+
+from repro.baselines import naive_nested_sum
+from repro.core import count
+
+
+class TestNaive:
+    def test_mathematica_example(self):
+        """The paper: Mathematica reports Σ_{i=1}^{n} Σ_{j=i}^{m} 1
+        as n(2m - n + 1)/2, valid only for 1 <= n <= m."""
+        p = naive_nested_sum([("i", "1", "n"), ("j", "i", "m")], 1)
+        for n in range(1, 6):
+            for m in range(n, 8):  # valid region
+                assert p.evaluate({"n": n, "m": m}) == Fraction(
+                    n * (2 * m - n + 1), 2
+                )
+
+    def test_wrong_outside_valid_region(self):
+        """1 <= m < n: the correct answer is m(m+1)/2, the naive
+        formula disagrees (the paper's point)."""
+        p = naive_nested_sum([("i", "1", "n"), ("j", "i", "m")], 1)
+        wrong = 0
+        for n in range(1, 8):
+            for m in range(1, n):
+                true = m * (m + 1) // 2
+                if p.evaluate({"n": n, "m": m}) != true:
+                    wrong += 1
+        assert wrong > 0
+
+    def test_engine_correct_everywhere(self):
+        r = count("1 <= i <= n and i <= j <= m", ["i", "j"])
+        for n in range(0, 8):
+            for m in range(0, 8):
+                want = sum(1 for i in range(1, n + 1) for j in range(i, m + 1))
+                assert r.evaluate(n=n, m=m) == want
+
+    def test_agrees_on_nonempty_rectangles(self):
+        p = naive_nested_sum([("i", "1", "n"), ("j", "1", "m")], "i*j")
+        for n in range(1, 6):
+            for m in range(1, 6):
+                want = sum(
+                    i * j
+                    for i in range(1, n + 1)
+                    for j in range(1, m + 1)
+                )
+                assert p.evaluate({"n": n, "m": m}) == want
+
+    def test_polynomial_summand(self):
+        p = naive_nested_sum([("i", "1", "n")], "i**2")
+        assert p.evaluate({"n": 4}) == 30

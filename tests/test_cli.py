@@ -1,0 +1,90 @@
+"""CLI tests (python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCount:
+    def test_basic(self):
+        out = run_cli("count", "1 <= i and i < j and j <= n", "--over", "i,j")
+        assert out.returncode == 0
+        assert "1/2*n**2 - 1/2*n" in out.stdout
+
+    def test_at(self):
+        out = run_cli(
+            "count", "1 <= i <= n", "--over", "i", "--at", "n=12"
+        )
+        assert "12" in out.stdout
+
+    def test_table(self):
+        out = run_cli(
+            "count", "1 <= i <= n", "--over", "i", "--table", "n=0:3"
+        )
+        lines = [l for l in out.stdout.splitlines() if l.strip().startswith("n=")]
+        assert len(lines) == 4
+
+    def test_simplify_flag(self):
+        out = run_cli(
+            "count",
+            "1 <= i and 1 <= j <= n and 2*i <= 3*j",
+            "--over", "i,j", "--simplify",
+        )
+        assert "mod 2" in out.stdout
+
+    def test_strategy(self):
+        out = run_cli(
+            "count", "1 <= i and 7*i <= n", "--over", "i",
+            "--strategy", "upper",
+        )
+        assert "upper bound" in out.stdout
+
+
+class TestSum:
+    def test_polynomial(self):
+        out = run_cli(
+            "sum", "1 <= i <= n", "--over", "i", "--poly", "i*i",
+            "--at", "n=4",
+        )
+        assert out.returncode == 0
+        assert "30" in out.stdout
+
+
+class TestSimplify:
+    def test_clauses_printed(self):
+        out = run_cli("simplify", "x >= 1 and x >= 0")
+        assert out.returncode == 0
+        assert "x - 1 >= 0" in out.stdout
+
+    def test_false(self):
+        out = run_cli("simplify", "x >= 5 and x <= 3")
+        assert "FALSE" in out.stdout
+
+    def test_disjoint(self):
+        out = run_cli(
+            "simplify", "(1 <= x <= 10) or (5 <= x <= 15)", "--disjoint"
+        )
+        assert out.returncode == 0
+        assert out.stdout.count(">=") >= 2
+
+
+class TestErrors:
+    def test_missing_over(self):
+        out = run_cli("count", "1 <= i <= n")
+        assert out.returncode != 0
+
+    def test_bad_table_spec(self):
+        out = run_cli(
+            "count", "1 <= i <= n", "--over", "i", "--table", "nonsense"
+        )
+        assert out.returncode != 0

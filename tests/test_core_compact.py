@@ -1,0 +1,117 @@
+"""Compaction tests: piecewise answers collapse to tail + points."""
+
+import pytest
+
+from repro.core import Strategy, SumOptions, count, sum_poly
+from repro.core.compact import compact_single_symbol
+from repro.qpoly import Polynomial
+
+
+class TestCompactExamples:
+    def test_sor_collapses_to_paper_form(self):
+        """The uniform-set route yields several exact pieces; compaction
+        recovers the paper's single (N >= 3 : N² - 4)."""
+        from repro.apps import (
+            ArrayRef,
+            Loop,
+            LoopNest,
+            Statement,
+            memory_locations_touched,
+        )
+
+        sor = LoopNest(
+            [Loop("i", 2, "N - 1"), Loop("j", 2, "N - 1")],
+            [
+                Statement(
+                    refs=[
+                        ArrayRef("a", ["i", "j"]),
+                        ArrayRef("a", ["i - 1", "j"]),
+                        ArrayRef("a", ["i + 1", "j"]),
+                        ArrayRef("a", ["i", "j - 1"]),
+                        ArrayRef("a", ["i", "j + 1"]),
+                    ]
+                )
+            ],
+        )
+        c = memory_locations_touched(sor, "a").compacted()
+        assert len(c.terms) == 1
+        (term,) = c.terms
+        n = Polynomial.variable("N")
+        assert term.value == n * n - 4
+        assert term.guard.is_satisfied({"N": 3})
+        assert not term.guard.is_satisfied({"N": 2})
+
+    def test_example2_tail_plus_point(self):
+        r = count(
+            "1 <= i <= n and 3 <= j <= i and j <= k <= 5", ["i", "j", "k"]
+        ).compacted()
+        for n in range(0, 12):
+            want = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(3, i + 1)
+                for k in range(j, 6)
+            )
+            assert r.evaluate(n=n) == want
+        # one linear tail (6n - 16 for n >= 4) + the n = 3 point
+        assert len(r.terms) == 2
+
+    def test_quasi_polynomial_preserved(self):
+        r = count("1 <= i and 1 <= j <= n and 2*i <= 3*j", ["i", "j"])
+        c = r.compacted()
+        assert len(c.terms) == 1
+        for n in range(0, 15):
+            assert c.evaluate(n=n) == r.evaluate(n=n)
+
+    def test_strided_answer(self):
+        r = count("3 | i and 0 <= i <= n", ["i"]).compacted()
+        for n in range(0, 20):
+            assert r.evaluate(n=n) == n // 3 + 1
+
+    def test_union_compacts(self):
+        r = count("(1 <= x <= n) or (3 <= x <= n + 2)", ["x"]).compacted()
+        for n in range(0, 10):
+            want = len(set(range(1, n + 1)) | set(range(3, n + 3)))
+            assert r.evaluate(n=n) == want
+
+
+class TestPreconditions:
+    def test_two_symbols_unchanged(self):
+        r = count("1 <= i <= n and i <= m", ["i"])
+        assert r.compacted().terms == compact_single_symbol(
+            r.simplified()
+        ).terms
+
+    def test_empty_sum(self):
+        r = count("1 <= i <= 0", ["i"])
+        assert r.compacted().terms == ()
+
+    def test_constant_answer(self):
+        r = count("1 <= i <= 10", ["i"]).compacted()
+        assert r.evaluate({}) == 10
+
+    def test_approximate_tag_preserved(self):
+        opts = SumOptions(strategy=Strategy.UPPER)
+        r = count("1 <= i and 7*i <= n", ["i"], opts).compacted()
+        assert r.exactness == "upper"
+
+    def test_explicit_symbol_mismatch(self):
+        r = count("1 <= i <= n", ["i"])
+        out = compact_single_symbol(r, symbol="zz")
+        assert out is r
+
+
+class TestExactness:
+    @pytest.mark.parametrize("a,b", [(2, 3), (3, 4), (5, 2)])
+    def test_random_rational_regions(self, a, b):
+        text = "n <= %d*i and %d*i <= 3*n + 7" % (b, a)
+        r = count(text, ["i"])
+        c = r.compacted()
+        for n in range(0, 40):
+            assert c.evaluate(n=n) == r.evaluate(n=n), (a, b, n)
+
+    def test_polynomial_summand(self):
+        r = sum_poly("1 <= i <= n and 1 <= j <= i", ["i", "j"], "j")
+        c = r.compacted()
+        for n in range(0, 10):
+            assert c.evaluate(n=n) == r.evaluate(n=n)

@@ -1,0 +1,66 @@
+"""Additional compaction coverage: strides, periods, higher degree."""
+
+import pytest
+
+from repro.core import count, sum_poly
+from repro.qpoly import Polynomial
+
+
+class TestPeriodicTails:
+    @pytest.mark.parametrize("m,r", [(2, 0), (3, 1), (4, 3), (5, 2)])
+    def test_residue_class_counts(self, m, r):
+        text = "%d | i - %d and 0 <= i <= n" % (m, r)
+        result = count(text, ["i"])
+        compact = result.compacted()
+        for n in range(0, 4 * m + 6):
+            want = sum(1 for i in range(0, n + 1) if i % m == r % m)
+            assert compact.evaluate(n=n) == want, (m, r, n)
+
+    def test_combined_strides_period_lcm(self):
+        result = count("2 | i and 3 | i + 1 and 0 <= i <= n", ["i"])
+        compact = result.compacted()
+        for n in range(0, 30):
+            want = sum(
+                1 for i in range(0, n + 1) if i % 2 == 0 and (i + 1) % 3 == 0
+            )
+            assert compact.evaluate(n=n) == want, n
+
+    def test_quadratic_with_period(self):
+        result = sum_poly("2 | i and 1 <= i <= n", ["i"], "i*i")
+        compact = result.compacted()
+        for n in range(0, 20):
+            want = sum(i * i for i in range(1, n + 1) if i % 2 == 0)
+            assert compact.evaluate(n=n) == want, n
+
+
+class TestShapes:
+    def test_cubic_tail(self):
+        result = sum_poly(
+            "1 <= i <= n and 1 <= j <= i", ["i", "j"], "i*j"
+        )
+        compact = result.compacted()
+        assert len(compact.terms) >= 1
+        for n in range(0, 9):
+            want = sum(
+                i * j for i in range(1, n + 1) for j in range(1, i + 1)
+            )
+            assert compact.evaluate(n=n) == want
+
+    def test_tail_guard_is_single_constraint(self):
+        compact = count("1 <= i <= n and 1 <= j <= i", ["i", "j"]).compacted()
+        tail = compact.terms[0]
+        assert len(tail.guard.constraints) == 1
+
+    def test_point_terms_are_equalities(self):
+        compact = count(
+            "1 <= i <= n and 3 <= j <= i and j <= k <= 5", ["i", "j", "k"]
+        ).compacted()
+        for term in compact.terms[1:]:
+            assert any(c.is_eq() for c in term.guard.constraints)
+
+    def test_evaluation_agreement_everywhere(self):
+        text = "n <= 4*i and 3*i <= 2*n + 9"
+        raw = count(text, ["i"])
+        compact = raw.compacted()
+        for n in range(-3, 40):
+            assert compact.evaluate(n=n) == raw.evaluate(n=n), n

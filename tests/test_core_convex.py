@@ -1,0 +1,233 @@
+"""Convex-sum engine tests (Section 4.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import brute_count, brute_sum, grid
+from repro.core import count, sum_poly
+from repro.core.convex import UnboundedSumError, sum_over_conjunct
+from repro.core.options import DEFAULT_OPTIONS
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+from repro.qpoly import Polynomial
+from repro.qpoly.parse import parse_polynomial
+
+
+def exact_check(text, over, z, envs, box=40):
+    formula = parse(text)
+    zp = parse_polynomial(z) if isinstance(z, str) else Polynomial.constant(z)
+    result = sum_poly(formula, over, zp)
+    assert result.exactness == "exact"
+    for env in envs:
+        want = brute_sum(formula, over, zp, env, box)
+        got = result.evaluate(env)
+        assert got == want, (text, env, got, want)
+    return result
+
+
+class TestRectangular:
+    def test_constant_range(self):
+        r = count("1 <= i <= 10", ["i"])
+        assert r.evaluate({}) == 10
+
+    def test_symbolic_range(self):
+        exact_check("1 <= i <= n", ["i"], 1, grid(n=range(-3, 8)))
+
+    def test_two_dims(self):
+        exact_check(
+            "1 <= i <= n and 1 <= j <= m",
+            ["i", "j"],
+            1,
+            grid(n=range(0, 5), m=range(0, 5)),
+        )
+
+    def test_summing_polynomial(self):
+        exact_check("1 <= i <= n", ["i"], "i*i", grid(n=range(0, 8)))
+
+    def test_negative_bounds(self):
+        exact_check("0 - n <= i <= n", ["i"], "i + n", grid(n=range(0, 6)))
+
+
+class TestTriangular:
+    def test_lower_triangle(self):
+        exact_check(
+            "1 <= i <= n and 1 <= j <= i", ["i", "j"], 1, grid(n=range(0, 7))
+        )
+
+    def test_strict_triangle(self):
+        exact_check(
+            "1 <= i and i < j and j <= n", ["i", "j"], 1, grid(n=range(0, 7))
+        )
+
+    def test_weighted_triangle(self):
+        exact_check(
+            "1 <= j <= i and i <= n", ["i", "j"], "j", grid(n=range(0, 7))
+        )
+
+    def test_three_deep(self):
+        exact_check(
+            "1 <= i <= n and i <= j <= n and j <= k <= n",
+            ["i", "j", "k"],
+            1,
+            grid(n=range(0, 6)),
+            box=8,
+        )
+
+
+class TestMultipleBounds:
+    def test_two_uppers(self):
+        exact_check(
+            "1 <= i <= n and i <= m",
+            ["i"],
+            1,
+            grid(n=range(0, 5), m=range(0, 5)),
+        )
+
+    def test_two_lowers(self):
+        exact_check(
+            "n <= i and m <= i and i <= 10",
+            ["i"],
+            1,
+            grid(n=range(-2, 4), m=range(-2, 4)),
+            box=14,
+        )
+
+    def test_diamond(self):
+        exact_check(
+            "1 <= x + y and x + y <= n and 1 <= x - y and x - y <= n",
+            ["x", "y"],
+            1,
+            grid(n=range(0, 7)),
+            box=10,
+        )
+
+
+class TestRationalBounds:
+    def test_floor_upper(self):
+        exact_check("1 <= i and 3*i <= n", ["i"], 1, grid(n=range(-1, 15)))
+
+    def test_floor_upper_sum(self):
+        exact_check("1 <= i and 3*i <= n", ["i"], "i", grid(n=range(0, 15)))
+
+    def test_ceil_lower(self):
+        exact_check("n <= 2*i and i <= 10", ["i"], 1, grid(n=range(-3, 12)), box=14)
+
+    def test_both_rational(self):
+        exact_check(
+            "n <= 3*i and 2*i <= m",
+            ["i"],
+            1,
+            grid(n=range(0, 7), m=range(0, 9)),
+        )
+
+    def test_rational_inner_bound(self):
+        # bound of j depends on i through a coefficient: 2j <= i
+        exact_check(
+            "1 <= i <= n and 1 <= j and 2*j <= i",
+            ["i", "j"],
+            1,
+            grid(n=range(0, 9)),
+        )
+
+    def test_paper_4_2_1(self):
+        # (Σ i : 1 <= i <= floor(n/3) : i): §4.2.1's running example
+        r = exact_check("1 <= i and 3*i <= n", ["i"], "i", grid(n=range(0, 20)))
+        s = r.simplified()
+        # one compact quasi-polynomial term with (n mod 3) atoms
+        assert len(s.terms) == 1
+
+
+class TestEqualities:
+    def test_determined_variable(self):
+        exact_check("i = n and 0 <= n", ["i"], 1, grid(n=range(-2, 4)))
+
+    def test_coupled_pair(self):
+        exact_check(
+            "i + j = n and 0 <= i <= n and 0 <= j",
+            ["i", "j"],
+            1,
+            grid(n=range(0, 8)),
+        )
+
+    def test_scaled_equality(self):
+        # 2i = n: one solution when n even, none otherwise
+        exact_check("2*i = n and 0 <= i", ["i"], 1, grid(n=range(-2, 10)))
+
+    def test_diophantine(self):
+        exact_check(
+            "3*i + 5*j = n and 0 <= i <= 20 and 0 <= j <= 20",
+            ["i", "j"],
+            1,
+            grid(n=range(0, 16)),
+            box=25,
+        )
+
+
+class TestStrides:
+    def test_even_numbers(self):
+        exact_check("2 | i and 0 <= i <= n", ["i"], 1, grid(n=range(0, 12)))
+
+    def test_stride_with_offset(self):
+        exact_check(
+            "3 | i + 1 and 0 <= i <= n", ["i"], 1, grid(n=range(0, 12))
+        )
+
+    def test_stride_sum(self):
+        exact_check("2 | i and 0 <= i <= n", ["i"], "i", grid(n=range(0, 12)))
+
+    def test_two_strides(self):
+        exact_check(
+            "2 | i and 3 | i and 0 <= i <= n", ["i"], 1, grid(n=range(0, 20))
+        )
+
+    def test_stride_on_symbol(self):
+        exact_check(
+            "1 <= i <= n and 2 | n", ["i"], 1, grid(n=range(0, 8))
+        )
+
+
+class TestWildcards:
+    def test_exists_shaping_region(self):
+        exact_check(
+            "exists w: w <= i <= w + 1 and 0 <= w <= n",
+            ["i"],
+            1,
+            grid(n=range(0, 7)),
+        )
+
+    def test_exists_projection(self):
+        exact_check(
+            "exists a: i = 3*a and 1 <= a <= n", ["i"], 1, grid(n=range(0, 7)),
+            box=25,
+        )
+
+
+class TestErrors:
+    def test_unbounded(self):
+        with pytest.raises(UnboundedSumError):
+            count("i >= 0", ["i"])
+
+    def test_unconstrained(self):
+        with pytest.raises(UnboundedSumError):
+            count("1 <= j <= 3", ["i", "j"])
+
+    def test_infeasible_is_zero(self):
+        r = count("1 <= i <= 0", ["i"])
+        assert r.evaluate({}) == 0
+
+
+@given(
+    st.integers(0, 3),
+    st.integers(1, 3),
+    st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_simplex_sums(p, a, b):
+    """Σ i^p over a random scaled triangle vs brute force."""
+    text = "1 <= i and %d*i <= %d*j and j <= n" % (a, b)
+    formula = parse(text)
+    z = Polynomial.variable("i") ** p
+    result = sum_poly(formula, ["i", "j"], z)
+    for n in range(0, 6):
+        want = brute_sum(formula, ["i", "j"], z, {"n": n}, box=3 * n + 5)
+        assert result.evaluate({"n": n}) == want

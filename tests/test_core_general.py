@@ -1,0 +1,138 @@
+"""Top-level API tests: general sums, strategies, bounds (§4.5, §4.6)."""
+
+import pytest
+
+from conftest import brute_count, grid
+from repro.core import Strategy, SumOptions, count, sum_poly
+from repro.core.general import count_bounds, count_conjunct
+from repro.core.options import DEFAULT_OPTIONS
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+
+
+class TestGeneralSums:
+    def test_union_counted_once(self):
+        # overlapping clauses must not double count (§4.5.1)
+        text = "(1 <= x <= 10) or (5 <= x <= 15)"
+        r = count(text, ["x"])
+        assert r.evaluate({}) == 15
+
+    def test_union_with_symbols(self):
+        text = "(1 <= x <= n) or (m <= x <= 20)"
+        r = count(text, ["x"])
+        f = parse(text)
+        for env in grid(n=range(0, 8), m=range(15, 24)):
+            assert r.evaluate(env) == brute_count(f, ["x"], env, box=25)
+
+    def test_negation(self):
+        text = "1 <= x <= 20 and not (5 <= x <= 10)"
+        assert count(text, ["x"]).evaluate({}) == 14
+
+    def test_quantified(self):
+        text = "exists a: x = 3*a and 1 <= a <= n"
+        r = count(text, ["x"])
+        for n in range(0, 6):
+            assert r.evaluate(n=n) == max(n, 0)
+
+    def test_two_vars_union(self):
+        text = "(1 <= x <= 3 and 1 <= y <= 3) or (2 <= x <= 4 and 2 <= y <= 4)"
+        assert count(text, ["x", "y"]).evaluate({}) == 14
+
+    def test_string_summand(self):
+        r = sum_poly("1 <= i <= n", ["i"], "i*i - i")
+        for n in range(0, 7):
+            assert r.evaluate(n=n) == sum(i * i - i for i in range(1, n + 1))
+
+    def test_conjunct_input(self):
+        clause = to_dnf(parse("1 <= i <= 5"))[0]
+        assert count_conjunct(clause, ["i"]).evaluate({}) == 5
+
+    def test_clause_list_input(self):
+        clauses = to_dnf(parse("1 <= i <= 5 or 3 <= i <= 8"))
+        assert count(clauses, ["i"]).evaluate({}) == 8
+
+    def test_bad_summand(self):
+        with pytest.raises(TypeError):
+            sum_poly("1 <= i <= 5", ["i"], 1.5)
+
+
+class TestStrategies:
+    FORMULA = "1 <= i and 7*i <= n"
+
+    def exact_count(self, n):
+        return max(n // 7, 0)
+
+    def test_splinter_exact(self):
+        opts = DEFAULT_OPTIONS.with_strategy(Strategy.SPLINTER)
+        r = count(self.FORMULA, ["i"], opts)
+        assert r.exactness == "exact"
+        for n in range(0, 40):
+            assert r.evaluate(n=n) == self.exact_count(n)
+
+    def test_symbolic_mod_exact(self):
+        r = count(self.FORMULA, ["i"])  # EXACT uses mod atoms here
+        assert r.exactness == "exact"
+        for n in range(0, 40):
+            assert r.evaluate(n=n) == self.exact_count(n)
+
+    def test_upper_bound(self):
+        opts = DEFAULT_OPTIONS.with_strategy(Strategy.UPPER)
+        r = count(self.FORMULA, ["i"], opts)
+        assert r.exactness == "upper"
+        for n in range(0, 40):
+            assert r.evaluate(n=n) >= self.exact_count(n)
+
+    def test_lower_bound(self):
+        opts = DEFAULT_OPTIONS.with_strategy(Strategy.LOWER)
+        r = count(self.FORMULA, ["i"], opts)
+        assert r.exactness == "lower"
+        for n in range(0, 40):
+            assert r.evaluate(n=n) <= self.exact_count(n)
+
+    def test_bounds_bracket(self):
+        lo, hi = count_bounds(self.FORMULA, ["i"])
+        for n in range(0, 30):
+            assert lo.evaluate(n=n) <= self.exact_count(n) <= hi.evaluate(n=n)
+
+    def test_bounds_tightness(self):
+        # §4.2.1: the substitutions differ by (a-1)/a < 1 per floor,
+        # plus at most 1 more where the guards disagree near the
+        # boundary: the gap stays below 2 everywhere.
+        lo, hi = count_bounds(self.FORMULA, ["i"])
+        for n in range(7, 40):
+            assert hi.evaluate(n=n) - lo.evaluate(n=n) < 2
+
+    def test_midpoint_between(self):
+        opts = DEFAULT_OPTIONS.with_strategy(Strategy.MIDPOINT)
+        lo_o = DEFAULT_OPTIONS.with_strategy(Strategy.LOWER)
+        hi_o = DEFAULT_OPTIONS.with_strategy(Strategy.UPPER)
+        mid = count(self.FORMULA, ["i"], opts)
+        lo = count(self.FORMULA, ["i"], lo_o)
+        hi = count(self.FORMULA, ["i"], hi_o)
+        assert mid.exactness == "approx"
+        for n in range(7, 30):
+            assert lo.evaluate(n=n) <= mid.evaluate(n=n) <= hi.evaluate(n=n)
+
+    def test_exact_on_unit_bounds_regardless(self):
+        # approximation strategies leave unit-coefficient sums exact
+        for strat in (Strategy.UPPER, Strategy.LOWER, Strategy.MIDPOINT):
+            r = count("1 <= i <= n", ["i"], DEFAULT_OPTIONS.with_strategy(strat))
+            assert r.exactness == "exact"
+            assert r.evaluate(n=5) == 5
+
+
+class TestRedundancyOption:
+    def test_off_still_correct(self):
+        opts = SumOptions(remove_redundant=False)
+        text = "1 <= i <= n and 1 <= j <= i and j <= m"
+        r = count(text, ["i", "j"], opts)
+        f = parse(text)
+        for env in grid(n=range(0, 5), m=range(0, 5)):
+            assert r.evaluate(env) == brute_count(f, ["i", "j"], env, box=8)
+
+    def test_off_may_produce_more_terms(self):
+        # §7: "Eliminating redundant constraints is useful"
+        text = "1 <= i <= n and 1 <= j <= i and j <= m and 1 <= i"
+        with_r = count(text, ["i", "j"])
+        without = count(text, ["i", "j"], SumOptions(remove_redundant=False))
+        assert len(with_r.terms) <= len(without.terms)

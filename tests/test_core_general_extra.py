@@ -1,0 +1,98 @@
+"""Additional general-sum cases: deeply mixed features in one formula."""
+
+import pytest
+
+from conftest import brute_count, brute_sum, grid
+from repro.core import count, sum_poly
+from repro.presburger.parser import parse
+from repro.qpoly import Polynomial
+
+
+class TestMixedFeatures:
+    def test_stride_plus_union(self):
+        text = "(2 | i and 0 <= i <= n) or (3 | i and 0 <= i <= n)"
+        r = count(text, ["i"])
+        f = parse(text)
+        for n in range(0, 20):
+            assert r.evaluate(n=n) == brute_count(f, ["i"], {"n": n}, box=25)
+
+    def test_negation_of_stride_region(self):
+        text = "0 <= i <= n and not (3 | i)"
+        r = count(text, ["i"])
+        for n in range(0, 20):
+            want = sum(1 for i in range(0, n + 1) if i % 3 != 0)
+            assert r.evaluate(n=n) == want
+
+    def test_exists_with_inner_floor(self):
+        # touched tiles of size 4 within 1..n
+        text = "exists i: 1 <= i <= n and t = floor(i/4)"
+        r = count(text, ["t"])
+        for n in range(0, 25):
+            want = len({i // 4 for i in range(1, n + 1)})
+            assert r.evaluate(n=n) == want
+
+    def test_quantifier_alternation_via_negation(self):
+        # i such that NO j in 1..3 satisfies i = 2j
+        text = "0 <= i <= n and not (exists j: 1 <= j <= 3 and i = 2*j)"
+        r = count(text, ["i"])
+        for n in range(0, 12):
+            want = sum(
+                1
+                for i in range(0, n + 1)
+                if not any(i == 2 * j for j in (1, 2, 3))
+            )
+            assert r.evaluate(n=n) == want
+
+    def test_sum_over_strided_region(self):
+        text = "1 <= i <= n and 4 | i - 1"
+        z = Polynomial.variable("i")
+        r = sum_poly(text, ["i"], z)
+        f = parse(text)
+        for n in range(0, 25):
+            assert r.evaluate(n=n) == brute_sum(f, ["i"], z, {"n": n}, box=30)
+
+    def test_two_symbol_triangle_with_floor(self):
+        text = "1 <= i <= n and 1 <= j and 2*j <= i + m"
+        r = count(text, ["i", "j"])
+        f = parse(text)
+        for env in grid(n=range(0, 6), m=range(0, 5)):
+            assert r.evaluate(env) == brute_count(f, ["i", "j"], env, box=12)
+
+    def test_mod_equation(self):
+        text = "0 <= i <= n and i mod 5 = 2"
+        r = count(text, ["i"])
+        for n in range(0, 30):
+            want = sum(1 for i in range(0, n + 1) if i % 5 == 2)
+            assert r.evaluate(n=n) == want
+
+    def test_difference_of_floors_style(self):
+        # count multiples of 3 in (m, n]
+        text = "3 | i and m < i and i <= n"
+        r = count(text, ["i"])
+        for n in range(0, 15):
+            for m in range(-3, n + 1):
+                want = sum(1 for i in range(m + 1, n + 1) if i % 3 == 0)
+                assert r.evaluate(n=n, m=m) == want
+
+
+class TestHigherDegreeSums:
+    @pytest.mark.parametrize("p", [3, 4, 5])
+    def test_power_over_triangle(self, p):
+        z = Polynomial.variable("j") ** p
+        r = sum_poly("1 <= i <= n and 1 <= j <= i", ["i", "j"], z)
+        for n in range(0, 7):
+            want = sum(
+                j ** p for i in range(1, n + 1) for j in range(1, i + 1)
+            )
+            assert r.evaluate(n=n) == want
+
+    def test_mixed_monomial(self):
+        z = Polynomial.variable("i") * Polynomial.variable("j") ** 2
+        r = sum_poly("1 <= i <= n and i <= j <= n", ["i", "j"], z)
+        for n in range(0, 7):
+            want = sum(
+                i * j * j
+                for i in range(1, n + 1)
+                for j in range(i, n + 1)
+            )
+            assert r.evaluate(n=n) == want

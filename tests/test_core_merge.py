@@ -1,0 +1,156 @@
+"""Result post-processing tests: residue merging, guard widening."""
+
+from fractions import Fraction
+
+from repro.core import count, sum_poly
+from repro.core.merge import (
+    canonicalize_mod_shifts,
+    merge_residues,
+    reduce_mod_powers,
+    simplify_guard,
+    widen_guards,
+)
+from repro.core.result import SymbolicSum, Term
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.qpoly import ModAtom, Polynomial
+
+
+class TestModPowerReduction:
+    def test_paper_identity(self):
+        # §6 Example 6: (n mod 2)^2 == (n mod 2)
+        m = Polynomial.atom(ModAtom({"n": 1}, 0, 2))
+        assert reduce_mod_powers(m * m) == m
+
+    def test_mod3_square_untouched(self):
+        m = Polynomial.atom(ModAtom({"n": 1}, 0, 3))
+        p = reduce_mod_powers(m * m)
+        for n in range(-6, 7):
+            assert p.evaluate({"n": n}) == (n % 3) ** 2
+
+    def test_mod3_cube_reduced(self):
+        m = Polynomial.atom(ModAtom({"n": 1}, 0, 3))
+        p = reduce_mod_powers(m ** 3)
+        assert p.degree_in("n") == 0  # no plain n
+        assert max(
+            e for mono in p.terms for _, e in mono
+        ) <= 2
+        for n in range(-6, 7):
+            assert p.evaluate({"n": n}) == (n % 3) ** 3
+
+
+class TestModShiftCanonicalization:
+    def test_parity_shift(self):
+        # (n+1) mod 2 == 1 - (n mod 2)
+        shifted = Polynomial.atom(ModAtom({"n": 1}, 1, 2))
+        base = Polynomial.atom(ModAtom({"n": 1}, 0, 2))
+        assert canonicalize_mod_shifts(shifted) == 1 - base
+
+    def test_mod3_shift(self):
+        shifted = Polynomial.atom(ModAtom({"n": 1}, 2, 3))
+        p = canonicalize_mod_shifts(shifted)
+        for n in range(-9, 9):
+            assert p.evaluate({"n": n}) == (n + 2) % 3
+
+    def test_constant_only_atom_untouched(self):
+        # no variables: stays (it is just a constant)
+        p = Polynomial.atom(ModAtom({"n": 2}, 1, 2))
+        q = canonicalize_mod_shifts(p)
+        for n in range(-4, 4):
+            assert q.evaluate({"n": n}) == p.evaluate({"n": n})
+
+
+class TestMergeResidues:
+    def test_parity_split_merges(self):
+        guard_even = Conjunct.true().add_stride(2, Affine.var("n"))
+        guard_odd = Conjunct.true().add_stride(2, Affine({"n": 1}, 1))
+        n = Polynomial.variable("n")
+        s = SymbolicSum(
+            [Term(guard_even, n / 2), Term(guard_odd, (n - 1) / 2)]
+        )
+        merged = merge_residues(s)
+        assert len(merged.terms) == 1
+        for k in range(-6, 8):
+            assert merged.evaluate(n=k) == k // 2
+
+    def test_incomplete_split_kept(self):
+        guard_even = Conjunct.true().add_stride(2, Affine.var("n"))
+        s = SymbolicSum([Term(guard_even, Polynomial.constant(1))])
+        assert len(merge_residues(s).terms) == 1
+        for k in range(-4, 5):
+            assert merge_residues(s).evaluate(n=k) == (1 if k % 2 == 0 else 0)
+
+    def test_different_affine_guards_not_merged(self):
+        g1 = Conjunct(
+            [Constraint.geq(Affine({"n": 1}))]
+        ).add_stride(2, Affine.var("n"))
+        g2 = Conjunct.true().add_stride(2, Affine({"n": 1}, 1))
+        s = SymbolicSum(
+            [Term(g1, Polynomial.one), Term(g2, Polynomial.one)]
+        )
+        merged = merge_residues(s)
+        for k in range(-4, 5):
+            assert merged.evaluate(n=k) == s.evaluate(n=k)
+
+
+class TestWidenGuards:
+    def test_example_6_widening(self):
+        # value 3/8(n^2 - 1) on the odd class is 0 at n = 1: the guard
+        # n >= 2 can widen to n >= 1 to match a sibling term.
+        m = Polynomial.atom(ModAtom({"n": 1}, 0, 2))
+        n = Polynomial.variable("n")
+        value = (n * n - 1) * m * Fraction(3, 8)
+        g2 = Conjunct([Constraint.geq(Affine({"n": 1}, -2))])
+        g1 = Conjunct([Constraint.geq(Affine({"n": 1}, -1))])
+        s = SymbolicSum([Term(g2, value), Term(g1, Polynomial.one)])
+        out = widen_guards(s)
+        assert len(out.terms) == 1
+        for k in range(0, 6):
+            assert out.evaluate(n=k) == s.evaluate(n=k)
+
+    def test_nonzero_slice_not_widened(self):
+        g2 = Conjunct([Constraint.geq(Affine({"n": 1}, -2))])
+        g1 = Conjunct([Constraint.geq(Affine({"n": 1}, -1))])
+        s = SymbolicSum(
+            [Term(g2, Polynomial.variable("n")), Term(g1, Polynomial.one)]
+        )
+        out = widen_guards(s)
+        assert len(out.terms) == 2
+        for k in range(0, 6):
+            assert out.evaluate(n=k) == s.evaluate(n=k)
+
+
+class TestSimplifyGuard:
+    def test_floor_wildcards_projected(self):
+        # ∃g: 2g <= n <= 2g + 1 ∧ g >= 1 is just n >= 2
+        g = Conjunct(
+            [
+                Constraint.geq(Affine({"n": 1, "w": -2})),
+                Constraint.geq(Affine({"n": -1, "w": 2}, 1)),
+                Constraint.geq(Affine({"w": 1}, -1)),
+            ],
+            ["w"],
+        )
+        out = simplify_guard(g)
+        assert not out.wildcards
+        for n in range(-3, 6):
+            assert out.is_satisfied({"n": n}) == (n >= 2)
+
+
+class TestEndToEnd:
+    def test_example_6_compact_form(self):
+        r = count("1 <= i and 1 <= j <= n and 2*i <= 3*j", ["i", "j"])
+        s = r.simplified()
+        assert len(s.terms) == 1
+        ((guard, value),) = s.terms
+        # the paper's final answer: (3n² + 2n - (n mod 2)) / 4
+        n = Polynomial.variable("n")
+        m = Polynomial.atom(ModAtom({"n": 1}, 0, 2))
+        assert value == (3 * n * n + 2 * n - m) / 4
+
+    def test_simplified_preserves_semantics(self):
+        r = sum_poly("1 <= i and 4*i <= n", ["i"], "i")
+        s = r.simplified()
+        for n in range(0, 25):
+            assert s.evaluate(n=n) == r.evaluate(n=n)

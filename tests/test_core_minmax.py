@@ -1,0 +1,45 @@
+"""Optional min/max answer form tests (§6 Example 2 discussion)."""
+
+import pytest
+
+from repro.core import count
+from repro.core.minmax import min_max_count, min_max_sum
+from repro.qpoly import Polynomial
+
+
+class TestMinMaxAnswers:
+    def test_agrees_with_guarded_answer(self):
+        text = "1 <= i <= n and 3 <= j <= i and j <= k <= 5"
+        guarded = count(text, ["i", "j", "k"])
+        minmax = min_max_count(text, ["i", "j", "k"])
+        for n in range(0, 12):
+            assert minmax.evaluate({"n": n}) == guarded.evaluate(n=n)
+
+    def test_single_expression_no_pieces(self):
+        text = "1 <= i <= n and i <= m"
+        expr = min_max_count(text, ["i"])
+        for n in range(0, 6):
+            for m in range(0, 6):
+                want = len([i for i in range(1, n + 1) if i <= m])
+                assert expr.evaluate({"n": n, "m": m}) == want
+        assert "min" in str(expr)
+
+    def test_sum_with_summand(self):
+        expr = min_max_sum("1 <= i <= n", ["i"], Polynomial.variable("i"))
+        for n in range(0, 8):
+            assert expr.evaluate({"n": n}) == n * (n + 1) // 2
+
+    def test_rejects_disjunctions(self):
+        with pytest.raises(ValueError):
+            min_max_count("1 <= x <= 3 or 7 <= x <= 9", ["x"])
+
+    def test_more_complicated_than_guarded(self):
+        # the paper's reason for not using this form by default
+        text = "1 <= i <= n and 3 <= j <= i and j <= k <= 5"
+        guarded = count(text, ["i", "j", "k"]).simplified()
+        minmax = min_max_count(text, ["i", "j", "k"])
+        guarded_size = sum(
+            len(t.value.terms) + len(t.guard.constraints)
+            for t in guarded.terms
+        )
+        assert minmax.size() > guarded_size

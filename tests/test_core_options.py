@@ -1,0 +1,41 @@
+"""SumOptions / Strategy tests."""
+
+import pytest
+
+from repro.core import Strategy, SumOptions, count
+from repro.core.convex import UnboundedSumError
+from repro.core.options import DEFAULT_OPTIONS
+
+
+class TestStrategy:
+    def test_exactness_flags(self):
+        assert Strategy.EXACT.is_exact
+        assert Strategy.SPLINTER.is_exact
+        assert not Strategy.UPPER.is_exact
+        assert not Strategy.LOWER.is_exact
+        assert not Strategy.MIDPOINT.is_exact
+
+    def test_with_strategy(self):
+        opts = DEFAULT_OPTIONS.with_strategy(Strategy.UPPER)
+        assert opts.strategy is Strategy.UPPER
+        assert DEFAULT_OPTIONS.strategy is Strategy.EXACT  # unchanged
+
+
+class TestResidueCap:
+    def test_cap_enforced(self):
+        opts = SumOptions(max_residue_split=3)
+        with pytest.raises(UnboundedSumError):
+            count("7 | i and 0 <= i <= n", ["i"], opts)
+
+    def test_cap_sufficient(self):
+        opts = SumOptions(max_residue_split=7)
+        r = count("7 | i and 0 <= i <= n", ["i"], opts)
+        for n in range(0, 22):
+            assert r.evaluate(n=n) == n // 7 + 1
+
+
+class TestDefaults:
+    def test_default_values(self):
+        assert DEFAULT_OPTIONS.strategy is Strategy.EXACT
+        assert DEFAULT_OPTIONS.remove_redundant
+        assert DEFAULT_OPTIONS.max_residue_split == 64

@@ -1,0 +1,119 @@
+"""Projected clause tests (§4.5.2): SNF route vs engine route."""
+
+import pytest
+
+from repro.core.projected import (
+    ProjectedClause,
+    count_image,
+    count_image_via_smith,
+    smith_reduce,
+)
+from repro.intarith import IntMatrix
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+
+
+def box(var, lo, hi):
+    return [
+        Constraint.geq(Affine({var: 1}, -lo)),
+        Constraint.geq(Affine({var: -1}, hi)),
+    ]
+
+
+class TestImageCounting:
+    def test_example_2_1_map(self):
+        # x = 6i + 9j - 7 over 1<=i<=8, 1<=j<=5: image has 25 points
+        clause = ProjectedClause(
+            ["i", "j"],
+            box("i", 1, 8) + box("j", 1, 5),
+            IntMatrix([[6, 9]]),
+            [Affine.const_expr(-7)],
+        )
+        assert count_image(clause).evaluate({}) == 25
+
+    def test_injective_map_counts_domain(self):
+        # v = (a, a + b): unimodular, image count == domain count
+        clause = ProjectedClause(
+            ["a", "b"],
+            box("a", 0, 3) + box("b", 0, 2),
+            IntMatrix([[1, 0], [1, 1]]),
+            [Affine.const_expr(0), Affine.const_expr(0)],
+        )
+        assert count_image(clause).evaluate({}) == 12
+        assert count_image_via_smith(clause).evaluate({}) == 12
+
+    def test_scaling_map(self):
+        # v = 2a: injective, 0 <= a <= n
+        clause = ProjectedClause(
+            ["a"],
+            [Constraint.geq(Affine({"a": 1})),
+             Constraint.geq(Affine({"a": -1, "n": 1}))],
+            IntMatrix([[2]]),
+            [Affine.const_expr(0)],
+        )
+        r = count_image(clause)
+        s = count_image_via_smith(clause)
+        for n in range(0, 8):
+            assert r.evaluate(n=n) == n + 1
+            assert s.evaluate(n=n) == n + 1
+
+    def test_collapsing_map_counted_once(self):
+        # v = a + b over a small box: image is an interval, not |box|
+        clause = ProjectedClause(
+            ["a", "b"],
+            box("a", 0, 2) + box("b", 0, 2),
+            IntMatrix([[1, 1]]),
+            [Affine.const_expr(0)],
+        )
+        assert count_image(clause).evaluate({}) == 5  # 0..4
+
+    def test_smith_route_rejects_kernel(self):
+        clause = ProjectedClause(
+            ["a", "b"],
+            box("a", 0, 2) + box("b", 0, 2),
+            IntMatrix([[1, 1]]),
+            [Affine.const_expr(0)],
+        )
+        with pytest.raises(ValueError):
+            count_image_via_smith(clause)
+
+    def test_symbolic_gamma(self):
+        # v = 3a + n: count over 1 <= a <= 4 is always 4
+        clause = ProjectedClause(
+            ["a"],
+            box("a", 1, 4),
+            IntMatrix([[3]]),
+            [Affine.var("n")],
+        )
+        r = count_image(clause)
+        for n in range(-3, 4):
+            assert r.evaluate(n=n) == 4
+
+
+class TestSmithReduce:
+    def test_diagonalization(self):
+        clause = ProjectedClause(
+            ["a", "b"],
+            box("a", 0, 5) + box("b", 0, 5),
+            IntMatrix([[2, 4], [0, 2]]),
+            [Affine.const_expr(0), Affine.const_expr(0)],
+        )
+        beta_vars, transformed, u, diag = smith_reduce(clause)
+        assert len(beta_vars) == 2
+        assert all(d > 0 for d in diag)
+        assert diag[1] % diag[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProjectedClause(["a"], [], IntMatrix([[1, 2]]), [Affine()])
+        with pytest.raises(ValueError):
+            ProjectedClause(
+                ["a"], [], IntMatrix([[1]]), [Affine(), Affine()]
+            )
+
+    def test_image_conjunct_arity(self):
+        clause = ProjectedClause(
+            ["a"], box("a", 0, 1), IntMatrix([[1]]), [Affine()]
+        )
+        with pytest.raises(ValueError):
+            clause.image_conjunct(["x", "y"])

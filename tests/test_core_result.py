@@ -1,0 +1,102 @@
+"""SymbolicSum / Term behaviour tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.result import SymbolicSum, Term
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.qpoly import Polynomial
+
+
+def term(guard_const, value):
+    guard = Conjunct([Constraint.geq(Affine({"n": 1}, -guard_const))])
+    return Term(guard, Polynomial.constant(value) if isinstance(value, int) else value)
+
+
+class TestEvaluation:
+    def test_guard_gates_value(self):
+        s = SymbolicSum([term(3, 7)])  # n >= 3 : 7
+        assert s.evaluate(n=3) == 7
+        assert s.evaluate(n=2) == 0
+
+    def test_terms_add(self):
+        s = SymbolicSum([term(0, 1), term(5, 10)])
+        assert s.evaluate(n=0) == 1
+        assert s.evaluate(n=5) == 11
+
+    def test_integer_result_is_int(self):
+        s = SymbolicSum([term(0, 2)])
+        assert isinstance(s.evaluate(n=0), int)
+
+    def test_fraction_preserved(self):
+        s = SymbolicSum(
+            [Term(Conjunct(), Polynomial.constant(Fraction(1, 2)))]
+        )
+        assert s.evaluate({}) == Fraction(1, 2)
+
+    def test_kwargs_call(self):
+        s = SymbolicSum([term(0, 1)])
+        assert s(n=1) == 1
+
+
+class TestAlgebra:
+    def test_add(self):
+        s = SymbolicSum([term(0, 1)]) + SymbolicSum([term(0, 2)])
+        assert s.evaluate(n=0) == 3
+
+    def test_scale(self):
+        s = SymbolicSum([term(0, 3)]).scale(4)
+        assert s.evaluate(n=0) == 12
+
+    def test_negation_flips_bounds(self):
+        s = SymbolicSum([term(0, 1)], exactness="upper")
+        assert (-s).exactness == "lower"
+
+    def test_subtract(self):
+        s = SymbolicSum([term(0, 5)]) - SymbolicSum([term(0, 2)])
+        assert s.evaluate(n=0) == 3
+
+    def test_exactness_combines(self):
+        a = SymbolicSum([term(0, 1)], exactness="upper")
+        b = SymbolicSum([term(0, 1)], exactness="lower")
+        assert (a + b).exactness == "approx"
+        c = SymbolicSum([term(0, 1)])
+        assert (a + c).exactness == "upper"
+
+    def test_invalid_exactness(self):
+        with pytest.raises(ValueError):
+            SymbolicSum([], exactness="wrong")
+
+
+class TestStructure:
+    def test_zero_terms_dropped(self):
+        s = SymbolicSum([term(0, 0), term(0, 1)])
+        assert len(s.terms) == 1
+
+    def test_combine_like_guards(self):
+        s = SymbolicSum([term(3, 1), term(3, 2)]).combine_like_guards()
+        assert len(s.terms) == 1
+        assert s.evaluate(n=3) == 3
+
+    def test_symbols(self):
+        s = SymbolicSum([Term(Conjunct(), Polynomial.variable("m"))])
+        assert s.symbols() == ["m"]
+
+    def test_constant_value(self):
+        s = SymbolicSum([Term(Conjunct(), Polynomial.constant(9))])
+        assert s.is_constant() and s.constant_value() == 9
+
+    def test_constant_value_raises_when_symbolic(self):
+        s = SymbolicSum([term(0, 1)])
+        with pytest.raises(ValueError):
+            s.constant_value()
+
+    def test_str_zero(self):
+        assert str(SymbolicSum([])) == "0"
+
+    def test_str_shows_bound_tag(self):
+        s = SymbolicSum([term(0, 1)], exactness="upper")
+        assert "upper bound" in str(s)

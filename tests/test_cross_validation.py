@@ -1,0 +1,80 @@
+"""Cross-validation: independent algorithms must agree.
+
+The engine (disjoint DNF), inclusion-exclusion [FST91], Tawbi's fixed
+order and the HP min/max calculus are four largely independent
+implementations of the same mathematics; on their common domain they
+must produce identical numbers.  Randomized agreement here catches
+bugs a single-oracle test could miss.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import hp_nested_sum, inclusion_exclusion_count, tawbi_count
+from repro.core import count
+from repro.presburger.dnf import to_dnf
+from repro.presburger.parser import parse
+
+intervals = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 6)),
+    min_size=2,
+    max_size=4,
+)
+
+
+@given(intervals, st.integers(0, 6))
+@settings(max_examples=30, deadline=None)
+def test_engine_vs_inclusion_exclusion(spec, n):
+    text = " or ".join(
+        "(%d <= x <= %d + n)" % (lo, lo + ln) for lo, ln in spec
+    )
+    clauses = to_dnf(parse(text))
+    engine = count(clauses, ["x"])
+    ie, _ = inclusion_exclusion_count(clauses, ["x"])
+    assert engine.evaluate(n=n) == ie.evaluate(n=n)
+
+
+@st.composite
+def convex_nests(draw):
+    """Random 3-var unit-coefficient convex problems."""
+    lines = ["1 <= i <= n"]
+    lo = draw(st.integers(1, 3))
+    lines.append("%d <= j <= i" % lo)
+    upper = draw(st.sampled_from(["j <= k <= m", "1 <= k <= j", "j <= k <= n"]))
+    lines.append(upper)
+    return " and ".join(lines)
+
+
+@given(convex_nests(), st.integers(0, 5), st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_engine_vs_tawbi(text, n, m):
+    (clause,) = to_dnf(parse(text))
+    engine = count(text, ["i", "j", "k"])
+    tawbi, _ = tawbi_count(clause, ["k", "j", "i"])
+    env = {"n": n, "m": m}
+    assert engine.evaluate(env) == tawbi.evaluate(env)
+
+
+@given(convex_nests(), st.integers(0, 5), st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_engine_vs_hp(text, n, m):
+    (clause,) = to_dnf(parse(text))
+    engine = count(text, ["i", "j", "k"])
+    hp = hp_nested_sum(clause, ["k", "j", "i"], 1)
+    env = {"n": n, "m": m}
+    assert engine.evaluate(env) == hp.evaluate(env)
+
+
+@given(
+    st.integers(1, 3),
+    st.integers(1, 3),
+    st.integers(0, 10),
+)
+@settings(max_examples=25, deadline=None)
+def test_strategies_agree_where_exact(a, b, n):
+    """EXACT (symbolic mod) and SPLINTER must agree everywhere."""
+    from repro.core import Strategy, SumOptions
+
+    text = "n <= %d*i and %d*i <= 2*n + 3" % (b, a)
+    exact = count(text, ["i"], SumOptions(strategy=Strategy.EXACT))
+    splinter = count(text, ["i"], SumOptions(strategy=Strategy.SPLINTER))
+    assert exact.evaluate(n=n) == splinter.evaluate(n=n)

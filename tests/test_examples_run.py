@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.name for p in EXAMPLES])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_paper_answers():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    out = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300,
+    ).stdout
+    assert "3/4*n**2 + 1/2*n - 1/4*((n) mod 2)" in out  # Example 6
+    assert "338350" in out  # Σ i² for n=100
+
+
+def test_cache_analysis_matches_paper():
+    script = next(p for p in EXAMPLES if p.name == "cache_analysis.py")
+    out = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300,
+    ).stdout
+    assert "249996" in out
+    assert "16000" in out

@@ -1,0 +1,111 @@
+"""Failure injection: the library must fail loudly on bad input,
+degrade predictably on hard input, and never return silently-wrong
+results.
+"""
+
+import pytest
+
+from repro.core import SumOptions, count, sum_poly
+from repro.core.convex import UnboundedSumError
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.presburger.parser import ParseError, parse
+
+
+class TestUnboundedDetection:
+    def test_no_upper(self):
+        with pytest.raises(UnboundedSumError):
+            count("i >= 1", ["i"])
+
+    def test_no_lower(self):
+        with pytest.raises(UnboundedSumError):
+            count("i <= n", ["i"])
+
+    def test_unbounded_in_one_clause_only(self):
+        # clause 2 is unbounded: the error must not be masked by
+        # clause 1 being fine
+        with pytest.raises(UnboundedSumError):
+            count("(1 <= i <= 3) or (i >= 10)", ["i"])
+
+    def test_bounded_only_through_other_var(self):
+        # i <= j and j <= 5 bounds i above; no lower bound anywhere
+        with pytest.raises(UnboundedSumError):
+            count("i <= j and j <= 5 and 0 <= j", ["i", "j"])
+
+    def test_diagonal_strip_unbounded(self):
+        # i - j fixed to a band but both roam: infinite
+        with pytest.raises(UnboundedSumError):
+            count("0 <= i - j <= 1", ["i", "j"])
+
+    def test_equality_makes_it_finite(self):
+        r = count("0 <= i - j <= 1 and i + j = n and 0 <= j", ["i", "j"])
+        for n in range(0, 8):
+            want = sum(
+                1
+                for j in range(0, n + 1)
+                for i in [n - j]
+                if 0 <= i - j <= 1
+            )
+            assert r.evaluate(n=n) == want
+
+
+class TestBadInput:
+    def test_parse_error_propagates(self):
+        with pytest.raises(ParseError):
+            count("1 <= <= i", ["i"])
+
+    def test_float_summand_rejected(self):
+        with pytest.raises(TypeError):
+            sum_poly("1 <= i <= 3", ["i"], 2.5)
+
+    def test_summand_parse_error(self):
+        from repro.qpoly.parse import PolynomialParseError
+
+        with pytest.raises(PolynomialParseError):
+            sum_poly("1 <= i <= 3", ["i"], "i +* 2")
+
+    def test_over_variable_absent(self):
+        with pytest.raises(UnboundedSumError):
+            count("1 <= j <= 3", ["i", "j"])
+
+
+class TestDegenerateRegions:
+    def test_empty_region_zero(self):
+        assert count("3 <= i <= 1", ["i"]).evaluate({}) == 0
+
+    def test_single_point(self):
+        assert count("i = 7 and 0 <= i <= 10", ["i"]).evaluate({}) == 1
+
+    def test_contradictory_strides(self):
+        r = count("2 | i and 2 | i + 1 and 0 <= i <= 10", ["i"])
+        assert r.evaluate({}) == 0
+
+    def test_empty_for_all_symbol_values(self):
+        r = count("1 <= i <= n and i <= 0", ["i"])
+        for n in range(-3, 5):
+            assert r.evaluate(n=n) == 0
+
+    def test_guard_evaluation_missing_symbol(self):
+        r = count("1 <= i <= n", ["i"])
+        with pytest.raises((KeyError, ValueError)):
+            r.evaluate({})
+
+
+class TestSummandEdgeCases:
+    def test_zero_summand(self):
+        r = sum_poly("1 <= i <= n", ["i"], 0)
+        assert r.evaluate(n=5) == 0
+        assert len(r.terms) == 0
+
+    def test_negative_summand(self):
+        r = sum_poly("1 <= i <= n", ["i"], "-i")
+        assert r.evaluate(n=4) == -10
+
+    def test_summand_over_symbol_only(self):
+        r = sum_poly("1 <= i <= n", ["i"], "m")
+        assert r.evaluate(n=3, m=7) == 21
+
+    def test_high_degree(self):
+        r = sum_poly("1 <= i <= n", ["i"], "i**12")
+        assert r.evaluate(n=6) == sum(i ** 12 for i in range(1, 7))

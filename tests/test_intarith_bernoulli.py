@@ -1,0 +1,71 @@
+"""Bernoulli numbers and Faulhaber polynomials (Section 4.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.intarith.bernoulli import (
+    HARDCODED_POWER_SUMS,
+    bernoulli,
+    faulhaber_coefficients,
+    power_sum_value,
+)
+
+
+class TestBernoulli:
+    def test_known_values(self):
+        assert bernoulli(0) == 1
+        assert bernoulli(1) == Fraction(1, 2)  # the +1/2 convention
+        assert bernoulli(2) == Fraction(1, 6)
+        assert bernoulli(4) == Fraction(-1, 30)
+        assert bernoulli(12) == Fraction(-691, 2730)
+
+    def test_odd_vanish(self):
+        for n in (3, 5, 7, 9, 11):
+            assert bernoulli(n) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bernoulli(-1)
+
+
+class TestFaulhaber:
+    def test_hardcoded_table_matches_general_formula(self):
+        # The paper hard-codes p <= 10; our table must equal Faulhaber.
+        for p, coeffs in HARDCODED_POWER_SUMS.items():
+            assert coeffs == faulhaber_coefficients(p), p
+
+    def test_f0_is_n(self):
+        assert faulhaber_coefficients(0) == (Fraction(0), Fraction(1))
+
+    def test_f1_is_triangular(self):
+        c = faulhaber_coefficients(1)
+        assert c == (Fraction(0), Fraction(1, 2), Fraction(1, 2))
+
+    def test_high_power_beyond_table(self):
+        # p = 13 exercises the general path (table stops at 10)
+        want = sum(Fraction(i) ** 13 for i in range(1, 8))
+        assert power_sum_value(13, 7) == want
+
+    @given(st.integers(0, 8), st.integers(0, 25))
+    @settings(max_examples=80)
+    def test_matches_direct_sum(self, p, n):
+        assert power_sum_value(p, n) == sum(
+            Fraction(i) ** p for i in range(1, n + 1)
+        )
+
+    @given(st.integers(0, 6), st.integers(-10, 10), st.integers(0, 12))
+    @settings(max_examples=80)
+    def test_telescoping_identity(self, p, lower, length):
+        """F_p(U) - F_p(L-1) equals the direct sum for any L <= U --
+        including negative bounds (this is what lets the engine skip
+        the four-piece decomposition)."""
+        upper = lower + length
+        direct = sum(Fraction(i) ** p for i in range(lower, upper + 1))
+        tele = power_sum_value(p, upper) - power_sum_value(p, lower - 1)
+        assert tele == direct
+
+    def test_f_p_zero_is_zero(self):
+        for p in range(8):
+            assert power_sum_value(p, 0) == 0

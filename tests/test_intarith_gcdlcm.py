@@ -1,0 +1,120 @@
+"""Unit tests for the elementary integer helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intarith import (
+    ceil_div,
+    ext_gcd,
+    floor_div,
+    gcd_list,
+    lcm_list,
+    sym_mod,
+)
+
+
+class TestFloorCeilDiv:
+    def test_floor_positive(self):
+        assert floor_div(7, 3) == 2
+
+    def test_floor_negative_numerator(self):
+        assert floor_div(-7, 3) == -3
+
+    def test_floor_negative_denominator(self):
+        assert floor_div(7, -3) == -3
+
+    def test_floor_both_negative(self):
+        assert floor_div(-7, -3) == 2
+
+    def test_ceil_positive(self):
+        assert ceil_div(7, 3) == 3
+
+    def test_ceil_negative(self):
+        assert ceil_div(-7, 3) == -2
+
+    def test_exact_division(self):
+        assert floor_div(9, 3) == ceil_div(9, 3) == 3
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)
+
+    @given(st.integers(-100, 100), st.integers(-20, 20).filter(bool))
+    def test_floor_matches_math(self, a, b):
+        assert floor_div(a, b) == math.floor(a / b)
+
+    @given(st.integers(-100, 100), st.integers(-20, 20).filter(bool))
+    def test_ceil_matches_math(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestExtGcd:
+    def test_simple(self):
+        g, x, y = ext_gcd(12, 18)
+        assert g == 6 and 12 * x + 18 * y == 6
+
+    def test_coprime(self):
+        g, x, y = ext_gcd(7, 5)
+        assert g == 1 and 7 * x + 5 * y == 1
+
+    def test_zero(self):
+        g, x, y = ext_gcd(0, 5)
+        assert g == 5 and 5 * y == 5
+
+    @given(st.integers(-200, 200), st.integers(-200, 200))
+    def test_bezout_identity(self, a, b):
+        g, x, y = ext_gcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+        assert g >= 0
+
+
+class TestGcdLcmList:
+    def test_gcd_empty(self):
+        assert gcd_list([]) == 0
+
+    def test_gcd_mixed_signs(self):
+        assert gcd_list([-4, 6, 10]) == 2
+
+    def test_gcd_short_circuit(self):
+        assert gcd_list([3, 5, 1000000]) == 1
+
+    def test_lcm_empty(self):
+        assert lcm_list([]) == 1
+
+    def test_lcm_basic(self):
+        assert lcm_list([4, 6]) == 12
+
+    def test_lcm_with_zero(self):
+        assert lcm_list([4, 0, 6]) == 0
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=5))
+    def test_lcm_divisible_by_all(self, values):
+        m = lcm_list(values)
+        assert all(m % v == 0 for v in values)
+
+
+class TestSymMod:
+    def test_in_range(self):
+        for a in range(-20, 20):
+            r = sym_mod(a, 5)
+            assert -5 < 2 * r <= 5
+            assert (a - r) % 5 == 0
+
+    def test_half_point_positive(self):
+        # r must be in (-b/2, b/2]: for b=4, sym_mod(2) == 2 not -2
+        assert sym_mod(2, 4) == 2
+        assert sym_mod(6, 4) == 2
+        assert sym_mod(3, 4) == -1
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            sym_mod(3, 0)
+
+    @given(st.integers(-1000, 1000), st.integers(1, 50))
+    def test_congruence_and_range(self, a, b):
+        r = sym_mod(a, b)
+        assert (a - r) % b == 0
+        assert -b < 2 * r <= b

@@ -1,0 +1,139 @@
+"""Unit tests for exact matrices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.intarith import IntMatrix
+
+small_matrix = st.integers(1, 4).flatmap(
+    lambda n: st.integers(1, 4).flatmap(
+        lambda m: st.lists(
+            st.lists(st.integers(-9, 9), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        ).map(IntMatrix)
+    )
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        eye = IntMatrix.identity(3)
+        assert eye[0, 0] == 1 and eye[0, 1] == 0
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2], [3]])
+
+    def test_zeros(self):
+        z = IntMatrix.zeros(2, 3)
+        assert z.nrows == 2 and z.ncols == 3
+        assert all(z[i, j] == 0 for i in range(2) for j in range(3))
+
+    def test_copy_is_independent(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        c = m.copy()
+        c[0, 0] = 99
+        assert m[0, 0] == 1
+
+
+class TestArithmetic:
+    def test_product(self):
+        a = IntMatrix([[1, 2], [3, 4]])
+        b = IntMatrix([[5, 6], [7, 8]])
+        assert a * b == IntMatrix([[19, 22], [43, 50]])
+
+    def test_product_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2]]) * IntMatrix([[1, 2]])
+
+    def test_identity_neutral(self):
+        m = IntMatrix([[2, -1], [0, 5]])
+        assert IntMatrix.identity(2) * m == m
+        assert m * IntMatrix.identity(2) == m
+
+    def test_mul_vector(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        assert m.mul_vector([1, 1]) == [3, 7]
+
+    def test_transpose(self):
+        m = IntMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose() == IntMatrix([[1, 4], [2, 5], [3, 6]])
+
+    @given(small_matrix)
+    def test_double_transpose(self, m):
+        assert m.transpose().transpose() == m
+
+
+class TestRowColOps:
+    def test_swap_rows(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        m.swap_rows(0, 1)
+        assert m == IntMatrix([[3, 4], [1, 2]])
+
+    def test_add_row_multiple(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        m.add_row_multiple(1, 0, -3)
+        assert m == IntMatrix([[1, 2], [0, -2]])
+
+    def test_add_col_multiple(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        m.add_col_multiple(1, 0, 2)
+        assert m == IntMatrix([[1, 4], [3, 10]])
+
+    def test_scale(self):
+        m = IntMatrix([[1, 2], [3, 4]])
+        m.scale_row(0, -1)
+        m.scale_col(1, 2)
+        assert m == IntMatrix([[-1, -4], [3, 8]])
+
+
+class TestSolveAndDet:
+    def test_solve_exact(self):
+        m = IntMatrix([[2, 1], [1, 3]])
+        x = m.solve([5, 10])
+        assert x == [Fraction(1), Fraction(3)]
+
+    def test_solve_fractional(self):
+        m = IntMatrix([[2, 0], [0, 4]])
+        assert m.solve([1, 1]) == [Fraction(1, 2), Fraction(1, 4)]
+
+    def test_solve_singular(self):
+        with pytest.raises(ValueError):
+            IntMatrix([[1, 2], [2, 4]]).solve([1, 1])
+
+    def test_determinant_2x2(self):
+        assert IntMatrix([[1, 2], [3, 4]]).determinant() == -2
+
+    def test_determinant_singular(self):
+        assert IntMatrix([[1, 2], [2, 4]]).determinant() == 0
+
+    def test_determinant_identity(self):
+        assert IntMatrix.identity(4).determinant() == 1
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-5, 5), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_det_transpose_invariant(self, rows):
+        m = IntMatrix(rows)
+        assert m.determinant() == m.transpose().determinant()
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=2, max_size=2),
+            min_size=2,
+            max_size=2,
+        )
+    )
+    def test_solve_verifies(self, rows):
+        m = IntMatrix(rows)
+        if m.determinant() == 0:
+            return
+        x = m.solve([1, -2])
+        assert m.mul_vector(x) == [Fraction(1), Fraction(-2)]

@@ -1,0 +1,114 @@
+"""Hermite and Smith normal form tests (§4.5.2 substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.intarith import IntMatrix, hermite_normal_form, smith_normal_form
+
+matrices = st.tuples(st.integers(1, 4), st.integers(1, 4)).flatmap(
+    lambda nm: st.lists(
+        st.lists(st.integers(-7, 7), min_size=nm[1], max_size=nm[1]),
+        min_size=nm[0],
+        max_size=nm[0],
+    ).map(IntMatrix)
+)
+
+
+class TestHermite:
+    def test_single_row_gcd(self):
+        h, v = hermite_normal_form(IntMatrix([[6, 9, 15]]))
+        assert h.rows[0][0] == 3  # gcd(6, 9, 15)
+        assert h.rows[0][1] == h.rows[0][2] == 0
+
+    def test_transform_relation(self):
+        m = IntMatrix([[2, 4], [1, 3]])
+        h, v = hermite_normal_form(m)
+        assert m * v == h
+
+    def test_unimodular(self):
+        m = IntMatrix([[2, 4, 6], [1, 3, 5]])
+        _, v = hermite_normal_form(m)
+        assert abs(v.determinant()) == 1
+
+    def test_zero_matrix(self):
+        m = IntMatrix([[0, 0], [0, 0]])
+        h, v = hermite_normal_form(m)
+        assert h == m
+
+    def test_rejects_fractions(self):
+        from fractions import Fraction
+
+        with pytest.raises(ValueError):
+            hermite_normal_form(IntMatrix([[Fraction(1, 2)]]))
+
+    @given(matrices)
+    @settings(max_examples=60)
+    def test_property(self, m):
+        h, v = hermite_normal_form(m)
+        assert m * v == h
+        assert abs(v.determinant()) == 1
+        # Staircase shape: the pivot column advances by at most one per
+        # row, and pivot entries (first nonzero scanning rows top-down
+        # within each column's stair) are positive.
+        pivot_col = 0
+        for i in range(h.nrows):
+            row = h.rows[i]
+            tail = [j for j in range(pivot_col, h.ncols) if row[j]]
+            if tail:
+                assert tail == [pivot_col], (i, row)
+                assert row[pivot_col] > 0
+                pivot_col += 1
+            if pivot_col >= h.ncols:
+                break
+
+
+class TestSmith:
+    def test_diagonal_divisibility(self):
+        m = IntMatrix([[2, 4, 4], [-6, 6, 12], [10, -4, -16]])
+        u, d, v = smith_normal_form(m)
+        assert u * m * v == d
+        diag = [d[i, i] for i in range(3)]
+        for a, b in zip(diag, diag[1:]):
+            if a:
+                assert b % a == 0
+
+    def test_identity(self):
+        u, d, v = smith_normal_form(IntMatrix.identity(3))
+        assert d == IntMatrix.identity(3)
+
+    def test_rank_deficient(self):
+        m = IntMatrix([[1, 2], [2, 4]])
+        u, d, v = smith_normal_form(m)
+        assert u * m * v == d
+        assert d[1, 1] == 0
+
+    def test_rectangular(self):
+        m = IntMatrix([[4, 6]])
+        u, d, v = smith_normal_form(m)
+        assert u * m * v == d
+        assert d[0, 0] == 2
+
+    def test_off_diagonal_zero(self):
+        m = IntMatrix([[3, 1], [7, 5]])
+        u, d, v = smith_normal_form(m)
+        assert d[0, 1] == 0 and d[1, 0] == 0
+
+    @given(matrices)
+    @settings(max_examples=60)
+    def test_property(self, m):
+        u, d, v = smith_normal_form(m)
+        assert u * m * v == d
+        assert abs(u.determinant()) == 1
+        assert abs(v.determinant()) == 1
+        k = min(d.nrows, d.ncols)
+        for i in range(d.nrows):
+            for j in range(d.ncols):
+                if i != j:
+                    assert d[i, j] == 0
+        diag = [d[i, i] for i in range(k)]
+        assert all(x >= 0 for x in diag)
+        for a, b in zip(diag, diag[1:]):
+            if a:
+                assert b % a == 0
+            else:
+                assert b == 0

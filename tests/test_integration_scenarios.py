@@ -1,0 +1,144 @@
+"""End-to-end scenarios beyond the paper's own examples.
+
+Each scenario drives the whole stack (parser → disjoint DNF → engine →
+applications) on a realistic kernel and validates against brute force.
+"""
+
+import pytest
+
+from conftest import brute_count, grid
+from repro.apps import (
+    ArrayRef,
+    Loop,
+    LoopNest,
+    Statement,
+    count_flops,
+    count_iterations,
+    is_load_balanced,
+    memory_locations_touched,
+)
+from repro.core import count, sum_poly
+from repro.presburger.parser import parse
+
+
+class TestMatMul:
+    """C[i,j] += A[i,k] * B[k,j] over n×n×n."""
+
+    def nest(self):
+        return LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n"), Loop("k", 1, "n")],
+            [
+                Statement(
+                    flops=2,
+                    refs=[
+                        ArrayRef("C", ["i", "j"]),
+                        ArrayRef("A", ["i", "k"]),
+                        ArrayRef("B", ["k", "j"]),
+                    ],
+                )
+            ],
+        )
+
+    def test_flops(self):
+        flops = count_flops(self.nest())
+        for n in range(0, 6):
+            assert flops.evaluate(n=n) == 2 * n ** 3
+
+    def test_footprints(self):
+        nest = self.nest()
+        for array in ("A", "B", "C"):
+            locs = memory_locations_touched(nest, array)
+            for n in range(0, 6):
+                assert locs.evaluate(n=n) == n * n, array
+
+    def test_balanced(self):
+        ok, per = is_load_balanced(self.nest())
+        assert ok
+        assert per.evaluate(i=1, n=5) == 50
+
+
+class TestBandedSolver:
+    """Banded triangular update: j within a band of width w around i."""
+
+    TEXT = "1 <= i <= n and i <= j and j <= i + w and j <= n"
+
+    def test_count(self):
+        r = count(self.TEXT, ["i", "j"])
+        f = parse(self.TEXT)
+        for env in grid(n=range(0, 7), w=range(0, 4)):
+            assert r.evaluate(env) == brute_count(f, ["i", "j"], env, box=12)
+
+    def test_weighted(self):
+        r = sum_poly(self.TEXT, ["i", "j"], "j - i")
+        for n in range(0, 7):
+            for w in range(0, 4):
+                want = sum(
+                    j - i
+                    for i in range(1, n + 1)
+                    for j in range(i, min(i + w, n) + 1)
+                )
+                assert r.evaluate(n=n, w=w) == want
+
+
+class TestRedBlackSweep:
+    """Red-black Gauss-Seidel: update points with i + j even."""
+
+    def nest(self):
+        return LoopNest(
+            [Loop("i", 1, "n"), Loop("j", 1, "n")],
+            [Statement(flops=4, guard="2 | i + j")],
+        )
+
+    def test_half_the_points(self):
+        flops = count_flops(self.nest())
+        for n in range(0, 9):
+            red = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(1, n + 1)
+                if (i + j) % 2 == 0
+            )
+            assert flops.evaluate(n=n) == 4 * red
+
+    def test_symbolic_form_has_parity(self):
+        flops = count_flops(self.nest()).simplified()
+        text = str(flops)
+        assert "mod 2" in text or len(flops.terms) > 1
+
+
+class TestTiledLoop:
+    """A loop tiled by 8: tile index and intra-tile offset."""
+
+    TEXT = (
+        "0 <= t and 0 <= o <= 7 and i = 8*t + o and 1 <= i <= n"
+    )
+
+    def test_iterations_match_untiled(self):
+        r = count(self.TEXT, ["t", "o", "i"])
+        for n in range(0, 30):
+            assert r.evaluate(n=n) == max(n, 0)
+
+    def test_tiles_touched(self):
+        r = count(
+            "exists o, i: 0 <= o <= 7 and i = 8*t + o and 1 <= i <= n and 0 <= t",
+            ["t"],
+        )
+        for n in range(0, 40):
+            want = len({(i - 0) // 8 for i in range(1, n + 1)})
+            assert r.evaluate(n=n) == want
+
+
+class TestHistogramPrivatization:
+    """Decide if privatizing a histogram pays: compare update count
+    against the histogram's size."""
+
+    def test_updates_vs_bins(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [Statement(flops=1, refs=[ArrayRef("h", ["i mod 16"])])],
+        )
+        updates = count_iterations(nest)
+        bins = memory_locations_touched(nest, "h")
+        for n in (4, 16, 40):
+            assert updates.evaluate(n=n) == n
+            assert bins.evaluate(n=n) == min(n, 16)

@@ -1,0 +1,107 @@
+"""Affine expression tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.omega.affine import Affine
+
+envs = st.fixed_dictionaries(
+    {"x": st.integers(-10, 10), "y": st.integers(-10, 10)}
+)
+
+affines = st.builds(
+    Affine,
+    st.fixed_dictionaries(
+        {"x": st.integers(-5, 5), "y": st.integers(-5, 5)}
+    ),
+    st.integers(-10, 10),
+)
+
+
+class TestConstruction:
+    def test_zero_coeffs_dropped(self):
+        assert Affine({"x": 0}, 3) == Affine({}, 3)
+
+    def test_var(self):
+        assert Affine.var("x").coeff("x") == 1
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            Affine({"x": 1.5})
+        with pytest.raises(TypeError):
+            Affine({}, 1.5)
+
+    def test_immutable(self):
+        a = Affine.var("x")
+        with pytest.raises(AttributeError):
+            a.const = 3
+
+
+class TestArithmetic:
+    @given(affines, affines, envs)
+    def test_add(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affines, affines, envs)
+    def test_sub(self, a, b, env):
+        assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+    @given(affines, st.integers(-6, 6), envs)
+    def test_scale(self, a, k, env):
+        assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+    @given(affines)
+    def test_neg_involution(self, a):
+        assert -(-a) == a
+
+    def test_int_coercion(self):
+        assert (Affine.var("x") + 3).const == 3
+        assert (3 + Affine.var("x")).const == 3
+        assert (3 - Affine.var("x")).coeff("x") == -1
+
+    def test_exact_div(self):
+        a = Affine({"x": 4, "y": -6}, 8)
+        assert a.exact_div(2) == Affine({"x": 2, "y": -3}, 4)
+
+    def test_exact_div_rejects(self):
+        with pytest.raises(ValueError):
+            Affine({"x": 3}, 1).exact_div(2)
+
+
+class TestQueries:
+    def test_content(self):
+        assert Affine({"x": 4, "y": -6}, 5).content() == 2
+        assert Affine({}, 5).content() == 0
+
+    def test_uses(self):
+        a = Affine({"x": 1})
+        assert a.uses("x") and not a.uses("y")
+
+    def test_substitute(self):
+        a = Affine({"x": 2, "y": 1}, 3)
+        b = a.substitute("x", Affine({"y": 1}, -1))  # x := y - 1
+        for y in range(-5, 5):
+            assert b.evaluate({"y": y}) == 2 * (y - 1) + y + 3
+
+    def test_substitute_absent(self):
+        a = Affine({"y": 1})
+        assert a.substitute("x", Affine({}, 99)) == a
+
+    def test_rename_merges(self):
+        a = Affine({"x": 2, "y": 3})
+        assert a.rename({"y": "x"}) == Affine({"x": 5})
+
+    def test_to_polynomial(self):
+        a = Affine({"x": 2}, 1)
+        assert a.to_polynomial().evaluate({"x": 3}) == 7
+
+
+class TestDisplay:
+    def test_str(self):
+        assert str(Affine({"x": 1, "y": -2}, 3)) == "x - 2*y + 3"
+
+    def test_str_zero(self):
+        assert str(Affine()) == "0"
+
+    def test_str_leading_minus(self):
+        assert str(Affine({"x": -1})) == "-x"

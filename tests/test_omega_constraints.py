@@ -1,0 +1,82 @@
+"""Constraint type tests."""
+
+import pytest
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import EQ, GEQ, Constraint, fresh_var
+
+
+class TestConstruction:
+    def test_geq(self):
+        c = Constraint.geq(Affine({"x": 1}, -3))
+        assert c.is_geq() and not c.is_eq()
+
+    def test_leq_builder(self):
+        c = Constraint.leq(Affine.var("x"), Affine.const_expr(5))
+        assert c.satisfied({"x": 5}) and not c.satisfied({"x": 6})
+
+    def test_equal_builder(self):
+        c = Constraint.equal(Affine.var("x"), Affine({"y": 2}))
+        assert c.satisfied({"x": 4, "y": 2})
+
+    def test_eq_sign_canonical(self):
+        a = Constraint.eq(Affine({"x": 1, "y": -2}, 3))
+        b = Constraint.eq(Affine({"x": -1, "y": 2}, -3))
+        assert a == b
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Constraint(Affine(), "leq")
+
+    def test_immutable(self):
+        c = Constraint.geq(Affine.var("x"))
+        with pytest.raises(AttributeError):
+            c.kind = EQ
+
+
+class TestQueries:
+    def test_trivial_true(self):
+        assert Constraint.geq(Affine.const_expr(0)).is_trivial_true()
+        assert Constraint.eq(Affine.const_expr(0)).is_trivial_true()
+
+    def test_trivial_false(self):
+        assert Constraint.geq(Affine.const_expr(-1)).is_trivial_false()
+        assert Constraint.eq(Affine.const_expr(2)).is_trivial_false()
+
+    def test_nontrivial(self):
+        c = Constraint.geq(Affine.var("x"))
+        assert not c.is_trivial_true() and not c.is_trivial_false()
+
+    def test_coeff(self):
+        c = Constraint.geq(Affine({"x": 3, "y": -1}))
+        assert c.coeff("x") == 3 and c.coeff("z") == 0
+
+
+class TestTransforms:
+    def test_negate_geq(self):
+        c = Constraint.geq(Affine({"x": 1}, -3))  # x >= 3
+        n = c.negate_geq()  # x <= 2
+        for x in range(0, 7):
+            assert c.satisfied({"x": x}) != n.satisfied({"x": x})
+
+    def test_negate_eq_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint.eq(Affine.var("x")).negate_geq()
+
+    def test_substitute(self):
+        c = Constraint.geq(Affine({"x": 2}, -4))  # 2x >= 4
+        s = c.substitute("x", Affine({"y": 1}, 1))  # x := y + 1
+        assert s.satisfied({"y": 1}) and not s.satisfied({"y": 0})
+
+    def test_rename(self):
+        c = Constraint.geq(Affine.var("x"))
+        assert c.rename({"x": "t"}).uses("t")
+
+
+class TestFreshVar:
+    def test_unique(self):
+        names = {fresh_var() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefix(self):
+        assert fresh_var("zz").startswith("_zz")

@@ -1,0 +1,188 @@
+"""Shadow and splintering tests (§2.1, §5.2, Figure 1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.eliminate import (
+    dark_shadow,
+    eliminate_exact,
+    eliminate_exact_disjoint,
+    elimination_is_exact,
+    project_onto,
+    real_shadow,
+    splinters,
+)
+from repro.omega.problem import Conjunct
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+def solset(conj, variables, box=12):
+    out = set()
+    for vals in itertools.product(range(-box, box + 1), repeat=len(variables)):
+        if conj.is_satisfied(dict(zip(variables, vals))):
+            out.add(vals)
+    return out
+
+
+def paper_5_2_example():
+    """0 <= 3β - α <= 7  ∧  1 <= α - 2β <= 5 (eliminate β)."""
+    return Conjunct(
+        [
+            geq({"b": 3, "a": -1}),
+            geq({"b": -3, "a": 1}, 7),
+            geq({"a": 1, "b": -2}, -1),
+            geq({"a": -1, "b": 2}, 5),
+        ]
+    )
+
+
+PAPER_5_2_SOLUTIONS = {3} | set(range(5, 28)) | {29}
+
+
+class TestShadows:
+    def test_real_shadow_paper_example(self):
+        # The scanned paper prints "3 <= a <= 27", but that contradicts
+        # its own solution list (a = 29 is a solution and the real
+        # shadow must contain every solution); rational feasibility is
+        # in fact 3 <= a <= 29, verified by enumeration here.
+        shadow = real_shadow(paper_5_2_example(), "b")
+        assert solset(shadow, ("a",), 40) == {(a,) for a in range(3, 30)}
+
+    def test_dark_shadow_paper_example(self):
+        # Similarly the print says "5 <= a <= 25"; the pairwise dark
+        # shadow is 5 <= a <= 27, still a subset of the true solutions
+        # (which is all the dark shadow promises).
+        dark = dark_shadow(paper_5_2_example(), "b")
+        assert solset(dark, ("a",), 40) == {(a,) for a in range(5, 28)}
+        assert solset(dark, ("a",), 40) <= {
+            (a,) for a in PAPER_5_2_SOLUTIONS
+        }
+
+    def test_exact_solutions_paper_example(self):
+        # the paper: solutions are a = 3, 5 <= a <= 27, a = 29
+        conj = paper_5_2_example()
+        want = {
+            (a,)
+            for a in range(-5, 45)
+            if any(
+                0 <= 3 * b - a <= 7 and 1 <= a - 2 * b <= 5
+                for b in range(-50, 50)
+            )
+        }
+        assert want == {(a,) for a in PAPER_5_2_SOLUTIONS}
+        got = set()
+        for piece in eliminate_exact(conj, "b"):
+            got |= solset(piece, ("a",), 45)
+        assert got == want
+
+    def test_disjoint_variant_paper_example(self):
+        pieces = eliminate_exact_disjoint(paper_5_2_example(), "b")
+        hits = {}
+        for i, piece in enumerate(pieces):
+            for point in solset(piece, ("a",), 45):
+                hits.setdefault(point, []).append(i)
+        assert set(hits) == {(a,) for a in PAPER_5_2_SOLUTIONS}
+        assert all(len(v) == 1 for v in hits.values())
+
+    def test_unbounded_side(self):
+        conj = Conjunct([geq({"z": 1, "x": -1})])  # only a lower bound
+        assert eliminate_exact(conj, "z") == [Conjunct.true()]
+
+    def test_dark_subset_of_real(self):
+        conj = paper_5_2_example()
+        dark = solset(dark_shadow(conj, "b"), ("a",), 40)
+        real = solset(real_shadow(conj, "b"), ("a",), 40)
+        assert dark <= real
+
+
+class TestExactness:
+    def test_unit_coefficients_exact(self):
+        conj = Conjunct([geq({"z": 1, "x": -1}), geq({"z": -1}, 9)])
+        assert elimination_is_exact(conj, "z")
+
+    def test_nonunit_both_sides_inexact(self):
+        conj = Conjunct([geq({"z": 2, "x": -1}), geq({"z": -3}, 9)])
+        assert not elimination_is_exact(conj, "z")
+
+    def test_unit_lowers_exact(self):
+        conj = Conjunct([geq({"z": 1, "x": -1}), geq({"z": -3}, 9)])
+        assert elimination_is_exact(conj, "z")
+
+    def test_splinters_empty_when_exact(self):
+        conj = Conjunct([geq({"z": 1, "x": -1}), geq({"z": -1}, 9)])
+        assert splinters(conj, "z") == []
+
+
+class TestProjectOnto:
+    def test_projection_example_2_1(self):
+        # the paper §2.1: x = 6i + 9j - 7, 1<=i<=8, 1<=j<=5
+        conj = Conjunct(
+            [
+                geq({"i": 1}, -1),
+                geq({"i": -1}, 8),
+                geq({"j": 1}, -1),
+                geq({"j": -1}, 5),
+                Constraint.eq(Affine({"x": -1, "i": 6, "j": 9}, -7)),
+            ]
+        )
+        want = {
+            (6 * i + 9 * j - 7,)
+            for i in range(1, 9)
+            for j in range(1, 6)
+        }
+        pieces = project_onto(conj, ("x",))
+        got = set()
+        for p in pieces:
+            got |= solset(p, ("x",), 90)
+        assert got == want
+        assert len(want) == 25  # the count the paper reports in Ex. 4
+
+    def test_projection_disjoint(self):
+        conj = Conjunct(
+            [
+                geq({"i": 1}, -1),
+                geq({"i": -1}, 8),
+                geq({"j": 1}, -1),
+                geq({"j": -1}, 5),
+                Constraint.eq(Affine({"x": -1, "i": 6, "j": 9}, -7)),
+            ]
+        )
+        pieces = project_onto(conj, ("x",), disjoint=True)
+        hits = {}
+        for i, p in enumerate(pieces):
+            for point in solset(p, ("x",), 90):
+                hits.setdefault(point, []).append(i)
+        assert all(len(v) == 1 for v in hits.values())
+        assert len(hits) == 25
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(-3, 3),
+            st.integers(-3, 3),
+            st.integers(-10, 10),
+        ),
+        min_size=2,
+        max_size=4,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_exact_elimination_property(constraints):
+    """eliminate_exact computes exactly ∃z over random conjuncts."""
+    cons = [geq({"x": 1}, 8), geq({"x": -1}, 8)]
+    for cz, cx, const in constraints:
+        cons.append(geq({"z": cz, "x": cx}, const))
+    conj = Conjunct(cons)
+    want = solset(conj.with_wildcards(["z"]), ("x",), 8)
+    got = set()
+    for piece in eliminate_exact(conj, "z"):
+        got |= solset(piece, ("x",), 8)
+    assert got == want

@@ -1,0 +1,175 @@
+"""Equality elimination tests: unimodular route and Pugh's mod-hat."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.equalities import (
+    eliminate_wildcards_from_equality,
+    mod_hat_eliminate,
+    mod_hat_reduce,
+    solve_unit,
+    substitute_fractional,
+    unimodular_mix,
+)
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import satisfiable
+
+
+def solset(conj, variables, box=10):
+    out = set()
+    for vals in itertools.product(range(-box, box + 1), repeat=len(variables)):
+        if conj.is_satisfied(dict(zip(variables, vals))):
+            out.add(vals)
+    return out
+
+
+class TestSolveUnit:
+    def test_basic(self):
+        eq = Constraint.eq(Affine({"x": 1, "y": -2}, 3))  # x == 2y - 3
+        conj = Conjunct([eq, Constraint.geq(Affine({"x": 1}))])
+        solved, repl = solve_unit(conj, eq, "x")
+        assert repl == Affine({"y": 2}, -3)
+        assert not solved.uses("x")
+        # x >= 0 became 2y - 3 >= 0, i.e. y >= 2 after tightening
+        assert solset(solved, ("y",)) == set(
+            (y,) for y in range(2, 11)
+        )
+
+    def test_negative_coefficient(self):
+        eq = Constraint.eq(Affine({"x": -1, "y": 1}))  # y == x
+        conj = Conjunct([eq])
+        solved, repl = solve_unit(conj, eq, "x")
+        assert repl == Affine({"y": 1})
+
+    def test_rejects_nonunit(self):
+        eq = Constraint.eq(Affine({"x": 2, "y": 1}))
+        with pytest.raises(ValueError):
+            solve_unit(Conjunct([eq]), eq, "x")
+
+
+class TestUnimodularMix:
+    def test_preserves_solutions(self):
+        # 3x + 5y == 1 with box bounds: mixing must preserve the
+        # solution count (it is a lattice bijection).
+        eq = Constraint.eq(Affine({"x": 3, "y": 5}, -1))
+        bounds = [
+            Constraint.geq(Affine({"x": 1}, 8)),
+            Constraint.geq(Affine({"x": -1}, 8)),
+            Constraint.geq(Affine({"y": 1}, 8)),
+            Constraint.geq(Affine({"y": -1}, 8)),
+        ]
+        conj = Conjunct([eq] + bounds)
+        before = solset(conj, ("x", "y"))
+        mix = unimodular_mix(conj, eq, ["x", "y"])
+        assert abs(mix.pivot_coeff) == 1  # gcd(3, 5)
+        after = solset(mix.conjunct, tuple(mix.new_vars), box=40)
+        assert len(after) == len(before)
+        # the mapping reproduces original solutions
+        recovered = set()
+        for vals in after:
+            env = dict(zip(mix.new_vars, vals))
+            recovered.add(
+                (mix.mapping["x"].evaluate(env), mix.mapping["y"].evaluate(env))
+            )
+        assert recovered == before
+
+    def test_gcd_pivot(self):
+        eq = Constraint.eq(Affine({"x": 4, "y": 6}, -2))
+        conj = Conjunct([eq])
+        mix = unimodular_mix(conj, eq, ["x", "y"])
+        assert abs(mix.pivot_coeff) == 2
+
+    def test_single_variable_identity(self):
+        eq = Constraint.eq(Affine({"x": 3, "n": 1}))
+        conj = Conjunct([eq])
+        mix = unimodular_mix(conj, eq, ["x"])
+        assert mix.new_vars == ["x"]
+
+
+class TestSubstituteFractional:
+    def test_scales_constraints(self):
+        # v = n/2 into v >= 1:  n - 2 >= 0
+        conj = Conjunct([Constraint.geq(Affine({"v": 1}, -1))])
+        out = substitute_fractional(conj, "v", Affine({"n": 1}), 2)
+        assert solset(out, ("n",)) == {(n,) for n in range(2, 11)}
+
+    def test_untouched_constraints_kept(self):
+        conj = Conjunct(
+            [Constraint.geq(Affine({"m": 1})), Constraint.geq(Affine({"v": 1}))]
+        )
+        out = substitute_fractional(conj, "v", Affine({"n": 1}), 3)
+        assert Constraint.geq(Affine({"m": 1})) in out.constraints
+
+    def test_rejects_nonpositive_denominator(self):
+        with pytest.raises(ValueError):
+            substitute_fractional(Conjunct(), "v", Affine(), 0)
+
+
+class TestEliminateWildcards:
+    def test_unit_wildcard_solved(self):
+        # ∃w: w == x + 1 ∧ w <= 5  =>  x <= 4
+        eq = Constraint.eq(Affine({"w": 1, "x": -1}, -1))
+        conj = Conjunct([eq, Constraint.geq(Affine({"w": -1}, 5))], ["w"])
+        out = eliminate_wildcards_from_equality(conj, eq)
+        assert out.consumed
+        assert solset(out.conjunct, ("x",)) == {(x,) for x in range(-10, 5)}
+
+    def test_nonunit_becomes_stride(self):
+        # ∃w: 2w == x ∧ w >= 1  =>  x even and x >= 2
+        eq = Constraint.equal(Affine({"w": 2}), Affine.var("x"))
+        conj = Conjunct([eq, Constraint.geq(Affine({"w": 1}, -1))], ["w"])
+        out = eliminate_wildcards_from_equality(conj, eq).conjunct.normalize()
+        want = {(x,) for x in range(2, 11, 2)}
+        assert solset(out, ("x",)) == want
+        assert out.stride_only()
+
+    def test_two_wildcards(self):
+        # ∃w,u: 2w + 4u == x ∧ 0 <= w <= 1: x even (w,u mix to gcd 2)
+        eq = Constraint.eq(Affine({"w": 2, "u": 4, "x": -1}))
+        conj = Conjunct(
+            [eq, Constraint.geq(Affine({"w": 1})), Constraint.geq(Affine({"w": -1}, 1))],
+            ["w", "u"],
+        )
+        out = eliminate_wildcards_from_equality(conj, eq).conjunct
+        assert solset(out, ("x",)) == {(x,) for x in range(-10, 11, 2)}
+
+
+class TestModHat:
+    def test_single_step_shrinks(self):
+        eq = Constraint.eq(Affine({"x": 3, "y": 5}, 1))
+        step = mod_hat_reduce(Conjunct([eq]), eq, "x")
+        assert step.sigma is not None
+        new_eq = step.conjunct.normalize().eqs()[0]
+        assert max(abs(c) for _, c in new_eq.expr.coeffs) < 5
+
+    def test_rejects_unit(self):
+        eq = Constraint.eq(Affine({"x": 1, "y": 5}))
+        with pytest.raises(ValueError):
+            mod_hat_reduce(Conjunct([eq]), eq, "x")
+
+    @given(
+        st.integers(-6, 6).filter(lambda k: abs(k) > 1),
+        st.integers(-6, 6).filter(bool),
+        st.integers(-10, 10),
+    )
+    @settings(max_examples=40)
+    def test_full_elimination_preserves_satisfiability(self, a, b, c):
+        eq = Constraint.eq(Affine({"x": a, "y": b}, c))
+        box = [
+            Constraint.geq(Affine({"x": 1}, 7)),
+            Constraint.geq(Affine({"x": -1}, 7)),
+            Constraint.geq(Affine({"y": 1}, 7)),
+            Constraint.geq(Affine({"y": -1}, 7)),
+        ]
+        conj = Conjunct([eq] + box)
+        brute = any(
+            a * x + b * y + c == 0
+            for x in range(-7, 8)
+            for y in range(-7, 8)
+        )
+        out = mod_hat_eliminate(conj, eq)
+        assert satisfiable(out) == brute

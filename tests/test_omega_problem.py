@@ -1,0 +1,169 @@
+"""Conjunct normalization and structure tests (Section 2)."""
+
+import pytest
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+def eq(coeffs, const=0):
+    return Constraint.eq(Affine(coeffs, const))
+
+
+class TestNormalize:
+    def test_tightening(self):
+        # 2x - 3 >= 0 tightens to x - 2 >= 0 (x >= 3/2 means x >= 2)
+        c = Conjunct([geq({"x": 2}, -3)]).normalize()
+        assert list(c.constraints) == [geq({"x": 1}, -2)]
+
+    def test_trivial_true_dropped(self):
+        c = Conjunct([geq({}, 5)]).normalize()
+        assert c.is_trivial_true()
+
+    def test_trivial_false(self):
+        assert Conjunct([geq({}, -1)]).normalize() is None
+
+    def test_equality_gcd(self):
+        # 2x + 4y - 6 == 0 divides through
+        c = Conjunct([eq({"x": 2, "y": 4}, -6)]).normalize()
+        assert list(c.constraints) == [eq({"x": 1, "y": 2}, -3)]
+
+    def test_equality_divisibility_contradiction(self):
+        # 2x + 4y == 3 has no integer solutions
+        assert Conjunct([eq({"x": 2, "y": 4}, -3)]).normalize() is None
+
+    def test_parallel_merge(self):
+        c = Conjunct([geq({"x": 1}, -5), geq({"x": 1}, -3)]).normalize()
+        assert list(c.constraints) == [geq({"x": 1}, -5)]
+
+    def test_opposed_pair_empty(self):
+        # x >= 5 and x <= 3
+        assert (
+            Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)]).normalize()
+            is None
+        )
+
+    def test_opposed_pair_to_equality(self):
+        # x >= 4 and x <= 4 becomes x == 4
+        c = Conjunct([geq({"x": 1}, -4), geq({"x": -1}, 4)]).normalize()
+        assert len(c.constraints) == 1
+        assert c.constraints[0].is_eq()
+
+    def test_idempotent(self):
+        cons = [geq({"x": 3, "y": -6}, 2), eq({"x": 2}, -4)]
+        once = Conjunct(cons).normalize()
+        twice = once.normalize()
+        assert once == twice
+
+
+class TestStrides:
+    def test_stride_canonicalized(self):
+        c = Conjunct.true().add_stride(3, Affine({"n": 5}, 7)).normalize()
+        others, strides = c.stride_view()
+        assert not others
+        ((m, e),) = strides
+        assert m == 3
+        # 5n + 7 ≡ 2n + 1 (mod 3)
+        for n in range(-6, 6):
+            assert (e.evaluate({"n": n}) % 3 == 0) == ((5 * n + 7) % 3 == 0)
+
+    def test_stride_of_one_vanishes(self):
+        c = Conjunct.true().add_stride(1, Affine({"n": 1})).normalize()
+        assert c.is_trivial_true()
+
+    def test_duplicate_strides_merge(self):
+        c = (
+            Conjunct.true()
+            .add_stride(2, Affine({"n": 1}))
+            .add_stride(2, Affine({"n": 1}))
+            .normalize()
+        )
+        assert len(c.eqs()) == 1
+
+    def test_constant_stride_checked(self):
+        sat = Conjunct.true().add_stride(3, Affine({}, 6)).normalize()
+        assert sat is not None and sat.is_trivial_true()
+        unsat = Conjunct.true().add_stride(3, Affine({}, 7)).normalize()
+        assert unsat is None
+
+    def test_two_lone_wildcards_coprime_vanish(self):
+        # 2w + 3u == n is solvable for any n: constraint disappears
+        c = Conjunct(
+            [Constraint.equal(Affine({"w": 2, "u": 3}), Affine.var("n"))],
+            ["w", "u"],
+        ).normalize()
+        assert c.is_trivial_true()
+
+    def test_normalize_reaches_fixed_point_with_strides(self):
+        # regression: stride canonicalization must not oscillate between
+        # the two sign representatives of the residue class
+        c = Conjunct(
+            [Constraint.equal(Affine({"w": 3}), Affine({"x": -1}, 0))],
+            ["w"],
+        )
+        n = c.normalize()
+        assert n is not None
+        assert n.normalize() == n
+
+
+class TestBounds:
+    def test_bounds_on(self):
+        c = Conjunct(
+            [
+                geq({"v": 2, "n": -1}),       # n <= 2v
+                geq({"v": -3, "n": 1}, 5),    # 3v <= n + 5
+                geq({"m": 1}),
+            ]
+        )
+        lowers, uppers, rest = c.bounds_on("v")
+        assert lowers == [(2, Affine({"n": 1}))]
+        assert uppers == [(3, Affine({"n": 1}, 5))]
+        assert rest == [geq({"m": 1})]
+
+    def test_bounds_on_rejects_equalities(self):
+        c = Conjunct([eq({"v": 1, "n": -1})])
+        with pytest.raises(ValueError):
+            c.bounds_on("v")
+
+
+class TestEvaluation:
+    def test_satisfied_by(self):
+        c = Conjunct([geq({"x": 1}, -2), eq({"x": 1, "y": -1})])
+        assert c.satisfied_by({"x": 3, "y": 3})
+        assert not c.satisfied_by({"x": 1, "y": 1})
+
+    def test_is_satisfied_resolves_wildcards(self):
+        # x even
+        c = Conjunct.true().add_stride(2, Affine.var("x"))
+        assert c.is_satisfied({"x": 4})
+        assert not c.is_satisfied({"x": 5})
+
+    def test_is_satisfied_requires_all_free_vars(self):
+        c = Conjunct([geq({"x": 1, "y": 1})])
+        with pytest.raises(ValueError):
+            c.is_satisfied({"x": 0})
+
+
+class TestCombinators:
+    def test_merge_renames_wildcards(self):
+        a = Conjunct.true().add_stride(2, Affine.var("x"))
+        b = Conjunct.true().add_stride(3, Affine.var("x"))
+        m = a.merge(b)
+        assert len(m.wildcards) == 2
+        assert m.is_satisfied({"x": 6})
+        assert not m.is_satisfied({"x": 4})
+
+    def test_substitute(self):
+        c = Conjunct([geq({"x": 1}, -2)])
+        s = c.substitute("x", Affine({"y": 2}))
+        assert s.is_satisfied({"y": 1})
+        assert not s.is_satisfied({"y": 0})
+
+    def test_str_shows_strides(self):
+        c = Conjunct.true().add_stride(2, Affine({"x": 1}, 1))
+        assert "2 | (x + 1)" in str(c)

@@ -1,0 +1,99 @@
+"""Redundant-constraint removal and the gist operator (§2.3)."""
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.omega.redundancy import (
+    constraint_redundant,
+    gist,
+    remove_redundant,
+)
+from repro.omega.satisfiability import equivalent
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+class TestRedundant:
+    def test_paper_example(self):
+        # "x + y >= 10 is made redundant by x + y >= 5" -- wait, the
+        # paper says e >= 10 is made redundant by e >= 5? No: x+y>=5
+        # is redundant GIVEN x+y>=10.
+        strong = geq({"x": 1, "y": 1}, -10)
+        weak = geq({"x": 1, "y": 1}, -5)
+        conj = Conjunct([strong, weak])
+        assert constraint_redundant(conj, weak)
+        assert not constraint_redundant(conj, strong)
+
+    def test_remove_keeps_tightest(self):
+        conj = Conjunct([geq({"x": 1}, -10), geq({"x": 1}, -5)])
+        out = remove_redundant(conj)
+        assert list(out.constraints) == [geq({"x": 1}, -10)]
+
+    def test_nontrivial_combination(self):
+        # x >= 0, y >= 0 make x + y >= -1 redundant (needs the
+        # complete test; no single constraint implies it)
+        conj = Conjunct(
+            [geq({"x": 1}), geq({"y": 1}), geq({"x": 1, "y": 1}, 1)]
+        )
+        out = remove_redundant(conj)
+        assert geq({"x": 1, "y": 1}, 1) not in out.constraints
+        assert len(out.constraints) == 2
+
+    def test_integer_only_redundancy(self):
+        # over the integers x >= 1 implies 2x >= 2 (tightened forms equal)
+        conj = Conjunct([geq({"x": 1}, -1), geq({"x": 2}, -1)])
+        out = remove_redundant(conj)
+        assert len(out.constraints) == 1
+
+    def test_preserves_semantics(self):
+        conj = Conjunct(
+            [
+                geq({"x": 1}),
+                geq({"y": 1}),
+                geq({"x": 1, "y": 2}, 3),
+                geq({"x": 2, "y": 1}, -4),
+                geq({"x": 1, "y": 1}, -1),
+            ]
+        )
+        out = remove_redundant(conj)
+        assert equivalent(conj, out)
+        assert len(out.constraints) <= len(conj.constraints)
+
+
+class TestGist:
+    def test_paper_semantics(self):
+        # gist P given Q: (gist P given Q) ∧ Q  ≡  P ∧ Q
+        p = Conjunct([geq({"x": 1}, -2), geq({"y": 1}, -3)])
+        q = Conjunct([geq({"x": 1}, -5)])  # x >= 5 already known
+        g = gist(p, q)
+        assert geq({"x": 1}, -2) not in g.constraints  # implied by q
+        assert geq({"y": 1}, -3) in g.constraints
+        assert equivalent(g.merge(q), p.merge(q))
+
+    def test_gist_true(self):
+        p = Conjunct([geq({"x": 1})])
+        g = gist(p, p)
+        assert g.is_trivial_true()
+
+    def test_gist_infeasible_combination(self):
+        p = Conjunct([geq({"x": 1}, -5)])
+        q = Conjunct([geq({"x": -1}, 3)])  # x <= 3 contradicts x >= 5
+        g = gist(p, q)
+        from repro.omega.satisfiability import satisfiable
+
+        assert not satisfiable(g)
+
+    def test_gist_keeps_strides(self):
+        p = Conjunct.true().add_stride(2, Affine.var("x"))
+        q = Conjunct([geq({"x": 1})])
+        g = gist(p, q)
+        assert len(g.eqs()) == 1  # the stride survives
+
+    def test_gist_with_stride_context(self):
+        # knowing 4 | x, the constraint 2 | x is uninteresting
+        p = Conjunct.true().add_stride(2, Affine.var("x"))
+        q = Conjunct.true().add_stride(4, Affine.var("x"))
+        g = gist(p, q)
+        assert equivalent(g.merge(q), p.merge(q))

@@ -1,0 +1,163 @@
+"""Integer satisfiability tests (§2.2) with a brute-force referee."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import (
+    equivalent,
+    implies,
+    satisfiable,
+    solve_sample,
+)
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+def eq(coeffs, const=0):
+    return Constraint.eq(Affine(coeffs, const))
+
+
+def boxed(cons, names, box=6):
+    extra = []
+    for v in names:
+        extra.append(geq({v: 1}, box))
+        extra.append(geq({v: -1}, box))
+    return Conjunct(list(cons) + extra)
+
+
+def brute(conj, box=6):
+    names = conj.variables()
+    for vals in itertools.product(range(-box, box + 1), repeat=len(names)):
+        if conj.satisfied_by(dict(zip(names, vals))):
+            return True
+    return False
+
+
+class TestKnownCases:
+    def test_trivial(self):
+        assert satisfiable(Conjunct.true())
+
+    def test_empty_interval(self):
+        assert not satisfiable(Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)]))
+
+    def test_classic_omega_gap(self):
+        # 3 <= 3x + 2 <= 4 has no integer solution but a rational one
+        c = Conjunct([geq({"x": 3}, -1), geq({"x": -3}, 2)])
+        assert not satisfiable(c)
+
+    def test_parity_conflict(self):
+        # x even and x odd
+        c = (
+            Conjunct.true()
+            .add_stride(2, Affine.var("x"))
+            .add_stride(2, Affine({"x": 1}, 1))
+        )
+        assert not satisfiable(c)
+
+    def test_crt_solvable(self):
+        # x ≡ 1 (mod 3), x ≡ 2 (mod 5): solvable (x = 7)
+        c = (
+            Conjunct.true()
+            .add_stride(3, Affine({"x": 1}, -1))
+            .add_stride(5, Affine({"x": 1}, -2))
+        )
+        assert satisfiable(c)
+
+    def test_dark_shadow_insufficient(self):
+        # needs splintering: 0 <= 3b - a <= 7, 1 <= a - 2b <= 5, a == 3
+        c = Conjunct(
+            [
+                geq({"b": 3, "a": -1}),
+                geq({"b": -3, "a": 1}, 7),
+                geq({"a": 1, "b": -2}, -1),
+                geq({"a": -1, "b": 2}, 5),
+                eq({"a": 1}, -3),
+            ]
+        )
+        assert satisfiable(c)  # b = 1 works: 3-2=1 ok; 3b-a = 0 ok
+
+    def test_dark_shadow_gap_point(self):
+        # same but a == 4: no integer b (the dark shadow misses, and
+        # there is genuinely no solution)
+        c = Conjunct(
+            [
+                geq({"b": 3, "a": -1}),
+                geq({"b": -3, "a": 1}, 7),
+                geq({"a": 1, "b": -2}, -1),
+                geq({"a": -1, "b": 2}, 5),
+                eq({"a": 1}, -4),
+            ]
+        )
+        assert not satisfiable(c)
+
+    def test_diophantine_equality(self):
+        # 6x + 9y == 5: gcd 3 does not divide 5
+        assert not satisfiable(Conjunct([eq({"x": 6, "y": 9}, -5)]))
+        assert satisfiable(Conjunct([eq({"x": 6, "y": 9}, -3)]))
+
+
+class TestRandomizedAgainstBrute:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-4, 4), st.integers(-4, 4), st.integers(-8, 8)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_two_vars(self, rows, with_eq):
+        cons = []
+        for i, (a, b, c) in enumerate(rows):
+            expr = Affine({"x": a, "y": b}, c)
+            if with_eq and i == 0:
+                cons.append(Constraint.eq(expr))
+            else:
+                cons.append(Constraint.geq(expr))
+        conj = boxed(cons, ("x", "y"))
+        assert satisfiable(conj) == brute(conj)
+
+
+class TestImplication:
+    def test_interval_implication(self):
+        narrow = Conjunct([geq({"x": 1}, -3), geq({"x": -1}, 5)])
+        wide = Conjunct([geq({"x": 1}), geq({"x": -1}, 10)])
+        assert implies(narrow, wide)
+        assert not implies(wide, narrow)
+
+    def test_implication_with_stride(self):
+        mult4 = Conjunct.true().add_stride(4, Affine.var("x"))
+        even = Conjunct.true().add_stride(2, Affine.var("x"))
+        assert implies(mult4, even)
+        assert not implies(even, mult4)
+
+    def test_false_premise_implies_anything(self):
+        false = Conjunct([geq({}, -1)])
+        anything = Conjunct([geq({"x": 1}, -100)])
+        assert implies(false, anything)
+
+    def test_equivalent(self):
+        a = Conjunct([geq({"x": 2}, -4)])   # 2x >= 4
+        b = Conjunct([geq({"x": 1}, -2)])   # x >= 2
+        assert equivalent(a, b)
+
+
+class TestSolveSample:
+    def test_finds_solution(self):
+        c = Conjunct([geq({"x": 1}, -3), geq({"x": -1}, 5)])
+        env = solve_sample(c)
+        assert env is not None and 3 <= env["x"] <= 5
+
+    def test_no_solution(self):
+        c = Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)])
+        assert solve_sample(c) is None

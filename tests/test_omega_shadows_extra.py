@@ -1,0 +1,134 @@
+"""Additional shadow/elimination edge cases and stress tests."""
+
+import itertools
+
+import pytest
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.eliminate import (
+    dark_shadow,
+    eliminate_exact,
+    project_onto,
+    real_shadow,
+    splinters,
+)
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import satisfiable
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+class TestClassicGaps:
+    def test_omega_nightmare(self):
+        """Pugh's "omega nightmare" family: 27 <= 11x + 13y <= 45,
+        -10 <= 7x - 9y <= 4 — rationally feasible, integrally empty."""
+        conj = Conjunct(
+            [
+                geq({"x": 11, "y": 13}, -27),
+                geq({"x": -11, "y": -13}, 45),
+                geq({"x": 7, "y": -9}, 10),
+                geq({"x": -7, "y": 9}, 4),
+            ]
+        )
+        # brute force confirms emptiness
+        assert not any(
+            27 <= 11 * x + 13 * y <= 45 and -10 <= 7 * x - 9 * y <= 4
+            for x in range(-20, 21)
+            for y in range(-20, 21)
+        )
+        assert not satisfiable(conj)
+
+    def test_omega_nightmare_real_relaxation_nonempty(self):
+        conj = Conjunct(
+            [
+                geq({"x": 11, "y": 13}, -27),
+                geq({"x": -11, "y": -13}, 45),
+                geq({"x": 7, "y": -9}, 10),
+                geq({"x": -7, "y": 9}, 4),
+            ]
+        )
+        shadow = real_shadow(conj, "y")
+        # rationally the region projects to a nonempty x-interval
+        assert shadow is not None and satisfiable(shadow)
+
+
+class TestEliminationEdges:
+    def test_variable_absent(self):
+        conj = Conjunct([geq({"x": 1})])
+        assert eliminate_exact(conj, "zz") == [conj.normalize()]
+
+    def test_equality_shortcut(self):
+        conj = Conjunct(
+            [Constraint.eq(Affine({"z": 2, "x": -1})), geq({"z": 1}, -1)]
+        )
+        pieces = eliminate_exact(conj, "z")
+        got = set()
+        for p in pieces:
+            got |= {
+                x for x in range(-2, 20) if p.is_satisfied({"x": x})
+            }
+        assert got == {x for x in range(2, 20, 2)}
+
+    def test_infeasible_input(self):
+        conj = Conjunct([geq({"z": 1}, -5), geq({"z": -1}, 3), geq({"x": 1})])
+        assert eliminate_exact(conj, "z") == []
+
+    def test_splinter_count_bounded(self):
+        conj = Conjunct(
+            [geq({"z": 3, "x": -1}), geq({"z": -5, "x": 1}, 7)]
+        )
+        sp = splinters(conj, "z")
+        # per the formula: one lower bound, i in 0..(a·b - a - b)/a
+        assert 0 < len(sp) <= 3
+
+
+class TestProjectOntoMulti:
+    def test_two_eliminations(self):
+        # x = i + j, 1<=i<=3, 1<=j<=2
+        conj = Conjunct(
+            [
+                geq({"i": 1}, -1),
+                geq({"i": -1}, 3),
+                geq({"j": 1}, -1),
+                geq({"j": -1}, 2),
+                Constraint.eq(Affine({"x": 1, "i": -1, "j": -1})),
+            ]
+        )
+        pieces = project_onto(conj, ("x",))
+        got = set()
+        for p in pieces:
+            got |= {x for x in range(0, 10) if p.is_satisfied({"x": x})}
+        assert got == {2, 3, 4, 5}
+
+    def test_keep_everything(self):
+        conj = Conjunct([geq({"x": 1}), geq({"y": 1})])
+        assert project_onto(conj, ("x", "y")) == [conj.normalize()]
+
+    def test_project_to_nothing(self):
+        conj = Conjunct([geq({"x": 1}), geq({"x": -1}, 5)])
+        pieces = project_onto(conj, ())
+        assert len(pieces) == 1 and pieces[0].is_trivial_true()
+
+
+class TestDeepChains:
+    @pytest.mark.parametrize("depth", [3, 4, 5])
+    def test_chained_equalities(self, depth):
+        """x1 = 2x0, x2 = 2x1 ... projected to the last variable."""
+        cons = [geq({"x0": 1}), geq({"x0": -1}, 3)]
+        for k in range(1, depth):
+            cons.append(
+                Constraint.eq(Affine({"x%d" % k: 1, "x%d" % (k - 1): -2}))
+            )
+        conj = Conjunct(cons)
+        last = "x%d" % (depth - 1)
+        pieces = project_onto(conj, (last,))
+        got = set()
+        for p in pieces:
+            got |= {
+                v for v in range(0, 4 * 2 ** depth) if p.is_satisfied({last: v})
+            }
+        scale = 2 ** (depth - 1)
+        assert got == {scale * t for t in range(0, 4)}

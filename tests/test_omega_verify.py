@@ -1,0 +1,48 @@
+"""Implication verification tests (§2.4)."""
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.omega.verify import verify_formula_implication, verify_implication
+from repro.presburger.parser import parse
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+class TestConjunctImplication:
+    def test_basic(self):
+        assert verify_implication(
+            Conjunct([geq({"x": 1}, -5)]), Conjunct([geq({"x": 1})])
+        )
+
+    def test_failure(self):
+        assert not verify_implication(
+            Conjunct([geq({"x": 1})]), Conjunct([geq({"x": 1}, -5)])
+        )
+
+    def test_multi_constraint(self):
+        premise = Conjunct([geq({"x": 1}, -1), geq({"y": 1, "x": -1})])
+        conclusion = Conjunct([geq({"y": 1}, -1)])
+        assert verify_implication(premise, conclusion)
+
+
+class TestFormulaImplication:
+    def test_quantified(self):
+        # (∃y: x = 2y ∧ 1 <= y <= 4) => (2 <= x <= 8)
+        p = parse("exists y: x = 2*y and 1 <= y <= 4")
+        q = parse("2 <= x <= 8")
+        assert verify_formula_implication(p, q)
+        assert not verify_formula_implication(q, p)
+
+    def test_disjunction_conclusion(self):
+        p = parse("1 <= x <= 10")
+        q = parse("x <= 5 or x >= 4")
+        assert verify_formula_implication(p, q)
+
+    def test_stride_implication(self):
+        p = parse("exists a: x = 6*a")
+        q = parse("exists b: x = 3*b")
+        assert verify_formula_implication(p, q)
+        assert not verify_formula_implication(q, p)

@@ -1,0 +1,232 @@
+"""Integration tests: every worked example in the paper, end to end.
+
+Each test reproduces one numbered result from the paper and checks it
+against brute force (and, where the paper gives a closed form, against
+that form).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import count, sum_poly
+from repro.presburger.parser import parse
+from repro.qpoly import ModAtom, Polynomial
+
+
+class TestIntroTable:
+    """The table of simple summations in the introduction."""
+
+    def test_constant_range(self):
+        assert count("1 <= i <= 10", ["i"]).evaluate({}) == 10
+
+    def test_n_range(self):
+        r = count("1 <= i <= n", ["i"])
+        (t,) = r.terms
+        assert str(t.value) == "n"
+        assert t.guard.is_satisfied({"n": 1}) and not t.guard.is_satisfied({"n": 0})
+
+    def test_square(self):
+        r = count("1 <= i <= n and 1 <= j <= n", ["i", "j"])
+        (t,) = r.terms
+        assert str(t.value) == "n**2"
+
+    def test_strict_triangle(self):
+        r = count("1 <= i and i < j and j <= n", ["i", "j"])
+        (t,) = r.terms
+        n = Polynomial.variable("n")
+        assert t.value == (n * n - n) / 2
+        # guard 2 <= n, as the paper prints
+        assert t.guard.is_satisfied({"n": 2}) and not t.guard.is_satisfied({"n": 1})
+
+
+class TestMathematicaBug:
+    def test_guarded_answer(self):
+        r = count("1 <= i <= n and i <= j <= m", ["i", "j"])
+        for n in range(0, 8):
+            for m in range(0, 8):
+                want = sum(
+                    1 for i in range(1, n + 1) for j in range(i, m + 1)
+                )
+                assert r.evaluate(n=n, m=m) == want
+        # the 1 <= m < n region where Mathematica is wrong: m(m+1)/2
+        for m in range(1, 6):
+            assert r.evaluate(n=m + 3, m=m) == m * (m + 1) // 2
+
+
+class TestSection21Projection:
+    def test_solution_set(self):
+        f = parse(
+            "exists i, j: 1 <= i <= 8 and 1 <= j <= 5 and x = 6*i + 9*j - 7"
+        )
+        want = {6 * i + 9 * j - 7 for i in range(1, 9) for j in range(1, 6)}
+        got = {x for x in range(0, 100) if f.evaluate({"x": x})}
+        assert got == want
+        # "all numbers between 8 and 86 that have remainder 2 when
+        # divided by 3, except for 11 and 83"
+        assert want == {
+            x for x in range(8, 87) if x % 3 == 2 and x not in (11, 83)
+        }
+
+
+class TestExample1Tawbi:
+    TEXT = "1 <= i <= n and 1 <= j <= i and j <= k <= m"
+
+    def test_two_pieces(self):
+        r = count(self.TEXT, ["i", "j", "k"])
+        assert len(r.terms) == 2
+
+    def test_closed_forms(self):
+        # paper: (n <= m piece) n²m/2 - n³/6 + nm/2 + n/6
+        r = count(self.TEXT, ["i", "j", "k"])
+        n, m = Polynomial.variable("n"), Polynomial.variable("m")
+        values = {str(t.value) for t in r.terms}
+        first = (
+            n * n * m * Fraction(1, 2)
+            - n ** 3 * Fraction(1, 6)
+            + n * m * Fraction(1, 2)
+            + n * Fraction(1, 6)
+        )
+        second = (
+            m * m * n * Fraction(1, 2)
+            - m ** 3 * Fraction(1, 6)
+            + n * m * Fraction(1, 2)
+            + m * Fraction(1, 6)
+        )
+        got = {t.value for t in r.terms}
+        assert got == {first, second}
+
+    def test_brute_force(self):
+        r = count(self.TEXT, ["i", "j", "k"])
+        for n in range(0, 6):
+            for m in range(0, 7):
+                want = sum(
+                    1
+                    for i in range(1, n + 1)
+                    for j in range(1, i + 1)
+                    for k in range(j, m + 1)
+                )
+                assert r.evaluate(n=n, m=m) == want
+
+
+class TestExample2HP:
+    TEXT = "1 <= i <= n and 3 <= j <= i and j <= k <= 5"
+
+    def test_brute_force(self):
+        r = count(self.TEXT, ["i", "j", "k"])
+        for n in range(0, 12):
+            want = sum(
+                1
+                for i in range(1, n + 1)
+                for j in range(3, i + 1)
+                for k in range(j, 6)
+            )
+            assert r.evaluate(n=n) == want
+
+    def test_linear_tail(self):
+        # paper: for n >= 5 the answer is 6n - 16
+        r = count(self.TEXT, ["i", "j", "k"])
+        for n in range(5, 12):
+            assert r.evaluate(n=n) == 6 * n - 16
+
+    def test_small_region_values(self):
+        # paper (after simplification): 5n - 12 on 3 <= n < 5
+        r = count(self.TEXT, ["i", "j", "k"])
+        for n in (3, 4):
+            assert r.evaluate(n=n) == 5 * n - 12
+
+
+class TestExample3HP:
+    def test_n_squared(self):
+        r = count(
+            "1 <= i <= 2*n and 1 <= j <= i and i + j <= 2*n", ["i", "j"]
+        ).simplified()
+        (t,) = r.terms
+        assert str(t.value) == "n**2"
+        assert t.guard.is_satisfied({"n": 1})
+
+
+class TestExample4FST:
+    def test_25_locations(self):
+        r = count(
+            "exists i, j: 1 <= i <= 8 and 1 <= j <= 5 and x = 6*i + 9*j - 7",
+            ["x"],
+        )
+        assert r.evaluate({}) == 25
+
+
+class TestExample5SOR:
+    SUMMARIZED = (
+        "1 <= x and 1 <= y and x <= N and y <= N and 3 <= x + y and "
+        "x + y <= 2*N - 1 and 2 - N <= x - y and x - y <= N - 2"
+    )
+
+    def test_symbolic_n_squared_minus_4(self):
+        r = count(self.SUMMARIZED, ["x", "y"]).simplified()
+        (t,) = r.terms
+        n = Polynomial.variable("N")
+        assert t.value == n * n - 4
+        assert t.guard.is_satisfied({"N": 3})
+        assert not t.guard.is_satisfied({"N": 2})
+
+    def test_numeric_500(self):
+        r = count(self.SUMMARIZED, ["x", "y"])
+        assert r.evaluate(N=500) == 249996
+
+    def test_cache_lines_16000(self):
+        f = (
+            "exists i, j, di, dj: 2 <= i <= 499 and 2 <= j <= 499 and "
+            "0 - 1 <= di + dj and di + dj <= 1 and "
+            "0 - 1 <= di - dj and di - dj <= 1 and "
+            "x = floor((i + di - 1)/16) and y = j + dj"
+        )
+        assert count(f, ["x", "y"]).evaluate({}) == 16000
+
+
+class TestExample6:
+    TEXT = "1 <= i and 1 <= j <= n and 2*i <= 3*j"
+
+    def test_final_quasi_polynomial(self):
+        r = count(self.TEXT, ["i", "j"]).simplified()
+        (t,) = r.terms
+        n = Polynomial.variable("n")
+        m = Polynomial.atom(ModAtom({"n": 1}, 0, 2))
+        # the paper's final answer: (3n² + 2n - (n mod 2)) / 4
+        assert t.value == (3 * n * n + 2 * n - m) / 4
+
+    def test_brute_force(self):
+        r = count(self.TEXT, ["i", "j"])
+        for n in range(0, 14):
+            want = sum(
+                1
+                for j in range(1, n + 1)
+                for i in range(1, 3 * j // 2 + 1)
+                if 2 * i <= 3 * j
+            )
+            assert r.evaluate(n=n) == want
+
+
+class TestSection26Timing:
+    def test_simplification_shape(self):
+        from repro.presburger.simplify import simplify
+
+        f = parse(
+            "1 <= i <= 2*n and 1 <= ip <= 2*n and i = ip and "
+            "not (exists i2, j2: 1 <= i2 <= 2*n and 1 <= j2 <= n - 1 and "
+            "     i2 <= i and i2 = ip and 2*j2 = i2) and "
+            "not (exists i2, j2: 1 <= i2 <= 2*n and 1 <= j2 <= n - 1 and "
+            "     i2 <= i and i2 = ip and 2*j2 + 1 = i2)"
+        )
+        out = simplify(f)
+        assert len(out) == 2
+        # semantics: i = ip ∈ {1, 2n}
+        for n in range(1, 5):
+            got = {
+                (i, ip)
+                for i in range(1, 2 * n + 1)
+                for ip in range(1, 2 * n + 1)
+                if any(
+                    c.is_satisfied({"i": i, "ip": ip, "n": n}) for c in out
+                )
+            }
+            assert got == {(1, 1), (2 * n, 2 * n)}

@@ -1,0 +1,86 @@
+"""Convex hull constraint tests."""
+
+import itertools
+
+import pytest
+
+from repro.omega.problem import Conjunct
+from repro.polyhedra.hull import convex_hull_constraints, hull_formula
+
+
+def integer_points(points, variables, box=4):
+    cons = convex_hull_constraints(points, variables)
+    conj = Conjunct(cons)
+    out = set()
+    for vals in itertools.product(range(-box, box + 1), repeat=len(variables)):
+        if conj.is_satisfied(dict(zip(variables, vals))):
+            out.add(vals)
+    return out
+
+
+class TestFullDimensional:
+    def test_five_point_stencil(self):
+        pts = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+        assert integer_points(pts, ["x", "y"]) == set(pts)
+
+    def test_nine_point_stencil(self):
+        pts = [(a, b) for a in (-1, 0, 1) for b in (-1, 0, 1)]
+        assert integer_points(pts, ["x", "y"]) == set(pts)
+
+    def test_four_point_hull_contains_center(self):
+        # the diamond without its center: the hull closes the hole
+        pts = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        assert integer_points(pts, ["x", "y"]) == set(pts) | {(0, 0)}
+
+    def test_triangle(self):
+        pts = [(0, 0), (3, 0), (0, 3)]
+        got = integer_points(pts, ["x", "y"])
+        assert got == {
+            (x, y) for x in range(4) for y in range(4) if x + y <= 3
+        }
+
+    def test_3d_cube(self):
+        pts = list(itertools.product((0, 1), repeat=3))
+        assert integer_points(pts, ["x", "y", "z"], box=2) == set(pts)
+
+    def test_duplicates_ignored(self):
+        pts = [(0, 0), (0, 0), (2, 0), (0, 2)]
+        got = integer_points(pts, ["x", "y"])
+        assert (1, 1) in got and (2, 2) not in got
+
+
+class TestLowerDimensional:
+    def test_single_point(self):
+        assert integer_points([(2, 3)], ["x", "y"]) == {(2, 3)}
+
+    def test_collinear_segment(self):
+        pts = [(0, 0), (2, 2)]
+        assert integer_points(pts, ["x", "y"]) == {(0, 0), (1, 1), (2, 2)}
+
+    def test_1d(self):
+        assert integer_points([(0,), (4,)], ["x"], box=6) == {
+            (x,) for x in range(5)
+        }
+
+    def test_segment_in_3d(self):
+        pts = [(0, 0, 0), (0, 2, 2)]
+        got = integer_points(pts, ["x", "y", "z"], box=3)
+        assert got == {(0, 0, 0), (0, 1, 1), (0, 2, 2)}
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convex_hull_constraints([], ["x"])
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            convex_hull_constraints([(1, 2), (1,)], ["x", "y"])
+
+    def test_var_count(self):
+        with pytest.raises(ValueError):
+            convex_hull_constraints([(1, 2)], ["x"])
+
+    def test_formula_wrapper(self):
+        f = hull_formula([(0,), (3,)], ["x"])
+        assert f.evaluate({"x": 2}) and not f.evaluate({"x": 4})

@@ -1,0 +1,104 @@
+"""Uniformly generated set summarization tests (§5.1)."""
+
+import itertools
+
+from conftest import enumerate_formula
+from repro.core import count
+from repro.polyhedra.uniform import (
+    offset_strides,
+    summarize_offsets,
+    uniformly_generated_set,
+)
+from repro.presburger.parser import parse
+
+FIVE_POINT = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+FOUR_POINT = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+NINE_POINT = [(a, b) for a in (-1, 0, 1) for b in (-1, 0, 1)]
+
+
+def formula_points(formula, variables, box=4):
+    return enumerate_formula(formula, variables, box)
+
+
+class TestSummarizeOffsets:
+    def test_five_point_exact(self):
+        f, exact = summarize_offsets(FIVE_POINT, ["x", "y"])
+        assert exact
+        assert formula_points(f, ("x", "y")) == set(FIVE_POINT)
+
+    def test_four_point_needs_stride(self):
+        # hull alone would include (0,0); the parity stride excludes it
+        f, exact = summarize_offsets(FOUR_POINT, ["x", "y"])
+        assert exact
+        assert formula_points(f, ("x", "y")) == set(FOUR_POINT)
+
+    def test_nine_point_exact(self):
+        f, exact = summarize_offsets(NINE_POINT, ["x", "y"])
+        assert exact
+        assert formula_points(f, ("x", "y")) == set(NINE_POINT)
+
+    def test_strided_1d(self):
+        f, exact = summarize_offsets([(0,), (4,), (8,)], ["x"])
+        assert exact
+        assert formula_points(f, ("x",), box=10) == {(0,), (4,), (8,)}
+
+    def test_inexact_reported(self):
+        # {0, 1, 5}: hull is [0,5], strides find nothing: not exact
+        f, exact = summarize_offsets([(0,), (1,), (5,)], ["x"])
+        assert not exact
+
+    def test_offset_strides_parity(self):
+        cons = offset_strides(FOUR_POINT, ["x", "y"])
+        assert cons  # x+y odd is detected
+
+
+class TestUniformlyGeneratedSet:
+    def test_sor_single_clause_result(self):
+        dom = parse("2 <= i <= N - 1 and 2 <= j <= N - 1")
+        f, exact = uniformly_generated_set(
+            dom, ["i", "j"], FIVE_POINT, ["x", "y"]
+        )
+        assert exact
+        r = count(f, ["x", "y"]).simplified()
+        for N in range(1, 9):
+            want = len(
+                {
+                    (i + di, j + dj)
+                    for i in range(2, N)
+                    for j in range(2, N)
+                    for di, dj in FIVE_POINT
+                }
+            )
+            assert r.evaluate(N=N) == want
+
+    def test_union_route_agrees(self):
+        dom = parse("2 <= i <= 6 and 2 <= j <= 6")
+        hull_f, exact = uniformly_generated_set(
+            dom, ["i", "j"], FIVE_POINT, ["x", "y"]
+        )
+        union_f, _ = uniformly_generated_set(
+            dom, ["i", "j"], FIVE_POINT, ["x", "y"], use_hull=False
+        )
+        assert exact
+        a = count(hull_f, ["x", "y"]).evaluate({})
+        b = count(union_f, ["x", "y"]).evaluate({})
+        want = len(
+            {
+                (i + di, j + dj)
+                for i in range(2, 7)
+                for j in range(2, 7)
+                for di, dj in FIVE_POINT
+            }
+        )
+        assert a == b == want
+
+    def test_1d_strided_refs(self):
+        # a[2i] and a[2i+4]: offsets {0, 4} with stride 2 in the domain
+        dom = parse("1 <= t <= 10")
+        f, exact = uniformly_generated_set(dom, ["t"], [(0,), (4,)], ["x"])
+        assert exact
+        # t here is the base subscript value; the caller composes with
+        # the subscript map -- this test uses identity subscripts
+        got = formula_points(f, ("x",), box=20)
+        want = {(t + d,) for t in range(1, 11) for d in (0, 4)}
+        assert got == want

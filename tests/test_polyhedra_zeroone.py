@@ -1,0 +1,52 @@
+"""0-1 programming summarization tests (§5.1.1)."""
+
+from conftest import enumerate_formula
+from repro.polyhedra.zeroone import zero_one_formula, zero_one_summary
+
+FIVE_POINT = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+FOUR_POINT = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+NINE_POINT = [(a, b) for a in (-1, 0, 1) for b in (-1, 0, 1)]
+
+
+class TestZeroOneFormula:
+    def test_exactly_the_points(self):
+        f = zero_one_formula(FIVE_POINT, ["x", "y"])
+        assert enumerate_formula(f, ("x", "y"), 3) == set(FIVE_POINT)
+
+    def test_four_point(self):
+        f = zero_one_formula(FOUR_POINT, ["x", "y"])
+        assert enumerate_formula(f, ("x", "y"), 3) == set(FOUR_POINT)
+
+    def test_nine_point(self):
+        f = zero_one_formula(NINE_POINT, ["x", "y"])
+        assert enumerate_formula(f, ("x", "y"), 3) == set(NINE_POINT)
+
+    def test_single_point(self):
+        f = zero_one_formula([(2, 5)], ["x", "y"])
+        assert enumerate_formula(f, ("x", "y"), 6) == {(2, 5)}
+
+
+class TestZeroOneSummary:
+    def test_five_point_simplifies(self):
+        """The paper: "the Omega test can summarize 4-point and 5-point
+        stencils specified this way"."""
+        clauses, ok = zero_one_summary(FIVE_POINT, ["x", "y"])
+        assert ok, "expected a compact summary, got %d clauses" % len(clauses)
+        got = set()
+        for c in clauses:
+            for x in range(-3, 4):
+                for y in range(-3, 4):
+                    if c.is_satisfied({"x": x, "y": y}):
+                        got.add((x, y))
+        assert got == set(FIVE_POINT)
+
+    def test_semantics_always_preserved(self):
+        for pts in (FOUR_POINT, FIVE_POINT):
+            clauses, _ = zero_one_summary(pts, ["x", "y"])
+            got = set()
+            for c in clauses:
+                for x in range(-3, 4):
+                    for y in range(-3, 4):
+                        if c.is_satisfied({"x": x, "y": y}):
+                            got.add((x, y))
+            assert got == set(pts), pts

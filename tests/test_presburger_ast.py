@@ -1,0 +1,122 @@
+"""Formula AST construction and semantics tests."""
+
+import pytest
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.presburger.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+)
+
+
+def x_ge(k):
+    return Atom.geq(Affine.var("x") - k)
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        f = And.of(x_ge(1), And.of(x_ge(2), x_ge(3)))
+        assert len(f.children) == 3
+
+    def test_and_true_unit(self):
+        assert And.of(TrueF, x_ge(1)) is not TrueF
+        assert And.of(TrueF, TrueF) is TrueF
+
+    def test_and_false_absorbs(self):
+        assert And.of(x_ge(1), FalseF) is FalseF
+
+    def test_or_false_unit(self):
+        assert Or.of(FalseF, FalseF) is FalseF
+
+    def test_or_true_absorbs(self):
+        assert Or.of(x_ge(1), TrueF) is TrueF
+
+    def test_single_child_unwrapped(self):
+        assert And.of(x_ge(1)) is not None
+        assert not isinstance(And.of(x_ge(1)), And)
+
+    def test_operators(self):
+        f = x_ge(1) & ~x_ge(5) | x_ge(10)
+        assert isinstance(f, Or)
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert Atom.equal(Affine.var("x"), Affine.var("y")).free_variables() == (
+            "x",
+            "y",
+        )
+
+    def test_quantifier_binds(self):
+        f = Exists(["y"], Atom.equal(Affine.var("x"), Affine.var("y")))
+        assert f.free_variables() == ("x",)
+
+    def test_stride_atom(self):
+        assert StrideAtom(2, Affine.var("n")).free_variables() == ("n",)
+
+    def test_quantifier_needs_vars(self):
+        with pytest.raises(ValueError):
+            Exists([], TrueF)
+
+
+class TestSubstitution:
+    def test_atom_substitution_folds(self):
+        f = Atom.geq(Affine.var("x"))
+        assert f.substitute_values({"x": 1}) is TrueF
+        assert f.substitute_values({"x": -1}) is FalseF
+
+    def test_stride_substitution_folds(self):
+        f = StrideAtom(3, Affine.var("x"))
+        assert f.substitute_values({"x": 6}) is TrueF
+        assert f.substitute_values({"x": 7}) is FalseF
+
+    def test_capture_avoidance(self):
+        # substituting y := x into (∃x: y <= x) must not capture
+        inner = Atom.leq(Affine.var("y"), Affine.var("x"))
+        f = Exists(["x"], inner)
+        g = f.substitute_affine({"y": Affine.var("x")})
+        # for any x there is a bound var above it: still always true
+        assert g.evaluate({"x": 5})
+        assert g.evaluate({"x": -100})
+
+    def test_bound_var_not_substituted(self):
+        f = Exists(["y"], Atom.equal(Affine.var("y"), Affine.var("x")))
+        g = f.substitute_values({"y": 99})  # y is bound: no-op modulo rename
+        assert g.evaluate({"x": 3})
+
+
+class TestEvaluate:
+    def test_forall_via_exists(self):
+        f = Forall(["t"], Or.of(Not(Atom.geq(Affine.var("t"))), x_ge(0)))
+        assert f.evaluate({"x": 0})
+
+    def test_unassigned_raises(self):
+        with pytest.raises(ValueError):
+            x_ge(0).evaluate({})
+
+    def test_nested_quantifiers(self):
+        # ∃a ∀t∈[0,2]: x + a >= t   always true (choose a large)
+        f = Exists(
+            ["a"],
+            Forall(
+                ["t"],
+                Or.of(
+                    Not(
+                        And.of(
+                            Atom.geq(Affine.var("t")),
+                            Atom.geq(2 - Affine.var("t")),
+                        )
+                    ),
+                    Atom.geq(Affine.var("x") + Affine.var("a") - Affine.var("t")),
+                ),
+            ),
+        )
+        assert f.evaluate({"x": -50})

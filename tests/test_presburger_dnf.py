@@ -1,0 +1,71 @@
+"""DNF conversion tests, negation handling included (§2.5)."""
+
+import pytest
+
+from conftest import assert_clauses_cover, enumerate_formula
+from repro.presburger.dnf import DnfExplosion, to_dnf
+from repro.presburger.parser import parse
+
+
+CASES = [
+    ("1 <= x <= 5", ("x",)),
+    ("1 <= x <= 5 or 8 <= x <= 9", ("x",)),
+    ("not (2 <= x <= 6) and 0 <= x <= 8", ("x",)),
+    ("x != 3 and 1 <= x <= 5", ("x",)),
+    ("not (2 | x) and 0 <= x <= 8", ("x",)),
+    ("not (3 | x + 1) and 0 <= x <= 8", ("x",)),
+    ("exists a: x = 3*a and 0 <= a <= 2", ("x",)),
+    ("not (exists a: x = 3*a) and 0 <= x <= 8", ("x",)),
+    ("forall t: not (1 <= t <= 3) or x >= t", ("x",)),
+    (
+        "1 <= x <= 6 and 1 <= y <= 6 and not (x = y)",
+        ("x", "y"),
+    ),
+    (
+        "not (exists a: x = 2*a and y = a + 1) and 0 <= x <= 6 and 0 <= y <= 6",
+        ("x", "y"),
+    ),
+    ("x mod 2 = 0 or x mod 3 = 0", ("x",)),
+]
+
+
+@pytest.mark.parametrize("text,variables", CASES, ids=[c[0][:40] for c in CASES])
+def test_dnf_preserves_semantics(text, variables):
+    f = parse(text)
+    want = enumerate_formula(f, variables, box=8)
+    assert_clauses_cover(to_dnf(f), want, variables, box=8)
+
+
+class TestStructure:
+    def test_true(self):
+        clauses = to_dnf(parse("true"))
+        assert len(clauses) == 1 and clauses[0].is_trivial_true()
+
+    def test_false(self):
+        assert to_dnf(parse("false")) == []
+
+    def test_contradiction_pruned(self):
+        clauses = to_dnf(parse("x >= 5 and x <= 3"))
+        assert clauses == []
+
+    def test_negated_equality_two_clauses(self):
+        clauses = to_dnf(parse("not x = 0"))
+        assert len(clauses) == 2
+
+    def test_negated_stride_fanout(self):
+        clauses = to_dnf(parse("not (5 | x)"))
+        assert len(clauses) == 4  # residues 1..4
+
+    def test_exists_becomes_wildcards(self):
+        (clause,) = to_dnf(parse("exists a: x = 2*a and a >= 0"))
+        assert len(clause.wildcards) == 1
+
+    def test_distribution(self):
+        f = parse("(x = 1 or x = 2) and (y = 1 or y = 2)")
+        assert len(to_dnf(f)) == 4
+
+    def test_explosion_guard(self):
+        # 15 binary disjunctions would give 2^15 clauses > cap
+        text = " and ".join("(x = %d or x = %d)" % (i, i + 1) for i in range(15))
+        with pytest.raises(DnfExplosion):
+            to_dnf(parse(text))

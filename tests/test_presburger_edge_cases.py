@@ -1,0 +1,80 @@
+"""Edge cases across the Presburger layer that earlier files skip."""
+
+import pytest
+
+from conftest import assert_clauses_cover, enumerate_formula
+from repro.presburger import parse, simplify, to_disjoint_dnf, to_dnf
+from repro.presburger.simplify import formulas_equivalent
+
+
+class TestDegenerateFormulas:
+    def test_tautology(self):
+        clauses = to_dnf(parse("x = x"))
+        assert len(clauses) == 1 and clauses[0].is_trivial_true()
+
+    def test_contradiction_via_stride(self):
+        assert to_disjoint_dnf(parse("2 | x and 2 | x + 1")) == []
+
+    def test_double_negation(self):
+        f = parse("not (not (1 <= x <= 3))")
+        want = enumerate_formula(f, ("x",), 6)
+        assert_clauses_cover(to_dnf(f), want, ("x",), 6)
+        assert want == {(1,), (2,), (3,)}
+
+    def test_forall_vacuous(self):
+        # ∀t: t != t + 1 is always true
+        f = parse("forall t: t != t + 1")
+        assert f.evaluate({})
+
+    def test_exists_unsatisfiable_body(self):
+        f = parse("exists t: t >= 1 and t <= 0")
+        assert to_dnf(f) == []
+
+
+class TestNestedQuantifiers:
+    def test_exists_exists(self):
+        f = parse("exists a: exists b: x = 2*a + 3*b and 0 <= a <= 1 and 0 <= b <= 1")
+        got = {x for x in range(-1, 8) if f.evaluate({"x": x})}
+        assert got == {0, 2, 3, 5}
+
+    def test_exists_under_negation_under_exists(self):
+        # x reachable as 2a for a in 1..4 that is NOT a multiple of 3
+        f = parse(
+            "exists a: x = 2*a and 1 <= a <= 4 and not (exists b: a = 3*b)"
+        )
+        got = {x for x in range(0, 10) if f.evaluate({"x": x})}
+        assert got == {2, 4, 8}
+
+    def test_shadowing_names(self):
+        # inner 'a' shadows outer 'a'
+        f = parse("exists a: x = a and 1 <= a <= 2 and (exists a: y = a and 5 <= a <= 6)")
+        assert f.evaluate({"x": 1, "y": 5})
+        assert not f.evaluate({"x": 5, "y": 5})
+
+
+class TestSimplifyModes:
+    def test_non_aggressive_keeps_redundant(self):
+        f = parse("x >= 0 and x >= 5")
+        lazy = simplify(f, aggressive=False)
+        eager = simplify(f, aggressive=True)
+        assert len(eager[0].constraints) <= len(lazy[0].constraints)
+        assert formulas_equivalent(f, f)
+
+    def test_simplify_equivalence_preserved(self):
+        f = parse(
+            "(1 <= x <= 10 and not (4 <= x <= 6)) or x = 5"
+        )
+        out = simplify(f)
+        want = enumerate_formula(f, ("x",), 12)
+        assert_clauses_cover(out, want, ("x",), 12)
+
+
+class TestLargeStrides:
+    def test_modulus_16(self):
+        f = parse("16 | x and 0 <= x <= 64")
+        got = enumerate_formula(f, ("x",), 70)
+        assert got == {(0,), (16,), (32,), (48,), (64,)}
+
+    def test_negated_large_stride_clause_count(self):
+        clauses = to_dnf(parse("not (16 | x)"))
+        assert len(clauses) == 15

@@ -1,0 +1,82 @@
+"""Nonlinear-term lowering tests (Section 3)."""
+
+import pytest
+
+from repro.omega.affine import Affine
+from repro.omega.problem import Conjunct
+from repro.presburger.nonlinear import (
+    NLCeil,
+    NLFloor,
+    NLLin,
+    NLMod,
+    lower,
+)
+
+
+def check_defines(expr, value_fn, var_range=range(-20, 21), env_var="t"):
+    """The lowered (affine, constraints) pair defines value_fn exactly:
+    for each t there is exactly one assignment to the fresh variables,
+    and under it the affine equals value_fn(t)."""
+    affine, cons, wilds = lower(expr)
+    for t in var_range:
+        matches = []
+        # fresh variables for floor/ceil of t/c lie within |t| + 2
+        box = range(-abs(t) - 2, abs(t) + 3)
+        import itertools
+
+        for vals in itertools.product(box, repeat=len(wilds)):
+            env = {env_var: t}
+            env.update(zip(wilds, vals))
+            if all(c.satisfied(env) for c in cons):
+                matches.append(affine.evaluate(env))
+        assert matches == [value_fn(t)], (t, matches)
+
+
+class TestFloor:
+    def test_floor_semantics(self):
+        check_defines(NLFloor(NLLin(Affine.var("t")), 3), lambda t: t // 3)
+
+    def test_floor_of_expression(self):
+        check_defines(
+            NLFloor(NLLin(Affine({"t": 2}, 1)), 4), lambda t: (2 * t + 1) // 4
+        )
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            NLFloor(NLLin(Affine.var("t")), 0)
+
+
+class TestCeil:
+    def test_ceil_semantics(self):
+        check_defines(
+            NLCeil(NLLin(Affine.var("t")), 3), lambda t: -((-t) // 3)
+        )
+
+
+class TestMod:
+    def test_mod_semantics(self):
+        check_defines(NLMod(NLLin(Affine.var("t")), 5), lambda t: t % 5)
+
+    def test_nested(self):
+        # floor(t/2) mod 3
+        inner = NLFloor(NLLin(Affine.var("t")), 2)
+        check_defines(NLMod(inner, 3), lambda t: (t // 2) % 3)
+
+
+class TestArithmetic:
+    def test_sum_and_scale(self):
+        e = 2 * NLFloor(NLLin(Affine.var("t")), 3) - 1
+        check_defines(e, lambda t: 2 * (t // 3) - 1)
+
+    def test_linear_passthrough(self):
+        affine, cons, wilds = lower(Affine({"t": 3}, -2))
+        assert affine == Affine({"t": 3}, -2)
+        assert not cons and not wilds
+
+    def test_int_coercion(self):
+        affine, cons, wilds = lower(5)
+        assert affine.const == 5
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            lower("nope")

@@ -1,0 +1,78 @@
+"""Formula simplification tests (§2.6), including the paper's example."""
+
+from conftest import assert_clauses_cover, enumerate_formula
+from repro.presburger.parser import parse
+from repro.presburger.simplify import (
+    clause_union_equivalent,
+    formula_implies,
+    formulas_equivalent,
+    simplify,
+)
+from repro.presburger.dnf import to_dnf
+
+
+class TestSimplify:
+    def test_drops_infeasible_clause(self):
+        f = parse("(x >= 5 and x <= 3) or x = 7")
+        out = simplify(f)
+        assert len(out) == 1
+
+    def test_removes_redundant_constraints(self):
+        f = parse("x >= 0 and x >= 3 and x <= 10 and x <= 20")
+        (clause,) = simplify(f)
+        assert len(clause.constraints) == 2
+
+    def test_subsumed_clause_removed(self):
+        f = parse("(1 <= x <= 10) or (3 <= x <= 5)")
+        out = simplify(f)
+        assert len(out) == 1
+
+    def test_section_2_6_example(self):
+        """The paper's §2.6 formula simplifies to two clauses
+        equivalent to (1 = i' = i <= 2n) ∨ (1 <= i' = i = 2n);
+        the paper reports 12ms on a 1992 SPARC IPX."""
+        f = parse(
+            "1 <= i <= 2*n and 1 <= ip <= 2*n and i = ip and "
+            "not (exists i2, j2: 1 <= i2 <= 2*n and 1 <= j2 <= n - 1 and "
+            "     i2 <= i and i2 = ip and 2*j2 = i2) and "
+            "not (exists i2, j2: 1 <= i2 <= 2*n and 1 <= j2 <= n - 1 and "
+            "     i2 <= i and i2 = ip and 2*j2 + 1 = i2)"
+        )
+        out = simplify(f)
+        assert len(out) == 2
+        expected = parse(
+            "(i = ip and ip = 1 and 1 <= 2*n) or (i = ip and ip = 2*n and 1 <= ip)"
+        )
+        assert clause_union_equivalent(out, to_dnf(expected))
+
+    def test_disjoint_mode(self):
+        f = parse("(1 <= x <= 10) or (5 <= x <= 15)")
+        out = simplify(f, disjoint=True)
+        want = enumerate_formula(f, ("x",), 20)
+        assert_clauses_cover(out, want, ("x",), box=20, disjoint=True)
+
+
+class TestEquivalence:
+    def test_equivalent_rewrites(self):
+        assert formulas_equivalent(
+            parse("2*x >= 4"), parse("x >= 2")
+        )
+
+    def test_not_equivalent(self):
+        assert not formulas_equivalent(parse("x >= 2"), parse("x >= 3"))
+
+    def test_quantified_equivalence(self):
+        assert formulas_equivalent(
+            parse("exists a: x = 2*a and 1 <= a <= 3"),
+            parse("(x = 2 or x = 4 or x = 6)"),
+        )
+
+    def test_demorgan(self):
+        assert formulas_equivalent(
+            parse("not (x >= 1 and y >= 1)"),
+            parse("x <= 0 or y <= 0"),
+        )
+
+    def test_implies(self):
+        assert formula_implies(parse("x = 4"), parse("2 | x"))
+        assert not formula_implies(parse("2 | x"), parse("x = 4"))

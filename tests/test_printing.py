@@ -1,0 +1,89 @@
+"""Display / round-trip tests: printed forms re-parse to equivalents."""
+
+import pytest
+
+from repro.core import count
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.presburger.parser import parse
+from repro.presburger.simplify import formulas_equivalent
+
+
+class TestAffineDisplay:
+    CASES = [
+        (Affine({"x": 1}), "x"),
+        (Affine({"x": -1}), "-x"),
+        (Affine({"x": 2, "y": -3}, 1), "2*x - 3*y + 1"),
+        (Affine({}, -7), "-7"),
+        (Affine({}, 0), "0"),
+    ]
+
+    @pytest.mark.parametrize("affine,text", CASES, ids=[c[1] for c in CASES])
+    def test_str(self, affine, text):
+        assert str(affine) == text
+
+
+class TestConjunctDisplay:
+    def test_true(self):
+        assert str(Conjunct.true()) == "TRUE"
+
+    def test_plain(self):
+        c = Conjunct([Constraint.geq(Affine({"x": 1}, -1))])
+        assert str(c) == "x - 1 >= 0"
+
+    def test_stride_pretty(self):
+        c = Conjunct.true().add_stride(3, Affine({"x": 1}, 2))
+        assert "3 | (x + 2)" in str(c)
+
+    def test_hidden_wildcards_shown(self):
+        c = Conjunct(
+            [
+                Constraint.geq(Affine({"w": 1, "x": 1})),
+                Constraint.geq(Affine({"w": -1, "x": 1})),
+            ],
+            ["w"],
+        )
+        assert str(c).startswith("exists w")
+
+
+class TestResultDisplay:
+    def test_unconditional_term(self):
+        r = count("1 <= i <= 10", ["i"])
+        assert str(r) == "(Σ : 10)"
+
+    def test_guarded_term(self):
+        r = count("1 <= i <= n", ["i"])
+        assert str(r) == "(Σ : n - 1 >= 0 : n)"
+
+
+class TestGuardRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "1 <= i <= n",
+            "1 <= i <= n and 2 | i",
+            "1 <= i and 3*i <= n",
+        ],
+    )
+    def test_guard_parses_back(self, text):
+        """Printed guards use the same syntax the parser accepts."""
+        r = count(text, ["i"]).simplified()
+        for term in r.terms:
+            printed = str(term.guard)
+            if printed == "TRUE" or printed.startswith("exists"):
+                continue
+            reparsed = parse(printed)
+            for n in range(0, 12):
+                assert reparsed.evaluate({"n": n}) == term.guard.is_satisfied(
+                    {"n": n}
+                )
+
+
+class TestFormulaDisplay:
+    def test_connectives(self):
+        f = parse("1 <= x and (x <= 5 or x = 9)")
+        text = str(f)
+        assert "and" in text and "or" in text
+        g = parse(text.replace("(", " ( ").replace(")", " ) "))
+        assert formulas_equivalent(f, g)

@@ -1,0 +1,128 @@
+"""Hypothesis property tests: the engine vs brute-force enumeration.
+
+The central invariant of the whole library: for any Presburger formula
+and polynomial summand, the symbolic result evaluated at concrete
+parameter values equals the brute-force count/sum.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import brute_count, brute_sum
+from repro.core import count, sum_poly
+from repro.presburger.parser import parse
+from repro.qpoly import Polynomial
+
+bound_consts = st.integers(-3, 3)
+small_coeff = st.integers(1, 3)
+
+
+@st.composite
+def box_formula(draw):
+    """Random 2-var conjunct with symbolic and constant bounds."""
+    pieces = []
+    for v in ("i", "j"):
+        lo = draw(bound_consts)
+        pieces.append("%d <= %s" % (lo, v))
+        if draw(st.booleans()):
+            pieces.append("%s <= n + %d" % (v, draw(bound_consts)))
+        else:
+            pieces.append("%s <= %d" % (v, draw(st.integers(0, 6))))
+    if draw(st.booleans()):
+        a, b = draw(small_coeff), draw(small_coeff)
+        pieces.append("%d*i <= %d*j + %d" % (a, b, draw(bound_consts)))
+    return " and ".join(pieces)
+
+
+@given(box_formula(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_count_matches_brute_force(text, n):
+    formula = parse(text)
+    result = count(formula, ["i", "j"])
+    env = {"n": n} if "n" in formula.free_variables() else {}
+    assert result.evaluate(env) == brute_count(formula, ["i", "j"], env, box=12)
+
+
+@given(box_formula(), st.integers(0, 4), st.integers(0, 2), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_sum_matches_brute_force(text, n, p, q):
+    formula = parse(text)
+    z = Polynomial.variable("i") ** p * Polynomial.variable("j") ** q
+    result = sum_poly(formula, ["i", "j"], z)
+    env = {"n": n} if "n" in formula.free_variables() else {}
+    assert result.evaluate(env) == brute_sum(formula, ["i", "j"], z, env, box=12)
+
+
+@st.composite
+def stride_formula(draw):
+    m = draw(st.integers(2, 4))
+    r = draw(st.integers(0, 3))
+    lo = draw(bound_consts)
+    return "%d | i + %d and %d <= i <= n" % (m, r, lo)
+
+
+@given(stride_formula(), st.integers(-2, 9))
+@settings(max_examples=40, deadline=None)
+def test_strided_count(text, n):
+    formula = parse(text)
+    result = count(formula, ["i"])
+    assert result.evaluate(n=n) == brute_count(formula, ["i"], {"n": n}, box=14)
+
+
+@given(
+    st.integers(2, 5),
+    st.integers(2, 5),
+    st.integers(0, 20),
+)
+@settings(max_examples=40, deadline=None)
+def test_rational_bounds_exact(a, b, n):
+    """ceil(n/b) <= i <= floor(n·a ... ) shapes with both strategies."""
+    text = "n <= %d*i and %d*i <= 3*n + 4" % (b, a)
+    formula = parse(text)
+    from repro.core import Strategy, SumOptions
+
+    for strat in (Strategy.EXACT, Strategy.SPLINTER):
+        result = count(formula, ["i"], SumOptions(strategy=strat))
+        want = brute_count(formula, ["i"], {"n": n}, box=4 * n + 10)
+        assert result.evaluate(n=n) == want, (strat, text, n)
+
+
+@given(st.integers(2, 6), st.integers(0, 25))
+@settings(max_examples=40, deadline=None)
+def test_bounds_bracket_truth(a, n):
+    from repro.core.general import count_bounds
+
+    text = "1 <= i and %d*i <= n" % a
+    lo, hi = count_bounds(text, ["i"])
+    truth = max(n // a, 0)
+    assert lo.evaluate(n=n) <= truth <= hi.evaluate(n=n)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.integers(1, 6)),
+        min_size=2,
+        max_size=3,
+    ),
+    st.integers(0, 6),
+)
+@settings(max_examples=30, deadline=None)
+def test_union_counting(intervals, n):
+    """Unions of intervals: disjoint DNF must count each point once."""
+    text = " or ".join(
+        "(%d <= x <= %d + n)" % (lo, lo + length) for lo, length in intervals
+    )
+    formula = parse(text)
+    result = count(formula, ["x"])
+    assert result.evaluate(n=n) == brute_count(formula, ["x"], {"n": n}, box=25)
+
+
+@given(st.integers(2, 4), st.integers(2, 4), st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_simplified_preserves_value(a, b, n):
+    text = "1 <= i and %d*i <= %d*j and 1 <= j <= n" % (a, b)
+    result = count(text, ["i", "j"])
+    simplified = result.simplified()
+    env = {"n": n}
+    assert simplified.evaluate(env) == result.evaluate(env)

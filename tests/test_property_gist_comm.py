@@ -1,0 +1,77 @@
+"""More hypothesis properties: gist semantics and block-cyclic owners."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import BlockCyclicDistribution
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.omega.redundancy import gist, remove_redundant
+from repro.omega.satisfiability import equivalent, satisfiable
+
+rows = st.lists(
+    st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-6, 6)),
+    min_size=1,
+    max_size=3,
+)
+
+
+def conjunct_of(spec, box=7):
+    cons = []
+    for v in ("x", "y"):
+        cons.append(Constraint.geq(Affine({v: 1}, box)))
+        cons.append(Constraint.geq(Affine({v: -1}, box)))
+    for a, b, c in spec:
+        cons.append(Constraint.geq(Affine({"x": a, "y": b}, c)))
+    return Conjunct(cons)
+
+
+@given(rows, rows)
+@settings(max_examples=50, deadline=None)
+def test_gist_defining_property(p_spec, q_spec):
+    """(gist P given Q) ∧ Q  ≡  P ∧ Q, always."""
+    p, q = conjunct_of(p_spec), conjunct_of(q_spec)
+    g = gist(p, q)
+    assert equivalent(g.merge(q), p.merge(q))
+
+
+@given(rows, rows)
+@settings(max_examples=30, deadline=None)
+def test_gist_no_more_constraints(p_spec, q_spec):
+    p, q = conjunct_of(p_spec), conjunct_of(q_spec)
+    g = gist(p, q)
+    if satisfiable(p.merge(q)):
+        assert len(g.constraints) <= len(p.normalize().constraints)
+
+
+@given(rows)
+@settings(max_examples=40, deadline=None)
+def test_remove_redundant_preserves_set(spec):
+    conj = conjunct_of(spec)
+    out = remove_redundant(conj)
+    assert equivalent(conj, out)
+
+
+@given(st.integers(1, 5), st.integers(2, 6), st.integers(10, 60))
+@settings(max_examples=20, deadline=None)
+def test_block_cyclic_owner_function(block, procs, extent):
+    """The owner formula matches (t // block) % procs for random
+    parameters, and ownership partitions the template."""
+    dist = BlockCyclicDistribution(block=block, procs=procs)
+    f = dist.owner_formula("t", "p")
+    for t in range(0, extent):
+        owners = [p for p in range(procs) if f.evaluate({"t": t, "p": p})]
+        assert owners == [(t // block) % procs], (block, procs, t)
+
+
+@given(st.integers(1, 4), st.integers(2, 4))
+@settings(max_examples=12, deadline=None)
+def test_block_cyclic_counts_partition(block, procs):
+    extent = block * procs * 3 - 1
+    dist = BlockCyclicDistribution(block=block, procs=procs)
+    per = dist.elements_per_processor("0 <= t <= %d" % extent)
+    counts = [per.evaluate(p=p) for p in range(procs)]
+    assert sum(counts) == extent + 1
+    assert max(counts) - min(counts) <= block

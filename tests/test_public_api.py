@@ -1,0 +1,65 @@
+"""Public API surface tests: the names README promises exist and work."""
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart(self):
+        r = repro.count("1 <= i and i < j and j <= n", over=["i", "j"])
+        assert str(r) == "(Σ : n - 2 >= 0 : 1/2*n**2 - 1/2*n)"
+        assert r.evaluate(n=10) == 45
+
+    def test_sum_poly_shortcut(self):
+        s = repro.sum_poly("1 <= i <= n", ["i"], "i")
+        assert s.evaluate(n=4) == 10
+
+    def test_count_bounds(self):
+        lo, hi = repro.count_bounds("1 <= i and 3*i <= n", ["i"])
+        assert lo.exactness == "lower" and hi.exactness == "upper"
+
+    def test_parse_and_dnf(self):
+        f = repro.parse("1 <= x <= 5 or x = 9")
+        clauses = repro.to_disjoint_dnf(f)
+        assert len(clauses) == 2
+
+    def test_simplify(self):
+        out = repro.simplify(repro.parse("x >= 1 and x >= 0"))
+        assert len(out) == 1 and len(out[0].constraints) == 1
+
+
+class TestSubpackages:
+    def test_omega_exports(self):
+        from repro.omega import (
+            eliminate_exact,
+            gist,
+            project_onto,
+            remove_redundant,
+            satisfiable,
+        )
+
+    def test_apps_exports(self):
+        from repro.apps import (
+            BlockCyclicDistribution,
+            balanced_chunks,
+            cache_lines_touched,
+            count_flops,
+            memory_locations_touched,
+        )
+
+    def test_baselines_exports(self):
+        from repro.baselines import (
+            hp_nested_sum,
+            inclusion_exclusion_count,
+            naive_nested_sum,
+            tawbi_count,
+        )
+
+    def test_polyhedra_exports(self):
+        from repro.polyhedra import summarize_offsets, zero_one_formula

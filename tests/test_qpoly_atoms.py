@@ -1,0 +1,76 @@
+"""Mod-atom tests: canonicalization, evaluation, substitution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qpoly.atoms import ModAtom, atom_sort_key, evaluate_atom
+
+
+class TestCanonical:
+    def test_coefficients_reduced(self):
+        a = ModAtom({"n": 5}, 7, 3)
+        assert a == ModAtom({"n": 2}, 1, 3)
+
+    def test_zero_coefficients_dropped(self):
+        a = ModAtom({"n": 4, "m": 1}, 0, 2)
+        assert a.variables() == ("m",)
+
+    def test_constant_atom(self):
+        a = ModAtom({"n": 2}, 1, 2)
+        assert a.is_constant()
+        assert a.evaluate({}) == 1
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            ModAtom({"n": 1}, 0, 0)
+
+    def test_hash_consistency(self):
+        assert hash(ModAtom({"n": 1}, 0, 2)) == hash(ModAtom({"n": 3}, 2, 2))
+
+    def test_immutability(self):
+        a = ModAtom({"n": 1}, 0, 2)
+        with pytest.raises(AttributeError):
+            a.const = 5
+
+
+class TestEvaluation:
+    @given(st.integers(-50, 50), st.integers(1, 9))
+    def test_matches_python_mod(self, n, m):
+        a = ModAtom({"n": 1}, 0, m)
+        assert a.evaluate({"n": n}) == n % m
+
+    @given(st.integers(-20, 20), st.integers(-20, 20))
+    def test_affine_argument(self, n, k):
+        a = ModAtom({"n": 2, "k": -1}, 3, 5)
+        assert a.evaluate({"n": n, "k": k}) == (2 * n - k + 3) % 5
+
+    def test_range(self):
+        a = ModAtom({"n": 1}, 0, 7)
+        for n in range(-30, 30):
+            assert 0 <= a.evaluate({"n": n}) < 7
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        a = ModAtom({"n": 1}, 0, 4)
+        b = a.substitute_var("n", {"m": 2}, 1)  # n -> 2m + 1
+        for m in range(-10, 10):
+            assert b.evaluate({"m": m}) == (2 * m + 1) % 4
+
+    def test_substitute_absent_var(self):
+        a = ModAtom({"n": 1}, 0, 4)
+        assert a.substitute_var("zz", {"m": 2}, 1) is a
+
+    def test_rename(self):
+        a = ModAtom({"n": 1}, 2, 3)
+        assert a.rename({"n": "p"}) == ModAtom({"p": 1}, 2, 3)
+
+
+class TestOrdering:
+    def test_strings_before_mods(self):
+        a = ModAtom({"n": 1}, 0, 2)
+        assert atom_sort_key("z") < atom_sort_key(a)
+
+    def test_evaluate_atom_dispatch(self):
+        assert evaluate_atom("n", {"n": 5}) == 5
+        assert evaluate_atom(ModAtom({"n": 1}, 0, 2), {"n": 5}) == 1

@@ -1,0 +1,50 @@
+"""Polynomial summand parser tests."""
+
+import pytest
+
+from repro.qpoly.parse import PolynomialParseError, parse_polynomial
+
+
+class TestParse:
+    def test_affine(self):
+        p = parse_polynomial("2*i - 3*j + 7")
+        assert p.evaluate({"i": 1, "j": 2}) == 3
+
+    def test_product(self):
+        p = parse_polynomial("i*i + i*j")
+        assert p.evaluate({"i": 2, "j": 3}) == 10
+
+    def test_power(self):
+        p = parse_polynomial("i**3 - 1")
+        assert p.evaluate({"i": 2}) == 7
+
+    def test_parentheses(self):
+        p = parse_polynomial("(i + j)**2")
+        assert p.evaluate({"i": 1, "j": 2}) == 9
+
+    def test_unary_minus(self):
+        p = parse_polynomial("-i * -j")
+        assert p.evaluate({"i": 2, "j": 3}) == 6
+
+    def test_constant(self):
+        assert parse_polynomial("42").constant_value() == 42
+
+    def test_precedence(self):
+        p = parse_polynomial("1 + 2*i**2")
+        assert p.evaluate({"i": 3}) == 19
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PolynomialParseError):
+            parse_polynomial("i + )")
+
+    def test_bad_exponent(self):
+        with pytest.raises(PolynomialParseError):
+            parse_polynomial("i**j")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(PolynomialParseError):
+            parse_polynomial("(i + j")
+
+    def test_empty(self):
+        with pytest.raises(PolynomialParseError):
+            parse_polynomial("")

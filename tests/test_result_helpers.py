@@ -1,0 +1,48 @@
+"""Tests for SymbolicSum convenience helpers and total_footprint."""
+
+from repro.apps import ArrayRef, Loop, LoopNest, Statement
+from repro.apps.memory import total_footprint
+from repro.core import count
+
+
+class TestAsFunction:
+    def test_callable(self):
+        f = count("1 <= i <= n", ["i"]).as_function()
+        assert f(n=7) == 7
+        assert f(n=-1) == 0
+
+
+class TestTable:
+    def test_series(self):
+        r = count("1 <= i <= n and 1 <= j <= i", ["i", "j"])
+        table = r.table("n", range(0, 5))
+        assert table == [(0, 0), (1, 1), (2, 3), (3, 6), (4, 10)]
+
+    def test_fixed_symbols(self):
+        r = count("1 <= i <= n and i <= m", ["i"])
+        table = r.table("n", [1, 5, 10], m=3)
+        assert table == [(1, 1), (5, 3), (10, 3)]
+
+
+class TestTotalFootprint:
+    def test_two_arrays(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [
+                Statement(
+                    refs=[ArrayRef("a", ["i"]), ArrayRef("b", ["2*i"])]
+                )
+            ],
+        )
+        # a touches n cells, b touches n cells (distinct addresses of b)
+        assert total_footprint(nest, n=10) == 20
+
+    def test_shared_array_counted_once(self):
+        nest = LoopNest(
+            [Loop("i", 1, "n")],
+            [
+                Statement(refs=[ArrayRef("a", ["i"])]),
+                Statement(refs=[ArrayRef("a", ["i + 1"])]),
+            ],
+        )
+        assert total_footprint(nest, n=10) == 11

@@ -1,0 +1,103 @@
+"""Work-budget machinery tests: WorkMeter, SatBlowupError, fallbacks.
+
+The paper concedes that simplifying arbitrary Presburger formulas "may
+be prohibitively expensive"; these guards turn that regime into loud,
+catchable failures (and, for the 0-1 stencil encoding, into the same
+per-point fallback the paper's implementation effectively took).
+"""
+
+import pytest
+
+from repro.omega.satisfiability import SatBlowupError, satisfiable
+from repro.presburger.disjoint import (
+    DisjointBudgetError,
+    WorkMeter,
+    disjointify,
+    project_to_stride_only,
+)
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+from repro.polyhedra import zero_one_summary
+
+
+class TestWorkMeter:
+    def test_charge_accumulates(self):
+        m = WorkMeter(10)
+        m.charge(4)
+        m.charge(6)
+        assert m.units == 10
+
+    def test_raises_past_limit(self):
+        m = WorkMeter(5)
+        m.charge(5)
+        with pytest.raises(DisjointBudgetError):
+            m.charge()
+
+    def test_shared_across_nested_calls(self):
+        # a tiny budget must abort even a modest disjointify job
+        clauses = [
+            Conjunct(
+                [
+                    Constraint.geq(Affine({"x": 1}, -lo)),
+                    Constraint.geq(Affine({"x": -1}, lo + 4)),
+                ]
+            )
+            for lo in range(4)
+        ]
+        with pytest.raises(DisjointBudgetError):
+            disjointify(clauses, budget=3)
+
+    def test_generous_budget_succeeds(self):
+        clauses = [
+            Conjunct(
+                [
+                    Constraint.geq(Affine({"x": 1}, -lo)),
+                    Constraint.geq(Affine({"x": -1}, lo + 4)),
+                ]
+            )
+            for lo in range(3)
+        ]
+        out = disjointify(clauses, budget=100000)
+        covered = {
+            x
+            for c in out
+            for x in range(-2, 10)
+            if c.is_satisfied({"x": x})
+        }
+        assert covered == set(range(0, 7))
+
+
+class TestSatBlowup:
+    def test_huge_conjunct_rejected(self):
+        cons = [
+            Constraint.geq(Affine({"x": 1, "y": k}, k)) for k in range(700)
+        ]
+        with pytest.raises(SatBlowupError):
+            satisfiable(Conjunct(cons))
+
+    def test_normal_sizes_unaffected(self):
+        cons = [
+            Constraint.geq(Affine({"x": 1}, k)) for k in range(50)
+        ]
+        assert satisfiable(Conjunct(cons))
+
+
+class TestZeroOneFallback:
+    def test_budget_fallback_is_per_point(self):
+        nine = [(a, b) for a in (-1, 0, 1) for b in (-1, 0, 1)]
+        clauses, compact = zero_one_summary(nine, ["x", "y"], budget=50)
+        assert not compact
+        covered = {
+            (x, y)
+            for c in clauses
+            for x in range(-2, 3)
+            for y in range(-2, 3)
+            if c.is_satisfied({"x": x, "y": y})
+        }
+        assert covered == set(nine)
+
+    def test_easy_case_unaffected_by_budget(self):
+        five = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+        clauses, compact = zero_one_summary(five, ["x", "y"])
+        assert compact and len(clauses) == 1
