@@ -5,9 +5,24 @@ asserts the paper's reported values (counts, piece numbers, closed
 forms) in addition to timing the computation, so the bench suite
 doubles as the experiment reproduction harness; EXPERIMENTS.md records
 paper-vs-measured for each entry.
+
+Every test also runs under :mod:`repro.core.stats` collection: the
+engine-counter deltas (sat calls, cache hits, FM eliminations, ...)
+are recorded next to the wall time.  Set ``BENCH_JSON=<path>`` to
+write the per-test records as a JSON artifact at the end of the
+session (the CI smoke step stores it as ``BENCH_smoke.json``).
 """
 
+import json
+import os
+import time
+
 import pytest
+
+from repro.core import stats
+from repro.omega.constraints import reset_fresh_counter
+
+_RECORDS = []
 
 
 def report(experiment_id, rows):
@@ -15,3 +30,39 @@ def report(experiment_id, rows):
     print("\n[%s]" % experiment_id)
     for row in rows:
         print("   ", row)
+
+
+@pytest.fixture(autouse=True)
+def _bench_stats(request):
+    """Record wall time and engine-counter deltas for every bench."""
+    reset_fresh_counter()
+    with stats.collecting_stats() as counters:
+        start = time.perf_counter()
+        yield
+        elapsed = time.perf_counter() - start
+        snapshot = dict(counters)
+    _RECORDS.append(
+        {
+            "test": request.node.nodeid,
+            "seconds": round(elapsed, 6),
+            "stats": snapshot,
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("BENCH_JSON")
+    if not path or not _RECORDS:
+        return
+    totals = {}
+    for record in _RECORDS:
+        for name, value in record["stats"].items():
+            totals[name] = totals.get(name, 0) + value
+    payload = {
+        "wall_seconds": round(sum(r["seconds"] for r in _RECORDS), 6),
+        "stats_totals": totals,
+        "tests": _RECORDS,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

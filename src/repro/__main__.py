@@ -12,9 +12,24 @@ Examples::
 import argparse
 import sys
 
-from repro.core import Strategy, SumOptions, count, sum_poly
+from repro.core import Strategy, SumOptions, count, stats, sum_poly
 from repro.presburger.parser import parse
 from repro.presburger.simplify import simplify
+
+
+def _print_stats(args) -> None:
+    """After-run counter dump (guards evaluated, caches hit, ...)."""
+    if not args.stats:
+        return
+    from repro.omega.satisfiability import sat_cache_info
+
+    info = sat_cache_info()
+    print("-- stats --", file=sys.stderr)
+    print(stats.format_stats(), file=sys.stderr)
+    print(
+        "%-22s %d/%d" % ("sat_cache_size", info["size"], info["limit"]),
+        file=sys.stderr,
+    )
 
 
 def _parse_table(spec: str):
@@ -51,6 +66,12 @@ def main(argv=None) -> int:
 
     def common(p, needs_over=True):
         p.add_argument("formula", help="formula text, e.g. '1 <= i <= n'")
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine counters (sat cache, normalize, FM "
+            "eliminations, ...) to stderr after the run",
+        )
         if needs_over:
             p.add_argument(
                 "--over",
@@ -99,8 +120,17 @@ def main(argv=None) -> int:
     p_simp.add_argument(
         "--disjoint", action="store_true", help="make the clauses disjoint"
     )
+    p_simp.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine counters to stderr after the run",
+    )
 
     args = parser.parse_args(argv)
+
+    if args.stats:
+        stats.reset_stats()
+        stats.enable_stats()
 
     if args.command == "simplify":
         clauses = simplify(parse(args.formula), disjoint=args.disjoint)
@@ -108,6 +138,7 @@ def main(argv=None) -> int:
             print("FALSE")
         for clause in clauses:
             print(clause)
+        _print_stats(args)
         return 0
 
     over = _over(args)
@@ -129,6 +160,7 @@ def main(argv=None) -> int:
         name, values = args.table
         for v, c in result.table(name, values, **fixed):
             print("  %s=%-6d %s" % (name, v, c))
+    _print_stats(args)
     return 0
 
 

@@ -12,6 +12,7 @@ quasi-polynomial terms ``(Σ : guard : value)`` in the remaining free
 variables (the symbolic constants).
 """
 
+from repro.core import stats
 from repro.core.general import count, count_conjunct, sum_poly
 from repro.core.options import Strategy, SumOptions
 from repro.core.result import SymbolicSum, Term
@@ -23,5 +24,6 @@ __all__ = [
     "Term",
     "count",
     "count_conjunct",
+    "stats",
     "sum_poly",
 ]

@@ -35,6 +35,7 @@ from repro.omega.equalities import (
 from repro.omega.eliminate import eliminate_exact
 from repro.omega.problem import Conjunct
 from repro.omega.redundancy import remove_redundant
+from repro.core import stats
 from repro.core.options import DEFAULT_OPTIONS, Strategy, SumOptions
 from repro.core.powersums import sum_over_range
 from repro.core.result import Term
@@ -317,6 +318,9 @@ def _residue_split(
             "residue split of %d cases exceeds the cap (%d); raise "
             "SumOptions.max_residue_split" % (modulus, ctx.opts.max_residue_split)
         )
+    if stats.ENABLED:
+        stats.bump("residue_splits")
+        stats.bump("residue_cases", modulus)
     out: List[Term] = []
     for r in range(modulus):
         v2 = fresh_var("v")

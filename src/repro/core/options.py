@@ -14,6 +14,17 @@ selects the rational-bound treatment:
   summands, e.g. counting).
 * ``MIDPOINT``: the paper's "best guess": the average of the rational
   upper and lower bound substitutions.
+
+Performance knobs live next to the machinery they tune rather than
+here (they are process-global, not per-call):
+
+* ``repro.omega.satisfiability.set_sat_cache_limit`` -- capacity of
+  the satisfiability LRU memo (default 200000 entries; 0 disables).
+* ``repro.omega.problem.set_normalize_memo`` -- the per-instance
+  ``Conjunct.normalize`` memo (on by default).
+* ``repro.core.stats`` -- opt-in counters for every hot primitive;
+  see ``collecting_stats`` / ``stats_snapshot`` and the CLI's
+  ``--stats`` flag.
 """
 
 import enum

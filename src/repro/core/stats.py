@@ -1,0 +1,148 @@
+"""Global engine counters and timers ("observability layer").
+
+The counting engine spends its time in a handful of hot primitives:
+satisfiability checks, ``Conjunct.normalize`` fixed-point passes,
+Fourier-Motzkin shadow computations, splinters, residue splits and
+complete redundancy tests.  This module provides cheap process-global
+counters for those events so that slow queries can be diagnosed
+without a profiler.
+
+The layer is off by default and designed for near-zero overhead when
+disabled: instrumented call sites guard every update with a single
+``if stats.ENABLED`` attribute check.  This module deliberately
+imports nothing from the rest of the package so the low-level
+``repro.omega`` modules can depend on it without layering cycles.
+
+Usage::
+
+    from repro.core import stats
+
+    with stats.collecting_stats() as counters:
+        count("1 <= i <= n and 1 <= j <= i", ["i", "j"])
+    print(stats.format_stats(counters))
+
+or imperatively with :func:`enable_stats` / :func:`stats_snapshot`.
+"""
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Union
+
+#: Master switch.  Instrumented call sites check this before touching
+#: any counter; keep reads as plain module-attribute loads (do *not*
+#: ``from ... import ENABLED``, which would freeze the value).
+ENABLED = False
+
+#: Names every instrumented call site uses, with their meaning.  The
+#: snapshot always contains all of them (zero when never hit) so
+#: downstream tooling can rely on the schema.
+COUNTER_NAMES = (
+    "sat_calls",  # satisfiable() invocations, recursion included
+    "sat_cache_hits",  # answered from the LRU memo
+    "sat_cache_misses",  # required an actual elimination run
+    "sat_cache_evictions",  # LRU entries dropped to respect the limit
+    "normalize_calls",  # Conjunct.normalize() invocations
+    "normalize_memo_hits",  # answered from the per-instance memo
+    "normalize_iterations",  # fixed-point passes actually executed
+    "fm_eliminations",  # real/dark shadow projections computed
+    "splinters_taken",  # splinter subproblems generated
+    "residue_splits",  # residue-class enumerations of a stride
+    "residue_cases",  # total residue cases those splits expanded to
+    "redundancy_checks",  # complete single-constraint redundancy tests
+)
+
+_counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+_timers: Dict[str, float] = {}
+
+
+def enable_stats() -> None:
+    """Turn collection on (counters keep their current values)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable_stats() -> None:
+    """Turn collection off (counters keep their current values)."""
+    global ENABLED
+    ENABLED = False
+
+
+def reset_stats() -> None:
+    """Zero every counter and timer."""
+    for name in _counters:
+        _counters[name] = 0
+    _timers.clear()
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Add ``n`` to a counter (call sites should guard with ENABLED)."""
+    _counters[name] = _counters.get(name, 0) + n
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Accumulate wall time under ``name``."""
+    _timers[name] = _timers.get(name, 0.0) + seconds
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the ``with`` body under ``name``.
+
+    Only records when collection is enabled, so it is safe (and cheap)
+    to leave in place permanently.
+    """
+    if not ENABLED:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        add_time(name, time.perf_counter() - start)
+
+
+def stats_snapshot() -> Dict[str, Union[int, float]]:
+    """A copy of all counters plus ``time_<name>`` timer totals."""
+    snap: Dict[str, Union[int, float]] = dict(_counters)
+    for name, seconds in _timers.items():
+        snap["time_%s" % name] = seconds
+    return snap
+
+
+@contextmanager
+def collecting_stats(reset: bool = True) -> Iterator[Dict[str, int]]:
+    """Enable collection for the ``with`` body.
+
+    Yields the live counter mapping (read it inside or after the
+    block).  By default the counters are zeroed on entry; the previous
+    enabled/disabled state is restored on exit.
+    """
+    global ENABLED
+    previous = ENABLED
+    if reset:
+        reset_stats()
+    ENABLED = True
+    try:
+        yield _counters
+    finally:
+        ENABLED = previous
+
+
+def format_stats(snapshot=None) -> str:
+    """Human-readable one-counter-per-line rendering.
+
+    Accepts a snapshot mapping; defaults to the live counters.  Hit
+    rates are derived for the two caches when their totals are
+    nonzero.
+    """
+    snap = dict(stats_snapshot() if snapshot is None else snapshot)
+    lines = []
+    for name in COUNTER_NAMES:
+        lines.append("%-22s %d" % (name, snap.pop(name, 0)))
+    for name in sorted(snap):
+        value = snap[name]
+        if isinstance(value, float):
+            lines.append("%-22s %.6f" % (name, value))
+        else:
+            lines.append("%-22s %s" % (name, value))
+    return "\n".join(lines)

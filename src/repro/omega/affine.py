@@ -29,7 +29,9 @@ class Affine:
             raise TypeError("affine constant must be int, got %r" % (const,))
         object.__setattr__(self, "coeffs", tuple(sorted(clean.items())))
         object.__setattr__(self, "const", const)
-        object.__setattr__(self, "_hash", hash((self.coeffs, self.const)))
+        # Hash lazily: millions of Affines are transient intermediates
+        # (substitution, tightening) that are never used as dict keys.
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Affine is immutable")
@@ -123,7 +125,11 @@ class Affine:
         return self.coeffs == other.coeffs and self.const == other.const
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = hash((self.coeffs, self.const))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # -- substitution / evaluation ------------------------------------------
 

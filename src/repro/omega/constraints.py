@@ -29,6 +29,21 @@ def fresh_var(prefix: str = "w") -> str:
     return "_%s%d" % (prefix, next(_fresh_counter))
 
 
+def reset_fresh_counter(start: int = 1) -> None:
+    """Restart the fresh-name counter (test hook).
+
+    Wildcard names otherwise depend on how many conjuncts were built
+    since the process started, which makes golden-string assertions
+    (and anything keyed on printed guards) depend on test order.  The
+    test suite resets the counter before every test.  Safe at any
+    time: satisfiability and normalization are pure functions of a
+    conjunct's *content*, so a name collision between unrelated
+    conjuncts cannot change any cached answer.
+    """
+    global _fresh_counter
+    _fresh_counter = itertools.count(start)
+
+
 class Constraint:
     """An immutable atomic constraint ``affine >= 0`` or ``affine == 0``."""
 
@@ -45,7 +60,7 @@ class Constraint:
                 expr = -expr
         object.__setattr__(self, "expr", expr)
         object.__setattr__(self, "kind", kind)
-        object.__setattr__(self, "_hash", hash((expr, kind)))
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Constraint is immutable")
@@ -133,7 +148,11 @@ class Constraint:
         )
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = hash((self.expr, self.kind))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __str__(self) -> str:
         op = ">=" if self.kind == GEQ else "="

@@ -20,6 +20,7 @@ pieces (Figure 1's variant), which is what counting needs.
 
 from typing import List, Optional, Tuple
 
+from repro.core import stats
 from repro.intarith import floor_div
 from repro.omega.affine import Affine
 from repro.omega.constraints import Constraint
@@ -32,6 +33,8 @@ class SplinterError(RuntimeError):
 
 
 def _shadow(conj: Conjunct, var: str, dark: bool) -> Optional[Conjunct]:
+    if stats.ENABLED:
+        stats.bump("fm_eliminations")
     lowers, uppers, rest = conj.bounds_on(var)
     if not lowers or not uppers:
         # Unbounded on one side: ∃z always solvable once the other
@@ -94,6 +97,8 @@ def splinters(conj: Conjunct, var: str) -> List[Conjunct]:
         for i in range(top + 1):
             eq = Constraint.equal(Affine({var: b}), beta + i)
             out.append(conj.with_constraints([eq]))
+    if stats.ENABLED and out:
+        stats.bump("splinters_taken", len(out))
     return out
 
 

@@ -12,15 +12,33 @@ Stride constraints ``c | e`` are stored as ``c·w == e`` for a wildcard
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+from repro.core import stats
 from repro.intarith import floor_div, gcd_list
 from repro.omega.affine import Affine
 from repro.omega.constraints import EQ, GEQ, Constraint, fresh_var
+
+#: Sentinel for "normalize() has not run yet on this instance".
+_MEMO_UNSET = object()
+
+_EMPTY_FROZENSET = frozenset()
+
+#: Master switch for the per-instance normalize memo (the differential
+#: tests turn it off to prove memoization never changes results).
+_NORMALIZE_MEMO_ENABLED = True
+
+
+def set_normalize_memo(enabled: bool) -> bool:
+    """Enable/disable the normalize memo; returns the previous state."""
+    global _NORMALIZE_MEMO_ENABLED
+    previous = _NORMALIZE_MEMO_ENABLED
+    _NORMALIZE_MEMO_ENABLED = bool(enabled)
+    return previous
 
 
 class Conjunct:
     """An immutable conjunction ``∃ wildcards . c1 ∧ c2 ∧ ...``."""
 
-    __slots__ = ("constraints", "wildcards", "_hash")
+    __slots__ = ("constraints", "wildcards", "_hash", "_normalized")
 
     def __init__(
         self,
@@ -28,20 +46,22 @@ class Conjunct:
         wildcards: Iterable[str] = (),
     ):
         cons = tuple(dict.fromkeys(constraints))
-        used = set()
-        for c in cons:
-            used.update(c.variables())
         object.__setattr__(
             self,
             "constraints",
             cons,
         )
-        object.__setattr__(
-            self,
-            "wildcards",
-            frozenset(w for w in wildcards if w in used),
-        )
+        wildcards = tuple(wildcards)
+        if wildcards:
+            used = set()
+            for c in cons:
+                used.update(c.variables())
+            wildset = frozenset(w for w in wildcards if w in used)
+        else:
+            wildset = _EMPTY_FROZENSET
+        object.__setattr__(self, "wildcards", wildset)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_normalized", _MEMO_UNSET)
 
     def __setattr__(self, name, value):
         raise AttributeError("Conjunct is immutable")
@@ -51,6 +71,11 @@ class Conjunct:
     @classmethod
     def true(cls) -> "Conjunct":
         return cls()
+
+    @classmethod
+    def false(cls) -> "Conjunct":
+        """The canonical unsatisfiable conjunct ``-1 >= 0``."""
+        return cls([Constraint.geq(Affine.const_expr(-1))])
 
     def variables(self) -> Tuple[str, ...]:
         seen: Dict[str, None] = {}
@@ -112,7 +137,17 @@ class Conjunct:
 
     def merge(self, other: "Conjunct") -> "Conjunct":
         """Conjoin two conjuncts, renaming wildcards to avoid capture."""
-        other = other.rename_wildcards()
+        if other.wildcards:
+            # Renaming is only needed when a wildcard of ``other``
+            # collides with a name of ``self`` (fresh_var names are
+            # process-unique, so collisions only arise from shared
+            # ancestry).  Skipping the rename keeps names stable,
+            # which is what makes the satisfiability cache effective.
+            mine = set(self.wildcards)
+            for c in self.constraints:
+                mine.update(c.variables())
+            if not mine.isdisjoint(other.wildcards):
+                other = other.rename_wildcards()
         return Conjunct(
             self.constraints + other.constraints,
             tuple(self.wildcards) + tuple(other.wildcards),
@@ -128,7 +163,10 @@ class Conjunct:
 
     def substitute(self, var: str, replacement: Affine) -> "Conjunct":
         return Conjunct(
-            (c.substitute(var, replacement) for c in self.constraints),
+            (
+                c.substitute(var, replacement) if c.uses(var) else c
+                for c in self.constraints
+            ),
             self.wildcards,
         )
 
@@ -154,7 +192,51 @@ class Conjunct:
         * Parallel GEQs are merged (tightest kept); opposed parallel
           GEQs that pin an expression to a point become an EQ, and an
           empty interval kills the conjunct.
+
+        The result is memoized on the instance (conjuncts are
+        immutable, and every ``_sum`` recursion step, ``satisfiable``
+        call and redundancy test re-normalizes the conjuncts it is
+        handed).  The fixed point is reached by iteration, not
+        recursion, so adversarial chains -- e.g. wildcard equalities
+        that each become eliminable only after the previous one is
+        dropped -- cannot exhaust the interpreter stack.
         """
+        if stats.ENABLED:
+            stats.bump("normalize_calls")
+        if _NORMALIZE_MEMO_ENABLED and self._normalized is not _MEMO_UNSET:
+            if stats.ENABLED:
+                stats.bump("normalize_memo_hits")
+            return self._normalized
+        chain: List["Conjunct"] = []
+        current = self
+        while True:
+            if stats.ENABLED:
+                stats.bump("normalize_iterations")
+            step = current._normalize_once()
+            if step is None:
+                result = None
+                break
+            if (
+                step.constraints == current.constraints
+                and step.wildcards == current.wildcards
+            ):
+                result = step
+                break
+            if _NORMALIZE_MEMO_ENABLED and step._normalized is not _MEMO_UNSET:
+                result = step._normalized
+                break
+            chain.append(step)
+            current = step
+        if _NORMALIZE_MEMO_ENABLED:
+            object.__setattr__(self, "_normalized", result)
+            for link in chain:
+                object.__setattr__(link, "_normalized", result)
+            if result is not None:
+                object.__setattr__(result, "_normalized", result)
+        return result
+
+    def _normalize_once(self) -> Optional["Conjunct"]:
+        """One canonicalization pass (see :meth:`normalize`)."""
         geqs: Dict[Tuple, Constraint] = {}
         eqs: List[Constraint] = []
         for c in self.constraints:
@@ -267,10 +349,7 @@ class Conjunct:
             stride_seen[key] = w
             stride_eqs.append(Constraint.equal(Affine({w: g}), reduced))
 
-        result = Conjunct(plain_eqs + stride_eqs + out_geqs, wildcards)
-        if result.constraints == self.constraints and result.wildcards == self.wildcards:
-            return result
-        return result.normalize()  # iterate to a fixed point
+        return Conjunct(plain_eqs + stride_eqs + out_geqs, wildcards)
 
     # -- bounds ------------------------------------------------------------
 

@@ -11,6 +11,7 @@ constraint c is redundant in P iff P∖{c} ∧ ¬c has no integer solution.
 
 from typing import Iterable, List, Optional
 
+from repro.core import stats
 from repro.omega.constraints import Constraint
 from repro.omega.problem import Conjunct
 from repro.omega.satisfiability import satisfiable
@@ -20,6 +21,8 @@ def constraint_redundant(
     conj: Conjunct, constraint: Constraint, context: Optional[Conjunct] = None
 ) -> bool:
     """Is ``constraint`` implied by the rest of ``conj`` (and context)?"""
+    if stats.ENABLED:
+        stats.bump("redundancy_checks")
     rest = Conjunct(
         (c for c in conj.constraints if c != constraint), conj.wildcards
     )
@@ -40,11 +43,16 @@ def remove_redundant(
 
     Equalities and strides are kept (they carry the conjunct's
     structure; the elimination machinery consumes them directly).
+    An infeasible conjunct canonicalizes to :meth:`Conjunct.false`
+    (``-1 >= 0``), matching :func:`gist`.
     """
     normalized = conj.normalize()
     if normalized is None:
-        return conj
+        return Conjunct.false()
     conj = normalized
+    combined = conj if context is None else conj.merge(context)
+    if not satisfiable(combined):
+        return Conjunct.false()
     # Try to drop the syntactically largest constraints first so the
     # kept set stays simple.
     order = sorted(
@@ -67,14 +75,12 @@ def gist(p: Conjunct, q: Conjunct) -> Conjunct:
     other returned constraints.  If P∧Q is infeasible the result is a
     canonical FALSE conjunct (0 >= 1).
     """
-    from repro.omega.affine import Affine
-
     combined = p.merge(q)
     if not satisfiable(combined):
-        return Conjunct([Constraint.geq(Affine.const_expr(-1))])
+        return Conjunct.false()
     p_n = p.normalize()
     if p_n is None:
-        return Conjunct([Constraint.geq(Affine.const_expr(-1))])
+        return Conjunct.false()
     current = p_n
     for c in sorted(
         p_n.constraints,

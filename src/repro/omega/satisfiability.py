@@ -8,13 +8,14 @@ we try the dark shadow (sufficient) and fall back to splinters
 (complete).
 """
 
+from collections import OrderedDict
 from typing import Optional
 
+from repro.core import stats
 from repro.omega.problem import Conjunct
 from repro.omega.equalities import mod_hat_eliminate, solve_unit
 from repro.omega.eliminate import (
     dark_shadow,
-    elimination_is_exact,
     real_shadow,
     splinters,
 )
@@ -36,9 +37,61 @@ class SatBlowupError(RuntimeError):
 #: Memo for satisfiability results.  Conjuncts are immutable and
 #: hashable, and guard evaluation re-solves the same ground conjuncts
 #: over and over (every ``SymbolicSum.evaluate`` substitutes the same
-#: guards), so this cache is a large constant-factor win.
-_SAT_CACHE = {}
+#: guards), so this cache is a large constant-factor win.  The memo is
+#: a bounded LRU: when full, the *least recently used* entry is
+#: evicted (the old behaviour -- dropping the entire cache at once --
+#: made long evaluations lose their whole working set at a cliff).
+_SAT_CACHE: "OrderedDict[Conjunct, bool]" = OrderedDict()
 _SAT_CACHE_LIMIT = 200000
+
+
+def _cache_key(conj: Conjunct) -> Conjunct:
+    """Rename wildcards to canonical names for cache lookup.
+
+    Wildcards get fresh names on every :meth:`Conjunct.merge`, so two
+    structurally identical subproblems (the common case in ``implies``
+    and guard evaluation) would otherwise never share a cache entry.
+    Satisfiability is invariant under renaming of the existentially
+    quantified wildcards, so keying on the canonical form is safe.
+    Names are assigned in order of first occurrence in the constraint
+    list; ``\\x00`` prefixes cannot collide with user variable names.
+    """
+    if not conj.wildcards:
+        return conj
+    mapping = {}
+    wilds = conj.wildcards
+    for c in conj.constraints:
+        for v in c.variables():
+            if v in wilds and v not in mapping:
+                mapping[v] = "\x00%d" % len(mapping)
+    return conj.rename(mapping)
+
+
+def set_sat_cache_limit(limit: int) -> int:
+    """Set the LRU capacity; returns the previous limit.
+
+    ``0`` disables caching entirely (used by the differential tests to
+    prove memoization never changes results).  Shrinking below the
+    current size evicts oldest entries immediately.
+    """
+    global _SAT_CACHE_LIMIT
+    if limit < 0:
+        raise ValueError("cache limit must be >= 0")
+    previous = _SAT_CACHE_LIMIT
+    _SAT_CACHE_LIMIT = limit
+    while len(_SAT_CACHE) > limit:
+        _SAT_CACHE.popitem(last=False)
+    return previous
+
+
+def clear_sat_cache() -> None:
+    """Drop every memoized satisfiability result."""
+    _SAT_CACHE.clear()
+
+
+def sat_cache_info() -> dict:
+    """Current size and capacity of the satisfiability LRU."""
+    return {"size": len(_SAT_CACHE), "limit": _SAT_CACHE_LIMIT}
 
 
 def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
@@ -49,13 +102,24 @@ def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
     """
     if depth > _MAX_DEPTH:
         raise RecursionError("satisfiability recursion too deep")
-    cached = _SAT_CACHE.get(conj)
+    if stats.ENABLED:
+        stats.bump("sat_calls")
+    key = _cache_key(conj)
+    cached = _SAT_CACHE.get(key)
     if cached is not None:
+        _SAT_CACHE.move_to_end(key)
+        if stats.ENABLED:
+            stats.bump("sat_cache_hits")
         return cached
+    if stats.ENABLED:
+        stats.bump("sat_cache_misses")
     result = _satisfiable_uncached(conj, depth)
-    if len(_SAT_CACHE) >= _SAT_CACHE_LIMIT:
-        _SAT_CACHE.clear()
-    _SAT_CACHE[conj] = result
+    if _SAT_CACHE_LIMIT > 0:
+        _SAT_CACHE[key] = result
+        if len(_SAT_CACHE) > _SAT_CACHE_LIMIT:
+            _SAT_CACHE.popitem(last=False)
+            if stats.ENABLED:
+                stats.bump("sat_cache_evictions")
     return result
 
 
@@ -84,10 +148,18 @@ def _satisfiable_uncached(conj: Conjunct, depth: int) -> bool:
         return satisfiable(mod_hat_eliminate(conj, eq), depth + 1)
 
     # Pure inequalities: pick the variable with the cheapest elimination.
+    # One bounds_on scan per variable; exactness derives from the same
+    # bounds (every (lower, upper) pair needs a unit coefficient, the
+    # sufficient condition in elimination_is_exact).
     best_var, best_cost, best_exact = None, None, False
     for var in variables:
         lowers, uppers, _ = conj.bounds_on(var)
-        exact = elimination_is_exact(conj, var)
+        exact = (
+            not lowers
+            or not uppers
+            or all(b == 1 for b, _ in lowers)
+            or all(a == 1 for a, _ in uppers)
+        )
         cost = (0 if exact else 1, len(lowers) * len(uppers))
         if best_cost is None or cost < best_cost:
             best_var, best_cost, best_exact = var, cost, exact

@@ -11,8 +11,23 @@ from typing import Dict, Iterable, Mapping, Sequence, Set, Tuple
 
 import pytest
 
+from repro.omega.constraints import reset_fresh_counter
 from repro.omega.problem import Conjunct
 from repro.presburger.ast import Formula
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_fresh_names():
+    """Restart the wildcard-name counter before every test.
+
+    ``fresh_var`` is a process-global counter, so printed guards (and
+    anything golden-string asserted) would otherwise depend on which
+    tests ran earlier in the session.  Resetting is safe across the
+    persistent satisfiability cache: cached answers are pure functions
+    of conjunct content, names included.
+    """
+    reset_fresh_counter()
+    yield
 
 
 def enumerate_conjunct(

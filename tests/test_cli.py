@@ -88,3 +88,31 @@ class TestErrors:
             "count", "1 <= i <= n", "--over", "i", "--table", "nonsense"
         )
         assert out.returncode != 0
+
+
+class TestStats:
+    def test_stats_flag_prints_counters(self):
+        out = run_cli(
+            "count", "1 <= i <= n and 1 <= j <= i", "--over", "i,j",
+            "--table", "n=0:6", "--stats",
+        )
+        assert out.returncode == 0
+        assert "-- stats --" in out.stderr
+        assert "sat_calls" in out.stderr
+        hits = [
+            line for line in out.stderr.splitlines()
+            if line.startswith("sat_cache_hits")
+        ]
+        assert hits and int(hits[0].split()[1]) > 0
+
+    def test_stats_off_by_default(self):
+        out = run_cli("count", "1 <= i <= n", "--over", "i")
+        assert "sat_calls" not in out.stderr
+
+    def test_stats_on_simplify(self):
+        out = run_cli(
+            "simplify", "x >= 1 and x >= 0 and (x <= 5 or x <= 9)",
+            "--stats",
+        )
+        assert out.returncode == 0
+        assert "sat_calls" in out.stderr

@@ -167,3 +167,79 @@ class TestCombinators:
     def test_str_shows_strides(self):
         c = Conjunct.true().add_stride(2, Affine({"x": 1}, 1))
         assert "2 | (x + 1)" in str(c)
+
+
+class TestNormalizeIterative:
+    """normalize() reaches its fixed point by iteration, not recursion.
+
+    Regression: ``return result.normalize()`` recursed once per pass,
+    so a chain of wildcard equalities -- each eliminable only after
+    the previous one is dropped -- exhausted the interpreter stack.
+    """
+
+    @staticmethod
+    def _chain(n):
+        # w0 == 2*w1, w1 == 2*w2, ..., w_{n-1} == 2*x.  Each pass can
+        # only drop the head equality (its wildcard becomes lone), so
+        # normalization needs n+1 passes.
+        names = ["w%04d" % i for i in range(n)] + ["x"]
+        cons = [
+            Constraint.eq(Affine({names[i]: 1, names[i + 1]: -2}))
+            for i in range(n)
+        ]
+        return Conjunct(cons, names[:n])
+
+    def test_deep_chain_does_not_recurse(self):
+        import sys
+
+        conj = self._chain(300)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(150)
+        try:
+            out = conj.normalize()
+        finally:
+            sys.setrecursionlimit(limit)
+        assert out is not None and out.is_trivial_true()
+
+    def test_chain_needs_one_pass_per_link(self):
+        from repro.core import stats
+
+        with stats.collecting_stats() as counters:
+            self._chain(10).normalize()
+        assert counters["normalize_iterations"] == 11
+
+
+class TestNormalizeMemo:
+    def test_repeat_call_returns_same_object(self):
+        conj = Conjunct([geq({"x": 2}, -3)])
+        first = conj.normalize()
+        assert conj.normalize() is first
+
+    def test_normalized_result_is_its_own_fixed_point(self):
+        conj = Conjunct([geq({"x": 2}, -3)])
+        out = conj.normalize()
+        assert out.normalize() is out
+
+    def test_infeasible_memoized(self):
+        conj = Conjunct([geq({}, -1)])
+        assert conj.normalize() is None
+        assert conj.normalize() is None
+
+    def test_memo_can_be_disabled(self):
+        from repro.omega.problem import set_normalize_memo
+
+        previous = set_normalize_memo(False)
+        try:
+            conj = Conjunct([geq({"x": 2}, -3)])
+            out = conj.normalize()
+            assert list(out.constraints) == [geq({"x": 1}, -2)]
+            assert conj.normalize() == out
+        finally:
+            set_normalize_memo(previous)
+
+    def test_memo_not_shared_between_equal_instances(self):
+        a = Conjunct([geq({"x": 2}, -3)])
+        b = Conjunct([geq({"x": 2}, -3)])
+        na, nb = a.normalize(), b.normalize()
+        assert na == nb
+        assert na is not nb  # per-instance memo, keyed by identity

@@ -97,3 +97,52 @@ class TestGist:
         q = Conjunct.true().add_stride(4, Affine.var("x"))
         g = gist(p, q)
         assert equivalent(g.merge(q), p.merge(q))
+
+
+class TestInfeasibleCanonicalization:
+    """remove_redundant and gist agree on the canonical FALSE conjunct.
+
+    Regression: remove_redundant used to hand an infeasible conjunct
+    back unchanged, while gist canonicalized it to ``-1 >= 0`` --
+    callers comparing the two (or switching between them) saw two
+    different spellings of FALSE.
+    """
+
+    def test_normalize_detectable_infeasibility(self):
+        # x >= 5 and x <= 3: normalize itself sees the empty interval
+        conj = Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)])
+        out = remove_redundant(conj)
+        assert out == Conjunct.false()
+
+    def test_deep_infeasibility(self):
+        # x >= 1, y >= 1, x + y <= 1: every pair is consistent, only
+        # the complete integer test sees the contradiction
+        conj = Conjunct(
+            [geq({"x": 1}, -1), geq({"y": 1}, -1), geq({"x": -1, "y": -1}, 1)]
+        )
+        assert conj.normalize() is not None  # normalize can't tell
+        out = remove_redundant(conj)
+        assert out == Conjunct.false()
+
+    def test_matches_gist_canonical_false(self):
+        conj = Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)])
+        assert remove_redundant(conj) == gist(conj, Conjunct.true())
+
+    def test_infeasible_with_context(self):
+        # conj alone is fine; the context contradicts it
+        conj = Conjunct([geq({"x": 1}, -5)])
+        context = Conjunct([geq({"x": -1}, 3)])
+        assert remove_redundant(conj, context) == Conjunct.false()
+
+    def test_keep_nonredundant_infeasible(self):
+        from repro.omega.redundancy import keep_nonredundant
+
+        kept = keep_nonredundant(
+            [geq({"x": 1}, -5), geq({"x": -1}, 3), geq({"y": 1})]
+        )
+        assert kept == list(Conjunct.false().constraints)
+
+    def test_feasible_unchanged_by_the_fix(self):
+        conj = Conjunct([geq({"x": 1}, -10), geq({"x": 1}, -5)])
+        out = remove_redundant(conj)
+        assert list(out.constraints) == [geq({"x": 1}, -10)]

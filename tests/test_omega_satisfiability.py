@@ -161,3 +161,74 @@ class TestSolveSample:
     def test_no_solution(self):
         c = Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)])
         assert solve_sample(c) is None
+
+
+class TestSatCacheLRU:
+    """The satisfiability memo is a bounded LRU, not clear-all."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_cache(self):
+        from repro.omega import satisfiability as sat
+
+        previous = sat.sat_cache_info()["limit"]
+        sat.clear_sat_cache()
+        yield
+        sat.set_sat_cache_limit(previous)
+        sat.clear_sat_cache()
+
+    @staticmethod
+    def _point(i):
+        # x == i: a family of distinct, trivially satisfiable conjuncts
+        return Conjunct([Constraint.eq(Affine({"x": 1}, -i))])
+
+    def test_size_stays_bounded(self):
+        from repro.omega import satisfiability as sat
+
+        sat.set_sat_cache_limit(8)
+        for i in range(50):
+            assert satisfiable(self._point(i))
+        assert sat.sat_cache_info()["size"] <= 8
+
+    def test_recently_used_entries_survive_eviction(self):
+        from repro.omega import satisfiability as sat
+
+        sat.set_sat_cache_limit(64)
+        hot = self._point(0)
+        satisfiable(hot)
+        # keep `hot` warm while flooding the cache far past its limit
+        for i in range(1, 400):
+            satisfiable(self._point(i))
+            if i % 10 == 0:
+                satisfiable(hot)
+        from repro.core import stats
+
+        with stats.collecting_stats() as counters:
+            satisfiable(hot)
+        assert counters["sat_cache_hits"] == 1  # never evicted
+
+    def test_zero_limit_disables_caching(self):
+        from repro.omega import satisfiability as sat
+
+        sat.set_sat_cache_limit(0)
+        assert satisfiable(self._point(1))
+        assert sat.sat_cache_info()["size"] == 0
+
+    def test_shrinking_evicts_immediately(self):
+        from repro.omega import satisfiability as sat
+
+        sat.set_sat_cache_limit(100)
+        for i in range(20):
+            satisfiable(self._point(i))
+        sat.set_sat_cache_limit(5)
+        assert sat.sat_cache_info()["size"] <= 5
+
+    def test_false_results_are_cached_too(self):
+        from repro.core import stats
+        from repro.omega import satisfiability as sat
+
+        sat.set_sat_cache_limit(16)
+        conj = Conjunct([geq({"x": 1}, -5), geq({"x": -1}, 3)])
+        assert not satisfiable(conj)
+        with stats.collecting_stats() as counters:
+            assert not satisfiable(conj)
+        assert counters["sat_cache_hits"] == 1

@@ -1,0 +1,141 @@
+"""Differential test: memoization must never change any count.
+
+Randomized small conjuncts are counted three ways -- brute-force
+enumeration over a box, the engine with its caches enabled (the
+default: satisfiability LRU + per-instance normalize memo), and the
+engine with every cache disabled.  All three must agree exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import count_conjunct
+from repro.omega import satisfiability as sat
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint, reset_fresh_counter
+from repro.omega.problem import Conjunct, set_normalize_memo
+
+BOX = 4  # count variables live in [-BOX, BOX]
+
+
+def _random_conjunct(rng, variables):
+    """Box bounds plus a few random constraints; optional stride."""
+    cons = []
+    for v in variables:
+        cons.append(Constraint.geq(Affine({v: 1}, BOX)))  # v >= -BOX
+        cons.append(Constraint.geq(Affine({v: -1}, BOX)))  # v <= BOX
+    for _ in range(rng.randint(1, 3)):
+        coeffs = {
+            v: rng.randint(-3, 3)
+            for v in rng.sample(variables, rng.randint(1, len(variables)))
+        }
+        coeffs = {v: c for v, c in coeffs.items() if c}
+        if not coeffs:
+            continue
+        cons.append(Constraint.geq(Affine(coeffs, rng.randint(-5, 5))))
+    conj = Conjunct(cons)
+    if rng.random() < 0.4:
+        modulus = rng.randint(2, 4)
+        v = rng.choice(variables)
+        conj = conj.add_stride(
+            modulus, Affine({v: 1}, rng.randint(0, modulus - 1))
+        )
+    return conj
+
+
+def _brute_force(conj, variables):
+    import itertools
+
+    total = 0
+    for vals in itertools.product(
+        range(-BOX, BOX + 1), repeat=len(variables)
+    ):
+        if conj.is_satisfied(dict(zip(variables, vals))):
+            total += 1
+    return total
+
+
+def _engine_count(conj, variables):
+    result = count_conjunct(conj, variables)
+    value = result.evaluate({})
+    assert result.exactness == "exact"
+    return value
+
+
+@pytest.fixture
+def _caches_off():
+    """Disable the satisfiability LRU and the normalize memo."""
+    previous_limit = sat.sat_cache_info()["limit"]
+    previous_memo = set_normalize_memo(False)
+    sat.set_sat_cache_limit(0)
+    sat.clear_sat_cache()
+    yield
+    sat.set_sat_cache_limit(previous_limit)
+    set_normalize_memo(previous_memo)
+
+
+def _cases(n_cases, n_vars, seed):
+    rng = random.Random(seed)
+    variables = ["x", "y", "z"][:n_vars]
+    return [(_random_conjunct(rng, variables), variables) for _ in range(n_cases)]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_variables(self, seed, _caches_off):
+        for conj, variables in _cases(4, 2, seed):
+            reset_fresh_counter(1000)
+            want = _brute_force(conj, variables)
+            # caches are OFF (fixture): the reference run
+            cold = _engine_count(conj, variables)
+            assert cold == want, str(conj)
+            # now ON: rebuild the conjunct so no memo state leaks in
+            sat.set_sat_cache_limit(200000)
+            set_normalize_memo(True)
+            try:
+                reset_fresh_counter(1000)
+                warm_conj = Conjunct(conj.constraints, conj.wildcards)
+                warm = _engine_count(warm_conj, variables)
+                again = _engine_count(warm_conj, variables)  # memo reuse
+            finally:
+                sat.set_sat_cache_limit(0)
+                sat.clear_sat_cache()
+                set_normalize_memo(False)
+            assert warm == want, str(conj)
+            assert again == want, str(conj)
+
+    @pytest.mark.parametrize("seed", [100, 101])
+    def test_three_variables(self, seed, _caches_off):
+        for conj, variables in _cases(2, 3, seed):
+            reset_fresh_counter(1000)
+            want = _brute_force(conj, variables)
+            cold = _engine_count(conj, variables)
+            assert cold == want, str(conj)
+            sat.set_sat_cache_limit(200000)
+            set_normalize_memo(True)
+            try:
+                reset_fresh_counter(1000)
+                warm = _engine_count(Conjunct(conj.constraints, conj.wildcards), variables)
+            finally:
+                sat.set_sat_cache_limit(0)
+                sat.clear_sat_cache()
+                set_normalize_memo(False)
+            assert warm == want, str(conj)
+
+    def test_tiny_lru_matches_unbounded(self):
+        """A pathologically small LRU still returns identical counts."""
+        rng = random.Random(7)
+        conj = _random_conjunct(rng, ["x", "y"])
+        want = _brute_force(conj, ["x", "y"])
+        previous = sat.sat_cache_info()["limit"]
+        try:
+            sat.set_sat_cache_limit(4)
+            sat.clear_sat_cache()
+            got = _engine_count(
+                Conjunct(conj.constraints, conj.wildcards), ["x", "y"]
+            )
+        finally:
+            sat.set_sat_cache_limit(previous)
+            sat.clear_sat_cache()
+        assert got == want
