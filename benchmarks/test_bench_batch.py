@@ -1,0 +1,142 @@
+"""Batch service: parallel speedup and warm-cache re-runs.
+
+A mixed 40-job batch (triangular counts, clause unions, polynomial
+sums -- all structurally distinct, so the alpha-invariant dedup cannot
+collapse them) is answered serially and on a 4-worker pool.  Both
+wall times land in ``BENCH_JSON`` under their own test ids; the
+speedup assertion only fires when the machine actually has >= 4 cores
+(single-core CI runners record the numbers without judging them).
+The warm-cache bench re-runs the same batch against a populated disk
+cache and requires every job to be answered without computing.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import report
+from repro.service.batch import VOLATILE_RESPONSE_KEYS, run_batch
+from repro.service.diskcache import DiskCache
+from repro.service.request import JobRequest
+
+N_JOBS = 40
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _tri(k):
+    return JobRequest(
+        "count",
+        "1 <= i0 <= n and 1 <= i1 <= i0 + %d and 1 <= i2 <= i1"
+        " and 1 <= i3 <= i2" % k,
+        over=["i0", "i1", "i2", "i3"],
+        id="tri-%d" % k,
+    )
+
+
+def _union(k):
+    text = " or ".join(
+        "(%d <= x <= %d + n)" % (3 * j + k, 3 * j + k + 5) for j in range(3)
+    )
+    return JobRequest("count", text, over=["x"], id="union-%d" % k)
+
+
+def _sum(k):
+    return JobRequest(
+        "sum",
+        "1 <= i <= n + %d and 1 <= j <= i" % k,
+        over=["i", "j"],
+        poly="i*j",
+        id="sum-%d" % k,
+    )
+
+
+def mixed_batch():
+    return [[_tri, _union, _sum][k % 3](k) for k in range(N_JOBS)]
+
+
+def _run(workers, cache=None):
+    start = time.perf_counter()
+    responses, summary = run_batch(mixed_batch(), workers=workers, cache=cache)
+    elapsed = time.perf_counter() - start
+    assert summary.jobs == N_JOBS and summary.ok == N_JOBS
+    assert summary.deduped == 0  # all 40 formulas must stay distinct
+    assert all(r["ok"] for r in responses)
+    return elapsed, responses
+
+
+_TIMES = {}
+_RESPONSES = {}
+
+
+def test_serial_40_jobs():
+    elapsed, responses = _run(workers=1)
+    _TIMES["serial"] = elapsed
+    _RESPONSES["serial"] = responses
+    tri0 = next(r for r in responses if r["id"] == "tri-0")
+    assert "n**4" in tri0["result"]
+    report("BATCH serial", ["%d jobs in %.3fs" % (N_JOBS, elapsed)])
+
+
+def test_parallel_4_workers():
+    elapsed, responses = _run(workers=4)
+    _TIMES["parallel"] = elapsed
+    # Parallelism must not change any answer.
+    stable = lambda r: {
+        k: v for k, v in r.items() if k not in VOLATILE_RESPONSE_KEYS
+    }
+    if "serial" in _RESPONSES:
+        assert [stable(r) for r in responses] == [
+            stable(r) for r in _RESPONSES["serial"]
+        ]
+    report("BATCH 4 workers", ["%d jobs in %.3fs" % (N_JOBS, elapsed)])
+
+
+def test_parallel_speedup():
+    if "serial" not in _TIMES or "parallel" not in _TIMES:
+        pytest.skip("timing tests did not run")
+    speedup = _TIMES["serial"] / _TIMES["parallel"]
+    cores = _cores()
+    report(
+        "BATCH speedup",
+        [
+            "serial %.3fs, 4 workers %.3fs -> %.2fx on %d cores"
+            % (_TIMES["serial"], _TIMES["parallel"], speedup, cores)
+        ],
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            "expected >= 2x speedup with 4 workers on %d cores, got %.2fx"
+            % (cores, speedup)
+        )
+
+
+def test_warm_cache_rerun(tmp_path):
+    jobs = mixed_batch()
+    with DiskCache(str(tmp_path / "bench-cache.sqlite")) as cache:
+        cold_start = time.perf_counter()
+        first, s1 = run_batch(jobs, workers=1, cache=cache)
+        cold = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        second, s2 = run_batch(jobs, workers=1, cache=cache)
+        warm = time.perf_counter() - warm_start
+    assert s1.cache_misses == N_JOBS and s1.cache_hits == 0
+    assert s2.cache_hits == N_JOBS and s2.cache_misses == 0
+    assert all(r["cached"] for r in second)
+    stable = lambda r: json.dumps(
+        {k: v for k, v in r.items() if k not in VOLATILE_RESPONSE_KEYS},
+        sort_keys=True,
+    )
+    assert [stable(r) for r in first] == [stable(r) for r in second]
+    report(
+        "BATCH warm cache",
+        ["cold %.3fs, warm %.3fs (%.0fx)" % (cold, warm, cold / warm)],
+    )
+    assert warm < cold

@@ -18,18 +18,33 @@ from repro.presburger.simplify import simplify
 
 
 def _print_stats(args) -> None:
-    """After-run counter dump (guards evaluated, caches hit, ...)."""
+    """After-run counter dump (guards evaluated, caches hit, ...).
+
+    Uses :func:`repro.core.stats.engine_snapshot`, the same entry
+    point the batch service embeds in every response, so the CLI and
+    the service report identical counter schemas.
+    """
     if not args.stats:
         return
-    from repro.omega.satisfiability import sat_cache_info
-
-    info = sat_cache_info()
     print("-- stats --", file=sys.stderr)
-    print(stats.format_stats(), file=sys.stderr)
-    print(
-        "%-22s %d/%d" % ("sat_cache_size", info["size"], info["limit"]),
-        file=sys.stderr,
-    )
+    print(stats.format_stats(stats.engine_snapshot()), file=sys.stderr)
+
+
+def _parse_at(spec: str):
+    """``n=12`` -> ("n", 12), with argparse-friendly errors."""
+    name, eq, value = spec.partition("=")
+    name = name.strip()
+    if not eq or not name:
+        raise argparse.ArgumentTypeError(
+            "--at expects sym=value (e.g. n=10), got %r" % spec
+        )
+    try:
+        return name, int(value.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "--at value for %r must be an integer, got %r"
+            % (name, value.strip())
+        )
 
 
 def _parse_table(spec: str):
@@ -103,6 +118,7 @@ def main(argv=None) -> int:
                 "--at",
                 action="append",
                 default=[],
+                type=_parse_at,
                 metavar="sym=value",
                 help="evaluate at a symbol assignment (repeatable)",
             )
@@ -126,7 +142,69 @@ def main(argv=None) -> int:
         help="print engine counters to stderr after the run",
     )
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="answer a JSONL batch of count/sum/simplify jobs",
+        description="Read one JSON request per line (file or '-' for "
+        "stdin), stream one JSON response per line to stdout in input "
+        "order, and print a summary to stderr.  Per-job failures "
+        "(timeout, parse error, budget, worker crash) become "
+        "structured error responses; the exit code stays 0.",
+    )
+    p_batch.add_argument(
+        "input", help="JSONL request file, or '-' to read stdin"
+    )
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default: 1)",
+    )
+    p_batch.add_argument(
+        "--cache",
+        default=".repro-cache.sqlite",
+        help="persistent result-cache file (default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    p_batch.add_argument(
+        "--cache-limit",
+        type=int,
+        default=100000,
+        metavar="N",
+        help="max cached results before LRU eviction (default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout (default: %(default)s; "
+        "a request's own 'timeout' field wins)",
+    )
+    p_batch.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-job work budget in satisfiability calls "
+        "(default: none; a request's own 'budget' field wins)",
+    )
+    p_batch.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        help="also write the end-of-batch summary as JSON to PATH",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "batch":
+        from repro.service.batch import batch_main
+
+        return batch_main(args)
 
     if args.stats:
         stats.reset_stats()
@@ -150,10 +228,7 @@ def main(argv=None) -> int:
         result = result.simplified()
     print(result)
 
-    fixed = {}
-    for spec in args.at:
-        name, _, value = spec.partition("=")
-        fixed[name.strip()] = int(value)
+    fixed = dict(args.at)
     if fixed:
         print("at %s: %s" % (fixed, result.evaluate(fixed)))
     if args.table:

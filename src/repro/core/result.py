@@ -10,13 +10,112 @@ A term contributes its value when its guard holds and 0 otherwise
 (the paper's "nullary form of a summation", Section 1).  Terms need
 not be disjoint -- values add -- though the engine produces disjoint
 guards wherever the pieces partition a case split.
+
+This module is also the home of the **exact JSON serialization** of
+results (``to_json`` / ``from_json`` on :class:`SymbolicSum` and
+:class:`Term`, plus helpers for conjuncts, constraints, affines,
+polynomials and atoms).  The round trip is exact: every coefficient is
+an integer or an explicit numerator/denominator pair, and
+``SymbolicSum.from_json(s.to_json()) == s`` (same terms, same guards,
+same printed form).  The batch service's disk cache stores results in
+this format, so the guarantee is what makes cached responses
+byte-identical to freshly computed ones.
 """
 
+import json
 from fractions import Fraction
 from typing import Iterable, List, Mapping, NamedTuple, Optional, Union
 
+from repro.omega.affine import Affine
+from repro.omega.constraints import EQ, GEQ, Constraint
 from repro.omega.problem import Conjunct
-from repro.qpoly import Polynomial
+from repro.qpoly import ModAtom, Polynomial
+
+#: Bumped whenever the serialized shape changes incompatibly; embedded
+#: in every payload and checked by ``from_json``.
+RESULT_SCHEMA_VERSION = 1
+
+
+# -- JSON helpers (exact round trip) ------------------------------------
+
+
+def affine_to_json(expr: Affine) -> dict:
+    return {"coeffs": [[v, c] for v, c in expr.coeffs], "const": expr.const}
+
+
+def affine_from_json(obj: Mapping) -> Affine:
+    return Affine({v: c for v, c in obj["coeffs"]}, obj["const"])
+
+
+def constraint_to_json(con: Constraint) -> dict:
+    return {"kind": con.kind, "expr": affine_to_json(con.expr)}
+
+
+def constraint_from_json(obj: Mapping) -> Constraint:
+    kind = obj["kind"]
+    if kind not in (GEQ, EQ):
+        raise ValueError("bad constraint kind %r" % (kind,))
+    return Constraint(affine_from_json(obj["expr"]), kind)
+
+
+def conjunct_to_json(conj: Conjunct) -> dict:
+    return {
+        "constraints": [constraint_to_json(c) for c in conj.constraints],
+        "wildcards": sorted(conj.wildcards),
+    }
+
+
+def conjunct_from_json(obj: Mapping) -> Conjunct:
+    return Conjunct(
+        [constraint_from_json(c) for c in obj["constraints"]],
+        obj["wildcards"],
+    )
+
+
+def atom_to_json(atom) -> Union[str, dict]:
+    if isinstance(atom, str):
+        return atom
+    return {
+        "mod": {
+            "coeffs": [[v, c] for v, c in atom.coeffs],
+            "const": atom.const,
+            "modulus": atom.modulus,
+        }
+    }
+
+
+def atom_from_json(obj):
+    if isinstance(obj, str):
+        return obj
+    mod = obj["mod"]
+    return ModAtom(
+        {v: c for v, c in mod["coeffs"]}, mod["const"], mod["modulus"]
+    )
+
+
+def polynomial_to_json(poly: Polynomial) -> dict:
+    terms = []
+    for mono, coef in poly.terms.items():
+        terms.append(
+            {
+                "monomial": [[atom_to_json(a), e] for a, e in mono],
+                "num": coef.numerator,
+                "den": coef.denominator,
+            }
+        )
+    # Deterministic order: the in-memory dict order depends on insertion
+    # history, which must not leak into the serialized bytes.  Atoms mix
+    # strings and dicts, so sort on a uniform JSON rendering.
+    terms.sort(key=lambda t: json.dumps(t, sort_keys=True))
+    return {"terms": terms}
+
+
+def polynomial_from_json(obj: Mapping) -> Polynomial:
+    terms = {}
+    for t in obj["terms"]:
+        mono = tuple((atom_from_json(a), e) for a, e in t["monomial"])
+        terms[mono] = Fraction(t["num"], t["den"])
+    return Polynomial(terms)
 
 
 class Term(NamedTuple):
@@ -29,6 +128,19 @@ class Term(NamedTuple):
         if self.guard.is_satisfied(env):
             return self.value.evaluate(env)
         return Fraction(0)
+
+    def to_json(self) -> dict:
+        return {
+            "guard": conjunct_to_json(self.guard),
+            "value": polynomial_to_json(self.value),
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping) -> "Term":
+        return cls(
+            conjunct_from_json(obj["guard"]),
+            polynomial_from_json(obj["value"]),
+        )
 
     def __str__(self) -> str:
         guard = str(self.guard)
@@ -170,6 +282,38 @@ class SymbolicSum:
             env[var] = v
             out.append((v, self.evaluate(env)))
         return out
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Exact JSON form; ``from_json`` round-trips to an equal value."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "exactness": self.exactness,
+            "terms": [t.to_json() for t in self.terms],
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping) -> "SymbolicSum":
+        version = obj.get("schema")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported result schema %r (expected %d)"
+                % (version, RESULT_SCHEMA_VERSION)
+            )
+        return cls(
+            (Term.from_json(t) for t in obj["terms"]), obj["exactness"]
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SymbolicSum):
+            return NotImplemented
+        return self.terms == other.terms and self.exactness == other.exactness
+
+    def __hash__(self) -> int:
+        return hash((self.terms, self.exactness))
 
     # -- display -----------------------------------------------------------------
 

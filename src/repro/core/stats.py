@@ -10,8 +10,24 @@ without a profiler.
 The layer is off by default and designed for near-zero overhead when
 disabled: instrumented call sites guard every update with a single
 ``if stats.ENABLED`` attribute check.  This module deliberately
-imports nothing from the rest of the package so the low-level
-``repro.omega`` modules can depend on it without layering cycles.
+imports nothing from the rest of the package at import time so the
+low-level ``repro.omega`` modules can depend on it without layering
+cycles (``engine_snapshot`` imports the sat cache lazily).
+
+Two service-facing facilities also live here:
+
+* **Work budgets.**  ``set_work_budget(n)`` arms a process-global cap
+  on engine work, measured in satisfiability calls (the engine's unit
+  of forward progress).  Instrumented sites call ``charge_budget``,
+  which raises :class:`WorkBudgetExceeded` past the cap.  Like the
+  counters, the check behind ``BUDGET_LIMIT is None`` is a single
+  attribute load when disarmed.
+* **Snapshot isolation.**  All counters are process-global, so
+  concurrent jobs in one process would interleave.  The batch service
+  therefore runs each job in its own worker process and calls
+  :func:`reset_stats` + :func:`enable_stats` at job start; the
+  per-job ``stats`` block in a batch response is an
+  :func:`engine_snapshot` taken right before the worker returns.
 
 Usage::
 
@@ -26,7 +42,7 @@ or imperatively with :func:`enable_stats` / :func:`stats_snapshot`.
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Union
+from typing import Dict, Iterator, Optional, Union
 
 #: Master switch.  Instrumented call sites check this before touching
 #: any counter; keep reads as plain module-attribute loads (do *not*
@@ -53,6 +69,57 @@ COUNTER_NAMES = (
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
 _timers: Dict[str, float] = {}
+
+#: Work-budget switch.  ``None`` means no budget; otherwise the
+#: maximum number of budget units (satisfiability calls) a computation
+#: may spend before :class:`WorkBudgetExceeded` is raised.  Call sites
+#: guard with ``if stats.BUDGET_LIMIT is not None``.
+BUDGET_LIMIT = None
+_budget_used = 0
+
+
+class WorkBudgetExceeded(RuntimeError):
+    """A computation exceeded its work budget (see set_work_budget)."""
+
+    def __init__(self, used: int, limit: int):
+        super().__init__(
+            "work budget exceeded: %d units spent, limit %d" % (used, limit)
+        )
+        self.used = used
+        self.limit = limit
+
+
+def set_work_budget(limit: Optional[int]) -> Optional[int]:
+    """Arm (or, with None, disarm) the work budget; returns the old limit.
+
+    Arming resets the spent-unit counter, so a budget always applies to
+    the work that follows the call.
+    """
+    global BUDGET_LIMIT, _budget_used
+    if limit is not None and limit < 0:
+        raise ValueError("work budget must be >= 0 or None")
+    previous = BUDGET_LIMIT
+    BUDGET_LIMIT = limit
+    _budget_used = 0
+    return previous
+
+
+def budget_spent() -> int:
+    """Budget units charged since the budget was last armed."""
+    return _budget_used
+
+
+def charge_budget(n: int = 1) -> None:
+    """Spend ``n`` budget units; raises once the armed limit is passed.
+
+    Call sites should guard with ``if stats.BUDGET_LIMIT is not None``
+    so the disarmed cost stays one attribute load.
+    """
+    global _budget_used
+    _budget_used += n
+    limit = BUDGET_LIMIT
+    if limit is not None and _budget_used > limit:
+        raise WorkBudgetExceeded(_budget_used, limit)
 
 
 def enable_stats() -> None:
@@ -106,6 +173,24 @@ def stats_snapshot() -> Dict[str, Union[int, float]]:
     snap: Dict[str, Union[int, float]] = dict(_counters)
     for name, seconds in _timers.items():
         snap["time_%s" % name] = seconds
+    return snap
+
+
+def engine_snapshot() -> Dict[str, Union[int, float]]:
+    """Counters, timers *and* cache occupancy in one mapping.
+
+    This is the single introspection entry point shared by the CLI's
+    ``--stats`` output and the batch service's per-job ``stats`` block:
+    everything in :func:`stats_snapshot` plus the satisfiability LRU's
+    current ``sat_cache_size`` / ``sat_cache_limit``.  The sat cache is
+    imported lazily to keep this module import-cycle free.
+    """
+    snap = stats_snapshot()
+    from repro.omega.satisfiability import sat_cache_info
+
+    info = sat_cache_info()
+    snap["sat_cache_size"] = info["size"]
+    snap["sat_cache_limit"] = info["limit"]
     return snap
 
 

@@ -104,6 +104,8 @@ def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
         raise RecursionError("satisfiability recursion too deep")
     if stats.ENABLED:
         stats.bump("sat_calls")
+    if stats.BUDGET_LIMIT is not None:
+        stats.charge_budget()
     key = _cache_key(conj)
     cached = _SAT_CACHE.get(key)
     if cached is not None:

@@ -1,0 +1,167 @@
+"""Persistent, size-bounded, sqlite-backed result cache.
+
+Maps a request content hash (see :mod:`repro.service.request`) to the
+serialized ok-response payload for that job.  Design points:
+
+* **Persistent**: a single sqlite file; reopening the cache sees every
+  previously stored result, so a re-run of a batch is pure lookups.
+* **Size-bounded with LRU eviction**: ``max_entries`` caps the row
+  count; inserts evict the least-recently-*used* rows (each hit bumps
+  a monotone access stamp kept in the table itself, so recency
+  survives restarts and is shared across processes).
+* **Safe under concurrent writers**: every operation is one sqlite
+  transaction; sqlite's file locking serializes writers across
+  processes, and the connection's busy timeout absorbs contention.
+  WAL journaling is enabled when the filesystem supports it so readers
+  do not block writers.
+* **Self-healing**: a row whose payload fails to decode (truncated
+  write, manual tampering, schema drift) is deleted and reported as a
+  miss, never surfaced to the client; a cache file that is not a
+  sqlite database at all is moved aside and recreated empty.
+
+Hit/miss/corrupt counters are per-instance (process-local); occupancy
+comes from the database so it is shared.
+"""
+
+import json
+import os
+import sqlite3
+from typing import Optional
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    stamp INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_stamp ON results (stamp);
+"""
+
+
+class DiskCache:
+    """A persistent LRU mapping ``content_hash -> payload dict``."""
+
+    def __init__(
+        self,
+        path: str,
+        max_entries: int = 100000,
+        busy_timeout: float = 30.0,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.path = path
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._busy_timeout = busy_timeout
+        self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=self._busy_timeout)
+        try:
+            conn.executescript(_SCHEMA)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.commit()
+        except sqlite3.DatabaseError:
+            # Not a sqlite file (or unrecoverably damaged): move the
+            # wreck aside and start fresh rather than failing every job.
+            conn.close()
+            os.replace(self.path, self.path + ".corrupt")
+            conn = sqlite3.connect(self.path, timeout=self._busy_timeout)
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        return conn
+
+    # -- operations -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None on miss (corrupt rows self-delete)."""
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(row[0])
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except (ValueError, TypeError):
+            self.corrupt += 1
+            self.misses += 1
+            with self._conn:
+                self._conn.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                )
+            return None
+        self.hits += 1
+        with self._conn:
+            self._conn.execute(
+                "UPDATE results SET stamp ="
+                " (SELECT COALESCE(MAX(stamp), 0) + 1 FROM results)"
+                " WHERE key = ?",
+                (key,),
+            )
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store (or refresh) a payload, evicting LRU rows past the cap."""
+        text = json.dumps(payload, sort_keys=True)
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (key, payload, stamp)"
+                " VALUES (?, ?,"
+                " (SELECT COALESCE(MAX(stamp), 0) + 1 FROM results))",
+                (key, text),
+            )
+            excess = (
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone()[0]
+                - self.max_entries
+            )
+            if excess > 0:
+                self._conn.execute(
+                    "DELETE FROM results WHERE key IN"
+                    " (SELECT key FROM results ORDER BY stamp ASC LIMIT ?)",
+                    (excess,),
+                )
+
+    def __len__(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        return (
+            self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            is not None
+        )
+
+    def info(self) -> dict:
+        """Process-local hit counters plus shared occupancy."""
+        return {
+            "path": self.path,
+            "size": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "DiskCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["DiskCache"]

@@ -1,0 +1,317 @@
+"""Worker-pool executor: one process per job, timeouts, budgets, retry.
+
+Jobs run in freshly forked/spawned worker processes, which buys three
+properties the in-process engine cannot provide:
+
+* **Per-job wall-clock timeouts.**  The engine has no preemption
+  points, so the only reliable timeout is killing the worker; a
+  process per job makes that safe (nothing else shares its state).
+* **Crash isolation.**  A worker that dies mid-job (OOM kill, C-level
+  fault, the test suite's poison hook) takes down only its own job.
+  Crashes are retried once -- transient kills are common in
+  production -- then reported as a structured error.
+* **Snapshot isolation for stats and budgets.**  ``repro.core.stats``
+  is process-global; each worker resets it at job start, arms the
+  per-job work budget, and returns an ``engine_snapshot`` with its
+  payload, so per-job counters never interleave (see the stats module
+  docstring).
+
+Every failure mode -- timeout, parse error, budget exhaustion, engine
+failure, worker crash -- degrades to a :class:`JobError` carried in
+the job's response slot; the rest of the batch always completes.
+
+Test hooks (both gated on environment variables, inert otherwise):
+
+* ``REPRO_SERVICE_POISON=<token>``: a worker whose formula text
+  contains the token dies immediately via ``os._exit`` -- simulates a
+  worker killed mid-job.
+* ``REPRO_SERVICE_SLEEP=<token>``: a worker whose formula text
+  contains the token sleeps forever -- a deterministic way to force
+  the timeout path without a genuinely expensive formula.
+"""
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.core import Strategy, SumOptions, count, stats, sum_poly
+from repro.presburger.parser import ParseError, parse
+from repro.presburger.simplify import simplify as simplify_formula
+from repro.qpoly.parse import PolynomialParseError
+from repro.service.request import JobRequest
+
+#: Exit code the poison hook dies with (distinguishable in tests).
+POISON_EXIT_CODE = 86
+
+#: Structured failure taxonomy (the "error.kind" wire values).
+TIMEOUT = "timeout"
+PARSE_ERROR = "parse_error"
+BUDGET_EXCEEDED = "budget_exceeded"
+ENGINE_ERROR = "engine_error"
+WORKER_CRASH = "worker_crash"
+BAD_REQUEST = "bad_request"
+
+
+class JobError(Exception):
+    """A structured per-job failure (never aborts the batch).
+
+    ``id`` is an optional client-facing job identifier carried so an
+    input line that fails before a :class:`JobRequest` even exists
+    (bad JSON) still gets a correctly labelled response.
+    """
+
+    def __init__(self, kind: str, message: str, id=None):
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+        self.id = id
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "message": self.message}
+
+    def __repr__(self) -> str:
+        return "JobError(%s: %s)" % (self.kind, self.message)
+
+
+def _encode_value(value) -> object:
+    """Exact JSON encoding of an evaluation result (int or Fraction)."""
+    if isinstance(value, Fraction):
+        return "%d/%d" % (value.numerator, value.denominator)
+    return int(value)
+
+
+def execute_request(req: JobRequest) -> dict:
+    """Run one job in the current process and return its ok payload.
+
+    Raises :class:`JobError` for parse errors and budget exhaustion;
+    anything else that escapes is an engine failure the caller wraps.
+    The caller is responsible for stats reset/enable when per-job
+    isolation is wanted (the pool worker does this).
+    """
+    try:
+        if req.kind == "simplify":
+            clauses = simplify_formula(
+                parse(req.formula), disjoint=req.disjoint
+            )
+            lines = [str(c) for c in clauses] or ["FALSE"]
+            return {
+                "kind": req.kind,
+                "result": "\n".join(lines),
+                "clauses": lines,
+                "points": [],
+                "stats": stats.engine_snapshot(),
+            }
+        options = SumOptions(
+            strategy=Strategy(req.strategy),
+            remove_redundant=req.remove_redundant,
+        )
+        if req.kind == "count":
+            result = count(req.formula, list(req.over), options)
+        else:
+            result = sum_poly(
+                req.formula, list(req.over), req.poly, options
+            )
+        if req.simplify:
+            result = result.simplified()
+        points = [
+            {"at": dict(env), "value": _encode_value(result.evaluate(env))}
+            for env in req.at
+        ]
+        return {
+            "kind": req.kind,
+            "result": str(result),
+            "result_json": result.to_json(),
+            "exactness": result.exactness,
+            "points": points,
+            "stats": stats.engine_snapshot(),
+        }
+    except (ParseError, PolynomialParseError) as exc:
+        raise JobError(PARSE_ERROR, str(exc))
+    except stats.WorkBudgetExceeded as exc:
+        raise JobError(BUDGET_EXCEEDED, str(exc))
+
+
+def _worker_main(req_json: dict, conn, budget: Optional[int]) -> None:
+    """Worker entry point: run one job, send one (status, dict) pair."""
+    req = JobRequest.from_json(req_json)
+    for env_var, action in (
+        ("REPRO_SERVICE_POISON", "die"),
+        ("REPRO_SERVICE_SLEEP", "sleep"),
+    ):
+        token = os.environ.get(env_var)
+        if token and token in req.formula:
+            if action == "die":
+                os._exit(POISON_EXIT_CODE)
+            time.sleep(3600)
+    from repro.omega.satisfiability import clear_sat_cache
+
+    clear_sat_cache()
+    stats.reset_stats()
+    stats.enable_stats()
+    stats.set_work_budget(budget)
+    try:
+        payload = execute_request(req)
+        conn.send(("ok", payload))
+    except JobError as exc:
+        conn.send(("error", exc.to_json()))
+    except Exception as exc:  # engine failure: report, don't crash
+        conn.send(
+            ("error", {"kind": ENGINE_ERROR, "message": "%s: %s" % (type(exc).__name__, exc)})
+        )
+    finally:
+        conn.close()
+
+
+class _Running:
+    __slots__ = ("proc", "conn", "index", "req", "started", "attempt")
+
+    def __init__(self, proc, conn, index, req, attempt):
+        self.proc = proc
+        self.conn = conn
+        self.index = index
+        self.req = req
+        self.started = time.monotonic()
+        self.attempt = attempt
+
+
+def run_jobs(
+    requests: Sequence[JobRequest],
+    workers: int = 1,
+    default_timeout: Optional[float] = None,
+    default_budget: Optional[int] = None,
+    poll_interval: float = 0.005,
+    on_outcome=None,
+) -> List[dict]:
+    """Run jobs on a bounded pool; one outcome dict per request, in order.
+
+    Each outcome is ``{"ok": True, "payload": ..., "wall_ms": ...,
+    "attempts": n}`` or ``{"ok": False, "error": {"kind", "message"},
+    "wall_ms": ..., "attempts": n}``.  A job's timeout/budget comes
+    from the request, falling back to the defaults given here.
+    ``on_outcome(index, outcome)``, when given, fires as each job
+    settles (completion order, not input order) so callers can stream.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    ctx = multiprocessing.get_context()
+    outcomes: List[Optional[dict]] = [None] * len(requests)
+    pending = deque((i, req, 1) for i, req in enumerate(requests))
+    running: List[_Running] = []
+
+    def finish(slot: _Running, outcome: dict) -> None:
+        outcome["wall_ms"] = round(
+            (time.monotonic() - slot.started) * 1000.0, 3
+        )
+        outcome["attempts"] = slot.attempt
+        outcomes[slot.index] = outcome
+        running.remove(slot)
+        slot.conn.close()
+        if on_outcome is not None:
+            on_outcome(slot.index, outcome)
+
+    def crashed(slot: _Running) -> None:
+        """A worker died without reporting: retry once, then record."""
+        code = slot.proc.exitcode
+        if slot.attempt < 2:
+            running.remove(slot)
+            slot.conn.close()
+            # Requeue at the front so the retry does not starve
+            # behind the rest of the batch.
+            pending.appendleft((slot.index, slot.req, slot.attempt + 1))
+            return
+        finish(
+            slot,
+            {
+                "ok": False,
+                "error": {
+                    "kind": WORKER_CRASH,
+                    "message": "worker died with exit code %s (after retry)"
+                    % (code,),
+                },
+            },
+        )
+
+    while pending or running:
+        while pending and len(running) < workers:
+            index, req, attempt = pending.popleft()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            budget = req.budget if req.budget is not None else default_budget
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(req.to_json(), child_conn, budget),
+            )
+            proc.daemon = True
+            proc.start()
+            child_conn.close()
+            running.append(_Running(proc, parent_conn, index, req, attempt))
+
+        progressed = False
+        for slot in list(running):
+            timeout = (
+                slot.req.timeout
+                if slot.req.timeout is not None
+                else default_timeout
+            )
+            if slot.conn.poll():
+                try:
+                    status, payload = slot.conn.recv()
+                except (EOFError, OSError):
+                    status = None
+                    payload = None
+                slot.proc.join()
+                if status == "ok":
+                    finish(slot, {"ok": True, "payload": payload})
+                elif status == "error":
+                    finish(slot, {"ok": False, "error": payload})
+                else:  # pipe broke mid-message: treat as a crash
+                    crashed(slot)
+                progressed = True
+            elif not slot.proc.is_alive():
+                slot.proc.join()
+                # Drain the race where the result landed between the
+                # poll above and the liveness check.
+                if slot.conn.poll():
+                    continue  # picked up next loop iteration
+                crashed(slot)
+                progressed = True
+            elif (
+                timeout is not None
+                and time.monotonic() - slot.started > timeout
+            ):
+                slot.proc.terminate()
+                slot.proc.join(1.0)
+                if slot.proc.is_alive():
+                    slot.proc.kill()
+                    slot.proc.join()
+                finish(
+                    slot,
+                    {
+                        "ok": False,
+                        "error": {
+                            "kind": TIMEOUT,
+                            "message": "job exceeded its %.3fs wall-clock timeout"
+                            % timeout,
+                        },
+                    },
+                )
+                progressed = True
+        if not progressed:
+            time.sleep(poll_interval)
+    return outcomes
+
+
+__all__ = [
+    "BAD_REQUEST",
+    "BUDGET_EXCEEDED",
+    "ENGINE_ERROR",
+    "JobError",
+    "PARSE_ERROR",
+    "POISON_EXIT_CODE",
+    "TIMEOUT",
+    "WORKER_CRASH",
+    "execute_request",
+    "run_jobs",
+]

@@ -1,0 +1,402 @@
+"""Canonical request model for the batch counting service.
+
+A :class:`JobRequest` describes one unit of work -- a ``count``,
+``sum`` or ``simplify`` query plus its options -- and knows how to
+compute a **content hash** that is stable across processes and
+sessions.  The hash is the disk-cache key, so its design rules are:
+
+* **Sound**: two requests share a hash only if they are guaranteed to
+  produce the same response.  The hashed payload is a *complete*
+  serialization of a canonical form, so distinct canonical forms can
+  only collide by SHA-256 collision.
+* **Canonical where cheap**: the hash is derived from the parsed AST,
+  not the formula text, and is invariant under (a) whitespace and
+  other purely lexical variation, (b) the order of the ``over`` list,
+  (c) alpha-renaming of the counted and quantifier-bound variables,
+  and (d) the order of ``and`` / ``or`` operands.  Free symbolic
+  constants keep their names -- they appear in the answer, so renaming
+  them *does* change the response.
+* **Versioned**: the engine version and a schema version are part of
+  the payload, so upgrading the engine invalidates the cache instead
+  of serving stale semantics.
+
+Canonicalization is two-pass.  Pass one computes a *shape* key for
+every node with bound-variable names masked out, and sorts ``and`` /
+``or`` children by (shape, exact serialization) -- the exact key is
+only a deterministic tie-break, so alpha-invariance survives except
+when two operands are structurally identical up to bound names, where
+a cache miss (never a wrong hit) is the worst case.  Pass two walks
+the re-ordered tree assigning canonical names ``b0, b1, ...`` to
+bound variables in first-occurrence order and emits the final form.
+"""
+
+import hashlib
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import __version__ as ENGINE_VERSION
+from repro.core.options import Strategy
+from repro.core.result import polynomial_to_json
+from repro.omega.affine import Affine
+from repro.presburger.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+)
+from repro.presburger.parser import ParseError, parse
+from repro.qpoly.parse import PolynomialParseError, parse_polynomial
+
+#: Hash-payload schema; bump on any change to the canonical form.
+REQUEST_SCHEMA_VERSION = 1
+
+KINDS = ("count", "sum", "simplify")
+
+#: Placeholder for a bound variable in the shape (pass-one) key.
+_MASK = "\x01"
+
+
+class RequestError(ValueError):
+    """A malformed service request (bad kind, missing field, ...)."""
+
+
+# -- AST canonicalization ------------------------------------------------
+
+
+def _affine_shape(expr: Affine, bound) -> str:
+    masked = sorted(
+        (_MASK if v in bound else v, c) for v, c in expr.coeffs
+    )
+    return "%s+%d" % (masked, expr.const)
+
+
+def _affine_exact(expr: Affine, bound, names: Dict[str, str]) -> str:
+    """Serialize with canonical bound names, assigning them on demand.
+
+    Bound coefficients are visited sorted by (coefficient, original
+    name) so assignment order is deterministic; the original-name
+    tie-break only matters between bound variables with *equal*
+    coefficients, where either assignment yields the same string.
+    """
+    free = []
+    boundpairs = []
+    for v, c in expr.coeffs:
+        if v in bound:
+            boundpairs.append((c, v))
+        else:
+            free.append((v, c))
+    boundpairs.sort()
+    out = sorted(free)
+    for c, v in boundpairs:
+        if v not in names:
+            names[v] = "b%d" % len(names)
+        out.append((names[v], c))
+    return "%s+%d" % (sorted(out), expr.const)
+
+
+def _node_key(node: Formula, bound: frozenset) -> Tuple[str, str]:
+    """(shape, exact-with-original-names) sort key for a node."""
+    if node is TrueF:
+        return ("T", "T")
+    if node is FalseF:
+        return ("F", "F")
+    if isinstance(node, Atom):
+        c = node.constraint
+        shape = "a(%s,%s)" % (c.kind, _affine_shape(c.expr, bound))
+        exact = "a(%s,%s)" % (c.kind, _affine_shape(c.expr, frozenset()))
+        return (shape, exact)
+    if isinstance(node, StrideAtom):
+        shape = "s(%d,%s)" % (node.modulus, _affine_shape(node.expr, bound))
+        exact = "s(%d,%s)" % (
+            node.modulus,
+            _affine_shape(node.expr, frozenset()),
+        )
+        return (shape, exact)
+    if isinstance(node, Not):
+        s, e = _node_key(node.child, bound)
+        return ("n(%s)" % s, "n(%s)" % e)
+    if isinstance(node, (And, Or)):
+        tag = "&" if isinstance(node, And) else "|"
+        keys = sorted(_node_key(c, bound) for c in node.children)
+        return (
+            "%s(%s)" % (tag, ",".join(k[0] for k in keys)),
+            "%s(%s)" % (tag, ",".join(k[1] for k in keys)),
+        )
+    if isinstance(node, (Exists, Forall)):
+        tag = "E" if isinstance(node, Exists) else "A"
+        inner = bound | frozenset(node.variables)
+        s, e = _node_key(node.body, inner)
+        return (
+            "%s%d(%s)" % (tag, len(node.variables), s),
+            "%s%d(%s)" % (tag, len(node.variables), e),
+        )
+    raise TypeError("unknown formula node %r" % (node,))
+
+
+def _canonical(node: Formula, bound: frozenset, names: Dict[str, str]) -> str:
+    """Pass two: emit the canonical form, assigning bound names."""
+    if node is TrueF:
+        return "T"
+    if node is FalseF:
+        return "F"
+    if isinstance(node, Atom):
+        c = node.constraint
+        return "a(%s,%s)" % (c.kind, _affine_exact(c.expr, bound, names))
+    if isinstance(node, StrideAtom):
+        return "s(%d,%s)" % (
+            node.modulus,
+            _affine_exact(node.expr, bound, names),
+        )
+    if isinstance(node, Not):
+        return "n(%s)" % _canonical(node.child, bound, names)
+    if isinstance(node, (And, Or)):
+        tag = "&" if isinstance(node, And) else "|"
+        children = sorted(
+            node.children, key=lambda c: _node_key(c, bound)
+        )
+        return "%s(%s)" % (
+            tag,
+            ",".join(_canonical(c, bound, names) for c in children),
+        )
+    if isinstance(node, (Exists, Forall)):
+        tag = "E" if isinstance(node, Exists) else "A"
+        inner = bound | frozenset(node.variables)
+        body = _canonical(node.body, inner, names)
+        quantified = sorted(
+            names[v] for v in node.variables if v in names
+        )
+        unused = len(node.variables) - len(quantified)
+        return "%s[%s;%d](%s)" % (tag, ",".join(quantified), unused, body)
+    raise TypeError("unknown formula node %r" % (node,))
+
+
+def canonical_formula_key(
+    formula: Formula, over: Sequence[str]
+) -> Tuple[str, Dict[str, str]]:
+    """Canonical string for a formula counted over ``over``.
+
+    Returns ``(key, names)`` where ``names`` maps each original bound
+    variable that occurs in the formula to its canonical name (needed
+    to canonicalize a summand polynomial consistently).
+    """
+    bound = frozenset(over)
+    names: Dict[str, str] = {}
+    key = _canonical(formula, bound, names)
+    return key, names
+
+
+# -- the request model ---------------------------------------------------
+
+
+class JobRequest:
+    """One service job: kind, formula, options, evaluation points.
+
+    ``at`` is a list of symbol assignments to evaluate the symbolic
+    answer at; the evaluated points ride along in the response (and in
+    the content hash -- a request asking for different points is a
+    different response).
+    """
+
+    __slots__ = (
+        "id",
+        "kind",
+        "formula",
+        "over",
+        "poly",
+        "strategy",
+        "remove_redundant",
+        "simplify",
+        "disjoint",
+        "at",
+        "timeout",
+        "budget",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        formula: str,
+        over: Sequence[str] = (),
+        poly: Optional[str] = None,
+        id: Optional[str] = None,
+        strategy: str = "exact",
+        remove_redundant: bool = True,
+        simplify: bool = False,
+        disjoint: bool = False,
+        at: Sequence[Mapping[str, int]] = (),
+        timeout: Optional[float] = None,
+        budget: Optional[int] = None,
+    ):
+        if kind not in KINDS:
+            raise RequestError("unknown job kind %r (want one of %s)" % (kind, "/".join(KINDS)))
+        if not isinstance(formula, str) or not formula.strip():
+            raise RequestError("job needs a non-empty 'formula' string")
+        if kind in ("count", "sum") and not over:
+            raise RequestError("%s job needs a non-empty 'over' list" % kind)
+        if kind == "sum" and not poly:
+            raise RequestError("sum job needs a 'poly' summand")
+        if kind != "sum" and poly:
+            raise RequestError("'poly' is only valid for sum jobs")
+        try:
+            Strategy(strategy)
+        except ValueError:
+            raise RequestError(
+                "unknown strategy %r (want one of %s)"
+                % (strategy, "/".join(s.value for s in Strategy))
+            )
+        self.id = id
+        self.kind = kind
+        self.formula = formula
+        self.over = tuple(over)
+        self.poly = poly
+        self.strategy = strategy
+        self.remove_redundant = bool(remove_redundant)
+        self.simplify = bool(simplify)
+        self.disjoint = bool(disjoint)
+        cleaned: List[Dict[str, int]] = []
+        for env in at:
+            if not isinstance(env, Mapping):
+                raise RequestError("'at' entries must be objects, got %r" % (env,))
+            point = {}
+            for sym, value in env.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise RequestError(
+                        "'at' value for %r must be an integer, got %r"
+                        % (sym, value)
+                    )
+                point[str(sym)] = value
+            cleaned.append(point)
+        self.at = tuple(cleaned)
+        self.timeout = float(timeout) if timeout is not None else None
+        self.budget = int(budget) if budget is not None else None
+
+    # -- wire format ------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, obj: Mapping, default_id: Optional[str] = None) -> "JobRequest":
+        if not isinstance(obj, Mapping):
+            raise RequestError("request must be a JSON object, got %r" % (obj,))
+        known = {
+            "id",
+            "kind",
+            "formula",
+            "over",
+            "poly",
+            "strategy",
+            "remove_redundant",
+            "simplify",
+            "disjoint",
+            "at",
+            "timeout",
+            "budget",
+        }
+        unknown = sorted(set(obj) - known)
+        if unknown:
+            raise RequestError("unknown request fields: %s" % ", ".join(unknown))
+        over = obj.get("over", ())
+        if isinstance(over, str):
+            over = [v.strip() for v in over.split(",") if v.strip()]
+        return cls(
+            kind=obj.get("kind", "count"),
+            formula=obj.get("formula", ""),
+            over=over,
+            poly=obj.get("poly"),
+            id=obj.get("id", default_id),
+            strategy=obj.get("strategy", "exact"),
+            remove_redundant=obj.get("remove_redundant", True),
+            simplify=obj.get("simplify", False),
+            disjoint=obj.get("disjoint", False),
+            at=obj.get("at", ()),
+            timeout=obj.get("timeout"),
+            budget=obj.get("budget"),
+        )
+
+    def to_json(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "formula": self.formula,
+            "strategy": self.strategy,
+            "remove_redundant": self.remove_redundant,
+            "simplify": self.simplify,
+            "disjoint": self.disjoint,
+        }
+        if self.id is not None:
+            out["id"] = self.id
+        if self.over:
+            out["over"] = list(self.over)
+        if self.poly is not None:
+            out["poly"] = self.poly
+        if self.at:
+            out["at"] = [dict(env) for env in self.at]
+        if self.timeout is not None:
+            out["timeout"] = self.timeout
+        if self.budget is not None:
+            out["budget"] = self.budget
+        return out
+
+    # -- content identity -------------------------------------------------
+
+    def canonical_payload(self) -> str:
+        """The exact string that is hashed (exposed for tests/debugging).
+
+        Raises :class:`~repro.presburger.parser.ParseError` /
+        :class:`~repro.qpoly.parse.PolynomialParseError` on malformed
+        formula or summand text -- callers classify that as a
+        ``parse_error`` job failure.
+        """
+        formula = parse(self.formula)
+        key, names = canonical_formula_key(formula, self.over)
+        payload = {
+            "schema": REQUEST_SCHEMA_VERSION,
+            "engine": ENGINE_VERSION,
+            "kind": self.kind,
+            "formula": key,
+            "strategy": self.strategy,
+            "remove_redundant": self.remove_redundant,
+            "simplify": self.simplify,
+        }
+        if self.kind == "simplify":
+            payload["disjoint"] = self.disjoint
+        else:
+            # Canonical names for counted variables; one not occurring
+            # in the formula still needs a stable name for the summand.
+            over_names = []
+            for v in sorted(self.over):
+                if v not in names:
+                    names[v] = "b%d" % len(names)
+            for v in self.over:
+                over_names.append(names[v])
+            payload["over"] = sorted(over_names)
+        if self.poly is not None:
+            poly = parse_polynomial(self.poly)
+            renaming = {v: names[v] for v in poly.variables() if v in names}
+            payload["poly"] = polynomial_to_json(poly.rename(renaming))
+        if self.at:
+            payload["at"] = sorted(
+                json.dumps(env, sort_keys=True) for env in self.at
+            )
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the canonical payload (the cache key)."""
+        return hashlib.sha256(
+            self.canonical_payload().encode("utf-8")
+        ).hexdigest()
+
+
+__all__ = [
+    "ENGINE_VERSION",
+    "JobRequest",
+    "KINDS",
+    "ParseError",
+    "PolynomialParseError",
+    "REQUEST_SCHEMA_VERSION",
+    "RequestError",
+    "canonical_formula_key",
+]

@@ -116,3 +116,25 @@ class TestStats:
         )
         assert out.returncode == 0
         assert "sat_calls" in out.stderr
+
+
+class TestAtErrors:
+    def test_non_integer_value_is_clean_error(self):
+        out = run_cli("count", "1 <= i <= n", "--over", "i", "--at", "n=abc")
+        assert out.returncode == 2
+        assert "must be an integer" in out.stderr
+        assert "Traceback" not in out.stderr
+
+    def test_missing_equals_is_clean_error(self):
+        out = run_cli("count", "1 <= i <= n", "--over", "i", "--at", "n10")
+        assert out.returncode == 2
+        assert "sym=value" in out.stderr
+        assert "Traceback" not in out.stderr
+
+    def test_at_repeatable_merges_symbols(self):
+        out = run_cli(
+            "count", "1 <= i <= n and i <= m", "--over", "i",
+            "--at", "n=3", "--at", "m=7",
+        )
+        assert out.returncode == 0
+        assert "at {'n': 3, 'm': 7}: 3" in out.stdout

@@ -100,3 +100,68 @@ class TestStructure:
     def test_str_shows_bound_tag(self):
         s = SymbolicSum([term(0, 1)], exactness="upper")
         assert "upper bound" in str(s)
+
+
+class TestSerialization:
+    """to_json/from_json must be an *exact* round trip (satellite of the
+    batch-service PR: cached payloads carry serialized results)."""
+
+    def round_trip(self, s):
+        back = SymbolicSum.from_json(s.to_json())
+        assert back == s
+        assert back.to_json() == s.to_json()
+        return back
+
+    def test_hand_built_round_trip(self):
+        s = SymbolicSum([term(0, 2), term(5, 3)], exactness="upper")
+        back = self.round_trip(s)
+        assert back.exactness == "upper"
+        assert back.evaluate({"n": 6}) == s.evaluate({"n": 6})
+
+    def test_engine_count_round_trip(self):
+        from repro.core import count
+
+        s = count("1 <= i and i < j and j <= n", ["i", "j"])
+        back = self.round_trip(s)
+        for n in range(-2, 15):
+            assert back.evaluate({"n": n}) == s.evaluate({"n": n})
+
+    def test_mod_atoms_round_trip(self):
+        from repro.core import count
+
+        s = count(
+            "1 <= i and 1 <= j <= n and 2*i <= 3*j", ["i", "j"]
+        ).simplified()
+        assert "mod" in str(s)
+        self.round_trip(s)
+
+    def test_fractional_coefficients_round_trip(self):
+        from repro.core import sum_poly
+
+        s = sum_poly("1 <= i <= n", ["i"], "i*i")
+        back = self.round_trip(s)
+        assert back.evaluate({"n": 100}) == 338350
+
+    def test_table_matches_after_round_trip(self):
+        from repro.core import count
+
+        s = count("1 <= i and 3*i <= n", ["i"])
+        back = SymbolicSum.from_json(s.to_json())
+        assert list(back.table("n", range(0, 21))) == list(
+            s.table("n", range(0, 21))
+        )
+
+    def test_wrong_schema_version_rejected(self):
+        blob = SymbolicSum([term(0, 1)]).to_json()
+        blob["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            SymbolicSum.from_json(blob)
+
+    def test_json_is_json_serializable(self):
+        import json
+
+        from repro.core import sum_poly
+
+        s = sum_poly("1 <= i <= n", ["i"], "i")
+        text = json.dumps(s.to_json(), sort_keys=True)
+        assert SymbolicSum.from_json(json.loads(text)) == s

@@ -1,0 +1,244 @@
+"""Batch front end: ordering, caching, dedup, CLI behaviour."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.service.batch import (
+    VOLATILE_RESPONSE_KEYS,
+    BatchSummary,
+    parse_request_line,
+    run_batch,
+)
+from repro.service.diskcache import DiskCache
+from repro.service.executor import BAD_REQUEST, JobError
+from repro.service.request import JobRequest
+
+COUNT_IJ = {
+    "id": "pairs",
+    "kind": "count",
+    "formula": "1 <= i and i < j and j <= n",
+    "over": ["i", "j"],
+    "at": [{"n": 10}],
+}
+SUM_SQ = {
+    "id": "squares",
+    "kind": "sum",
+    "formula": "1 <= i <= n",
+    "over": ["i"],
+    "poly": "i*i",
+    "at": [{"n": 100}],
+}
+
+
+def stable(response):
+    """Project away the keys allowed to differ between runs."""
+    return {
+        k: v for k, v in response.items() if k not in VOLATILE_RESPONSE_KEYS
+    }
+
+
+class TestParseRequestLine:
+    def test_good_line(self):
+        entry = parse_request_line(json.dumps(COUNT_IJ), 1)
+        assert isinstance(entry, JobRequest)
+        assert entry.id == "pairs"
+
+    def test_bad_json_line(self):
+        entry = parse_request_line("{not json", 4)
+        assert isinstance(entry, JobError)
+        assert entry.kind == BAD_REQUEST
+        assert entry.id == 4
+
+    def test_invalid_request_keeps_its_own_id(self):
+        entry = parse_request_line(
+            json.dumps({"id": "x9", "kind": "count", "formula": "1 <= i"}), 2
+        )
+        assert isinstance(entry, JobError)
+        assert entry.id == "x9"
+
+
+class TestRunBatch:
+    def test_mixed_batch_all_answered_in_order(self):
+        entries = [
+            JobRequest.from_json(COUNT_IJ),
+            JobError(BAD_REQUEST, "line 2: invalid JSON", id=2),
+            JobRequest("count", "1 <= i <= ===", over=["i"], id="broken"),
+            JobRequest.from_json(SUM_SQ),
+        ]
+        responses, summary = run_batch(entries, workers=1)
+        assert [r["id"] for r in responses] == ["pairs", 2, "broken", "squares"]
+        assert [r["ok"] for r in responses] == [True, False, False, True]
+        assert responses[0]["points"] == [{"at": {"n": 10}, "value": 45}]
+        assert responses[2]["error"]["kind"] == "parse_error"
+        assert responses[3]["points"] == [{"at": {"n": 100}, "value": 338350}]
+        assert summary.jobs == 4 and summary.ok == 2
+        assert summary.errors == {"bad_request": 1, "parse_error": 1}
+
+    def test_result_json_not_echoed_in_responses(self):
+        responses, _ = run_batch([JobRequest.from_json(COUNT_IJ)])
+        assert "result_json" not in responses[0]
+        assert "result" in responses[0]
+
+    def test_dedup_identical_jobs_compute_once(self):
+        # Alpha-renamed copies hash identically and share one run.
+        twin = dict(COUNT_IJ, id="twin", formula="1 <= p and p < q and q <= n")
+        twin["over"] = ["p", "q"]
+        responses, summary = run_batch(
+            [JobRequest.from_json(COUNT_IJ), JobRequest.from_json(twin)]
+        )
+        assert summary.deduped == 1
+        assert stable(responses[0])["result"] == stable(responses[1])["result"]
+        assert responses[1]["points"] == [{"at": {"n": 10}, "value": 45}]
+
+    def test_rerun_is_fully_cached_and_stable(self, tmp_path):
+        entries = [JobRequest.from_json(COUNT_IJ), JobRequest.from_json(SUM_SQ)]
+        with DiskCache(str(tmp_path / "c.sqlite")) as cache:
+            first, s1 = run_batch(entries, cache=cache)
+            second, s2 = run_batch(entries, cache=cache)
+        assert s1.cache_hits == 0 and s1.cache_misses == 2
+        assert s2.cache_hits == 2 and s2.cache_misses == 0
+        assert all(r["cached"] for r in second)
+        assert all(r["wall_ms"] == 0.0 for r in second)
+        for a, b in zip(first, second):
+            assert json.dumps(stable(a), sort_keys=True) == json.dumps(
+                stable(b), sort_keys=True
+            )
+
+    def test_failures_are_not_cached(self, tmp_path):
+        entries = [JobRequest("count", "1 <= i <= ===", over=["i"], id="bad")]
+        with DiskCache(str(tmp_path / "c.sqlite")) as cache:
+            run_batch(entries, cache=cache)
+            assert len(cache) == 0
+            _, s2 = run_batch(entries, cache=cache)
+        assert s2.cache_hits == 0
+
+    def test_corrupt_cache_entry_recovers(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "c.sqlite")
+        entries = [JobRequest.from_json(COUNT_IJ)]
+        with DiskCache(path) as cache:
+            first, _ = run_batch(entries, cache=cache)
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE results SET payload = '{broken'")
+        conn.commit()
+        conn.close()
+        with DiskCache(path) as cache:
+            second, summary = run_batch(entries, cache=cache)
+        assert summary.cache_corrupt == 1
+        assert second[0]["ok"] is True and second[0]["cached"] is False
+        assert stable(first[0]) == stable(second[0])
+
+    def test_emit_streams_in_input_order(self):
+        entries = [JobRequest.from_json(COUNT_IJ), JobRequest.from_json(SUM_SQ)]
+        streamed = []
+        responses, _ = run_batch(entries, workers=2, emit=streamed.append)
+        assert streamed == responses
+
+    def test_summary_round_trip(self):
+        _, summary = run_batch([JobRequest.from_json(COUNT_IJ)])
+        blob = summary.to_json()
+        assert blob["jobs"] == 1 and blob["ok"] == 1
+        assert "cache" in blob and "wall_seconds" in blob
+        assert "1 jobs, 1 ok" in str(summary)
+
+
+def write_jsonl(path, objs):
+    with open(path, "w") as fh:
+        for obj in objs:
+            if isinstance(obj, str):
+                fh.write(obj + "\n")
+            else:
+                fh.write(json.dumps(obj) + "\n")
+
+
+class TestCLI:
+    def run_cli(self, capsys, *argv):
+        code = main(["batch"] + list(argv))
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        return code, lines, captured.err
+
+    def test_batch_with_failures_still_exits_zero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SERVICE_SLEEP", "sleepy_marker")
+        reqs = tmp_path / "reqs.jsonl"
+        write_jsonl(
+            reqs,
+            [
+                COUNT_IJ,
+                "{definitely not json",
+                {
+                    "id": "stuck",
+                    "kind": "count",
+                    "formula": "1 <= sleepy_marker and sleepy_marker <= n + 7",
+                    "over": ["sleepy_marker"],
+                    "timeout": 0.3,
+                },
+                {
+                    "id": "typo",
+                    "kind": "count",
+                    "formula": "1 <= i <= ===",
+                    "over": ["i"],
+                },
+            ],
+        )
+        code, lines, err = self.run_cli(
+            capsys,
+            str(reqs),
+            "--cache",
+            str(tmp_path / "c.sqlite"),
+            "--workers",
+            "2",
+        )
+        assert code == 0
+        kinds = {
+            line["id"]: (line["ok"] or line["error"]["kind"])
+            for line in lines
+        }
+        assert kinds == {
+            "pairs": True,
+            2: "bad_request",
+            "stuck": "timeout",
+            "typo": "parse_error",
+        }
+        assert "4 jobs, 1 ok" in err
+
+    def test_second_run_hits_cache_and_matches(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        write_jsonl(reqs, [COUNT_IJ, SUM_SQ])
+        argv = [str(reqs), "--cache", str(tmp_path / "c.sqlite")]
+        summary_path = tmp_path / "summary.json"
+        code1, first, _ = self.run_cli(capsys, *argv)
+        code2, second, _ = self.run_cli(
+            capsys, *argv, "--summary-json", str(summary_path)
+        )
+        assert code1 == code2 == 0
+        assert all(r["cached"] for r in second)
+        assert [stable(a) for a in first] == [stable(b) for b in second]
+        summary = json.loads(summary_path.read_text())
+        assert summary["cache"]["hits"] == summary["jobs"] == 2
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.jsonl"
+        write_jsonl(reqs, [COUNT_IJ])
+        code, lines, _ = self.run_cli(capsys, str(reqs), "--no-cache")
+        assert code == 0 and lines[0]["ok"] is True
+        assert not (tmp_path / ".repro-cache.sqlite").exists()
+
+    def test_unreadable_input_exits_2(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "missing.jsonl"), "--no-cache"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read" in err
+
+    def test_stdin_input(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(COUNT_IJ) + "\n"))
+        code, lines, _ = self.run_cli(capsys, "-", "--no-cache")
+        assert code == 0
+        assert lines[0]["points"] == [{"at": {"n": 10}, "value": 45}]

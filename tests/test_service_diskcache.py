@@ -1,0 +1,132 @@
+"""Persistent sqlite result cache: LRU bound, corruption, concurrency."""
+
+import json
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.service.diskcache import DiskCache
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return str(tmp_path / "results.sqlite")
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache_path):
+        with DiskCache(cache_path) as cache:
+            assert cache.get("k1") is None
+            cache.put("k1", {"result": "42"})
+            assert cache.get("k1") == {"result": "42"}
+            assert cache.hits == 1 and cache.misses == 1
+
+    def test_replace(self, cache_path):
+        with DiskCache(cache_path) as cache:
+            cache.put("k", {"result": "old"})
+            cache.put("k", {"result": "new"})
+            assert cache.get("k") == {"result": "new"}
+            assert len(cache) == 1
+
+    def test_persistence_across_reopen(self, cache_path):
+        with DiskCache(cache_path) as cache:
+            cache.put("k", {"result": "42", "points": [1, 2]})
+        with DiskCache(cache_path) as cache:
+            assert cache.get("k") == {"result": "42", "points": [1, 2]}
+
+    def test_contains_and_info(self, cache_path):
+        with DiskCache(cache_path, max_entries=7) as cache:
+            cache.put("k", {"result": "1"})
+            assert "k" in cache and "nope" not in cache
+            info = cache.info()
+            assert info["size"] == 1 and info["max_entries"] == 7
+
+
+class TestLRU:
+    def test_size_bound_evicts_oldest(self, cache_path):
+        with DiskCache(cache_path, max_entries=3) as cache:
+            for i in range(5):
+                cache.put("k%d" % i, {"result": str(i)})
+            assert len(cache) == 3
+            assert "k0" not in cache and "k1" not in cache
+            assert "k4" in cache
+
+    def test_get_refreshes_recency(self, cache_path):
+        with DiskCache(cache_path, max_entries=2) as cache:
+            cache.put("a", {"result": "a"})
+            cache.put("b", {"result": "b"})
+            assert cache.get("a") is not None  # a is now most recent
+            cache.put("c", {"result": "c"})  # evicts b, not a
+            assert "a" in cache and "b" not in cache
+
+
+class TestCorruption:
+    def test_corrupt_payload_is_a_self_healing_miss(self, cache_path):
+        with DiskCache(cache_path) as cache:
+            cache.put("k", {"result": "42"})
+        conn = sqlite3.connect(cache_path)
+        conn.execute(
+            "UPDATE results SET payload = ? WHERE key = ?", ("{oops", "k")
+        )
+        conn.commit()
+        conn.close()
+        with DiskCache(cache_path) as cache:
+            assert cache.get("k") is None
+            assert cache.corrupt == 1
+            assert "k" not in cache  # the bad row was deleted
+
+    def test_non_object_payload_is_corrupt(self, cache_path):
+        with DiskCache(cache_path) as cache:
+            cache.put("k", {"result": "42"})
+        conn = sqlite3.connect(cache_path)
+        conn.execute(
+            "UPDATE results SET payload = ? WHERE key = ?",
+            (json.dumps([1, 2, 3]), "k"),
+        )
+        conn.commit()
+        conn.close()
+        with DiskCache(cache_path) as cache:
+            assert cache.get("k") is None
+            assert cache.corrupt == 1
+
+    def test_non_sqlite_file_recreated(self, cache_path):
+        with open(cache_path, "w") as fh:
+            fh.write("this is not a database")
+        with DiskCache(cache_path) as cache:
+            cache.put("k", {"result": "1"})
+            assert cache.get("k") == {"result": "1"}
+
+
+def _hammer(path, worker_id, n):
+    with DiskCache(path, max_entries=1000) as cache:
+        for i in range(n):
+            key = "w%d-%d" % (worker_id, i)
+            cache.put(key, {"result": key})
+            got = cache.get(key)
+            assert got == {"result": key}, got
+
+
+class TestConcurrency:
+    def test_two_handles_share_state(self, cache_path):
+        a = DiskCache(cache_path)
+        b = DiskCache(cache_path)
+        try:
+            a.put("k", {"result": "42"})
+            assert b.get("k") == {"result": "42"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_writers(self, cache_path):
+        procs = [
+            multiprocessing.Process(target=_hammer, args=(cache_path, w, 20))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+        assert all(p.exitcode == 0 for p in procs)
+        with DiskCache(cache_path) as cache:
+            assert len(cache) == 80

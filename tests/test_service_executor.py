@@ -1,0 +1,146 @@
+"""Executor: per-job payloads, timeouts, budgets, crash retry."""
+
+import pytest
+
+from repro.service.executor import (
+    BUDGET_EXCEEDED,
+    PARSE_ERROR,
+    TIMEOUT,
+    WORKER_CRASH,
+    JobError,
+    execute_request,
+    run_jobs,
+)
+from repro.service.request import JobRequest
+
+# Hook-marked formulas must still parse (hashing happens in the parent)
+# and must be structurally distinct from the healthy jobs, or the
+# alpha-invariant dedup would fold them together.
+SLEEP_FORMULA = "1 <= sleepy_marker and sleepy_marker <= n + 7"
+POISON_FORMULA = "1 <= poison_marker and poison_marker <= n + 13"
+
+
+class TestExecuteRequest:
+    def test_count_payload(self):
+        req = JobRequest(
+            "count",
+            "1 <= i and i < j and j <= n",
+            over=["i", "j"],
+            at=[{"n": 10}],
+        )
+        payload = execute_request(req)
+        assert payload["kind"] == "count"
+        assert "n**2" in payload["result"]
+        assert payload["points"] == [{"at": {"n": 10}, "value": 45}]
+        assert payload["exactness"] == "exact"
+        assert "sat_calls" in payload["stats"]
+        assert isinstance(payload["result_json"], dict)
+
+    def test_sum_payload(self):
+        req = JobRequest(
+            "sum", "1 <= i <= n", over=["i"], poly="i*i", at=[{"n": 100}]
+        )
+        payload = execute_request(req)
+        assert payload["points"][0]["value"] == 338350
+
+    def test_simplify_payload(self):
+        req = JobRequest("simplify", "x >= 1 and x >= 0 and x <= 9")
+        payload = execute_request(req)
+        assert payload["result"] == "x - 1 >= 0 and -x + 9 >= 0"
+        assert payload["clauses"] == ["x - 1 >= 0 and -x + 9 >= 0"]
+
+    def test_parse_error_is_structured(self):
+        req = JobRequest("count", "1 <= i <= ===", over=["i"])
+        with pytest.raises(JobError) as exc_info:
+            execute_request(req)
+        assert exc_info.value.kind == PARSE_ERROR
+
+
+class TestRunJobs:
+    def test_outcomes_in_input_order(self):
+        reqs = [
+            JobRequest("count", "1 <= i <= n", over=["i"], id="a"),
+            JobRequest("simplify", "x >= 1 and x >= 0", id="b"),
+        ]
+        outcomes = run_jobs(reqs, workers=2)
+        assert [o["ok"] for o in outcomes] == [True, True]
+        assert outcomes[0]["payload"]["kind"] == "count"
+        assert outcomes[1]["payload"]["kind"] == "simplify"
+        assert all(o["attempts"] == 1 for o in outcomes)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_jobs([], workers=0)
+
+    def test_timeout_is_structured_and_batch_completes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_SLEEP", "sleepy_marker")
+        reqs = [
+            JobRequest("count", SLEEP_FORMULA, over=["sleepy_marker"], timeout=0.3),
+            JobRequest("count", "1 <= i <= n", over=["i"]),
+        ]
+        outcomes = run_jobs(reqs, workers=2, default_timeout=30.0)
+        assert outcomes[0]["ok"] is False
+        assert outcomes[0]["error"]["kind"] == TIMEOUT
+        assert outcomes[1]["ok"] is True
+
+    def test_crash_is_retried_once_then_structured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_POISON", "poison_marker")
+        reqs = [
+            JobRequest("count", POISON_FORMULA, over=["poison_marker"]),
+            JobRequest("count", "1 <= i <= n", over=["i"]),
+        ]
+        outcomes = run_jobs(reqs, workers=2)
+        assert outcomes[0]["ok"] is False
+        assert outcomes[0]["error"]["kind"] == WORKER_CRASH
+        assert outcomes[0]["attempts"] == 2
+        assert "86" in outcomes[0]["error"]["message"]
+        assert outcomes[1]["ok"] is True
+
+    def test_budget_exceeded_is_structured(self):
+        reqs = [
+            JobRequest(
+                "count",
+                "1 <= i and i < j and j <= n",
+                over=["i", "j"],
+                budget=1,
+            ),
+            JobRequest("count", "1 <= i <= n", over=["i"]),
+        ]
+        outcomes = run_jobs(reqs, workers=1)
+        assert outcomes[0]["ok"] is False
+        assert outcomes[0]["error"]["kind"] == BUDGET_EXCEEDED
+        assert outcomes[1]["ok"] is True
+
+    def test_default_budget_fallback(self):
+        outcomes = run_jobs(
+            [JobRequest("count", "1 <= i and i < j and j <= n", over=["i", "j"])],
+            workers=1,
+            default_budget=1,
+        )
+        assert outcomes[0]["error"]["kind"] == BUDGET_EXCEEDED
+
+    def test_on_outcome_streaming(self):
+        seen = []
+        run_jobs(
+            [
+                JobRequest("count", "1 <= i <= n", over=["i"]),
+                JobRequest("count", "1 <= i <= m", over=["i"]),
+            ],
+            workers=1,
+            on_outcome=lambda index, outcome: seen.append((index, outcome["ok"])),
+        )
+        assert sorted(seen) == [(0, True), (1, True)]
+
+    def test_per_job_stats_isolation(self):
+        # Two identical jobs must report identical per-job counters --
+        # the second worker starts from a clean snapshot, not on top of
+        # the first one's.
+        reqs = [
+            JobRequest("count", "1 <= i and i < j and j <= n", over=["i", "j"]),
+            JobRequest("count", "1 <= i and i < k and k <= n + 5", over=["i", "k"]),
+            JobRequest("count", "1 <= i and i < j and j <= n", over=["i", "j"]),
+        ]
+        outcomes = run_jobs(reqs, workers=1)
+        first = outcomes[0]["payload"]["stats"]
+        third = outcomes[2]["payload"]["stats"]
+        assert first["sat_calls"] == third["sat_calls"] > 0

@@ -1,0 +1,181 @@
+"""Canonical request model: validation, wire format, content hashing."""
+
+import pytest
+
+from repro.service.request import (
+    ENGINE_VERSION,
+    JobRequest,
+    RequestError,
+    canonical_formula_key,
+)
+from repro.presburger.parser import ParseError, parse
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown job kind"):
+            JobRequest("frobnicate", "1 <= i <= n", over=["i"])
+
+    def test_count_needs_over(self):
+        with pytest.raises(RequestError, match="'over'"):
+            JobRequest("count", "1 <= i <= n")
+
+    def test_sum_needs_poly(self):
+        with pytest.raises(RequestError, match="'poly'"):
+            JobRequest("sum", "1 <= i <= n", over=["i"])
+
+    def test_poly_only_for_sum(self):
+        with pytest.raises(RequestError, match="only valid for sum"):
+            JobRequest("count", "1 <= i <= n", over=["i"], poly="i")
+
+    def test_empty_formula(self):
+        with pytest.raises(RequestError, match="formula"):
+            JobRequest("count", "   ", over=["i"])
+
+    def test_bad_strategy(self):
+        with pytest.raises(RequestError, match="strategy"):
+            JobRequest("count", "1 <= i <= n", over=["i"], strategy="magic")
+
+    def test_bad_at_value(self):
+        with pytest.raises(RequestError, match="integer"):
+            JobRequest("count", "1 <= i <= n", over=["i"], at=[{"n": "ten"}])
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(RequestError, match="unknown request fields"):
+            JobRequest.from_json(
+                {"kind": "count", "formula": "1 <= i <= n", "over": ["i"], "zap": 1}
+            )
+
+    def test_simplify_needs_no_over(self):
+        req = JobRequest("simplify", "x >= 1 and x >= 0")
+        assert req.kind == "simplify"
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        req = JobRequest(
+            "sum",
+            "1 <= i <= n",
+            over=["i"],
+            poly="i*i",
+            id="job-1",
+            strategy="upper",
+            simplify=True,
+            at=[{"n": 10}],
+            timeout=2.5,
+            budget=100,
+        )
+        back = JobRequest.from_json(req.to_json())
+        assert back.to_json() == req.to_json()
+        assert back.content_hash() == req.content_hash()
+
+    def test_over_accepts_comma_string(self):
+        req = JobRequest.from_json(
+            {"kind": "count", "formula": "1 <= i and i < j and j <= n", "over": "i, j"}
+        )
+        assert req.over == ("i", "j")
+
+    def test_default_id(self):
+        req = JobRequest.from_json(
+            {"kind": "count", "formula": "1 <= i <= n", "over": ["i"]},
+            default_id=17,
+        )
+        assert req.id == 17
+
+
+def _h(formula, over, **kw):
+    return JobRequest("count", formula, over=over, **kw).content_hash()
+
+
+class TestContentHash:
+    def test_lexical_variation_invariant(self):
+        assert _h("1<=i and i<=n", ["i"]) == _h("1 <= i  and  i <= n", ["i"])
+
+    def test_over_order_invariant(self):
+        a = _h("1 <= i and i < j and j <= n", ["i", "j"])
+        b = _h("1 <= i and i < j and j <= n", ["j", "i"])
+        assert a == b
+
+    def test_alpha_rename_of_counted_vars_invariant(self):
+        a = _h("1 <= i and i < j and j <= n", ["i", "j"])
+        b = _h("1 <= p and p < q and q <= n", ["q", "p"])
+        assert a == b
+
+    def test_and_operand_order_invariant(self):
+        assert _h("1 <= i and i <= n", ["i"]) == _h("i <= n and 1 <= i", ["i"])
+
+    def test_or_operand_order_invariant(self):
+        a = JobRequest("simplify", "x >= 9 or x <= 1").content_hash()
+        b = JobRequest("simplify", "x <= 1 or x >= 9").content_hash()
+        assert a == b
+
+    def test_quantifier_alpha_invariant(self):
+        a = _h("exists t: (1 <= i <= t and t <= n)", ["i"])
+        b = _h("exists u: (1 <= i <= u and u <= n)", ["i"])
+        assert a == b
+
+    def test_symbolic_constant_name_matters(self):
+        assert _h("1 <= i <= n", ["i"]) != _h("1 <= i <= m", ["i"])
+
+    def test_over_set_matters(self):
+        base = "1 <= i and i < j and j <= n"
+        assert _h(base, ["i", "j"]) != _h(base, ["i"])
+
+    def test_summand_alpha_follows_formula(self):
+        a = JobRequest("sum", "1 <= i <= n", over=["i"], poly="i*i")
+        b = JobRequest("sum", "1 <= k <= n", over=["k"], poly="k*k")
+        c = JobRequest("sum", "1 <= k <= n", over=["k"], poly="k")
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != c.content_hash()
+
+    def test_options_change_hash(self):
+        base = "1 <= i <= n"
+        assert _h(base, ["i"]) != _h(base, ["i"], strategy="upper")
+        assert _h(base, ["i"]) != _h(base, ["i"], remove_redundant=False)
+        assert _h(base, ["i"]) != _h(base, ["i"], simplify=True)
+
+    def test_at_points_change_hash(self):
+        base = "1 <= i <= n"
+        assert _h(base, ["i"]) != _h(base, ["i"], at=[{"n": 5}])
+        # ... but their order does not.
+        assert _h(base, ["i"], at=[{"n": 5}, {"n": 6}]) == _h(
+            base, ["i"], at=[{"n": 6}, {"n": 5}]
+        )
+
+    def test_timeout_budget_do_not_change_hash(self):
+        # Execution limits affect *whether* the answer arrives, never
+        # what it is, so they must not fragment the cache.
+        base = "1 <= i <= n"
+        assert _h(base, ["i"]) == _h(base, ["i"], timeout=5.0, budget=100)
+
+    def test_engine_version_in_payload(self):
+        req = JobRequest("count", "1 <= i <= n", over=["i"])
+        assert ENGINE_VERSION in req.canonical_payload()
+
+    def test_malformed_formula_raises_parse_error(self):
+        req = JobRequest("count", "1 <= i <= ===", over=["i"])
+        with pytest.raises(ParseError):
+            req.content_hash()
+
+    def test_distinct_structures_distinct_keys(self):
+        # Masked shapes collide ((i<j) vs (j<i) both mask to ?<?), but
+        # the exact serialization must still split them.
+        a = _h("i < j and 0 <= i and 0 <= j and i <= n and j <= n", ["i"])
+        b = _h("j < i and 0 <= i and 0 <= j and i <= n and j <= n", ["i"])
+        assert a != b
+
+
+class TestCanonicalFormulaKey:
+    def test_returns_bound_name_mapping(self):
+        key, names = canonical_formula_key(
+            parse("1 <= i and i < j and j <= n"), ["i", "j"]
+        )
+        assert set(names) == {"i", "j"}
+        assert sorted(names.values()) == ["b0", "b1"]
+        assert "n" in key  # free symbolic constants keep their names
+
+    def test_deterministic(self):
+        f = parse("(1 <= i <= n) or (2 | i) or not (i >= 4)")
+        a = canonical_formula_key(f, ["i"])[0]
+        b = canonical_formula_key(parse("(2 | i) or (1 <= i <= n) or not (i >= 4)"), ["i"])[0]
+        assert a == b
