@@ -24,6 +24,7 @@ per-job failures are data, not exit codes.
 """
 
 import json
+import sqlite3
 import sys
 import time
 from typing import List, Optional, Sequence, Tuple, Union
@@ -235,7 +236,18 @@ def run_batch(
 
         def settle(pos: int, outcome: dict) -> None:
             if outcome["ok"] and cache is not None:
-                cache.put(key_of[pos], outcome["payload"])
+                # A cache-write failure (disk full, db locked past the
+                # busy timeout) must not sink the batch: the result is
+                # already computed, so serve it and just skip caching.
+                try:
+                    cache.put(key_of[pos], outcome["payload"])
+                except (sqlite3.Error, OSError) as exc:
+                    print(
+                        "repro batch: cache write failed for job %s"
+                        " (%s: %s); result served uncached"
+                        % (ident(waiting[pos][0]), type(exc).__name__, exc),
+                        file=sys.stderr,
+                    )
             for i in waiting[pos]:
                 response = {"id": ident(i), "ok": outcome["ok"]}
                 if outcome["ok"]:

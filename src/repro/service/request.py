@@ -26,8 +26,12 @@ every node with bound-variable names masked out, and sorts ``and`` /
 only a deterministic tie-break, so alpha-invariance survives except
 when two operands are structurally identical up to bound names, where
 a cache miss (never a wrong hit) is the worst case.  Pass two walks
-the re-ordered tree assigning canonical names ``b0, b1, ...`` to
-bound variables in first-occurrence order and emits the final form.
+the re-ordered tree assigning canonical names (a control-character
+prefix plus an index, e.g. ``"\\x020"``) to bound variables in
+first-occurrence order and emits the final form.  The prefix puts
+canonical names in a namespace no user identifier can occupy, so a
+free constant that happens to be named like a canonical bound name
+can never collide with one.
 """
 
 import hashlib
@@ -54,12 +58,19 @@ from repro.presburger.parser import ParseError, parse
 from repro.qpoly.parse import PolynomialParseError, parse_polynomial
 
 #: Hash-payload schema; bump on any change to the canonical form.
-REQUEST_SCHEMA_VERSION = 1
+REQUEST_SCHEMA_VERSION = 2
 
 KINDS = ("count", "sum", "simplify")
 
 #: Placeholder for a bound variable in the shape (pass-one) key.
 _MASK = "\x01"
+
+#: Prefix for canonical bound-variable names in the exact (pass-two)
+#: serialization.  A control character keeps canonical names outside
+#: the identifier namespace: free constants keep their user-visible
+#: names, so naming one ``b0`` must not make it serialize identically
+#: to a canonically-renamed bound variable.
+_BOUND_PREFIX = "\x02"
 
 
 class RequestError(ValueError):
@@ -95,7 +106,7 @@ def _affine_exact(expr: Affine, bound, names: Dict[str, str]) -> str:
     out = sorted(free)
     for c, v in boundpairs:
         if v not in names:
-            names[v] = "b%d" % len(names)
+            names[v] = "%s%d" % (_BOUND_PREFIX, len(names))
         out.append((names[v], c))
     return "%s+%d" % (sorted(out), expr.const)
 
@@ -199,8 +210,9 @@ class JobRequest:
 
     ``at`` is a list of symbol assignments to evaluate the symbolic
     answer at; the evaluated points ride along in the response (and in
-    the content hash -- a request asking for different points is a
-    different response).
+    the content hash, order included -- a request asking for different
+    points, or the same points in a different order, is a different
+    response because ``points`` mirrors the ``at`` list positionally).
     """
 
     __slots__ = (
@@ -369,7 +381,7 @@ class JobRequest:
             over_names = []
             for v in sorted(self.over):
                 if v not in names:
-                    names[v] = "b%d" % len(names)
+                    names[v] = "%s%d" % (_BOUND_PREFIX, len(names))
             for v in self.over:
                 over_names.append(names[v])
             payload["over"] = sorted(over_names)
@@ -378,9 +390,13 @@ class JobRequest:
             renaming = {v: names[v] for v in poly.variables() if v in names}
             payload["poly"] = polynomial_to_json(poly.rename(renaming))
         if self.at:
-            payload["at"] = sorted(
+            # Order is part of the identity: the cached response's
+            # 'points' list preserves the order of the request that
+            # computed it, so a reordered 'at' must miss, not hit with
+            # points misordered relative to its own list.
+            payload["at"] = [
                 json.dumps(env, sort_keys=True) for env in self.at
-            )
+            ]
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def content_hash(self) -> str:

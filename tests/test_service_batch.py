@@ -114,6 +114,23 @@ class TestRunBatch:
             _, s2 = run_batch(entries, cache=cache)
         assert s2.cache_hits == 0
 
+    def test_cache_write_failure_does_not_sink_batch(self, tmp_path, capsys):
+        # A cache.put error (disk full, locked db) must degrade to an
+        # uncached-but-correct response, never abort the batch.
+        import sqlite3
+
+        class ExplodingCache(DiskCache):
+            def put(self, key, payload):
+                raise sqlite3.OperationalError("database is locked")
+
+        entries = [JobRequest.from_json(COUNT_IJ), JobRequest.from_json(SUM_SQ)]
+        with ExplodingCache(str(tmp_path / "c.sqlite")) as cache:
+            responses, summary = run_batch(entries, cache=cache)
+            assert len(cache) == 0
+        assert [r["ok"] for r in responses] == [True, True]
+        assert summary.ok == 2
+        assert "cache write failed" in capsys.readouterr().err
+
     def test_corrupt_cache_entry_recovers(self, tmp_path):
         import sqlite3
 

@@ -137,8 +137,11 @@ class TestContentHash:
     def test_at_points_change_hash(self):
         base = "1 <= i <= n"
         assert _h(base, ["i"]) != _h(base, ["i"], at=[{"n": 5}])
-        # ... but their order does not.
-        assert _h(base, ["i"], at=[{"n": 5}, {"n": 6}]) == _h(
+        # ... and so does their order: the cached 'points' list
+        # mirrors the computing request's 'at' positionally, so a
+        # reordered request must miss rather than receive points in
+        # the wrong order.
+        assert _h(base, ["i"], at=[{"n": 5}, {"n": 6}]) != _h(
             base, ["i"], at=[{"n": 6}, {"n": 5}]
         )
 
@@ -157,6 +160,21 @@ class TestContentHash:
         with pytest.raises(ParseError):
             req.content_hash()
 
+    def test_free_constant_named_like_canonical_bound(self):
+        # Canonical bound names live in a control-character namespace,
+        # so a free constant literally named b0 can never serialize
+        # identically to a canonically-renamed bound variable.  (These
+        # two jobs have different answers: the first counts a free
+        # constant's box, the second the counted variable's.)
+        assert _h("b0 >= 1 and b0 <= 3", ["x"]) != _h(
+            "x >= 1 and x <= 3", ["x"]
+        )
+
+    def test_bound_variable_named_b0_still_alpha_invariant(self):
+        assert _h("b0 >= 1 and b0 <= 3", ["b0"]) == _h(
+            "x >= 1 and x <= 3", ["x"]
+        )
+
     def test_distinct_structures_distinct_keys(self):
         # Masked shapes collide ((i<j) vs (j<i) both mask to ?<?), but
         # the exact serialization must still split them.
@@ -171,7 +189,9 @@ class TestCanonicalFormulaKey:
             parse("1 <= i and i < j and j <= n"), ["i", "j"]
         )
         assert set(names) == {"i", "j"}
-        assert sorted(names.values()) == ["b0", "b1"]
+        # Canonical names are a control-character prefix plus an index
+        # -- a namespace no user identifier can occupy.
+        assert sorted(names.values()) == ["\x020", "\x021"]
         assert "n" in key  # free symbolic constants keep their names
 
     def test_deterministic(self):
