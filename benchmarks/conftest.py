@@ -10,7 +10,17 @@ Every test also runs under :mod:`repro.core.stats` collection: the
 engine-counter deltas (sat calls, cache hits, FM eliminations, ...)
 are recorded next to the wall time.  Set ``BENCH_JSON=<path>`` to
 write the per-test records as a JSON artifact at the end of the
-session (the CI smoke step stores it as ``BENCH_smoke.json``).
+session.  Two conventions use the knob:
+
+* CI's bench-smoke step writes ``BENCH_smoke.json`` and uploads it as
+  a build artifact on every run.
+* Per-PR snapshots are committed at the repo root as
+  ``BENCH_PR<n>.json`` (``BENCH_JSON=BENCH_PR<n>.json pytest
+  benchmarks/ -q``), so the bench trajectory across the PR stack is
+  recorded in-tree and regressions are diffable from git history
+  alone.  Wall times are machine-dependent; the committed snapshots
+  are for trend reading, the asserted counts/closed forms are the
+  hard contract.
 """
 
 import json

@@ -7,6 +7,8 @@ Examples::
     python -m repro count "1 <= i and 3*i <= n" --over i --simplify \
         --table n=0:20
     python -m repro simplify "x >= 1 and x >= 0 and (x <= 5 or x <= 9)"
+    python -m repro fuzz --seed 0 --iterations 200
+    python -m repro fuzz --replay tests/corpus
 """
 
 import argparse
@@ -199,12 +201,21 @@ def main(argv=None) -> int:
         help="also write the end-of-batch summary as JSON to PATH",
     )
 
+    from repro.testkit.fuzz import add_fuzz_parser
+
+    add_fuzz_parser(sub)
+
     args = parser.parse_args(argv)
 
     if args.command == "batch":
         from repro.service.batch import batch_main
 
         return batch_main(args)
+
+    if args.command == "fuzz":
+        from repro.testkit.fuzz import fuzz_main
+
+        return fuzz_main(args)
 
     if args.stats:
         stats.reset_stats()

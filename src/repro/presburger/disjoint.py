@@ -120,7 +120,7 @@ def disjoint_negation(conj: Conjunct) -> List[Conjunct]:
 
 
 def project_to_stride_only(
-    conj: Conjunct, budget: int = 2000, meter: Optional[WorkMeter] = None
+    conj: Conjunct, budget: int = 25000, meter: Optional[WorkMeter] = None
 ) -> List[Conjunct]:
     """Eliminate non-stride wildcards, returning disjoint pieces.
 
@@ -183,7 +183,7 @@ def _overlap(a: Conjunct, b: Conjunct) -> bool:
 
 def disjointify(
     clauses: List[Conjunct],
-    budget: int = 4000,
+    budget: int = 50000,
     meter: Optional[WorkMeter] = None,
 ) -> List[Conjunct]:
     """Convert clauses to pairwise-disjoint clauses (Section 5.3).
@@ -198,7 +198,11 @@ def disjointify(
     A single :class:`WorkMeter` bounds the total work including nested
     projection; implication/overlap tests are charged proportionally
     to their wildcard count (a proxy for the eliminations the
-    satisfiability test performs).
+    satisfiability test performs).  The default budget is sized so
+    that small formulas with negated strides (whose disjoint negation
+    fans out g - 1 residue clauses each) comfortably fit: a 7-atom
+    formula mixing a quantifier with mod-4 strides already needs
+    ~30k units, while genuine blowups run to millions.
     """
     from repro.omega.redundancy import gist
     from repro.omega.satisfiability import satisfiable
@@ -299,7 +303,7 @@ def _pick_extraction(remaining: List[Conjunct]) -> int:
     )
 
 
-def to_disjoint_dnf(formula, budget: int = 4000) -> List[Conjunct]:
+def to_disjoint_dnf(formula, budget: int = 50000) -> List[Conjunct]:
     """Formula → disjoint DNF clauses (the paper's preferred output)."""
     from repro.presburger.dnf import to_dnf
 

@@ -136,13 +136,42 @@ def _negate_clauses(clauses: List[Conjunct]) -> List[Conjunct]:
     return _merge_product(negations) if negations else [Conjunct.true()]
 
 
+#: Above this many clauses after a product step, spend satisfiability
+#: calls to prune infeasible partial products before growing further.
+_PRUNE_THRESHOLD = 512
+
+
 def _merge_product(lists: List[List[Conjunct]]) -> List[Conjunct]:
+    """Distribute a conjunction of clause lists into one clause list.
+
+    The product is pruned incrementally: every merged conjunct is
+    normalized (dropping directly contradictory combinations), and
+    when a step still yields more than :data:`_PRUNE_THRESHOLD`
+    clauses the full satisfiability test culls infeasible partial
+    products before the next multiplication.  Negated quantifiers
+    produce many mutually-exclusive residue/bound combinations, so
+    without this the intermediate product can blow past the clause cap
+    even though the final DNF is small.
+    """
     result = [Conjunct.true()]
+    prune = True
     for options in lists:
         new: List[Conjunct] = []
         for base in result:
             for extra in options:
-                new.append(base.merge(extra))
+                merged = base.merge(extra).normalize()
+                if merged is not None:
+                    new.append(merged)
+        if prune and len(new) > _PRUNE_THRESHOLD:
+            from repro.omega.satisfiability import satisfiable
+
+            kept = [c for c in new if satisfiable(c)]
+            if len(kept) * 10 > len(new) * 9:
+                # Pruning barely helps: the product is genuinely
+                # large, so stop paying for satisfiability calls and
+                # let _check_size fire.
+                prune = False
+            new = kept
         _check_size(new)
         result = new
         if not result:

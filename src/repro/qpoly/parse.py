@@ -76,6 +76,12 @@ def _product(s: _State) -> Polynomial:
 
 
 def _power(s: _State) -> Polynomial:
+    # Unary minus binds looser than **, so -x**2 means -(x**2) (the
+    # usual mathematical and Python convention, and what str(Polynomial)
+    # means when it prints a leading minus).
+    if s.peek() == "-":
+        s.next()
+        return -_power(s)
     base = _atom(s)
     if s.peek() == "**":
         s.next()
@@ -90,9 +96,6 @@ def _atom(s: _State) -> Polynomial:
     tok = s.peek()
     if tok is None:
         raise PolynomialParseError("unexpected end of input")
-    if tok == "-":
-        s.next()
-        return -_atom(s)
     if tok == "(":
         s.next()
         inner = _sum(s)

@@ -25,6 +25,11 @@ Test hooks (both gated on environment variables, inert otherwise):
 * ``REPRO_SERVICE_POISON=<token>``: a worker whose formula text
   contains the token dies immediately via ``os._exit`` -- simulates a
   worker killed mid-job.
+* ``REPRO_SERVICE_POISON_ONCE=<token>:<flagfile>``: like POISON, but
+  the worker creates ``flagfile`` before dying and only dies if the
+  file did not already exist -- a *transient* kill, so the retry
+  succeeds.  This is the only way to exercise the crash-then-recover
+  path deterministically.
 * ``REPRO_SERVICE_SLEEP=<token>``: a worker whose formula text
   contains the token sleeps forever -- a deterministic way to force
   the timeout path without a genuinely expensive formula.
@@ -146,6 +151,19 @@ def _worker_main(req_json: dict, conn, budget: Optional[int]) -> None:
             if action == "die":
                 os._exit(POISON_EXIT_CODE)
             time.sleep(3600)
+    once = os.environ.get("REPRO_SERVICE_POISON_ONCE")
+    if once and ":" in once:
+        token, flag_path = once.split(":", 1)
+        if token in req.formula:
+            try:
+                # O_EXCL makes create-if-absent atomic, so exactly one
+                # attempt dies even if two poisoned workers race.
+                fd = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pass  # second attempt: run the job normally
+            else:
+                os.close(fd)
+                os._exit(POISON_EXIT_CODE)
     from repro.omega.satisfiability import clear_sat_cache
 
     clear_sat_cache()

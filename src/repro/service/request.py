@@ -20,18 +20,24 @@ sessions.  The hash is the disk-cache key, so its design rules are:
   the payload, so upgrading the engine invalidates the cache instead
   of serving stale semantics.
 
-Canonicalization is two-pass.  Pass one computes a *shape* key for
-every node with bound-variable names masked out, and sorts ``and`` /
-``or`` children by (shape, exact serialization) -- the exact key is
-only a deterministic tie-break, so alpha-invariance survives except
-when two operands are structurally identical up to bound names, where
-a cache miss (never a wrong hit) is the worst case.  Pass two walks
-the re-ordered tree assigning canonical names (a control-character
-prefix plus an index, e.g. ``"\\x020"``) to bound variables in
-first-occurrence order and emits the final form.  The prefix puts
-canonical names in a namespace no user identifier can occupy, so a
-free constant that happens to be named like a canonical bound name
-can never collide with one.
+Canonicalization is two-pass.  Pass one assigns canonical names (a
+control-character prefix plus an index, e.g. ``"\\x020"``) to bound
+variables by **iterative signature refinement**: each bound variable's
+signature is the multiset of its atom occurrences (atom shape with
+bound names masked, its own coefficient, boolean-context path, and the
+coefficient/rank of co-occurring bound variables), refined until the
+rank partition stabilizes -- every ingredient is alpha-invariant, so
+the final ranking is too.  Pass two serializes the tree bottom-up with
+those names, sorting ``and`` / ``or`` children by their finished
+serialization, which makes operand order irrelevant.  Variables left
+tied at the refinement fixpoint are structurally interchangeable for
+every signature the refinement can see; for such ties the assignment
+is broken by original name, which can, for genuinely asymmetric
+formulas engineered to defeat refinement, cost a duplicate cache entry
+-- never a wrong hit, since the payload stays a complete serialization
+of the formula.  The name prefix puts canonical names in a namespace
+no user identifier can occupy, so a free constant that happens to be
+named like a canonical bound name can never collide with one.
 """
 
 import hashlib
@@ -58,7 +64,7 @@ from repro.presburger.parser import ParseError, parse
 from repro.qpoly.parse import PolynomialParseError, parse_polynomial
 
 #: Hash-payload schema; bump on any change to the canonical form.
-REQUEST_SCHEMA_VERSION = 2
+REQUEST_SCHEMA_VERSION = 3
 
 KINDS = ("count", "sum", "simplify")
 
@@ -87,78 +93,158 @@ def _affine_shape(expr: Affine, bound) -> str:
     return "%s+%d" % (masked, expr.const)
 
 
-def _affine_exact(expr: Affine, bound, names: Dict[str, str]) -> str:
-    """Serialize with canonical bound names, assigning them on demand.
+def _collect_occurrences(
+    node: Formula,
+    bound: frozenset,
+    context: str,
+    atoms: List[Tuple[str, List[Tuple[str, int]], bool]],
+    marks: Dict[str, List[str]],
+) -> None:
+    """Pass-one scan: atom occurrences of bound variables.
 
-    Bound coefficients are visited sorted by (coefficient, original
-    name) so assignment order is deterministic; the original-name
-    tie-break only matters between bound variables with *equal*
-    coefficients, where either assignment yields the same string.
+    ``atoms`` receives ``(descriptor, [(var, coeff), ...], is_eq)``
+    per atom, where the descriptor (atom shape with bound names masked
+    plus the boolean-context path) is alpha-invariant.  ``marks``
+    gives every quantifier-bound variable a baseline occurrence so a
+    variable the body never mentions still gets a signature.
     """
-    free = []
-    boundpairs = []
-    for v, c in expr.coeffs:
-        if v in bound:
-            boundpairs.append((c, v))
-        else:
-            free.append((v, c))
-    boundpairs.sort()
-    out = sorted(free)
-    for c, v in boundpairs:
-        if v not in names:
-            names[v] = "%s%d" % (_BOUND_PREFIX, len(names))
-        out.append((names[v], c))
-    return "%s+%d" % (sorted(out), expr.const)
-
-
-def _node_key(node: Formula, bound: frozenset) -> Tuple[str, str]:
-    """(shape, exact-with-original-names) sort key for a node."""
-    if node is TrueF:
-        return ("T", "T")
-    if node is FalseF:
-        return ("F", "F")
+    if node is TrueF or node is FalseF:
+        return
     if isinstance(node, Atom):
         c = node.constraint
-        shape = "a(%s,%s)" % (c.kind, _affine_shape(c.expr, bound))
-        exact = "a(%s,%s)" % (c.kind, _affine_shape(c.expr, frozenset()))
-        return (shape, exact)
-    if isinstance(node, StrideAtom):
-        shape = "s(%d,%s)" % (node.modulus, _affine_shape(node.expr, bound))
-        exact = "s(%d,%s)" % (
-            node.modulus,
-            _affine_shape(node.expr, frozenset()),
+        if c.is_eq():
+            # e = 0 and -e = 0 are the same atom, and Constraint.eq
+            # orients the sign by variable *names* -- mask that out or
+            # renaming would perturb the signatures.
+            shape = min(
+                _affine_shape(c.expr, bound),
+                _affine_shape(-c.expr, bound),
+            )
+        else:
+            shape = _affine_shape(c.expr, bound)
+        desc = "%s:a(%s,%s)" % (context, c.kind, shape)
+        atoms.append(
+            (
+                desc,
+                [(v, k) for v, k in c.expr.coeffs if v in bound],
+                c.is_eq(),
+            )
         )
-        return (shape, exact)
+        return
+    if isinstance(node, StrideAtom):
+        desc = "%s:s(%d,%s)" % (
+            context,
+            node.modulus,
+            _affine_shape(node.expr, bound),
+        )
+        atoms.append(
+            (desc, [(v, k) for v, k in node.expr.coeffs if v in bound], False)
+        )
+        return
     if isinstance(node, Not):
-        s, e = _node_key(node.child, bound)
-        return ("n(%s)" % s, "n(%s)" % e)
+        _collect_occurrences(node.child, bound, context + "n", atoms, marks)
+        return
     if isinstance(node, (And, Or)):
         tag = "&" if isinstance(node, And) else "|"
-        keys = sorted(_node_key(c, bound) for c in node.children)
-        return (
-            "%s(%s)" % (tag, ",".join(k[0] for k in keys)),
-            "%s(%s)" % (tag, ",".join(k[1] for k in keys)),
-        )
+        for child in node.children:
+            _collect_occurrences(child, bound, context + tag, atoms, marks)
+        return
     if isinstance(node, (Exists, Forall)):
         tag = "E" if isinstance(node, Exists) else "A"
+        ctx = "%s%s%d" % (context, tag, len(node.variables))
+        for v in node.variables:
+            marks.setdefault(v, []).append(ctx)
         inner = bound | frozenset(node.variables)
-        s, e = _node_key(node.body, inner)
-        return (
-            "%s%d(%s)" % (tag, len(node.variables), s),
-            "%s%d(%s)" % (tag, len(node.variables), e),
-        )
+        _collect_occurrences(node.body, inner, ctx, atoms, marks)
+        return
     raise TypeError("unknown formula node %r" % (node,))
 
 
+def _canonical_names(formula: Formula, over: Sequence[str]) -> Dict[str, str]:
+    """Alpha-invariant canonical names for every bound variable.
+
+    Iterative refinement: rank bound variables by the multiset of
+    their occurrences, where each occurrence records the (masked) atom
+    it sits in, its own coefficient, and the coefficients and current
+    ranks of co-occurring bound variables; repeat until the partition
+    stops splitting.  No ingredient mentions an original name, so the
+    fixpoint ranking is invariant under alpha-renaming; original names
+    only break ties between variables the refinement cannot tell apart
+    (i.e. interchangeable for every signature it can see).
+    """
+    atoms: List[Tuple[str, List[Tuple[str, int]], bool]] = []
+    marks: Dict[str, List[str]] = {}
+    _collect_occurrences(formula, frozenset(over), "", atoms, marks)
+    variables = set(over) | set(marks)
+    for _, pairs, _eq in atoms:
+        variables.update(v for v, _ in pairs)
+    if not variables:
+        return {}
+    rank: Dict[str, int] = {v: 0 for v in variables}
+    for _ in range(len(variables) + 1):
+        sigs: Dict[str, str] = {}
+        for v in variables:
+            # Own previous rank first: refinement only ever splits
+            # classes, so the loop terminates in <= |variables| rounds.
+            parts: List = [("r", rank[v])]
+            parts.extend(("q", m) for m in marks.get(v, ()))
+            for desc, pairs, is_eq in atoms:
+                occurrences = [c for u, c in pairs if u == v]
+                if not occurrences:
+                    continue
+                others = sorted((k, rank[w]) for w, k in pairs if w != v)
+                if is_eq:
+                    # Record the sign-canonical orientation; an EQ atom
+                    # is the same constraint negated.
+                    flipped = sorted((-k, r) for k, r in others)
+                    for c in occurrences:
+                        parts.append(
+                            ("a", desc)
+                            + min((c, others), (-c, flipped))
+                        )
+                else:
+                    for c in occurrences:
+                        parts.append(("a", desc, c, others))
+            sigs[v] = repr(sorted(parts))
+        ordered = sorted(set(sigs.values()))
+        position = {s: i for i, s in enumerate(ordered)}
+        refined = {v: position[sigs[v]] for v in variables}
+        if refined == rank:
+            break
+        rank = refined
+    return {
+        v: "%s%d" % (_BOUND_PREFIX, index)
+        for index, v in enumerate(sorted(variables, key=lambda v: (rank[v], v)))
+    }
+
+
+def _affine_exact(expr: Affine, bound, names: Dict[str, str]) -> str:
+    """Serialize with canonical names applied to in-scope bound vars."""
+    out = [
+        (names[v] if v in bound else v, c) for v, c in expr.coeffs
+    ]
+    return "%s+%d" % (sorted(out), expr.const)
+
+
 def _canonical(node: Formula, bound: frozenset, names: Dict[str, str]) -> str:
-    """Pass two: emit the canonical form, assigning bound names."""
+    """Pass two: emit the canonical form with precomputed names.
+
+    ``and`` / ``or`` children are ordered by their finished canonical
+    serialization, so operand order cannot leak into the key.
+    """
     if node is TrueF:
         return "T"
     if node is FalseF:
         return "F"
     if isinstance(node, Atom):
         c = node.constraint
-        return "a(%s,%s)" % (c.kind, _affine_exact(c.expr, bound, names))
+        body = _affine_exact(c.expr, bound, names)
+        if c.is_eq():
+            # Constraint.eq orients the sign by variable names; pick
+            # the lexicographically smaller of the two equivalent
+            # orientations so renaming cannot flip the serialization.
+            body = min(body, _affine_exact(-c.expr, bound, names))
+        return "a(%s,%s)" % (c.kind, body)
     if isinstance(node, StrideAtom):
         return "s(%d,%s)" % (
             node.modulus,
@@ -168,22 +254,18 @@ def _canonical(node: Formula, bound: frozenset, names: Dict[str, str]) -> str:
         return "n(%s)" % _canonical(node.child, bound, names)
     if isinstance(node, (And, Or)):
         tag = "&" if isinstance(node, And) else "|"
-        children = sorted(
-            node.children, key=lambda c: _node_key(c, bound)
-        )
         return "%s(%s)" % (
             tag,
-            ",".join(_canonical(c, bound, names) for c in children),
+            ",".join(
+                sorted(_canonical(c, bound, names) for c in node.children)
+            ),
         )
     if isinstance(node, (Exists, Forall)):
         tag = "E" if isinstance(node, Exists) else "A"
         inner = bound | frozenset(node.variables)
         body = _canonical(node.body, inner, names)
-        quantified = sorted(
-            names[v] for v in node.variables if v in names
-        )
-        unused = len(node.variables) - len(quantified)
-        return "%s[%s;%d](%s)" % (tag, ",".join(quantified), unused, body)
+        quantified = sorted(names[v] for v in node.variables)
+        return "%s[%s](%s)" % (tag, ",".join(quantified), body)
     raise TypeError("unknown formula node %r" % (node,))
 
 
@@ -192,13 +274,13 @@ def canonical_formula_key(
 ) -> Tuple[str, Dict[str, str]]:
     """Canonical string for a formula counted over ``over``.
 
-    Returns ``(key, names)`` where ``names`` maps each original bound
-    variable that occurs in the formula to its canonical name (needed
-    to canonicalize a summand polynomial consistently).
+    Returns ``(key, names)`` where ``names`` maps every bound variable
+    (counted or quantifier-bound, whether or not it occurs) to its
+    canonical name (needed to canonicalize a summand polynomial
+    consistently).
     """
-    bound = frozenset(over)
-    names: Dict[str, str] = {}
-    key = _canonical(formula, bound, names)
+    names = _canonical_names(formula, over)
+    key = _canonical(formula, frozenset(over), names)
     return key, names
 
 

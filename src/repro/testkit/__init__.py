@@ -1,0 +1,64 @@
+"""Differential fuzzing harness for the counting engine.
+
+Woods's characterization of Presburger-definable counting functions as
+quasi-polynomials gives this library a checkable contract: the
+symbolic answer, evaluated at any concrete assignment of the symbolic
+constants, must equal a brute-force enumeration count.  The testkit
+turns that contract into tooling:
+
+* :mod:`repro.testkit.generate` -- a seeded, weighted random generator
+  over the real :mod:`repro.presburger.ast` grammar (conjunction,
+  disjunction, negation, quantifiers, strides, symbolic constants)
+  with size and coefficient budgets that keep the brute-force oracle
+  tractable;
+* :mod:`repro.testkit.oracle` -- a bounding-box enumerator that
+  evaluates, counts and polynomial-sums directly from the AST,
+  independent of the Omega pipeline;
+* :mod:`repro.testkit.checks` -- the differential and metamorphic
+  invariants (engine vs oracle, rename/shuffle invariance of both the
+  answer and the service content hash, simplify/gist preservation,
+  disjoint-DNF vs inclusion-exclusion, disk-cache warm-vs-cold);
+* :mod:`repro.testkit.shrink` -- greedy structural minimization of a
+  failing case;
+* :mod:`repro.testkit.corpus` -- JSON (de)serialization of cases so
+  every shrunk failure becomes a permanent regression test under
+  ``tests/corpus/``;
+* :mod:`repro.testkit.fuzz` -- the driver behind
+  ``python -m repro fuzz``.
+"""
+
+from repro.testkit.generate import (
+    FuzzCase,
+    formula_to_text,
+    generate_case,
+    rename_formula,
+    shuffle_formula,
+)
+from repro.testkit.oracle import (
+    oracle_count,
+    oracle_eval,
+    oracle_points,
+    oracle_sum,
+)
+from repro.testkit.checks import CHECKS, CheckFailure, run_checks
+from repro.testkit.shrink import shrink_case
+from repro.testkit.corpus import case_from_json, case_to_json, load_corpus
+
+__all__ = [
+    "CHECKS",
+    "CheckFailure",
+    "FuzzCase",
+    "case_from_json",
+    "case_to_json",
+    "formula_to_text",
+    "generate_case",
+    "load_corpus",
+    "oracle_count",
+    "oracle_eval",
+    "oracle_points",
+    "oracle_sum",
+    "rename_formula",
+    "run_checks",
+    "shrink_case",
+    "shuffle_formula",
+]

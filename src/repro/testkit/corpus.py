@@ -1,0 +1,111 @@
+"""Regression-corpus serialization for fuzz cases.
+
+Every shrunk counterexample the fuzzer finds is saved as a small JSON
+file -- seed, failing check, formula text, counted variables, symbols,
+polynomial, sampled environments -- under a corpus directory
+(``tests/corpus/`` in this repository).  The corpus is replayed as an
+ordinary tier-1 test forever: a fixed bug must stay fixed, and the
+entry doubles as a human-readable record of what went wrong once.
+
+The formula travels as parser syntax (:mod:`repro.presburger.parser`),
+not a pickled AST, so entries survive AST refactors and can be
+reproduced by hand from the command line.
+"""
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.presburger.parser import parse
+from repro.testkit.generate import FuzzCase, formula_to_text
+
+#: bumped when the schema changes incompatibly; loaders reject unknown
+#: versions loudly instead of misreading old entries.
+SCHEMA_VERSION = 1
+
+
+def case_to_json(
+    case: FuzzCase,
+    check: Optional[str] = None,
+    note: Optional[str] = None,
+) -> Dict:
+    """A JSON-safe dict capturing everything needed to replay ``case``."""
+    doc: Dict = {
+        "schema": SCHEMA_VERSION,
+        "seed": case.seed,
+        "check": check,
+        "formula": formula_to_text(case.formula),
+        "over": list(case.over),
+        "symbols": list(case.symbols),
+        "poly": case.poly_text,
+        "envs": [dict(env) for env in case.envs],
+    }
+    if note:
+        doc["note"] = note
+    return doc
+
+
+def case_from_json(doc: Dict) -> Tuple[FuzzCase, Optional[str]]:
+    """Rebuild ``(case, check_name)`` from :func:`case_to_json` output."""
+    schema = doc.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            "corpus entry has schema %r; this loader understands %r"
+            % (schema, SCHEMA_VERSION)
+        )
+    case = FuzzCase(
+        parse(doc["formula"]),
+        over=list(doc["over"]),
+        symbols=list(doc.get("symbols") or ()),
+        poly_text=doc.get("poly"),
+        envs=[dict(env) for env in doc.get("envs") or ()],
+        seed=doc.get("seed"),
+    )
+    return case, doc.get("check")
+
+
+def save_case(
+    directory: str,
+    case: FuzzCase,
+    check: str,
+    note: Optional[str] = None,
+) -> str:
+    """Write a corpus entry; returns the path.
+
+    The filename encodes the seed and check so collisions are
+    overwrites of the same logical failure, not data loss.
+    """
+    os.makedirs(directory, exist_ok=True)
+    name = "seed%s_%s.json" % (
+        case.seed if case.seed is not None else "none",
+        check,
+    )
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(case_to_json(case, check, note), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> Iterator[Tuple[str, FuzzCase, Optional[str]]]:
+    """Yield ``(path, case, check)`` for every ``*.json`` entry, sorted."""
+    if not os.path.isdir(directory):
+        return
+    names: List[str] = sorted(
+        n for n in os.listdir(directory) if n.endswith(".json")
+    )
+    for name in names:
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        case, check = case_from_json(doc)
+        yield path, case, check
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "case_from_json",
+    "case_to_json",
+    "load_corpus",
+    "save_case",
+]

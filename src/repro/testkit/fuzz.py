@@ -1,0 +1,212 @@
+"""Driver behind ``python -m repro fuzz``.
+
+Each iteration derives a deterministic per-case seed (``base seed +
+iteration``), generates a case, and runs the scheduled subset of
+:data:`repro.testkit.checks.CHECKS` (cheap differential checks every
+iteration, expensive end-to-end ones on their period).  Every failure
+is greedily shrunk and written to the corpus directory as a JSON entry
+that names the seed and the failing check -- re-running with that seed
+(or replaying the entry file) reproduces it exactly.
+
+Exit status: 0 when every iteration passed, 1 when any check failed,
+2 on bad usage.
+"""
+
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import stats
+from repro.testkit.checks import CHECKS, run_check, run_checks
+from repro.testkit.corpus import load_corpus, save_case
+from repro.testkit.generate import FuzzCase, formula_to_text, generate_case
+from repro.testkit.shrink import shrink_case
+
+DEFAULT_ITERATIONS = 100
+
+
+def _report_failure(failure, shrunk: FuzzCase, path: Optional[str]) -> None:
+    case = failure.case
+    print(
+        "FAIL seed=%s check=%s" % (case.seed if case else "?", failure.check)
+    )
+    print("  detail: %s" % failure.message)
+    if case is not None:
+        print("  formula: %s" % formula_to_text(case.formula))
+    print(
+        "  shrunk (%d constraints): %s"
+        % (shrunk.atom_count(), formula_to_text(shrunk.formula))
+    )
+    print(
+        "  over: %s  symbols: %s  envs: %s"
+        % (
+            ",".join(shrunk.over),
+            ",".join(shrunk.symbols) or "-",
+            [dict(e) for e in shrunk.envs],
+        )
+    )
+    if shrunk.poly_text:
+        print("  poly: %s" % shrunk.poly_text)
+    if path:
+        print("  saved: %s" % path)
+
+
+def _replay(target: str) -> int:
+    """Replay one corpus entry file, or every entry in a directory."""
+    import json
+    import os
+
+    from repro.testkit.corpus import case_from_json
+
+    if os.path.isdir(target):
+        entries = list(load_corpus(target))
+    else:
+        with open(target, "r", encoding="utf-8") as fh:
+            case, check = case_from_json(json.load(fh))
+        entries = [(target, case, check)]
+    if not entries:
+        print("no corpus entries under %s" % target, file=sys.stderr)
+        return 2
+    failed = 0
+    for path, case, check in entries:
+        names = [check] if check in CHECKS else list(CHECKS)
+        failures = [
+            f for name in names for f in [run_check(name, case)] if f
+        ]
+        status = "FAIL" if failures else "ok"
+        print(
+            "%-4s %s (seed=%s, check=%s)"
+            % (status, path, case.seed, check or "all")
+        )
+        for failure in failures:
+            print("  detail: %s" % failure.message)
+            failed += 1
+    print(
+        "replayed %d entries, %d failing" % (len(entries), failed),
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
+def fuzz_main(args) -> int:
+    """Entry point for the ``fuzz`` subcommand (argparse namespace)."""
+    if args.stats:
+        stats.reset_stats()
+        stats.enable_stats()
+
+    if args.replay:
+        code = _replay(args.replay)
+        if args.stats:
+            print("-- stats --", file=sys.stderr)
+            print(stats.format_stats(stats.engine_snapshot()), file=sys.stderr)
+        return code
+
+    iterations = args.iterations
+    if iterations is None and args.time_budget is None:
+        iterations = DEFAULT_ITERATIONS
+    deadline = (
+        time.monotonic() + args.time_budget
+        if args.time_budget is not None
+        else None
+    )
+
+    ran = 0
+    failures_found = 0
+    start = time.monotonic()
+    i = 0
+    while iterations is None or i < iterations:
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        case = generate_case(args.seed + i)
+        failures = run_checks(case, iteration=i)
+        for failure in failures:
+            failures_found += 1
+            shrunk = shrink_case(
+                failure.case or case, failure.check, failure=failure
+            )
+            path = None
+            if args.corpus:
+                path = save_case(
+                    args.corpus, shrunk, failure.check, note=failure.message
+                )
+            _report_failure(failure, shrunk, path)
+        ran += 1
+        i += 1
+        if args.progress and ran % args.progress == 0:
+            print(
+                "fuzz: %d iterations, %d failures, %.1fs"
+                % (ran, failures_found, time.monotonic() - start),
+                file=sys.stderr,
+            )
+
+    print(
+        "fuzz: seed=%d iterations=%d failures=%d wall=%.1fs"
+        % (args.seed, ran, failures_found, time.monotonic() - start),
+        file=sys.stderr,
+    )
+    if args.stats:
+        print("-- stats --", file=sys.stderr)
+        print(stats.format_stats(stats.engine_snapshot()), file=sys.stderr)
+    return 1 if failures_found else 0
+
+
+def add_fuzz_parser(sub) -> None:
+    """Register the ``fuzz`` subcommand on an argparse subparsers object."""
+    p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the engine against a brute-force oracle",
+        description="Generate random formulas, compare the engine's "
+        "symbolic answers against brute-force enumeration, and check "
+        "metamorphic invariants (renaming, shuffling, simplify, gist, "
+        "caching).  Failures are shrunk and saved as replayable JSON "
+        "corpus entries.",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; iteration k uses seed+k (default: 0)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of cases to generate (default: %d unless "
+        "--time-budget is given)" % DEFAULT_ITERATIONS,
+    )
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new iterations after this much wall time",
+    )
+    p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="save shrunk failures as JSON under DIR "
+        "(e.g. tests/corpus; default: don't save)",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay a corpus entry file or directory instead of fuzzing",
+    )
+    p.add_argument(
+        "--progress",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print a progress line every N iterations (default: off)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine counters to stderr after the run",
+    )
+
+
+__all__ = ["add_fuzz_parser", "fuzz_main", "DEFAULT_ITERATIONS"]

@@ -1,0 +1,386 @@
+"""Seeded random generation of fuzz cases over the real formula AST.
+
+A :class:`FuzzCase` bundles everything one differential trial needs: a
+formula, the variables to count over, an optional polynomial summand,
+a handful of symbol assignments to evaluate at, and the enumeration
+boxes that make the brute-force oracle exact.
+
+The generator is **budgeted so the oracle stays sound and tractable**:
+
+* every counted variable is pinned to a box at the top level (constant
+  or ``symbol + c`` bounds), so the solution set is finite and lies
+  inside ``[-box, box]`` for every sampled symbol assignment;
+* every quantifier binds one variable and immediately bounds it with
+  constant atoms inside ``[-QUANT_BOX, QUANT_BOX]`` (``exists`` via
+  conjunction, ``forall`` via the vacuous-outside-the-box implication
+  form), so bounded enumeration of quantifiers is exact;
+* coefficients, constants and stride moduli are small, so atom
+  boundaries cannot escape the box.
+
+Everything is driven by one ``random.Random(seed)``: the same seed
+always yields the same case, which is what lets a failure report be
+replayed from its seed alone.
+"""
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.presburger.ast import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+    _Quantifier,
+)
+
+#: Bound-variable enumeration box: generated quantifier bounds are
+#: constants in [-3, 3], so enumerating [-QUANT_BOX, QUANT_BOX] is
+#: exact (see :mod:`repro.testkit.oracle`).
+QUANT_BOX = 4
+
+#: Symbol assignments are sampled from [SYMBOL_MIN, SYMBOL_MAX].
+SYMBOL_MIN = -1
+SYMBOL_MAX = 5
+
+#: Counted-variable box bounds: lower in [-3, 1], width in [0, 5], or
+#: an upper of ``symbol + c`` with c in [-2, 2]; with symbols capped at
+#: SYMBOL_MAX every solution coordinate stays within BOX - 1, so a
+#: solution point on the box frontier means a formula escaped its box
+#: (the shrinker uses this to reject unsound candidates).
+BOX = 9
+
+_COUNT_VARS = ("i", "j")
+_SYMBOLS = ("n", "m")
+
+
+class FuzzCase:
+    """One differential trial: formula, counted vars, summand, envs."""
+
+    __slots__ = ("seed", "formula", "over", "symbols", "poly_text", "envs")
+
+    def __init__(
+        self,
+        formula: Formula,
+        over: Sequence[str],
+        symbols: Sequence[str] = (),
+        poly_text: Optional[str] = None,
+        envs: Sequence[Mapping[str, int]] = (),
+        seed: Optional[int] = None,
+    ):
+        self.seed = seed
+        self.formula = formula
+        self.over = tuple(over)
+        self.symbols = tuple(symbols)
+        self.poly_text = poly_text
+        self.envs = tuple(dict(env) for env in envs)
+
+    def with_formula(self, formula: Formula) -> "FuzzCase":
+        return FuzzCase(
+            formula, self.over, self.symbols, self.poly_text, self.envs, self.seed
+        )
+
+    def with_envs(self, envs: Sequence[Mapping[str, int]]) -> "FuzzCase":
+        return FuzzCase(
+            self.formula, self.over, self.symbols, self.poly_text, envs, self.seed
+        )
+
+    def with_poly_text(self, poly_text: Optional[str]) -> "FuzzCase":
+        return FuzzCase(
+            self.formula, self.over, self.symbols, poly_text, self.envs, self.seed
+        )
+
+    def atom_count(self) -> int:
+        return count_atoms(self.formula)
+
+    def __repr__(self) -> str:
+        return "FuzzCase(seed=%r, over=%s, formula=%s)" % (
+            self.seed,
+            list(self.over),
+            formula_to_text(self.formula),
+        )
+
+
+# -- AST utilities shared by the testkit ---------------------------------
+
+
+def count_atoms(f: Formula) -> int:
+    """Number of atomic constraints (linear atoms + strides)."""
+    if isinstance(f, (Atom, StrideAtom)):
+        return 1
+    if isinstance(f, (And, Or)):
+        return sum(count_atoms(c) for c in f.children)
+    if isinstance(f, Not):
+        return count_atoms(f.child)
+    if isinstance(f, _Quantifier):
+        return count_atoms(f.body)
+    return 0
+
+
+def rename_formula(f: Formula, mapping: Mapping[str, str]) -> Formula:
+    """Rename *every* occurrence, binders included.
+
+    Unlike :meth:`Formula.substitute_affine` this renames bound
+    variables too; it assumes the mapping introduces no capture (the
+    testkit's fresh names never collide, and generated formulas never
+    shadow).
+    """
+    if f is TrueF or f is FalseF:
+        return f
+    if isinstance(f, Atom):
+        return Atom(f.constraint.rename(mapping))
+    if isinstance(f, StrideAtom):
+        return StrideAtom(f.modulus, f.expr.rename(mapping))
+    if isinstance(f, And):
+        return And.of(*(rename_formula(c, mapping) for c in f.children))
+    if isinstance(f, Or):
+        return Or.of(*(rename_formula(c, mapping) for c in f.children))
+    if isinstance(f, Not):
+        return Not(rename_formula(f.child, mapping))
+    if isinstance(f, _Quantifier):
+        return type(f)(
+            [mapping.get(v, v) for v in f.variables],
+            rename_formula(f.body, mapping),
+        )
+    raise TypeError("unknown formula node %r" % (f,))
+
+
+def shuffle_formula(f: Formula, rng: random.Random) -> Formula:
+    """Recursively shuffle ``and`` / ``or`` operand order (seeded)."""
+    if isinstance(f, And) or isinstance(f, Or):
+        children = [shuffle_formula(c, rng) for c in f.children]
+        rng.shuffle(children)
+        cls = And if isinstance(f, And) else Or
+        return cls.of(*children)
+    if isinstance(f, Not):
+        return Not(shuffle_formula(f.child, rng))
+    if isinstance(f, _Quantifier):
+        return type(f)(f.variables, shuffle_formula(f.body, rng))
+    return f
+
+
+# -- formula -> text (the parser's grammar) ------------------------------
+
+
+def _affine_text(expr: Affine) -> str:
+    """Render an affine expression in parser syntax."""
+    parts: List[str] = []
+    for var, c in expr.coeffs:
+        if c == 1:
+            term = var
+        elif c == -1:
+            term = "-%s" % var
+        else:
+            term = "%d*%s" % (c, var)
+        if parts and not term.startswith("-"):
+            parts.append("+ %s" % term)
+        elif parts:
+            parts.append("- %s" % term[1:])
+        else:
+            parts.append(term)
+    if expr.const or not parts:
+        if parts:
+            parts.append(
+                "+ %d" % expr.const if expr.const > 0 else "- %d" % -expr.const
+            )
+        else:
+            parts.append(str(expr.const))
+    return " ".join(parts)
+
+
+def formula_to_text(f: Formula) -> str:
+    """Render a formula as text the parser accepts.
+
+    The round trip ``parse(formula_to_text(f))`` preserves semantics
+    and the canonical content hash (``And.of`` / ``Or.of`` flattening
+    may regroup nodes, which the hash is invariant under).
+    """
+    if f is TrueF:
+        return "true"
+    if f is FalseF:
+        return "false"
+    if isinstance(f, Atom):
+        op = ">=" if f.constraint.is_geq() else "="
+        return "%s %s 0" % (_affine_text(f.constraint.expr), op)
+    if isinstance(f, StrideAtom):
+        return "%d | (%s)" % (f.modulus, _affine_text(f.expr))
+    if isinstance(f, And):
+        return " and ".join("(%s)" % formula_to_text(c) for c in f.children)
+    if isinstance(f, Or):
+        return " or ".join("(%s)" % formula_to_text(c) for c in f.children)
+    if isinstance(f, Not):
+        return "not (%s)" % formula_to_text(f.child)
+    if isinstance(f, (Exists, Forall)):
+        kind = "exists" if isinstance(f, Exists) else "forall"
+        return "%s %s: (%s)" % (
+            kind,
+            ", ".join(f.variables),
+            formula_to_text(f.body),
+        )
+    raise TypeError("unknown formula node %r" % (f,))
+
+
+# -- the generator -------------------------------------------------------
+
+
+def _affine(rng: random.Random, scope: Sequence[str]) -> Affine:
+    """A small random affine expression over 1-2 scope variables."""
+    vars_ = rng.sample(list(scope), rng.randint(1, min(2, len(scope))))
+    coeffs = {}
+    for v in vars_:
+        c = rng.randint(1, 3) * rng.choice((1, -1))
+        coeffs[v] = c
+    return Affine(coeffs, rng.randint(-5, 5))
+
+
+def _atom(rng: random.Random, scope: Sequence[str]) -> Formula:
+    expr = _affine(rng, scope)
+    if rng.random() < 0.25:
+        return Atom(Constraint.eq(expr))
+    return Atom(Constraint.geq(expr))
+
+
+def _stride(rng: random.Random, scope: Sequence[str]) -> Formula:
+    return StrideAtom(rng.randint(2, 4), _affine(rng, scope))
+
+
+def _bound_box(var: str, lo: int, hi: int) -> List[Formula]:
+    """``lo <= var`` and ``var <= hi`` as atoms."""
+    v = Affine.var(var)
+    return [
+        Atom(Constraint.geq(v - lo)),
+        Atom(Constraint.geq(-v + hi)),
+    ]
+
+
+def _quantifier(
+    rng: random.Random, scope: Sequence[str], state: Dict[str, int]
+) -> Formula:
+    """A bounded one-variable quantifier (exact under enumeration)."""
+    q = "q%d" % state["quantifiers"]
+    state["quantifiers"] += 1
+    lo = rng.randint(-3, 0)
+    hi = lo + rng.randint(0, 3)
+    inner_scope = list(scope) + [q]
+    body = _tree(rng, inner_scope, depth=1, state=state)
+    box = _bound_box(q, lo, hi)
+    if rng.random() < 0.35:
+        # forall q in [lo, hi]: body -- vacuously true outside the box.
+        return Forall([q], Or.of(Not(And.of(*box)), body))
+    return Exists([q], And.of(*(box + [body])))
+
+
+def _tree(
+    rng: random.Random,
+    scope: Sequence[str],
+    depth: int,
+    state: Dict[str, int],
+) -> Formula:
+    """A random formula subtree with size and quantifier budgets."""
+    roll = rng.random()
+    if depth <= 0 or state["atoms"] <= 1:
+        state["atoms"] -= 1
+        return _stride(rng, scope) if roll < 0.25 else _atom(rng, scope)
+    if roll < 0.30:
+        state["atoms"] -= 1
+        return _atom(rng, scope)
+    if roll < 0.42:
+        state["atoms"] -= 1
+        return _stride(rng, scope)
+    if roll < 0.62:
+        k = rng.randint(2, 3)
+        return And.of(*(_tree(rng, scope, depth - 1, state) for _ in range(k)))
+    if roll < 0.82:
+        k = rng.randint(2, 3)
+        return Or.of(*(_tree(rng, scope, depth - 1, state) for _ in range(k)))
+    if roll < 0.92:
+        return Not(_tree(rng, scope, depth - 1, state))
+    if state["quantifiers"] < 1:
+        return _quantifier(rng, scope, state)
+    return Not(_tree(rng, scope, depth - 1, state))
+
+
+def _poly_text(rng: random.Random, over: Sequence[str]) -> str:
+    """A small random summand polynomial over the counted variables."""
+    monos = []
+    for _ in range(rng.randint(1, 2)):
+        coef = rng.randint(1, 2) * rng.choice((1, -1))
+        factors = [str(coef)]
+        for v in over:
+            for _ in range(rng.randint(0, 2)):
+                factors.append(v)
+        monos.append("*".join(factors))
+    return " + ".join(monos)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """The deterministic fuzz case for ``seed``."""
+    rng = random.Random(seed)
+    over = list(rng.sample(_COUNT_VARS, rng.randint(1, 2)))
+    symbols = [s for s in _SYMBOLS if rng.random() < 0.5]
+
+    scope = over + symbols
+    pieces: List[Formula] = []
+    for v in over:
+        lo = rng.randint(-3, 1)
+        if symbols and rng.random() < 0.5:
+            # Upper bound symbol + c: box atoms lo <= v <= sym + c.
+            sym = rng.choice(symbols)
+            c = rng.randint(-2, 2)
+            upper = Atom(
+                Constraint.geq(Affine.var(sym) - Affine.var(v) + c)
+            )
+            pieces.append(Atom(Constraint.geq(Affine.var(v) - lo)))
+            pieces.append(upper)
+        else:
+            hi = lo + rng.randint(0, 5)
+            pieces.extend(_bound_box(v, lo, hi))
+
+    state = {"atoms": 5, "quantifiers": 0}
+    pieces.append(_tree(rng, scope, depth=rng.randint(1, 3), state=state))
+    formula = And.of(*pieces)
+
+    envs: List[Dict[str, int]] = [{s: 0 for s in symbols}]
+    for _ in range(2):
+        envs.append(
+            {s: rng.randint(SYMBOL_MIN, SYMBOL_MAX) for s in symbols}
+        )
+    # Deduplicate (symbol-free cases collapse to the single empty env).
+    seen = set()
+    unique_envs = []
+    for env in envs:
+        key = tuple(sorted(env.items()))
+        if key not in seen:
+            seen.add(key)
+            unique_envs.append(env)
+
+    poly_text = _poly_text(rng, over) if rng.random() < 0.5 else None
+    return FuzzCase(
+        formula,
+        over,
+        symbols,
+        poly_text=poly_text,
+        envs=unique_envs,
+        seed=seed,
+    )
+
+
+__all__ = [
+    "BOX",
+    "QUANT_BOX",
+    "SYMBOL_MAX",
+    "SYMBOL_MIN",
+    "FuzzCase",
+    "count_atoms",
+    "formula_to_text",
+    "generate_case",
+    "rename_formula",
+    "shuffle_formula",
+]

@@ -1,0 +1,144 @@
+"""Brute-force bounding-box oracle, independent of the Omega pipeline.
+
+Evaluates truth, counts solutions and sums polynomials **directly from
+the AST** by enumeration: atoms via :meth:`Affine.evaluate`, strides
+via integer modulo, quantifiers via bounded search.  Nothing here
+touches DNF conversion, satisfiability, elimination or the counting
+recursion, so any disagreement with the engine implicates the engine
+(or, symmetrically, this 40-line enumerator -- which is the point of
+keeping it this small).
+
+Soundness contract: the generator (:mod:`repro.testkit.generate`)
+guarantees that every quantifier bounds its variable inside
+``[-quant_box, quant_box]`` -- ``exists`` by conjoined constant box
+atoms, ``forall`` in the vacuous-outside-the-box implication form --
+so bounded enumeration of quantifiers is exact.  Counted variables are
+box-bounded at the top level, so enumerating ``[-box, box]^d`` is
+exact.  :func:`oracle_points` callers can detect a formula that
+escaped its box (e.g. after an unsound shrink step) by a solution on
+the box frontier.
+"""
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Mapping, Sequence, Set, Tuple
+
+from repro.presburger.ast import (
+    And,
+    Atom,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+    _Quantifier,
+)
+from repro.testkit.generate import BOX, QUANT_BOX
+
+
+def oracle_eval(
+    f: Formula, env: Mapping[str, int], quant_box: int = QUANT_BOX
+) -> bool:
+    """Truth of ``f`` under a complete assignment of its free variables.
+
+    Quantifiers are resolved by enumerating the bound variables over
+    ``[-quant_box, quant_box]`` (exact for generator-produced
+    formulas; see the module docstring).
+    """
+    if f is TrueF:
+        return True
+    if f is FalseF:
+        return False
+    if isinstance(f, Atom):
+        return f.constraint.satisfied(env)
+    if isinstance(f, StrideAtom):
+        return f.expr.evaluate(env) % f.modulus == 0
+    if isinstance(f, And):
+        return all(oracle_eval(c, env, quant_box) for c in f.children)
+    if isinstance(f, Or):
+        return any(oracle_eval(c, env, quant_box) for c in f.children)
+    if isinstance(f, Not):
+        return not oracle_eval(f.child, env, quant_box)
+    if isinstance(f, _Quantifier):
+        values = range(-quant_box, quant_box + 1)
+        combine = any if not isinstance(f, Forall) else all
+        inner: Dict[str, int] = dict(env)
+
+        def attempts():
+            for vals in itertools.product(values, repeat=len(f.variables)):
+                inner.update(zip(f.variables, vals))
+                yield oracle_eval(f.body, inner, quant_box)
+
+        return combine(attempts())
+    raise TypeError("unknown formula node %r" % (f,))
+
+
+def oracle_points(
+    f: Formula,
+    over: Sequence[str],
+    env: Mapping[str, int] = (),
+    box: int = BOX,
+    quant_box: int = QUANT_BOX,
+) -> Set[Tuple[int, ...]]:
+    """All solutions of ``over`` within ``[-box, box]^d`` at ``env``."""
+    env = dict(env)
+    out: Set[Tuple[int, ...]] = set()
+    for vals in itertools.product(
+        range(-box, box + 1), repeat=len(over)
+    ):
+        point = dict(env)
+        point.update(zip(over, vals))
+        if oracle_eval(f, point, quant_box):
+            out.add(vals)
+    return out
+
+
+def on_frontier(points: Set[Tuple[int, ...]], box: int = BOX) -> bool:
+    """Does any solution touch the enumeration box frontier?
+
+    A frontier hit means the solution set may extend past the box, so
+    an oracle count over the box would be a lower bound rather than
+    exact.  Generated cases never hit the frontier; the shrinker uses
+    this to reject candidates that dropped a bounding constraint.
+    """
+    return any(any(abs(v) >= box for v in p) for p in points)
+
+
+def oracle_count(
+    f: Formula,
+    over: Sequence[str],
+    env: Mapping[str, int] = (),
+    box: int = BOX,
+    quant_box: int = QUANT_BOX,
+) -> int:
+    """Number of solutions within the box (exact for generated cases)."""
+    return len(oracle_points(f, over, env, box, quant_box))
+
+
+def oracle_sum(
+    f: Formula,
+    over: Sequence[str],
+    poly,
+    env: Mapping[str, int] = (),
+    box: int = BOX,
+    quant_box: int = QUANT_BOX,
+) -> Fraction:
+    """Sum of ``poly`` over the solutions within the box."""
+    total = Fraction(0)
+    env = dict(env)
+    for vals in oracle_points(f, over, env, box, quant_box):
+        point = dict(env)
+        point.update(zip(over, vals))
+        total += poly.evaluate(point)
+    return total
+
+
+__all__ = [
+    "on_frontier",
+    "oracle_count",
+    "oracle_eval",
+    "oracle_points",
+    "oracle_sum",
+]

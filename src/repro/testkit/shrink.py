@@ -1,0 +1,214 @@
+"""Greedy structural shrinking of a failing fuzz case.
+
+Given a case that fails a named check, repeatedly try smaller variants
+-- fewer symbol environments, dropped ``and``/``or`` operands, hoisted
+subtrees, eliminated quantifiers and negations, coefficients and
+constants pulled toward zero -- keeping a variant whenever it *still
+fails the same check*.  Candidates need not be semantically equivalent
+to the original (each one is re-validated by re-running the check);
+they only need to be structurally smaller, which guarantees
+termination.
+
+Two soundness rules keep shrinking from manufacturing fake failures:
+
+* The shrinker never edits *inside* a quantifier body.  The oracle's
+  bounded quantifier enumeration is only exact because the generator
+  boxes every bound variable; an edit under the binder could break
+  that contract invisibly.  Quantifier nodes are only replaced
+  wholesale -- by ``true``/``false`` or by their body with the bound
+  variables substituted by small constants.
+* Any candidate whose oracle solutions touch the enumeration-box
+  frontier is rejected (:func:`repro.testkit.oracle.on_frontier`):
+  a frontier hit means a bounding constraint was dropped and the
+  brute-force count is no longer exact, so engine-vs-oracle
+  disagreement would be the shrinker's fault, not the engine's.
+"""
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.presburger.ast import (
+    And,
+    Atom,
+    FalseF,
+    Formula,
+    Not,
+    Or,
+    StrideAtom,
+    TrueF,
+    _Quantifier,
+)
+from repro.testkit.generate import FuzzCase
+from repro.testkit.oracle import on_frontier, oracle_points
+
+Path = Tuple[int, ...]
+
+
+def _children(f: Formula) -> Tuple[Formula, ...]:
+    """Editable children.  Quantifier bodies are deliberately opaque."""
+    if isinstance(f, (And, Or)):
+        return f.children
+    if isinstance(f, Not):
+        return (f.child,)
+    return ()
+
+
+def _rebuild(f: Formula, children: List[Formula]) -> Formula:
+    if isinstance(f, And):
+        return And.of(*children)
+    if isinstance(f, Or):
+        return Or.of(*children)
+    if isinstance(f, Not):
+        return Not(children[0])
+    raise TypeError("cannot rebuild %r" % (f,))
+
+
+def _replace(f: Formula, path: Path, new: Formula) -> Formula:
+    if not path:
+        return new
+    kids = list(_children(f))
+    kids[path[0]] = _replace(kids[path[0]], path[1:], new)
+    return _rebuild(f, kids)
+
+
+def _paths(f: Formula, prefix: Path = ()) -> Iterator[Tuple[Path, Formula]]:
+    yield prefix, f
+    for i, child in enumerate(_children(f)):
+        yield from _paths(child, prefix + (i,))
+
+
+def _toward_zero(value: int) -> int:
+    return value // 2 if value >= 0 else -((-value) // 2)
+
+
+def _affine_variants(expr: Affine) -> Iterator[Affine]:
+    coeffs = expr.coeff_dict()
+    if expr.const:
+        yield Affine(coeffs, 0)
+        half = _toward_zero(expr.const)
+        if half:
+            yield Affine(coeffs, half)
+    for var, c in expr.coeffs:
+        if abs(c) > 1:
+            smaller = dict(coeffs)
+            smaller[var] = 1 if c > 0 else -1
+            yield Affine(smaller, expr.const)
+
+
+def _atom_variants(atom: Atom) -> Iterator[Formula]:
+    for expr in _affine_variants(atom.constraint.expr):
+        yield Atom(Constraint(expr, atom.constraint.kind))
+
+
+def _stride_variants(stride: StrideAtom) -> Iterator[Formula]:
+    if stride.modulus > 2:
+        yield StrideAtom(2, stride.expr)
+    for expr in _affine_variants(stride.expr):
+        yield StrideAtom(stride.modulus, expr)
+
+
+def _node_variants(node: Formula) -> Iterator[Formula]:
+    """Strictly-smaller replacements for one node."""
+    if isinstance(node, (And, Or)):
+        kids = node.children
+        for i in range(len(kids)):  # drop one operand
+            rest = kids[:i] + kids[i + 1 :]
+            yield _rebuild(node, list(rest))
+        for child in kids:  # hoist one operand
+            yield child
+    elif isinstance(node, Not):
+        yield node.child
+    elif isinstance(node, _Quantifier):
+        yield TrueF
+        yield FalseF
+        for value in (0, 1, -1):
+            yield node.body.substitute_values(
+                {v: value for v in node.variables}
+            )
+    elif isinstance(node, Atom):
+        yield from _atom_variants(node)
+    elif isinstance(node, StrideAtom):
+        yield TrueF
+        yield from _stride_variants(node)
+
+
+def _formula_candidates(f: Formula) -> Iterator[Formula]:
+    for path, node in _paths(f):
+        for variant in _node_variants(node):
+            yield _replace(f, path, variant)
+
+
+def _case_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    # 1. Fewer symbol environments (down to one).
+    if len(case.envs) > 1:
+        for env in case.envs:
+            yield case.with_envs((env,))
+    # 2. A simpler polynomial, if any.
+    if case.poly_text and case.poly_text != "1":
+        yield case.with_poly_text("1")
+        head = case.poly_text.split("+")[0].strip()
+        if head and head != case.poly_text:
+            yield case.with_poly_text(head)
+    # 3. Structural formula edits, one at a time.
+    for formula in _formula_candidates(case.formula):
+        yield case.with_formula(formula)
+
+
+def failure_kind(failure) -> str:
+    """Coarse failure mode: ``mismatch`` or ``exception:<TypeName>``.
+
+    Shrinking only accepts candidates that fail the *same way* as the
+    original; otherwise dropping a bounding constraint can swap a DNF
+    explosion for an unbounded-count error and the "minimal"
+    counterexample no longer demonstrates the original bug.
+    """
+    message = failure.message
+    if message.startswith("exception: "):
+        return "exception:" + message.split(":")[1].strip()
+    return "mismatch"
+
+
+def _still_fails(case: FuzzCase, check: str, kind: Optional[str]) -> bool:
+    from repro.testkit.checks import run_check
+
+    for env in case.envs if case.envs else ({},):
+        if on_frontier(oracle_points(case.formula, case.over, env)):
+            return False  # oracle no longer exact; reject candidate
+    failure = run_check(check, case)
+    if failure is None:
+        return False
+    return kind is None or failure_kind(failure) == kind
+
+
+def shrink_case(
+    case: FuzzCase,
+    check: str,
+    max_attempts: int = 400,
+    failure=None,
+) -> FuzzCase:
+    """Greedily minimize ``case`` while it keeps failing ``check``.
+
+    With ``failure`` given (the original :class:`CheckFailure`), only
+    candidates failing in the same mode are accepted.  Runs at most
+    ``max_attempts`` candidate evaluations; returns the smallest
+    failing case found (possibly the input unchanged).
+    """
+    kind = failure_kind(failure) if failure is not None else None
+    best = case
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _case_candidates(best):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if _still_fails(candidate, check, kind):
+                best = candidate
+                progress = True
+                break
+    return best
+
+
+__all__ = ["failure_kind", "shrink_case"]

@@ -1,0 +1,38 @@
+"""Replay every regression-corpus entry as a tier-1 test.
+
+Each JSON file under ``tests/corpus/`` is a shrunk (or directly
+pinned) fuzz counterexample: a formula, the variables counted over,
+sampled symbol environments, and the name of the check that once
+failed.  Replaying them forever keeps fixed bugs fixed, at brute-force
+oracle cost only (the formulas are tiny by construction).
+
+Add entries with ``python -m repro fuzz --corpus tests/corpus`` or
+:func:`repro.testkit.corpus.save_case`.
+"""
+
+import os
+
+import pytest
+
+from repro.testkit.checks import CHECKS, run_check
+from repro.testkit.corpus import load_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = list(load_corpus(CORPUS_DIR))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "tests/corpus/ should ship at least one entry"
+
+
+@pytest.mark.parametrize(
+    "path,case,check",
+    ENTRIES,
+    ids=[os.path.basename(p) for p, _, _ in ENTRIES],
+)
+def test_corpus_entry_passes(path, case, check):
+    names = [check] if check in CHECKS else list(CHECKS)
+    for name in names:
+        failure = run_check(name, case)
+        assert failure is None, "%s: %s" % (os.path.basename(path), failure)

@@ -65,7 +65,21 @@ class TestStructure:
         assert len(to_dnf(f)) == 4
 
     def test_explosion_guard(self):
-        # 15 binary disjunctions would give 2^15 clauses > cap
-        text = " and ".join("(x = %d or x = %d)" % (i, i + 1) for i in range(15))
+        # 15 binary disjunctions over distinct variables give 2^15
+        # mutually satisfiable clauses -- nothing to prune, so the
+        # product must hit the cap.
+        text = " and ".join(
+            "(x%d = 0 or x%d = 1)" % (i, i) for i in range(15)
+        )
         with pytest.raises(DnfExplosion):
             to_dnf(parse(text))
+
+    def test_infeasible_product_pruned_not_exploded(self):
+        # The same shape over a single variable is almost entirely
+        # contradictory; incremental pruning must collapse it instead
+        # of raising.  (x=0 or x=1) and (x=1 or x=2) and ... leaves no
+        # consistent assignment after three conjuncts.
+        text = " and ".join(
+            "(x = %d or x = %d)" % (i, i + 1) for i in range(15)
+        )
+        assert to_dnf(parse(text)) == []

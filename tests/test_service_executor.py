@@ -96,6 +96,45 @@ class TestRunJobs:
         assert "86" in outcomes[0]["error"]["message"]
         assert outcomes[1]["ok"] is True
 
+    def test_transient_crash_retry_succeeds(self, tmp_path, monkeypatch):
+        # A worker killed once recovers on retry: the flag file makes
+        # only the first attempt die, so the job must come back ok
+        # with attempts == 2 while the rest of the batch is untouched.
+        flag = tmp_path / "died_once"
+        monkeypatch.setenv(
+            "REPRO_SERVICE_POISON_ONCE", "poison_marker:%s" % flag
+        )
+        reqs = [
+            JobRequest("count", POISON_FORMULA, over=["poison_marker"]),
+            JobRequest("count", "1 <= i <= n", over=["i"]),
+        ]
+        outcomes = run_jobs(reqs, workers=2)
+        assert outcomes[0]["ok"] is True
+        assert outcomes[0]["attempts"] == 2
+        assert outcomes[1]["ok"] is True
+        assert outcomes[1]["attempts"] == 1
+        assert flag.exists()
+
+    def test_budget_exceeded_mid_batch_not_retried(self):
+        # Budget exhaustion is a deterministic failure: it must be
+        # reported after one attempt (retrying would just burn the
+        # same budget again) and must not block the jobs around it.
+        reqs = [
+            JobRequest("count", "1 <= i <= n", over=["i"]),
+            JobRequest(
+                "count",
+                "1 <= i and i < j and j <= n",
+                over=["i", "j"],
+                budget=1,
+            ),
+            JobRequest("count", "1 <= k <= m + 2", over=["k"]),
+        ]
+        outcomes = run_jobs(reqs, workers=2)
+        assert outcomes[1]["ok"] is False
+        assert outcomes[1]["error"]["kind"] == BUDGET_EXCEEDED
+        assert outcomes[1]["attempts"] == 1
+        assert outcomes[0]["ok"] is True and outcomes[2]["ok"] is True
+
     def test_budget_exceeded_is_structured(self):
         reqs = [
             JobRequest(

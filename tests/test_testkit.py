@@ -1,0 +1,329 @@
+"""The testkit tested: generator contracts, oracle, checks, shrinker,
+corpus round-trip, and the fuzz CLI driver."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import count
+from repro.presburger.ast import And, Atom, Exists, Or, TrueF
+from repro.presburger.parser import parse
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.testkit.checks import CHECKS, CheckFailure, run_check, run_checks
+from repro.testkit.corpus import case_from_json, case_to_json, save_case, load_corpus
+from repro.testkit.generate import (
+    BOX,
+    FuzzCase,
+    count_atoms,
+    formula_to_text,
+    generate_case,
+    rename_formula,
+    shuffle_formula,
+)
+from repro.testkit.oracle import (
+    on_frontier,
+    oracle_count,
+    oracle_eval,
+    oracle_points,
+    oracle_sum,
+)
+from repro.testkit.shrink import failure_kind, shrink_case
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a, b = generate_case(42), generate_case(42)
+        assert formula_to_text(a.formula) == formula_to_text(b.formula)
+        assert a.over == b.over and a.envs == b.envs
+        assert a.poly_text == b.poly_text
+
+    def test_distinct_seeds_distinct_cases(self):
+        texts = {formula_to_text(generate_case(s).formula) for s in range(20)}
+        assert len(texts) > 15
+
+    def test_round_trips_through_parser(self):
+        for seed in range(30):
+            case = generate_case(seed)
+            text = formula_to_text(case.formula)
+            reparsed = parse(text)
+            # Semantically identical: same solutions at every env.
+            for env in case.envs:
+                assert oracle_points(
+                    reparsed, case.over, env
+                ) == oracle_points(case.formula, case.over, env), text
+
+    def test_cases_stay_inside_the_box(self):
+        # The oracle is only exact if no solution touches the
+        # enumeration frontier; the generator must guarantee that.
+        for seed in range(40):
+            case = generate_case(seed)
+            for env in case.envs:
+                pts = oracle_points(case.formula, case.over, env)
+                assert not on_frontier(pts), (seed, sorted(pts)[:4])
+
+    def test_envs_cover_symbols(self):
+        case = generate_case(7)
+        for env in case.envs:
+            assert set(env) == set(case.symbols)
+
+
+class TestRenameShuffle:
+    def test_rename_renames_binders(self):
+        f = Exists(["q"], Atom(Constraint.geq(Affine({"q": 1, "i": 1}))))
+        g = rename_formula(f, {"q": "z", "i": "w"})
+        assert "z" in formula_to_text(g) and "q" not in formula_to_text(g)
+
+    def test_shuffle_preserves_solutions(self):
+        case = generate_case(3)
+        shuffled = shuffle_formula(case.formula, random.Random(99))
+        for env in case.envs:
+            assert oracle_points(
+                shuffled, case.over, env
+            ) == oracle_points(case.formula, case.over, env)
+
+
+class TestOracle:
+    def test_atom_and_stride(self):
+        f = parse("1 <= i and i <= 7 and 2 | i")
+        assert oracle_count(f, ["i"]) == 3  # 2, 4, 6
+
+    def test_bounded_exists(self):
+        f = parse("exists q: (0 <= q and q <= 3 and i = 2*q)")
+        assert oracle_points(f, ["i"]) == {(0,), (2,), (4,), (6,)}
+
+    def test_bounded_forall_vacuous_outside_box(self):
+        # forall q: q outside [0,1] or i >= q  ==  i >= 1
+        f = parse("forall q: (not (0 <= q and q <= 1) or i >= q)")
+        pts = oracle_points(f, ["i"])
+        assert pts == {(v,) for v in range(1, BOX + 1)}
+        assert on_frontier(pts)  # i is unbounded above: frontier hit
+
+    def test_sum(self):
+        f = parse("1 <= i and i <= 3")
+        from repro.qpoly.parse import parse_polynomial
+
+        assert oracle_sum(f, ["i"], parse_polynomial("i*i")) == 14
+
+    def test_eval_agrees_with_engine_evaluate(self):
+        f = parse("1 <= i and i <= n and not (2 | i)")
+        for i in range(-2, 6):
+            env = {"i": i, "n": 4}
+            assert oracle_eval(f, env) == f.evaluate(env)
+
+
+class TestChecks:
+    def test_all_pass_on_generated_case(self):
+        case = generate_case(0)
+        assert run_checks(case) == []
+
+    def test_count_oracle_catches_wrong_engine_answer(self, monkeypatch):
+        import repro.testkit.checks as checks_mod
+
+        real_count = count
+
+        def off_by_one(formula, over, options=None):
+            result = real_count(formula, over)
+
+            class Wrapped:
+                def evaluate(self, env):
+                    return result.evaluate(env) + 1
+
+                def simplified(self):
+                    return self
+
+            return Wrapped()
+
+        monkeypatch.setattr(checks_mod, "count", off_by_one)
+        failure = run_check("count_oracle", generate_case(0))
+        assert failure is not None
+        assert failure.check == "count_oracle"
+        assert "engine" in failure.message and "oracle" in failure.message
+
+    def test_exception_becomes_failure(self, monkeypatch):
+        import repro.testkit.checks as checks_mod
+
+        def boom(formula, over, options=None):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setattr(checks_mod, "count", boom)
+        failure = run_check("count_oracle", generate_case(0))
+        assert failure is not None
+        assert "exception" in failure.message and "kaput" in failure.message
+        assert failure_kind(failure) == "exception:RuntimeError"
+
+    def test_periods_schedule_checks(self):
+        case = generate_case(1)
+        # iteration 1 skips every check whose period doesn't divide it;
+        # run_checks must not crash and must skip the expensive ones.
+        run_checks(case, names=["cache_warm_cold"], iteration=1)
+
+    def test_registry_shape(self):
+        for name, (period, fn) in CHECKS.items():
+            assert period >= 1 and callable(fn), name
+
+
+class TestShrink:
+    def _failing_case(self):
+        # i in [0,5] and i in [2,4]: redundant conjuncts to strip away.
+        f = parse(
+            "(i >= 0) and (i <= 5) and (i >= 2 or i >= 1) and (i <= 4)"
+        )
+        return FuzzCase(f, over=["i"], envs=({},), seed=123)
+
+    def test_shrinks_to_fewer_atoms(self):
+        case = self._failing_case()
+        failure = CheckFailure("count_oracle", "mismatch", case)
+
+        # A fake check that fails whenever the case has >= 2 atoms.
+        import repro.testkit.shrink as shrink_mod
+
+        def fake_run_check(name, c):
+            if count_atoms(c.formula) >= 2:
+                return CheckFailure(name, "mismatch", c)
+            return None
+
+        real = shrink_mod._still_fails
+
+        def patched(c, check, kind):
+            for env in c.envs if c.envs else ({},):
+                if on_frontier(oracle_points(c.formula, c.over, env)):
+                    return False
+            return fake_run_check(check, c) is not None
+
+        shrink_mod._still_fails = patched
+        try:
+            shrunk = shrink_case(case, "count_oracle", failure=failure)
+        finally:
+            shrink_mod._still_fails = real
+        assert count_atoms(shrunk.formula) <= 2
+        assert count_atoms(shrunk.formula) < count_atoms(case.formula)
+
+    def test_rejects_frontier_escapes(self):
+        # Dropping the upper bound would leave i unbounded; the
+        # frontier heuristic must reject such candidates even though
+        # the (fake) check would still "fail" on them.
+        f = parse("(0 <= i) and (i <= 3)")
+        case = FuzzCase(f, over=["i"], envs=({},), seed=1)
+        from repro.testkit.shrink import _still_fails
+
+        unbounded = case.with_formula(parse("0 <= i"))
+        assert _still_fails(unbounded, "count_oracle", None) is False
+
+    def test_failure_kind_classification(self):
+        case = generate_case(0)
+        assert (
+            failure_kind(CheckFailure("x", "engine 1 != oracle 2", case))
+            == "mismatch"
+        )
+        assert (
+            failure_kind(
+                CheckFailure("x", "exception: ValueError: nope", case)
+            )
+            == "exception:ValueError"
+        )
+
+
+class TestCorpus:
+    def test_json_round_trip(self):
+        case = generate_case(5)
+        doc = case_to_json(case, check="count_oracle", note="hello")
+        back, check = case_from_json(doc)
+        assert check == "count_oracle"
+        assert back.over == case.over and back.envs == case.envs
+        assert back.poly_text == case.poly_text and back.seed == case.seed
+        for env in case.envs:
+            assert oracle_points(
+                back.formula, back.over, env
+            ) == oracle_points(case.formula, case.over, env)
+
+    def test_unknown_schema_rejected(self):
+        doc = case_to_json(generate_case(5), check="count_oracle")
+        doc["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            case_from_json(doc)
+
+    def test_save_and_load(self, tmp_path):
+        case = generate_case(6)
+        path = save_case(str(tmp_path), case, "sum_oracle", note="n")
+        entries = list(load_corpus(str(tmp_path)))
+        assert len(entries) == 1
+        loaded_path, loaded, check = entries[0]
+        assert loaded_path == path and check == "sum_oracle"
+        assert loaded.seed == 6
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["note"] == "n"
+
+    def test_load_missing_directory_is_empty(self, tmp_path):
+        assert list(load_corpus(str(tmp_path / "nope"))) == []
+
+
+class TestFuzzCli:
+    def test_small_run_exits_clean(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["fuzz", "--seed", "0", "--iterations", "3"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "iterations=3" in err and "failures=0" in err
+
+    def test_replay_corpus_directory(self, capsys):
+        from repro.__main__ import main
+
+        import os
+
+        corpus = os.path.join(os.path.dirname(__file__), "corpus")
+        code = main(["fuzz", "--replay", corpus])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_failure_is_reported_shrunk_and_saved(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Sabotage the engine, then demand a shrunk, saved, named
+        # counterexample and a nonzero exit code.
+        import repro.testkit.checks as checks_mod
+        from repro.__main__ import main
+
+        real_count = count
+
+        def off_by_one(formula, over, options=None):
+            result = real_count(formula, over)
+
+            class Wrapped:
+                def evaluate(self, env):
+                    return result.evaluate(env) + 1
+
+                def simplified(self):
+                    return self
+
+            return Wrapped()
+
+        monkeypatch.setattr(checks_mod, "count", off_by_one)
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--iterations",
+                "1",
+                "--corpus",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL seed=0" in out and "check=count_oracle" in out
+        assert "shrunk" in out
+        saved = list(load_corpus(str(tmp_path)))
+        assert saved and saved[0][2] == "count_oracle"
+
+    def test_stats_flag_prints_counters(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["fuzz", "--seed", "0", "--iterations", "2", "--stats"])
+        assert code == 0
+        assert "-- stats --" in capsys.readouterr().err
