@@ -1,0 +1,146 @@
+"""Evalc throughput: interpreted tree-walk vs compiled evaluator.
+
+The paper's applications (§1.1) all end the same way: a symbolic
+answer is computed once, then *evaluated many times* -- at every
+processor count, every trip count, every cache size.  PR 4's evalc
+compiler targets exactly that loop, so this bench measures it
+directly on two ``apps/`` workloads:
+
+* triangular iteration count (one symbol, polynomial pieces), and
+* strided flop count (two symbols, mod-atom residue classes).
+
+Each workload is served two ways -- single-point ``.at`` calls and a
+10k-point ``table()`` sweep -- and compared against the interpreted
+path on a subsample (the tree-walk is ~3 orders of magnitude slower,
+so the full 10k interpreted sweep would dominate the bench).  The
+contract asserted here is the PR 4 acceptance bar: bit-for-bit equal
+values and >= 10x on the 10k-point table.
+
+Snapshot: ``BENCH_JSON=BENCH_PR4.json pytest benchmarks/ -q``.
+"""
+
+import time
+
+from conftest import report
+from repro.apps import Loop, LoopNest, Statement
+from repro.apps.counting import count_flops, count_iterations
+from repro.evalc import compile_sum
+
+#: Size of the table() sweep the acceptance bar is stated over.
+N_POINTS = 10000
+
+#: Interpreted baseline sample size (per-point cost is extrapolated).
+INTERP_SAMPLE = 200
+
+#: The acceptance floor; measured speedups are ~100-1000x.
+MIN_SPEEDUP = 10.0
+
+
+def _triangular():
+    return LoopNest(
+        [Loop("i", 1, "n"), Loop("j", 1, "i")], [Statement(flops=2)]
+    )
+
+
+def _strided():
+    return LoopNest(
+        [Loop("i", 1, "n", step=2), Loop("j", "i", "m")],
+        [Statement(flops=3)],
+    )
+
+
+def _per_point_interpreted(result, var, sample, fixed):
+    env = dict(fixed)
+    start = time.perf_counter()
+    values = []
+    for v in sample:
+        env[var] = v
+        values.append((v, result.evaluate(env)))
+    elapsed = time.perf_counter() - start
+    return elapsed / len(values), values
+
+
+def _speedup_report(name, interp_pp, compiled_pp):
+    rows = [
+        "interpreted: %8.3f us/point (sampled %d points)"
+        % (interp_pp * 1e6, INTERP_SAMPLE),
+        "compiled:    %8.3f us/point (full %d-point table)"
+        % (compiled_pp * 1e6, N_POINTS),
+        "speedup:     %8.1fx (floor %.0fx)"
+        % (interp_pp / compiled_pp, MIN_SPEEDUP),
+    ]
+    report(name, rows)
+
+
+def test_eval_table_triangular(benchmark):
+    """10k-point table() of the triangular iteration count."""
+    result = count_iterations(_triangular())
+    compiled = compile_sum(result)
+    values = range(N_POINTS)
+
+    table = benchmark(lambda: compiled.table("n", values))
+    assert len(table) == N_POINTS
+    assert table[1000] == (1000, 1000 * 1001 // 2)
+
+    sample = range(0, N_POINTS, N_POINTS // INTERP_SAMPLE)
+    interp_pp, want = _per_point_interpreted(result, "n", sample, {})
+    lookup = dict(table)
+    for v, c in want:
+        assert lookup[v] == c
+
+    start = time.perf_counter()
+    compiled.table("n", values)
+    compiled_pp = (time.perf_counter() - start) / N_POINTS
+
+    _speedup_report("PR4 eval: triangular table", interp_pp, compiled_pp)
+    assert interp_pp / compiled_pp >= MIN_SPEEDUP
+
+
+def test_eval_table_strided_flops(benchmark):
+    """10k-point table() of a strided two-symbol flop count."""
+    result = count_flops(_strided())
+    compiled = compile_sum(result)
+    values = range(N_POINTS)
+
+    table = benchmark(lambda: compiled.table("n", values, m=750))
+    assert len(table) == N_POINTS
+
+    sample = range(0, N_POINTS, N_POINTS // INTERP_SAMPLE)
+    interp_pp, want = _per_point_interpreted(
+        result, "n", sample, {"m": 750}
+    )
+    lookup = dict(table)
+    for v, c in want:
+        assert lookup[v] == c
+
+    start = time.perf_counter()
+    compiled.table("n", values, m=750)
+    compiled_pp = (time.perf_counter() - start) / N_POINTS
+
+    _speedup_report("PR4 eval: strided flops table", interp_pp, compiled_pp)
+    assert interp_pp / compiled_pp >= MIN_SPEEDUP
+
+
+def test_eval_points_single(benchmark):
+    """Single-point .at() calls (the service's evaluate-job hot path)."""
+    result = count_flops(_strided())
+    compiled = compile_sum(result)
+    envs = [{"n": n, "m": 3 * n + 7} for n in range(512)]
+
+    got = benchmark(lambda: compiled.many(envs))
+
+    sample = envs[:: len(envs) // 64]
+    start = time.perf_counter()
+    want = [result.evaluate(env) for env in sample]
+    interp_pp = (time.perf_counter() - start) / len(sample)
+    for env, value in zip(sample, want):
+        assert compiled.at(env) == value
+    assert [compiled.at(env) for env in sample] == want
+    assert len(got) == len(envs)
+
+    start = time.perf_counter()
+    compiled.many(envs)
+    compiled_pp = (time.perf_counter() - start) / len(envs)
+
+    _speedup_report("PR4 eval: single points", interp_pp, compiled_pp)
+    assert interp_pp / compiled_pp >= MIN_SPEEDUP

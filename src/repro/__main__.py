@@ -49,6 +49,15 @@ def _parse_at(spec: str):
         )
 
 
+def _parse_points(spec: str):
+    """``n=1,m=2`` -> {"n": 1, "m": 2}: one complete evaluation point."""
+    env = {}
+    for part in spec.split(","):
+        name, value = _parse_at(part)
+        env[name] = value
+    return env
+
+
 def _parse_table(spec: str):
     """``n=0:20`` or ``n=0:20:2`` -> (symbol, range)."""
     name, _, rng = spec.partition("=")
@@ -130,6 +139,31 @@ def main(argv=None) -> int:
     common(p_sum)
     p_sum.add_argument(
         "--poly", required=True, help="the summand, e.g. 'i*i + 2*j'"
+    )
+    p_eval = sub.add_parser(
+        "eval",
+        help="compile the answer and evaluate it at many points",
+        description="Count (or sum, with --poly) once, compile the "
+        "symbolic answer with repro.evalc, and serve --points/--table "
+        "through the compiled evaluator.  --no-compile falls back to "
+        "the interpreted tree-walk (same values, for A/B checking).",
+    )
+    common(p_eval)
+    p_eval.add_argument(
+        "--poly", help="optional summand (evaluate a sum, not a count)"
+    )
+    p_eval.add_argument(
+        "--points",
+        action="append",
+        default=[],
+        type=_parse_points,
+        metavar="sym=v[,sym=v]",
+        help="evaluate at a complete assignment (repeatable)",
+    )
+    p_eval.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="escape hatch: evaluate with the interpreted fallback",
     )
     p_simp = sub.add_parser(
         "simplify", help="simplify a formula to (disjoint) DNF"
@@ -230,15 +264,27 @@ def main(argv=None) -> int:
         _print_stats(args)
         return 0
 
+    if args.command == "eval" and args.no_compile:
+        from repro.evalc import set_compile_enabled
+
+        set_compile_enabled(False)
+
     over = _over(args)
-    if args.command == "count":
-        result = count(args.formula, over, _options(args))
+    poly = getattr(args, "poly", None)
+    if poly is not None:
+        result = sum_poly(args.formula, over, poly, _options(args))
     else:
-        result = sum_poly(args.formula, over, args.poly, _options(args))
+        result = count(args.formula, over, _options(args))
     if args.simplify:
         result = result.simplified()
     print(result)
 
+    if args.command == "eval":
+        # as_function() closes over the compiled evaluator (or the
+        # interpreted fallback under --no-compile).
+        fn = result.as_function()
+        for env in args.points:
+            print("at %s: %s" % (env, fn(**env)))
     fixed = dict(args.at)
     if fixed:
         print("at %s: %s" % (fixed, result.evaluate(fixed)))

@@ -177,9 +177,18 @@ class SymbolicSum:
 
         Returns an int when the result is integral (it always is for
         exact counts), otherwise a Fraction.
+
+        This is the *interpreted reference* evaluator; the hot entry
+        points (``__call__``, ``as_function``, ``table``) route through
+        the :mod:`repro.evalc` compiler and fall back here.
         """
-        full = dict(env or {})
-        full.update(kwargs)
+        if kwargs:
+            full = dict(env or {})
+            full.update(kwargs)
+        else:
+            # Hot path: evaluate never mutates the env, so a read-only
+            # caller mapping needs no per-call defensive copy.
+            full = env if env is not None else {}
         total = Fraction(0)
         for term in self.terms:
             total += term.evaluate(full)
@@ -187,7 +196,21 @@ class SymbolicSum:
             return int(total)
         return total
 
+    def _compiled(self):
+        """The compiled evaluator, or None (disabled / not compilable)."""
+        from repro.evalc import compile_enabled, compile_sum
+
+        if not compile_enabled():
+            return None
+        try:
+            return compile_sum(self)
+        except Exception:
+            return None
+
     def __call__(self, **kwargs: int):
+        compiled = self._compiled()
+        if compiled is not None:
+            return compiled.at(kwargs)
         return self.evaluate(kwargs)
 
     # -- algebra ----------------------------------------------------------
@@ -266,19 +289,31 @@ class SymbolicSum:
         """A plain Python callable over the symbolic constants.
 
         ``f = result.as_function(); f(n=10)`` -- convenient for
-        plugging counts into schedulers or cost models.
+        plugging counts into schedulers or cost models.  The callable
+        closes over the compiled evaluator, so repeated calls skip
+        even the compile-cache lookup.
         """
+        compiled = self._compiled()
+        if compiled is not None:
 
-        def evaluate(**kwargs: int):
-            return self.evaluate(kwargs)
+            def evaluate(**kwargs: int):
+                return compiled.at(kwargs)
+
+        else:
+
+            def evaluate(**kwargs: int):
+                return self.evaluate(kwargs)
 
         return evaluate
 
     def table(self, var: str, values, **fixed: int):
         """Tabulate the result along one symbol: [(value, count), ...]."""
+        compiled = self._compiled()
+        if compiled is not None:
+            return compiled.table(var, values, **fixed)
+        env = dict(fixed)
         out = []
         for v in values:
-            env = dict(fixed)
             env[var] = v
             out.append((v, self.evaluate(env)))
         return out

@@ -1,0 +1,27 @@
+"""Compiled evaluation of guarded quasi-polynomial answers.
+
+``compile_sum(result) -> CompiledSum`` lowers a
+:class:`~repro.core.result.SymbolicSum` into a fast reusable
+evaluator: integer-scaled Horner polynomials, short-circuit guard
+predicate programs, and (for one-symbol tables) a bisected threshold
+index over residue classes.  Results are bit-for-bit identical to the
+interpreted ``SymbolicSum.evaluate``.
+
+See DESIGN.md ("Compiled evaluation") for the lowering pipeline.
+"""
+
+from repro.evalc.compiler import (
+    CompiledSum,
+    clear_cache,
+    compile_enabled,
+    compile_sum,
+    set_compile_enabled,
+)
+
+__all__ = [
+    "CompiledSum",
+    "clear_cache",
+    "compile_enabled",
+    "compile_sum",
+    "set_compile_enabled",
+]

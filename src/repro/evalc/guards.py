@@ -1,0 +1,358 @@
+"""Guard compilation: short-circuit predicate programs for conjuncts.
+
+Interpreted guard evaluation (:meth:`Conjunct.is_satisfied`)
+substitutes the environment into every constraint and runs the full
+Omega integer satisfiability test -- hundreds of microseconds per
+term per point.  Almost every answer guard is much simpler than that
+machinery: plain affine checks over the symbols plus existential
+wildcards that come in two shapes (PAPER.md Section 3.4):
+
+* **stride wildcards** -- a single equality ``k*w == e`` encoding the
+  divisibility ``k | e``;
+* **projection wildcards** -- a variable bounded by several
+  inequalities, left over from existential elimination.
+
+Both shapes admit exact closed-form elimination for a *single*
+wildcard: divisibility for the equality case, the integer interval
+test ``max(ceil(lower/b)) <= min(floor(upper/a))`` for the
+inequality-only case, and equality-substitution for the mixed case.
+This module turns each guard into either
+
+* a **predicate program** (:func:`guard_levels`) -- a nested chain of
+  cheap integer checks for the codegen point evaluator, falling back
+  to ``is_satisfied`` only for components with two or more entangled
+  wildcards; or
+* a **threshold interval** (:func:`guard_t_interval`) -- for the table
+  fast path, the exact set of ``t`` with ``var = period*t + residue``
+  satisfying the guard, as a (possibly unbounded) integer interval.
+"""
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.intarith import ceil_div, floor_div
+from repro.omega.constraints import Constraint
+from repro.omega.problem import Conjunct
+
+from repro.evalc.lower import int_affine_src
+
+#: A predicate level: local assignments to emit, then conditions that
+#: must all hold before descending to the next level.
+Level = Tuple[List[Tuple[str, str]], List[str]]
+
+
+class FallbackNeeded(Exception):
+    """Raised when a guard cannot be reduced exactly (table planner)."""
+
+
+def wildcard_components(guard: Conjunct) -> List[List[Constraint]]:
+    """Group the guard's constraints into wildcard-connected components.
+
+    Two wildcards are connected when they co-occur in a constraint, so
+    each returned component is a self-contained existential subproblem;
+    constraints without wildcards are not returned (they are plain).
+    """
+    parent: Dict[str, str] = {w: w for w in guard.wildcards}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    members: Dict[str, List[Constraint]] = {}
+    for con in guard.constraints:
+        wilds = [v for v in con.variables() if v in guard.wildcards]
+        for a, b in zip(wilds, wilds[1:]):
+            parent[find(a)] = find(b)
+    for con in guard.constraints:
+        wilds = [v for v in con.variables() if v in guard.wildcards]
+        if wilds:
+            members.setdefault(find(wilds[0]), []).append(con)
+    return [members[root] for root in sorted(members)]
+
+
+def _split_wild(
+    con: Constraint, wildcards
+) -> Tuple[List[Tuple[str, int]], List[Tuple[str, int]], int]:
+    """Partition a constraint into (wild pairs, free pairs, const)."""
+    wild: List[Tuple[str, int]] = []
+    free: List[Tuple[str, int]] = []
+    for v, c in con.expr.coeffs:
+        (wild if v in wildcards else free).append((v, c))
+    return wild, free, con.expr.const
+
+
+# -- predicate programs (point evaluator) --------------------------------
+
+
+def guard_levels(
+    guard: Conjunct,
+    names: Mapping[str, str],
+    prefix: str,
+    fallback_idx: int,
+) -> List[Level]:
+    """Compile a guard into nested (assignments, conditions) levels.
+
+    ``names`` maps every free variable to its hoisted local slot.
+    Components with two or more entangled wildcards emit a call to the
+    runtime helper ``_fb(fallback_idx, env)`` (exact ``is_satisfied``);
+    everything else is closed-form integer arithmetic.  The levels are
+    meant to be emitted as nested ``if`` blocks: conditions of level i
+    guard the assignments of level i+1, giving short-circuit order
+    cheap-to-expensive.
+    """
+    plain: List[str] = []
+    levels: List[Level] = []
+    tail: List[str] = []
+    wilds = guard.wildcards
+    for con in guard.constraints:
+        if not any(v in wilds for v in con.variables()):
+            src = int_affine_src(con.expr.coeffs, con.expr.const, names)
+            plain.append(
+                "%s == 0" % src if con.is_eq() else "%s >= 0" % src
+            )
+    for k, comp in enumerate(wildcard_components(guard)):
+        comp_wilds = set()
+        for con in comp:
+            comp_wilds.update(
+                v for v in con.variables() if v in wilds
+            )
+        if len(comp_wilds) != 1:
+            tail.append("_fb(%d, env)" % fallback_idx)
+            continue
+        w = comp_wilds.pop()
+        eqs = [c for c in comp if c.is_eq()]
+        if not eqs:
+            cond = _interval_cond(comp, w, wilds, names)
+            if cond is not None:
+                plain.append(cond)
+            continue
+        levels.extend(
+            _eq_elim_levels(comp, eqs[0], w, wilds, names, prefix, k)
+        )
+    head: List[Level] = [([], plain)] if plain else []
+    tail_levels: List[Level] = [([], tail)] if tail else []
+    return head + levels + tail_levels
+
+
+def _interval_cond(
+    comp: Sequence[Constraint], w: str, wilds, names: Mapping[str, str]
+) -> Optional[str]:
+    """``∃w`` over inequalities only: integer interval non-emptiness.
+
+    Each ``b*w + f >= 0`` with b > 0 lower-bounds w by ``ceil(-f/b)``
+    and with b < 0 upper-bounds it by ``floor(f/|b|)``; an integer w
+    exists iff every lower bound is <= every upper bound.  Returns a
+    single boolean expression, or None when one side is empty (the
+    component is then vacuously satisfiable).
+    """
+    lowers: List[str] = []
+    uppers: List[str] = []
+    for con in comp:
+        wild, free, const = _split_wild(con, wilds)
+        b = wild[0][1]
+        f_src = int_affine_src(free, const, names)
+        if b > 0:
+            # w >= ceil(-f/b) == -floor(f/b)
+            lowers.append("-((%s)//%d)" % (f_src, b))
+        else:
+            uppers.append("(%s)//%d" % (f_src, -b))
+    if not lowers or not uppers:
+        return None
+    lo = lowers[0] if len(lowers) == 1 else "max(%s)" % ", ".join(lowers)
+    hi = uppers[0] if len(uppers) == 1 else "min(%s)" % ", ".join(uppers)
+    return "%s <= %s" % (lo, hi)
+
+
+def _eq_elim_levels(
+    comp: Sequence[Constraint],
+    eq: Constraint,
+    w: str,
+    wilds,
+    names: Mapping[str, str],
+    prefix: str,
+    comp_idx: int,
+) -> List[Level]:
+    """``∃w`` with an equality ``k*w + e == 0``: divisibility + substitution.
+
+    An integer w exists for the equality iff ``|k|`` divides e; when it
+    does, ``w = -e/k`` is unique, so the rest of the component is
+    checked by plugging that value in.
+    """
+    wild, free, const = _split_wild(eq, wilds)
+    k = dict(wild)[w]
+    e_name = "%se%d" % (prefix, comp_idx)
+    e_src = int_affine_src(free, const, names)
+    rest = [c for c in comp if c is not eq]
+    levels: List[Level] = []
+    if abs(k) == 1:
+        div_conds: List[str] = []
+    else:
+        div_conds = ["%s %% %d == 0" % (e_name, abs(k))]
+    if not rest:
+        if not div_conds:
+            return []  # k = ±1: always solvable
+        return [([(e_name, e_src)], div_conds)]
+    levels.append(([(e_name, e_src)], div_conds))
+    # w = -e/k, exact after the divisibility check.
+    w_name = "%sw%d" % (prefix, comp_idx)
+    if k > 0:
+        w_src = "-(%s//%d)" % (e_name, k) if k != 1 else "-%s" % e_name
+    else:
+        w_src = "%s//%d" % (e_name, -k) if k != -1 else e_name
+    sub_names = dict(names)
+    sub_names[w] = w_name
+    conds: List[str] = []
+    for con in rest:
+        src = int_affine_src(con.expr.coeffs, con.expr.const, sub_names)
+        conds.append("%s == 0" % src if con.is_eq() else "%s >= 0" % src)
+    levels.append(([(w_name, w_src)], conds))
+    return levels
+
+
+# -- threshold intervals (table planner) ---------------------------------
+
+#: Interval in t: (lo, hi) with None meaning unbounded on that side;
+#: the empty guard is returned as the sentinel EMPTY.
+EMPTY = ("empty", "empty")
+
+
+def _clip(interval, lo: Optional[int], hi: Optional[int]):
+    cur_lo, cur_hi = interval
+    if lo is not None and (cur_lo is None or lo > cur_lo):
+        cur_lo = lo
+    if hi is not None and (cur_hi is None or hi < cur_hi):
+        cur_hi = hi
+    if cur_lo is not None and cur_hi is not None and cur_lo > cur_hi:
+        return EMPTY
+    return (cur_lo, cur_hi)
+
+
+def _linear_form(
+    con: Constraint,
+    var: str,
+    period: int,
+    residue: int,
+    fixed: Mapping[str, int],
+    wilds,
+) -> Tuple[int, Dict[str, int], int]:
+    """Rewrite a constraint under ``var = period*t + residue``.
+
+    Returns ``(a, wcoefs, c)`` meaning ``a*t + Σ wcoefs[w]*w + c``.
+    Raises FallbackNeeded when a free symbol is neither ``var`` nor
+    fixed.
+    """
+    a = 0
+    c = con.expr.const
+    wcoefs: Dict[str, int] = {}
+    for v, coef in con.expr.coeffs:
+        if v == var:
+            a += coef * period
+            c += coef * residue
+        elif v in wilds:
+            wcoefs[v] = coef
+        elif v in fixed:
+            c += coef * fixed[v]
+        else:
+            raise FallbackNeeded("unfixed symbol %r in guard" % v)
+    return a, wcoefs, c
+
+
+def _plain_clip(interval, a: int, c: int, is_eq: bool):
+    """Intersect with ``a*t + c >= 0`` (or ``== 0``)."""
+    if is_eq:
+        if a == 0:
+            return interval if c == 0 else EMPTY
+        if c % a:
+            return EMPTY
+        t0 = -(c // a)
+        return _clip(interval, t0, t0)
+    if a == 0:
+        return interval if c >= 0 else EMPTY
+    if a > 0:
+        return _clip(interval, ceil_div(-c, a), None)
+    return _clip(interval, None, floor_div(-c, a))
+
+
+def guard_t_interval(
+    guard: Conjunct,
+    var: str,
+    period: int,
+    residue: int,
+    fixed: Mapping[str, int],
+):
+    """Exact t-interval where the guard holds on ``var = period*t + residue``.
+
+    Returns ``(lo, hi)`` (None = unbounded side) or the EMPTY sentinel.
+    Exactness hinges on the caller choosing ``period`` divisible by
+    every wildcard coefficient in the guard: then every ceil/floor of
+    an affine function of t has an integer slope and each condition is
+    itself affine in t.  Raises FallbackNeeded otherwise, or when a
+    component entangles two or more wildcards.
+    """
+    interval = (None, None)
+    wilds = guard.wildcards
+    for con in guard.constraints:
+        if any(v in wilds for v in con.variables()):
+            continue
+        a, _, c = _linear_form(con, var, period, residue, fixed, wilds)
+        interval = _plain_clip(interval, a, c, con.is_eq())
+        if interval is EMPTY:
+            return EMPTY
+    for comp in wildcard_components(guard):
+        comp_wilds = set()
+        for con in comp:
+            comp_wilds.update(v for v in con.variables() if v in wilds)
+        if len(comp_wilds) != 1:
+            raise FallbackNeeded("entangled wildcards %s" % comp_wilds)
+        w = comp_wilds.pop()
+        forms = [
+            (_linear_form(con, var, period, residue, fixed, wilds), con)
+            for con in comp
+        ]
+        eqs = [(f, con) for f, con in forms if con.is_eq()]
+        if eqs:
+            (a, wc, c), _eq_con = eqs[0]
+            k = wc[w]
+            if a % k:
+                raise FallbackNeeded("period does not absorb stride %d" % k)
+            if c % abs(k):
+                return EMPTY  # divisibility fails for the whole class
+            wa, wconst = -(a // k), -(c // k)
+            for (a2, wc2, c2), con in forms:
+                if con is _eq_con:
+                    continue
+                m = wc2.get(w, 0)
+                interval = _plain_clip(
+                    interval, a2 + m * wa, c2 + m * wconst, con.is_eq()
+                )
+                if interval is EMPTY:
+                    return EMPTY
+            continue
+        # Inequalities only: pair every lower bound with every upper.
+        lowers: List[Tuple[int, int]] = []  # w >= lt*t + lc
+        uppers: List[Tuple[int, int]] = []  # w <= ut*t + uc
+        for (a, wc, c), _con in forms:
+            b = wc[w]
+            if a % abs(b):
+                raise FallbackNeeded("period does not absorb bound %d" % b)
+            if b > 0:  # b*w >= -(a*t + c): ceil has integer slope
+                lowers.append((-(a // b), ceil_div(-c, b)))
+            else:
+                bb = -b
+                uppers.append((a // bb, floor_div(c, bb)))
+        for lt, lc in lowers:
+            for ut, uc in uppers:
+                interval = _plain_clip(interval, ut - lt, uc - lc, False)
+                if interval is EMPTY:
+                    return EMPTY
+    return interval
+
+
+__all__ = [
+    "EMPTY",
+    "FallbackNeeded",
+    "guard_levels",
+    "guard_t_interval",
+    "wildcard_components",
+]

@@ -1,0 +1,226 @@
+"""Polynomial lowering: exact integers, shared atoms, Horner form.
+
+The interpreted evaluator (:meth:`repro.qpoly.Polynomial.evaluate`)
+walks every monomial with ``Fraction`` arithmetic.  This module lowers
+a quasi-polynomial into the shape a fast evaluator wants:
+
+* **Common-denominator scaling.**  Every coefficient is multiplied by
+  the LCM of the coefficient denominators, so evaluation runs in pure
+  (arbitrary-precision) integer arithmetic and divides once at the
+  end.  The scaling is exact; dividing the integer total by the
+  denominator reproduces the interpreted ``Fraction`` bit for bit.
+* **Atom slots.**  Plain variables and mod atoms become numbered local
+  slots shared by every term of a compiled sum, so ``(e mod c)`` is
+  computed once per point no matter how many guarded terms mention it
+  (Woods: a quasi-polynomial is a finite family of polynomials indexed
+  by residue class -- the mod atom is the residue selector).
+* **Horner form.**  The scaled terms are emitted as nested Horner
+  chains grouped on the atom that appears in the most monomials, so a
+  degree-d polynomial costs O(d) multiplications instead of O(d^2)
+  exponentiations.
+* **Residue specialization.**  For the table fast path,
+  :func:`specialize_residue` substitutes ``var = period*t + r`` --
+  every mod atom whose modulus divides ``period`` collapses to a
+  constant, leaving a *plain* integer polynomial in ``t`` per residue
+  class (the period-indexed table of the paper's Section 4.2.1).
+"""
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.intarith import lcm_list
+from repro.qpoly import ModAtom, Polynomial
+from repro.qpoly.atoms import Atom, atom_sort_key
+
+#: Internal variable name for the residue-class index ``t`` in
+#: ``var = period*t + r``.  A control character keeps it out of the
+#: user identifier namespace, so it can never collide with a symbol.
+T_NAME = "\x03t"
+
+
+def poly_denominator(poly: Polynomial) -> int:
+    """LCM of the coefficient denominators (1 for integer polynomials)."""
+    return lcm_list(coef.denominator for coef in poly.terms.values())
+
+
+def scaled_terms(
+    poly: Polynomial, scale: int
+) -> Dict[Tuple[Tuple[Atom, int], ...], int]:
+    """``{monomial: int(coef * scale)}`` -- exact when scale kills
+    every denominator (``poly_denominator(poly) | scale``)."""
+    out = {}
+    for mono, coef in poly.terms.items():
+        scaled = coef * scale
+        if scaled.denominator != 1:
+            raise ValueError(
+                "scale %d does not clear denominator of %s" % (scale, coef)
+            )
+        out[mono] = int(scaled)
+    return out
+
+
+def collect_atoms(polys) -> List[Atom]:
+    """Deterministically ordered union of the atoms of many polynomials."""
+    seen: Dict[Atom, None] = {}
+    for poly in polys:
+        for atom in poly.atoms():
+            seen.setdefault(atom, None)
+    return sorted(seen, key=atom_sort_key)
+
+
+def int_affine_src(
+    pairs, const: int, names: Mapping[str, str]
+) -> str:
+    """Source for an integer affine expression over named locals.
+
+    ``pairs`` is an iterable of ``(var, coef)``; ``names`` maps each
+    var to its local slot name.  Constant folding keeps the emitted
+    source minimal (``names`` values are plain identifiers, so the
+    result needs no inner parentheses).
+    """
+    parts: List[str] = []
+    for var, coef in pairs:
+        name = names[var]
+        if coef == 1:
+            term = name
+        elif coef == -1:
+            term = "-" + name
+        else:
+            term = "%d*%s" % (coef, name)
+        if parts and not term.startswith("-"):
+            parts.append("+" + term)
+        else:
+            parts.append(term)
+    if const or not parts:
+        if parts and const > 0:
+            parts.append("+%d" % const)
+        else:
+            parts.append(str(const))
+    return "".join(parts)
+
+
+def _power_src(name: str, exp: int) -> str:
+    return name if exp == 1 else "%s**%d" % (name, exp)
+
+
+def horner_src(
+    terms: Dict[Tuple[Tuple[Atom, int], ...], int],
+    slot_of: Mapping[Atom, str],
+) -> str:
+    """Nested-Horner source for integer-scaled terms over atom slots.
+
+    Recursively groups on the atom occurring in the most monomials:
+    ``p = ((c_k * x^(e_k - e_{k-1}) + c_{k-1}) * ... ) * x^(e_1)``
+    with each coefficient ``c_i`` emitted the same way.
+    """
+    terms = {m: c for m, c in terms.items() if c}
+    if not terms:
+        return "0"
+    if len(terms) == 1 and () in terms:
+        return str(terms[()])
+    counts: Dict[Atom, int] = {}
+    for mono in terms:
+        for atom, _ in mono:
+            counts[atom] = counts.get(atom, 0) + 1
+    pivot = max(counts, key=lambda a: (counts[a], atom_sort_key(a)))
+    name = slot_of[pivot]
+    by_exp: Dict[int, Dict] = {}
+    for mono, coef in terms.items():
+        exp = 0
+        rest = []
+        for atom, e in mono:
+            if atom == pivot:
+                exp = e
+            else:
+                rest.append((atom, e))
+        by_exp.setdefault(exp, {})[tuple(rest)] = coef
+    exps = sorted(by_exp, reverse=True)
+    acc = horner_src(by_exp[exps[0]], slot_of)
+    prev = exps[0]
+    for exp in exps[1:]:
+        coeff = horner_src(by_exp[exp], slot_of)
+        acc = "(%s)*%s" % (acc, _power_src(name, prev - exp))
+        if not coeff.startswith("-"):
+            acc += "+" + coeff
+        else:
+            acc += coeff
+        prev = exp
+    if prev:
+        acc = "(%s)*%s" % (acc, _power_src(name, prev))
+    return acc
+
+
+def substitute_fixed(poly: Polynomial, fixed: Mapping[str, int]) -> Polynomial:
+    """Substitute integer constants for symbols (mod atoms included)."""
+    for var, value in fixed.items():
+        if var in poly.variables():
+            poly = poly.substitute(var, Polynomial.constant(value))
+    return poly
+
+
+def residue_period(poly: Polynomial, var: str) -> int:
+    """LCM of the mod-atom moduli mentioning ``var`` (1 when none)."""
+    return lcm_list(
+        atom.modulus
+        for atom in poly.atoms()
+        if isinstance(atom, ModAtom) and var in atom.variables()
+    )
+
+
+def specialize_residue(
+    poly: Polynomial, var: str, period: int, residue: int, scale: int
+) -> Optional[List[int]]:
+    """Integer Horner coefficients of ``poly`` on ``var ≡ residue``.
+
+    Substitutes ``var = period*t + residue``; every mod atom whose
+    modulus divides ``period`` reduces to a constant, leaving a plain
+    polynomial in ``t``.  Returns the coefficient list scaled by
+    ``scale``, highest degree first (the dense form the bisect server
+    feeds to Horner), or ``None`` if a foreign atom survives (caller
+    falls back to per-point evaluation).
+    """
+    replacement = Polynomial.from_affine({T_NAME: period}, residue)
+    specialized = poly.substitute(var, replacement)
+    coeffs: Dict[int, Fraction] = {}
+    for mono, coef in specialized.terms.items():
+        if not mono:
+            coeffs[0] = coeffs.get(0, Fraction(0)) + coef
+            continue
+        if len(mono) != 1 or mono[0][0] != T_NAME:
+            return None
+        exp = mono[0][1]
+        coeffs[exp] = coeffs.get(exp, Fraction(0)) + coef
+    degree = max(coeffs) if coeffs else 0
+    out: List[int] = []
+    for exp in range(degree, -1, -1):
+        scaled = coeffs.get(exp, Fraction(0)) * scale
+        if scaled.denominator != 1:
+            raise ValueError(
+                "scale %d does not clear residue coefficients" % scale
+            )
+        out.append(int(scaled))
+    while len(out) > 1 and out[0] == 0:
+        out.pop(0)
+    return out
+
+
+def horner_eval(coeffs, t: int) -> int:
+    """Evaluate a dense highest-first integer coefficient list at t."""
+    acc = 0
+    for c in coeffs:
+        acc = acc * t + c
+    return acc
+
+
+__all__ = [
+    "T_NAME",
+    "collect_atoms",
+    "horner_eval",
+    "horner_src",
+    "int_affine_src",
+    "poly_denominator",
+    "residue_period",
+    "scaled_terms",
+    "specialize_residue",
+    "substitute_fixed",
+]

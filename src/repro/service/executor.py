@@ -88,6 +88,35 @@ def _encode_value(value) -> object:
     return int(value)
 
 
+def _evaluate_points(req: JobRequest, result) -> List[dict]:
+    """Evaluate the request's points against the symbolic answer.
+
+    ``evaluate`` jobs exist to serve many points fast, so they go
+    through the :mod:`repro.evalc` compiler (shared artifact keyed by
+    the request's point-free formula hash); compiled results are
+    bit-for-bit equal to the interpreted path, and any compilation
+    failure degrades to interpretation rather than failing the job.
+    """
+    if not req.at:
+        return []
+    values = None
+    if req.kind == "evaluate":
+        from repro.evalc import compile_enabled, compile_sum
+
+        if compile_enabled():
+            try:
+                compiled = compile_sum(result, cache_key=req.formula_hash())
+                values = compiled.many(req.at)
+            except Exception:
+                values = None
+    if values is None:
+        values = [result.evaluate(env) for env in req.at]
+    return [
+        {"at": dict(env), "value": _encode_value(value)}
+        for env, value in zip(req.at, values)
+    ]
+
+
 def execute_request(req: JobRequest) -> dict:
     """Run one job in the current process and return its ok payload.
 
@@ -113,18 +142,15 @@ def execute_request(req: JobRequest) -> dict:
             strategy=Strategy(req.strategy),
             remove_redundant=req.remove_redundant,
         )
-        if req.kind == "count":
-            result = count(req.formula, list(req.over), options)
-        else:
+        if req.poly is not None:
             result = sum_poly(
                 req.formula, list(req.over), req.poly, options
             )
+        else:
+            result = count(req.formula, list(req.over), options)
         if req.simplify:
             result = result.simplified()
-        points = [
-            {"at": dict(env), "value": _encode_value(result.evaluate(env))}
-            for env in req.at
-        ]
+        points = _evaluate_points(req, result)
         return {
             "kind": req.kind,
             "result": str(result),

@@ -66,7 +66,7 @@ from repro.qpoly.parse import PolynomialParseError, parse_polynomial
 #: Hash-payload schema; bump on any change to the canonical form.
 REQUEST_SCHEMA_VERSION = 3
 
-KINDS = ("count", "sum", "simplify")
+KINDS = ("count", "sum", "simplify", "evaluate")
 
 #: Placeholder for a bound variable in the shape (pass-one) key.
 _MASK = "\x01"
@@ -331,12 +331,12 @@ class JobRequest:
             raise RequestError("unknown job kind %r (want one of %s)" % (kind, "/".join(KINDS)))
         if not isinstance(formula, str) or not formula.strip():
             raise RequestError("job needs a non-empty 'formula' string")
-        if kind in ("count", "sum") and not over:
+        if kind in ("count", "sum", "evaluate") and not over:
             raise RequestError("%s job needs a non-empty 'over' list" % kind)
         if kind == "sum" and not poly:
             raise RequestError("sum job needs a 'poly' summand")
-        if kind != "sum" and poly:
-            raise RequestError("'poly' is only valid for sum jobs")
+        if kind not in ("sum", "evaluate") and poly:
+            raise RequestError("'poly' is only valid for sum/evaluate jobs")
         try:
             Strategy(strategy)
         except ValueError:
@@ -367,6 +367,8 @@ class JobRequest:
                 point[str(sym)] = value
             cleaned.append(point)
         self.at = tuple(cleaned)
+        if kind == "evaluate" and not self.at:
+            raise RequestError("evaluate job needs a non-empty 'at' list")
         self.timeout = float(timeout) if timeout is not None else None
         self.budget = int(budget) if budget is not None else None
 
@@ -485,6 +487,21 @@ class JobRequest:
         """SHA-256 hex digest of the canonical payload (the cache key)."""
         return hashlib.sha256(
             self.canonical_payload().encode("utf-8")
+        ).hexdigest()
+
+    def formula_hash(self) -> str:
+        """Content hash with the 'at' points removed.
+
+        The compiled-evaluator cache key: the artifact depends only on
+        the symbolic answer, so evaluate jobs that differ solely in
+        their points must share one compilation.
+        """
+        payload = json.loads(self.canonical_payload())
+        payload.pop("at", None)
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+                "utf-8"
+            )
         ).hexdigest()
 
 

@@ -22,6 +22,9 @@ The invariants:
   (:meth:`repro.service.request.JobRequest.content_hash`).
 * ``simplify_value`` -- ``SymbolicSum.simplified()`` preserves the
   evaluated answer.
+* ``compiled_eval`` -- the :mod:`repro.evalc` compiled evaluator
+  (point and table entry points) is bit-for-bit equal to interpreted
+  evaluation, including at zero and negative symbol values.
 * ``formula_simplify`` -- ``presburger.simplify`` preserves the
   solution set, and its disjoint form covers each point exactly once.
 * ``gist_preserves`` -- ``gist(C, Q) ∧ Q  ≡  C ∧ Q`` pointwise.
@@ -375,6 +378,66 @@ def check_cache_warm_cold(case: FuzzCase) -> Optional[CheckFailure]:
     return None
 
 
+def check_compiled_eval(case: FuzzCase) -> Optional[CheckFailure]:
+    """Compiled evaluation is bit-for-bit the interpreted evaluation.
+
+    Compares :meth:`CompiledSum.at` (value *and* int-vs-Fraction type)
+    and :meth:`CompiledSum.table` against ``SymbolicSum.evaluate`` --
+    at the sampled envs plus all-zero, all-negative, and widened
+    assignments, so negative and zero symbolic constants (where mod
+    and floor-division conventions diverge between languages) are
+    always exercised.
+    """
+    from repro.evalc import compile_sum
+
+    if case.poly_text:
+        result = sum_poly(
+            case.formula, list(case.over), parse_polynomial(case.poly_text)
+        )
+    else:
+        result = count(case.formula, list(case.over))
+    compiled = compile_sum(result)
+    symbols = sorted(result.symbols())
+    envs = [dict(env) for env in case.envs]
+    if symbols:
+        envs.append({s: 0 for s in symbols})
+        envs.append({s: -3 - i for i, s in enumerate(symbols)})
+        rng = random.Random(_case_seed(case) ^ 0xE7A1)
+        for _ in range(4):
+            envs.append({s: rng.randint(-17, 23) for s in symbols})
+    else:
+        envs.append({})
+    for env in envs:
+        want = result.evaluate(env)
+        got = compiled.at(env)
+        if got != want or type(got) is not type(want):
+            return CheckFailure(
+                "compiled_eval",
+                "compiled %r != interpreted %r at %s"
+                % (got, want, dict(env)),
+                case,
+            )
+    if symbols:
+        var = symbols[0]
+        fixed = {s: 2 for s in symbols if s != var}
+        want_table = [
+            (v, result.evaluate(dict(fixed, **{var: v})))
+            for v in range(-9, 15)
+        ]
+        got_table = compiled.table(var, range(-9, 15), **fixed)
+        if got_table != want_table:
+            diff = [
+                (a, b) for a, b in zip(got_table, want_table) if a != b
+            ][:3]
+            return CheckFailure(
+                "compiled_eval",
+                "compiled table diverges along %s (fixed %s): %s"
+                % (var, fixed, diff),
+                case,
+            )
+    return None
+
+
 #: name -> (period, check).  A check runs on iterations where
 #: ``iteration % period == 0``; replay and shrinking always run the
 #: named check directly.
@@ -385,6 +448,7 @@ CHECKS: Dict[str, Tuple[int, Callable[[FuzzCase], Optional[CheckFailure]]]] = {
     "rename_hash": (3, check_rename_hash),
     "shuffle_hash": (3, check_shuffle_hash),
     "simplify_value": (3, check_simplify_value),
+    "compiled_eval": (2, check_compiled_eval),
     "formula_simplify": (7, check_formula_simplify),
     "gist_preserves": (7, check_gist_preserves),
     "disjoint_vs_ie": (5, check_disjoint_vs_ie),

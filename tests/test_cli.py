@@ -138,3 +138,57 @@ class TestAtErrors:
         )
         assert out.returncode == 0
         assert "at {'n': 3, 'm': 7}: 3" in out.stdout
+
+
+class TestEval:
+    def test_points(self):
+        out = run_cli(
+            "eval", "1 <= i and i <= n and 3 | (i + n)", "--over", "i",
+            "--points", "n=9", "--points", "n=-4",
+        )
+        assert out.returncode == 0
+        assert "at {'n': 9}: 3" in out.stdout
+        assert "at {'n': -4}: 0" in out.stdout
+
+    def test_points_with_poly(self):
+        out = run_cli(
+            "eval", "1 <= i <= n", "--over", "i", "--poly", "i*i",
+            "--points", "n=4",
+        )
+        assert out.returncode == 0
+        assert "at {'n': 4}: 30" in out.stdout
+
+    def test_multi_symbol_point(self):
+        out = run_cli(
+            "eval", "1 <= i and i <= n and i <= m", "--over", "i",
+            "--points", "n=3,m=7",
+        )
+        assert out.returncode == 0
+        assert "3" in out.stdout
+
+    def test_table_served_compiled(self):
+        out = run_cli(
+            "eval", "1 <= i <= n", "--over", "i", "--table", "n=0:3"
+        )
+        assert out.returncode == 0
+        lines = [
+            l for l in out.stdout.splitlines() if l.strip().startswith("n=")
+        ]
+        assert len(lines) == 4
+
+    def test_no_compile_matches_compiled(self):
+        args = (
+            "eval", "1 <= i and 2*i <= n and 2 | (i + n)", "--over", "i",
+            "--points", "n=11", "--points", "n=-6", "--table", "n=0:8",
+        )
+        compiled = run_cli(*args)
+        interpreted = run_cli(*args, "--no-compile")
+        assert compiled.returncode == 0
+        assert compiled.stdout == interpreted.stdout
+
+    def test_bad_point_is_clean_error(self):
+        out = run_cli(
+            "eval", "1 <= i <= n", "--over", "i", "--points", "n=abc"
+        )
+        assert out.returncode == 2
+        assert "Traceback" not in out.stderr

@@ -1,0 +1,193 @@
+"""Unit tests for the evalc compiler (lowering, guards, cache).
+
+The public contract under test: ``compile_sum(result)`` produces an
+evaluator that is *bit-for-bit* equal to ``result.evaluate`` -- same
+value and same type (int when the Fraction is integral, Fraction
+otherwise) -- across positive, zero, and negative symbol values.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import count, sum_poly
+from repro.evalc import (
+    clear_cache,
+    compile_enabled,
+    compile_sum,
+    set_compile_enabled,
+)
+from repro.evalc.compiler import _CACHE, _CACHE_LIMIT, generate_source
+from repro.evalc.lower import (
+    horner_eval,
+    int_affine_src,
+    poly_denominator,
+    scaled_terms,
+)
+from repro.qpoly.parse import parse_polynomial
+
+
+def _fractional_poly():
+    """1/2*n**2 - 1/2*n + ... : a term polynomial with denominators."""
+    result = count("1 <= i and i < j and j <= n", ["i", "j"])
+    for term in result.terms:
+        if poly_denominator(term.value) > 1:
+            return term.value
+    raise AssertionError("expected a fractional term polynomial")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+    set_compile_enabled(True)
+
+
+def _grid(symbols, lo=-6, hi=8):
+    if not symbols:
+        return [{}]
+    if len(symbols) == 1:
+        return [{symbols[0]: v} for v in range(lo, hi + 1)]
+    first, rest = symbols[0], symbols[1:]
+    return [
+        dict(env, **{first: v})
+        for v in range(lo, hi + 1, 2)
+        for env in _grid(rest, lo, hi)
+    ]
+
+
+def _assert_bitwise_equal(result, envs):
+    compiled = compile_sum(result)
+    for env in envs:
+        want = result.evaluate(env)
+        got = compiled.at(env)
+        assert got == want, env
+        assert type(got) is type(want), env
+
+
+class TestLowering:
+    def test_poly_denominator(self):
+        poly = _fractional_poly()
+        assert poly_denominator(poly) == 2
+        assert poly_denominator(parse_polynomial("n + 1")) == 1
+
+    def test_scaled_terms_are_integers(self):
+        poly = _fractional_poly()
+        terms = scaled_terms(poly, poly_denominator(poly))
+        assert terms
+        assert all(isinstance(c, int) for c in terms.values())
+
+    def test_int_affine_src_constant_folds(self):
+        assert int_affine_src([], 5, {}) == "5"
+        assert int_affine_src([("x", 1)], 0, {"x": "v0"}) == "v0"
+
+    def test_horner_eval(self):
+        # 2t^2 - 3t + 1, highest-first dense coefficients.
+        assert horner_eval([2, -3, 1], 4) == 21
+        assert horner_eval([], 99) == 0
+
+    def test_generated_source_shape(self):
+        result = count("1 <= i and i <= n", ["i"])
+        source, scale = generate_source(result)
+        assert "def _at(env):" in source
+        assert scale == 1
+
+
+class TestBitForBit:
+    def test_polynomial_answer(self):
+        result = count("1 <= i and i < j and j <= n", ["i", "j"])
+        _assert_bitwise_equal(result, _grid(["n"], -4, 12))
+
+    def test_mod_atoms(self):
+        result = count("1 <= i and 2*i <= n and 3 | (i + n)", ["i"])
+        _assert_bitwise_equal(result, _grid(["n"], -6, 20))
+
+    def test_two_symbols(self):
+        result = count(
+            "1 <= i and i <= n and 1 <= j and j <= m and 2 | (i + j)",
+            ["i", "j"],
+        )
+        _assert_bitwise_equal(result, _grid(["n", "m"]))
+
+    def test_sum_with_fractional_coefficients(self):
+        result = sum_poly("1 <= i and i <= n", ["i"], "i*i")
+        _assert_bitwise_equal(result, _grid(["n"], -3, 15))
+
+    def test_fraction_type_preserved(self):
+        # Scaling by 1/2 makes odd counts genuine Fractions; the
+        # compiled path must return Fraction there and int elsewhere.
+        result = count("1 <= i and i <= n", ["i"]).scale(Fraction(1, 2))
+        compiled = compile_sum(result)
+        assert compiled.at({"n": 4}) == 2
+        assert type(compiled.at({"n": 4})) is int
+        assert compiled.at({"n": 5}) == Fraction(5, 2)
+        assert type(compiled.at({"n": 5})) is Fraction
+
+    def test_empty_sum(self):
+        result = count("1 <= i and i <= 0", ["i"])
+        compiled = compile_sum(result)
+        assert compiled.at({}) == 0
+
+    def test_many_matches_at(self):
+        result = count("1 <= i and i <= n and 2 | i", ["i"])
+        compiled = compile_sum(result)
+        envs = [{"n": v} for v in range(-5, 9)]
+        assert compiled.many(envs) == [compiled.at(e) for e in envs]
+
+    def test_kwargs_call_style(self):
+        result = count("1 <= i and i <= n", ["i"])
+        compiled = compile_sum(result)
+        assert compiled.at(n=7) == 7
+        assert compiled.at({"n": 3}) == 3
+
+
+class TestGuardFallback:
+    def test_multi_wildcard_guard_still_exact(self):
+        # Projection answers can keep coupled wildcards in their
+        # guards; those compile to an is_satisfied fallback, which
+        # must stay bit-for-bit with the interpreter.
+        formula = (
+            "1 <= i and i <= n and (exists a, b: 2*a + 3*b <= n and "
+            "n <= 2*a + 4*b and 0 <= a and a <= 3 and 0 <= b and b <= 3)"
+        )
+        result = count(formula, ["i"])
+        source, _ = generate_source(result)
+        assert "_fb(" in source  # coupled wildcards -> runtime fallback
+        _assert_bitwise_equal(result, _grid(["n"], -4, 16))
+
+
+class TestCache:
+    def test_cache_hit_returns_same_object(self):
+        result = count("1 <= i and i <= n", ["i"])
+        a = compile_sum(result)
+        b = compile_sum(result)
+        assert a is b
+
+    def test_cache_key_override(self):
+        result = count("1 <= i and i <= n", ["i"])
+        a = compile_sum(result, cache_key="job-A")
+        b = compile_sum(result, cache_key="job-A")
+        c = compile_sum(result, cache_key="job-B")
+        assert a is b
+        assert c is not a
+
+    def test_lru_eviction_is_bounded(self):
+        result = count("1 <= i and i <= n", ["i"])
+        for k in range(_CACHE_LIMIT + 16):
+            compile_sum(result, cache_key=("k", k))
+        assert len(_CACHE) == _CACHE_LIMIT
+
+    def test_disable_switch(self):
+        assert compile_enabled()
+        assert set_compile_enabled(False) is True  # returns previous
+        assert not compile_enabled()
+        result = count("1 <= i and i <= n", ["i"])
+        # SymbolicSum helpers fall back to interpretation but stay
+        # correct when the compiler is off.
+        assert result._compiled() is None
+        assert result.table("n", range(4)) == [
+            (0, 0), (1, 1), (2, 2), (3, 3)
+        ]
+        set_compile_enabled(True)
+        assert result._compiled() is not None

@@ -1,0 +1,81 @@
+"""Pin the mod convention for negative arguments (paper Section 4.1).
+
+The paper defines ``e mod c`` (c > 0) as the unique residue in
+``[0, c)`` -- i.e. mathematical mod, which is Python's ``%`` with a
+positive modulus, NOT C's truncated remainder.  Three independent
+implementations must agree, at negative arguments especially:
+
+* the quasi-polynomial atoms (``qpoly.atoms.evaluate_atom``),
+* the brute-force oracle's stride test (``testkit.oracle.oracle_eval``),
+* the generated code of the evalc compiler.
+
+A disagreement here would make answers silently wrong exactly on
+negative symbol values, which the default fuzz envs barely sample --
+hence the explicit pin.
+"""
+
+import pytest
+
+from repro.core import count
+from repro.evalc import compile_sum
+from repro.presburger.parser import parse
+from repro.qpoly import ModAtom
+from repro.qpoly.atoms import evaluate_atom
+from repro.testkit.oracle import oracle_count, oracle_eval
+
+
+@pytest.mark.parametrize("e", range(-12, 13))
+@pytest.mark.parametrize("c", [2, 3, 5])
+def test_mod_atom_is_nonnegative_residue(e, c):
+    atom = ModAtom({"x": 1}, 0, c)
+    value = evaluate_atom(atom, {"x": e})
+    assert 0 <= value < c
+    assert (e - value) % c == 0
+    # The paper's definition, spelled out: e mod c == e - c*floor(e/c).
+    assert value == e - c * (e // c)
+
+
+@pytest.mark.parametrize("e", range(-12, 13))
+@pytest.mark.parametrize("c", [2, 3, 5])
+def test_oracle_stride_agrees_with_mod_atom(e, c):
+    formula = parse("%d | (x + %d)" % (c, 0))
+    atom = ModAtom({"x": 1}, 0, c)
+    assert oracle_eval(formula, {"x": e}) == (
+        evaluate_atom(atom, {"x": e}) == 0
+    )
+
+
+def test_compiled_mod_agrees_at_negative_symbols():
+    """End to end: an answer with (n mod 3) atoms, served compiled,
+    equals the interpreted result and the brute-force oracle at
+    negative and zero n."""
+    formula_text = "1 <= i and i <= n and 3 | (i + n)"
+    result = count(formula_text, ["i"])
+    compiled = compile_sum(result)
+    formula = parse(formula_text)
+    for n in range(-9, 10):
+        env = {"n": n}
+        interpreted = result.evaluate(env)
+        assert compiled.at(env) == interpreted
+        assert oracle_count(formula, ["i"], env) == interpreted
+
+
+def test_compiled_table_mod_agrees_at_negative_symbols():
+    result = count("1 <= i and i <= n and 2 | (i + m)", ["i"])
+    compiled = compile_sum(result)
+    for m in (-4, -3, 0, 1):
+        want = [
+            (n, result.evaluate({"n": n, "m": m})) for n in range(-6, 12)
+        ]
+        assert compiled.table("n", range(-6, 12), m=m) == want
+
+
+def test_generated_source_uses_python_mod():
+    """The emitted code relies on Python % returning the non-negative
+    residue for positive moduli; guard against a rewrite to C-style
+    fmod/trunc semantics slipping in."""
+    result = count("1 <= i and i <= n and 3 | (i + n)", ["i"])
+    compiled = compile_sum(result)
+    assert "%" in compiled.source
+    assert compiled.at({"n": -5}) == 0
+    assert compiled.at({"n": 5}) == result.evaluate({"n": 5})

@@ -1,0 +1,125 @@
+"""Table-plan tests: the bisect-indexed piecewise evaluator.
+
+``CompiledSum.table(var, values, **fixed)`` may build a *plan*: per
+residue class of the answer's period, a sorted list of piece
+thresholds plus dense integer coefficient vectors, served by bisect +
+Horner.  The plan is an optimization only -- every test here compares
+against the interpreted ``SymbolicSum.table`` output, and the
+no-plan fallbacks must produce identical results.
+"""
+
+import pytest
+
+from repro.core import count, sum_poly
+from repro.evalc import clear_cache, compile_sum
+from repro.evalc.compiler import _MAX_PERIOD, build_table_plan
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _interp_table(result, var, values, **fixed):
+    env = dict(fixed)
+    out = []
+    for v in values:
+        env[var] = v
+        out.append((v, result.evaluate(env)))
+    return out
+
+
+class TestPlanCorrectness:
+    def test_polynomial_pieces(self):
+        result = count("1 <= i and i < j and j <= n", ["i", "j"])
+        compiled = compile_sum(result)
+        values = range(-8, 25)
+        assert compiled.table("n", values) == _interp_table(
+            result, "n", values
+        )
+
+    def test_residue_classes(self):
+        result = count("1 <= i and 3*i <= n and 2 | (i + n)", ["i"])
+        compiled = compile_sum(result)
+        values = range(-12, 40)
+        assert compiled.table("n", values) == _interp_table(
+            result, "n", values
+        )
+
+    def test_fixed_symbols(self):
+        result = count(
+            "1 <= i and i <= n and 1 <= j and j <= m and 2 | (i + j)",
+            ["i", "j"],
+        )
+        compiled = compile_sum(result)
+        for m in (-3, 0, 1, 7):
+            values = range(-5, 20)
+            assert compiled.table("n", values, m=m) == _interp_table(
+                result, "n", values, m=m
+            )
+
+    def test_negative_and_stepped_ranges(self):
+        result = count("1 <= i and 2*i <= n", ["i"])
+        compiled = compile_sum(result)
+        for values in (range(10, -10, -1), range(-9, 30, 7)):
+            assert compiled.table("n", values) == _interp_table(
+                result, "n", values
+            )
+
+    def test_sum_plan_keeps_fraction_types(self):
+        result = sum_poly("1 <= i and i <= n", ["i"], "i")
+        compiled = compile_sum(result)
+        values = range(-3, 12)
+        want = _interp_table(result, "n", values)
+        got = compiled.table("n", values)
+        assert got == want
+        for (_, g), (_, w) in zip(got, want):
+            assert type(g) is type(w)
+
+
+class TestPlanMachinery:
+    def test_plan_builds_for_simple_answer(self):
+        result = count("1 <= i and i <= n and 2 | i", ["i"])
+        plan = build_table_plan(result, "n", {})
+        assert plan is not None
+        assert plan.period % 2 == 0
+        for v in range(-9, 9):
+            assert plan.value_at(v) == result.evaluate({"n": v})
+
+    def test_plan_refuses_unfixed_symbol(self):
+        result = count(
+            "1 <= i and i <= n and 1 <= j and j <= m", ["i", "j"]
+        )
+        assert build_table_plan(result, "n", {}) is None
+        assert build_table_plan(result, "n", {"m": 5}) is not None
+
+    def test_plan_refuses_huge_period(self):
+        # A stride past _MAX_PERIOD: no plan, but table() still
+        # answers (per-point compiled fallback).
+        assert 1024 > _MAX_PERIOD
+        result = count("1 <= i and i <= n and 1024 | n", ["i"])
+        assert build_table_plan(result, "n", {}) is None
+        compiled = compile_sum(result)
+        values = list(range(-4, 30)) + [1023, 1024, 1025, 2048]
+        assert compiled.table("n", values) == _interp_table(
+            result, "n", values
+        )
+
+    def test_plan_cache_reuse(self):
+        result = count("1 <= i and i <= n and 2 | (i + m)", ["i"])
+        compiled = compile_sum(result)
+        compiled.table("n", range(5), m=1)
+        plan_a = compiled._plan_for("n", {"m": 1})
+        plan_b = compiled._plan_for("n", {"m": 1})
+        assert plan_a is plan_b
+        assert compiled._plan_for("n", {"m": 2}) is not plan_a
+
+    def test_result_table_routes_through_plan(self):
+        # SymbolicSum.table and CompiledSum.table agree end to end.
+        result = count("1 <= i and 3*i <= n and 2 | (i + n)", ["i"])
+        values = range(-6, 25)
+        assert result.table("n", values) == _interp_table(
+            result, "n", values
+        )

@@ -1,0 +1,132 @@
+"""The service's ``evaluate`` job kind (PR 4).
+
+An evaluate job is ``count``/``sum`` plus a mandatory non-empty
+``at`` list; its payload carries one exact value per point, served
+through the evalc compiler keyed by the request's *point-free*
+formula hash (so jobs differing only in their points share one
+compiled artifact).  The compiled values must be bit-for-bit what
+the interpreted path returns -- including the int-vs-"p/q" encoding.
+"""
+
+import json
+
+import pytest
+
+from repro.service.batch import run_batch
+from repro.service.diskcache import DiskCache
+from repro.service.executor import execute_request
+from repro.service.request import JobRequest, RequestError
+
+EVAL_COUNT = {
+    "id": "serve",
+    "kind": "evaluate",
+    "formula": "1 <= i and i <= n and 3 | (i + n)",
+    "over": ["i"],
+    "at": [{"n": 9}, {"n": 10}, {"n": 11}, {"n": -4}, {"n": 0}],
+}
+EVAL_SUM = {
+    "id": "serve-sum",
+    "kind": "evaluate",
+    "formula": "1 <= i <= n",
+    "over": ["i"],
+    "poly": "i*i",
+    "at": [{"n": 4}, {"n": 100}],
+}
+
+
+class TestValidation:
+    def test_evaluate_needs_over(self):
+        with pytest.raises(RequestError):
+            JobRequest("evaluate", "1 <= i", at=[{"n": 1}])
+
+    def test_evaluate_needs_points(self):
+        with pytest.raises(RequestError, match="at"):
+            JobRequest("evaluate", "1 <= i <= n", over=["i"])
+        with pytest.raises(RequestError, match="at"):
+            JobRequest("evaluate", "1 <= i <= n", over=["i"], at=[])
+
+    def test_evaluate_accepts_poly(self):
+        req = JobRequest.from_json(EVAL_SUM)
+        assert req.poly == "i*i"
+
+    def test_round_trip(self):
+        req = JobRequest.from_json(EVAL_COUNT)
+        assert JobRequest.from_json(req.to_json()).to_json() == req.to_json()
+
+
+class TestFormulaHash:
+    def test_invariant_across_points(self):
+        a = JobRequest.from_json(EVAL_COUNT)
+        b = JobRequest.from_json(dict(EVAL_COUNT, at=[{"n": 777}]))
+        assert a.formula_hash() == b.formula_hash()
+        assert a.content_hash() != b.content_hash()
+
+    def test_sensitive_to_formula(self):
+        a = JobRequest.from_json(EVAL_COUNT)
+        c = JobRequest.from_json(
+            dict(EVAL_COUNT, formula="1 <= i and i <= n and 2 | (i + n)")
+        )
+        assert a.formula_hash() != c.formula_hash()
+
+
+class TestExecute:
+    def test_count_points_exact(self):
+        payload = execute_request(JobRequest.from_json(EVAL_COUNT))
+        assert payload["kind"] == "evaluate"
+        values = [p["value"] for p in payload["points"]]
+        assert values == [3, 3, 4, 0, 0]
+
+    def test_sum_points_exact(self):
+        payload = execute_request(JobRequest.from_json(EVAL_SUM))
+        values = [p["value"] for p in payload["points"]]
+        assert values == [30, 338350]
+
+    def test_compiled_matches_interpreted(self):
+        from repro.evalc import set_compile_enabled
+
+        req = JobRequest.from_json(EVAL_COUNT)
+        compiled = execute_request(req)
+        set_compile_enabled(False)
+        try:
+            interpreted = execute_request(req)
+        finally:
+            set_compile_enabled(True)
+        assert compiled["points"] == interpreted["points"]
+
+    def test_payload_has_symbolic_result_too(self):
+        # The cache layer requires "result" in every ok payload; the
+        # evaluate payload reuses the count/sum shape so warm cache
+        # hits can serve it.
+        payload = execute_request(JobRequest.from_json(EVAL_COUNT))
+        assert "result" in payload
+        assert "result_json" in payload
+
+
+class TestBatch:
+    def test_batch_round_trip(self):
+        responses, summary = run_batch(
+            [JobRequest.from_json(EVAL_COUNT), JobRequest.from_json(EVAL_SUM)]
+        )
+        assert summary.ok == 2
+        assert [p["value"] for p in responses[0]["points"]] == [3, 3, 4, 0, 0]
+        assert [p["value"] for p in responses[1]["points"]] == [30, 338350]
+
+    def test_warm_cache_serves_points(self, tmp_path):
+        entries = [JobRequest.from_json(EVAL_COUNT)]
+        with DiskCache(str(tmp_path / "c.sqlite")) as cache:
+            first, s1 = run_batch(entries, cache=cache)
+            second, s2 = run_batch(entries, cache=cache)
+        assert s1.cache_misses == 1 and s2.cache_hits == 1
+        assert second[0]["cached"]
+        assert first[0]["points"] == second[0]["points"]
+
+    def test_cli_batch_line(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(json.dumps(EVAL_COUNT) + "\n")
+        assert main(["batch", str(path), "--no-cache"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        response = json.loads(out[0])
+        assert response["ok"]
+        assert [p["value"] for p in response["points"]] == [3, 3, 4, 0, 0]

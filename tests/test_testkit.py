@@ -319,7 +319,10 @@ class TestFuzzCli:
         assert "FAIL seed=0" in out and "check=count_oracle" in out
         assert "shrunk" in out
         saved = list(load_corpus(str(tmp_path)))
-        assert saved and saved[0][2] == "count_oracle"
+        # The sabotage trips every count-based check (count_oracle,
+        # compiled_eval, ...); the oracle one must be among the saves.
+        assert saved
+        assert "count_oracle" in [name for _, _, name in saved]
 
     def test_stats_flag_prints_counters(self, capsys):
         from repro.__main__ import main
