@@ -1,0 +1,143 @@
+"""Answer memo: cold-vs-warm and memo-on-vs-memo-off.
+
+Two workload shapes where subproblem answers genuinely recur:
+
+* **Rename fleet** (splinter-heavy): the same guarded loop-nest count
+  asked under several free-symbol vocabularies -- the compiler
+  pattern of one subscript shape analyzed per array.  With the memo
+  on, the first query computes and every variant is answered through
+  the free-symbol rename; with it off, every variant recomputes.
+* **Warm repeat** (residue-heavy): the same residue-class count asked
+  three times in one process -- the service pattern of repeated
+  queries.  Every ask after the first must be answered entirely from
+  the memo (the memo-off baseline still rides the warm satisfiability
+  cache, so the comparison is against the engine's best pre-existing
+  reuse, not a strawman).
+
+Each bench runs the memo-off baseline first on a cleared
+satisfiability cache, then the memo-on run the same way, asserts the
+answers are byte-identical, and requires >= 40% fewer satisfiability
+calls (the acceptance floor; observed reductions are far larger).
+Wall times land in BENCH_JSON via the conftest recorder.
+"""
+
+import json
+import time
+
+from conftest import report
+from repro.core import count, stats
+from repro.core.memo import clear_answer_memo, set_answer_memo
+from repro.omega.constraints import reset_fresh_counter
+from repro.omega.satisfiability import clear_sat_cache
+
+SPLINTER_TEMPLATE = (
+    "1 <= i <= %(a)s and 1 <= j <= %(b)s"
+    " and 3*j <= 2*i + %(a)s and 2 | (i + j)"
+)
+FLEET = [
+    {"a": "n", "b": "m"},
+    {"a": "p", "b": "q"},
+    {"a": "N", "b": "M"},
+    {"a": "rows", "b": "cols"},
+]
+
+RESIDUE = (
+    "1 <= i <= n and 1 <= j <= n and 4 | (i + j) and 3 | (i + 2*j)"
+)
+
+
+def _measured(fn):
+    """(result, sat-call delta, wall seconds) on a cold sat cache."""
+    clear_sat_cache()
+    reset_fresh_counter()
+    before = stats.stats_snapshot()["sat_calls"]
+    start = time.perf_counter()
+    out = fn()
+    wall = time.perf_counter() - start
+    sat = stats.stats_snapshot()["sat_calls"] - before
+    return out, sat, wall
+
+
+def _serialized(results):
+    return [json.dumps(r.to_json(), sort_keys=True) for r in results]
+
+
+def test_memo_rename_fleet_splinter_heavy():
+    def fleet():
+        return [
+            count(SPLINTER_TEMPLATE % names, ["i", "j"]) for names in FLEET
+        ]
+
+    previous = set_answer_memo(0)
+    try:
+        off, sat_off, wall_off = _measured(fleet)
+    finally:
+        set_answer_memo(previous)
+    clear_answer_memo()
+    on, sat_on, wall_on = _measured(fleet)
+
+    assert _serialized(on) == _serialized(off)
+    for result, names in zip(on, FLEET):
+        assert result.evaluate({names["a"]: 17, names["b"]: 11}) == 83
+
+    reduction = 1 - sat_on / sat_off
+    report(
+        "memo_rename_fleet",
+        [
+            "memo off: %5d sat calls  %.3fs" % (sat_off, wall_off),
+            "memo on:  %5d sat calls  %.3fs" % (sat_on, wall_on),
+            "sat-call reduction: %.0f%%" % (100 * reduction),
+        ],
+    )
+    assert reduction >= 0.40
+
+
+def test_memo_warm_repeat_residue_heavy():
+    def repeats():
+        return [count(RESIDUE, ["i", "j"]) for _ in range(3)]
+
+    previous = set_answer_memo(0)
+    try:
+        off, sat_off, wall_off = _measured(repeats)
+    finally:
+        set_answer_memo(previous)
+    clear_answer_memo()
+    on, sat_on, wall_on = _measured(repeats)
+
+    assert _serialized(on) == _serialized(off)
+    for result in on + off:
+        assert result.evaluate({"n": 24}) == 48
+
+    reduction = 1 - sat_on / sat_off
+    report(
+        "memo_warm_repeat",
+        [
+            "memo off: %5d sat calls  %.3fs" % (sat_off, wall_off),
+            "memo on:  %5d sat calls  %.3fs" % (sat_on, wall_on),
+            "sat-call reduction: %.0f%%" % (100 * reduction),
+        ],
+    )
+    assert reduction >= 0.40
+
+
+def test_memo_persistent_root_layer(tmp_path, monkeypatch):
+    """Cross-process shape: a fresh memory memo warmed purely from disk."""
+    monkeypatch.setenv(
+        "REPRO_ANSWER_DB", str(tmp_path / "answers.sqlite")
+    )
+    cold, sat_cold, wall_cold = _measured(
+        lambda: count(SPLINTER_TEMPLATE % FLEET[0], ["i", "j"])
+    )
+    clear_answer_memo()  # what a new process would start with
+    warm, sat_warm, wall_warm = _measured(
+        lambda: count(SPLINTER_TEMPLATE % FLEET[0], ["i", "j"])
+    )
+    assert _serialized([cold]) == _serialized([warm])
+    assert sat_warm == 0
+    report(
+        "memo_persistent_roots",
+        [
+            "cold: %5d sat calls  %.3fs" % (sat_cold, wall_cold),
+            "warm: %5d sat calls  %.3fs (disk root hit)" % (sat_warm, wall_warm),
+        ],
+    )

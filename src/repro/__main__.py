@@ -214,6 +214,13 @@ def main(argv=None) -> int:
         help="max cached results before LRU eviction (default: %(default)s)",
     )
     p_batch.add_argument(
+        "--answer-cache",
+        metavar="PATH",
+        help="persist counting-recursion root answers to PATH (the "
+        "answer memo's sqlite layer; shorthand for REPRO_ANSWER_DB, "
+        "inherited by worker processes)",
+    )
+    p_batch.add_argument(
         "--timeout",
         type=float,
         default=60.0,

@@ -35,7 +35,7 @@ from repro.omega.equalities import (
 from repro.omega.eliminate import eliminate_exact
 from repro.omega.problem import Conjunct
 from repro.omega.redundancy import remove_redundant
-from repro.core import stats
+from repro.core import memo, stats
 from repro.core.options import DEFAULT_OPTIONS, Strategy, SumOptions
 from repro.core.powersums import sum_over_range
 from repro.core.result import Term
@@ -75,11 +75,51 @@ def sum_over_conjunct(
 ) -> Tuple[List[Term], str]:
     """(Σ count_vars : conj : z) -> (guarded terms, exactness tag)."""
     ctx = _Ctx(opts)
-    terms = _sum(conj, tuple(count_vars), z, ctx)
+    terms = _sum(conj, tuple(count_vars), z, ctx, root=True)
     return terms, ctx.exactness
 
 
 def _sum(
+    conj: Conjunct,
+    cvars: Tuple[str, ...],
+    z: Polynomial,
+    ctx: _Ctx,
+    root: bool = False,
+) -> List[Term]:
+    """Memo shell around :func:`_sum_inner` (see repro.core.memo).
+
+    Every node with summation variables is looked up in (and stored
+    to) the answer memo under its alpha-invariant canonical key; base
+    cases (no ``cvars``) return immediately and are cheaper than the
+    key they would be filed under.  The per-node exactness delta rides
+    along in the entry through a child context, so a hit degrades the
+    caller's exactness exactly as recomputing would.  Only the *root*
+    node of a ``sum_over_conjunct`` call touches the persistent layer.
+    """
+    if not cvars or not memo.answer_memo_enabled():
+        return _sum_inner(conj, cvars, z, ctx)
+    key, names, back = memo.node_key(conj, cvars, z, ctx.opts)
+    hit = memo.fetch(key, back, probe_disk=root)
+    if hit is not None:
+        terms, (upper, lower) = hit
+        ctx.inexact_upper |= upper
+        ctx.inexact_lower |= lower
+        return terms
+    child = _Ctx(ctx.opts)
+    terms = _sum_inner(conj, cvars, z, child)
+    ctx.inexact_upper |= child.inexact_upper
+    ctx.inexact_lower |= child.inexact_lower
+    memo.store(
+        key,
+        names,
+        terms,
+        (child.inexact_upper, child.inexact_lower),
+        persist_disk=root,
+    )
+    return terms
+
+
+def _sum_inner(
     conj: Conjunct, cvars: Tuple[str, ...], z: Polynomial, ctx: _Ctx
 ) -> List[Term]:
     normalized = conj.normalize()

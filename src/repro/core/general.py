@@ -13,6 +13,7 @@ from repro.omega.problem import Conjunct
 from repro.presburger.ast import Formula
 from repro.presburger.disjoint import disjointify
 from repro.presburger.dnf import to_dnf
+from repro.core.canon import _affine_shape, _poly_marks, _refine
 from repro.core.convex import sum_over_conjunct
 from repro.core.options import DEFAULT_OPTIONS, Strategy, SumOptions
 from repro.core.result import SymbolicSum, Term
@@ -50,6 +51,57 @@ def _poly(value: PolyLike) -> Polynomial:
     raise TypeError("cannot interpret summand %r" % (value,))
 
 
+def _relabel_term(term: Term) -> Term:
+    """Deterministically rename a term's guard wildcards to ``_w0...``.
+
+    The recursion names its internal wildcards with a process-global
+    fresh counter, so byte-level answer identity would depend on how
+    much work ran before (in particular, on whether the answer memo
+    served part of the recursion from cache).  This pass erases that:
+    guard wildcards are ordered by the alpha-invariant signature
+    refinement of :mod:`repro.core.canon` (original names only break
+    structural ties) and renamed to the first ``_w<i>`` names not
+    taken by the term's free variables, so memo-on and memo-off runs
+    print and serialize identically.
+    """
+    guard = term.guard
+    wilds = guard.wildcards
+    if not wilds:
+        return term
+    atoms = []
+    for c in guard.constraints:
+        if c.is_eq():
+            shape = min(
+                _affine_shape(c.expr, wilds), _affine_shape(-c.expr, wilds)
+            )
+        else:
+            shape = _affine_shape(c.expr, wilds)
+        atoms.append(
+            (
+                "a(%s,%s)" % (c.kind, shape),
+                [(v, k) for v, k in c.expr.coeffs if v in wilds],
+                c.is_eq(),
+            )
+        )
+    marks: dict = {}
+    _poly_marks(term.value, marks)
+    rank = _refine(wilds, marks, atoms)
+    taken = set(guard.free_variables())
+    taken.update(v for v in term.value.variables() if v not in wilds)
+    mapping = {}
+    index = 0
+    for w in sorted(wilds, key=lambda w: (rank[w], w)):
+        while "_w%d" % index in taken:
+            index += 1
+        mapping[w] = "_w%d" % index
+        index += 1
+    value_map = {v: mapping[v] for v in term.value.variables() if v in mapping}
+    return Term(
+        guard.rename(mapping),
+        term.value.rename(value_map) if value_map else term.value,
+    )
+
+
 def sum_poly(
     formula: FormulaLike,
     over: Sequence[str],
@@ -77,7 +129,7 @@ def sum_poly(
                 if exactness in ("exact", clause_exact)
                 else "approx"
             )
-    return SymbolicSum(terms, exactness)
+    return SymbolicSum((_relabel_term(t) for t in terms), exactness)
 
 
 def count(
@@ -101,7 +153,7 @@ def count_conjunct(
     terms, exactness = sum_over_conjunct(
         conj, tuple(over), Polynomial.one, options
     )
-    return SymbolicSum(terms, exactness)
+    return SymbolicSum((_relabel_term(t) for t in terms), exactness)
 
 
 def count_bounds(

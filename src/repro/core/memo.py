@@ -1,0 +1,412 @@
+"""The answer memo: a hash-consed conjunct -> SymbolicSum cache.
+
+Splintering, residue-class enumeration and disjoint-DNF expansion
+generate *structurally identical* subproblems over and over; before
+this module the only reuse above the satisfiability layer was the
+per-instance ``normalize()`` memo.  The answer memo caches the full
+answer ``(terms, exactness)`` of every internal node of the counting
+recursion (:func:`repro.core.convex._sum`), keyed by an
+alpha-invariant canonical form of ``(conjunct, bound vars, mode,
+polynomial)`` built by :func:`repro.core.canon.canonical_conjunct_key`.
+
+Design points:
+
+* **Rename on hit.**  Keys rename bound variables into the ``"\\x02"``
+  namespace and free symbols into ``"\\x03"``; entries store the
+  answer terms in that canonical vocabulary.  A hit translates them
+  back through the caller's own names (the recorded free-symbol
+  permutation), so structurally identical nodes share one entry no
+  matter what their variables are called.  Wildcards *minted during*
+  the cached computation keep their original fresh names; if one
+  collides with a caller name it is renamed to a fresh wildcard first
+  (capture guard) -- the deterministic wildcard relabeling in
+  :mod:`repro.core.general` erases the resulting name drift from the
+  final answer.
+* **Soundness.**  The key is a complete serialization, so equal keys
+  imply an isomorphism of nodes; renaming a correct answer through an
+  isomorphism yields a correct answer.  Every option that can change
+  an answer (strategy, redundancy removal, the residue-split cap) is
+  folded into the key's mode string, and failures (unbounded sums,
+  budget exhaustion) are never cached.
+* **Fresh results.**  Hits return freshly built terms -- new guard
+  conjuncts, new value polynomials -- so callers mutating a returned
+  answer (``Polynomial.terms`` is an exposed dict) cannot poison the
+  cache.
+* **Bounded + instrumented.**  An ``OrderedDict`` LRU capped by
+  :func:`set_answer_memo` (``REPRO_ANSWER_MEMO`` presets it; ``0`` or
+  ``off`` disables), with ``answer_memo_hits / misses / evictions /
+  renames`` counters and occupancy in ``stats.engine_snapshot()``.
+* **Persistent roots.**  With ``REPRO_ANSWER_DB=path`` set, the memo
+  persists the *root* node of every ``sum_over_conjunct`` call to an
+  ``answers`` table managed by the service's sqlite LRU layer
+  (:class:`repro.service.diskcache.DiskCache`), and probes it on a
+  root miss: a warm service run answers whole clauses from disk and
+  skips the recursion entirely.  Per-node persistence would drown in
+  sqlite transactions, and a root hit subsumes its subtree anyway.
+"""
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import stats
+from repro.core.canon import FREE_PREFIX, canonical_conjunct_key
+from repro.core.options import SumOptions
+from repro.core.result import Term
+from repro.omega.constraints import fresh_var
+from repro.qpoly import Polynomial
+
+#: Default in-memory capacity (entries, i.e. distinct canonical nodes).
+DEFAULT_CAPACITY = 50000
+
+#: Bump when the persisted payload layout changes.
+ANSWER_DB_SCHEMA = 1
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get("REPRO_ANSWER_MEMO")
+    if raw is None:
+        return DEFAULT_CAPACITY
+    raw = raw.strip().lower()
+    if raw in ("", "0", "off", "false", "no"):
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_CAPACITY
+
+
+_CAPACITY = _env_capacity()
+
+#: key -> (terms in canonical names, (inexact_upper, inexact_lower),
+#:         free-symbol signature used to count cross-vocabulary hits)
+_MEMO: "OrderedDict[str, tuple]" = OrderedDict()
+
+#: key -> (pieces in canonical names, free-symbol signature).  The
+#: sibling table for elimination decompositions (lists of Conjuncts
+#: rather than answer terms); same capacity switch, same counters.
+_PIECES: "OrderedDict[str, tuple]" = OrderedDict()
+
+_DISK = None
+_DISK_PATH: Optional[str] = None
+
+
+# -- switches ------------------------------------------------------------
+
+
+def set_answer_memo(capacity) -> int:
+    """Set the memo capacity; returns the previous one.
+
+    ``0`` (or ``False``) disables memoization and drops every entry;
+    ``True`` restores :data:`DEFAULT_CAPACITY`.  Mirrors
+    ``repro.evalc.set_compile_enabled`` so tests can A/B the memo.
+    """
+    global _CAPACITY
+    previous = _CAPACITY
+    if capacity is True:
+        capacity = DEFAULT_CAPACITY
+    elif capacity is False:
+        capacity = 0
+    capacity = int(capacity)
+    if capacity < 0:
+        raise ValueError("answer memo capacity must be >= 0")
+    _CAPACITY = capacity
+    if capacity == 0:
+        _MEMO.clear()
+        _PIECES.clear()
+    else:
+        while len(_MEMO) > capacity:
+            _MEMO.popitem(last=False)
+        while len(_PIECES) > capacity:
+            _PIECES.popitem(last=False)
+    return previous
+
+
+def answer_memo_enabled() -> bool:
+    return _CAPACITY > 0
+
+
+def clear_answer_memo() -> None:
+    """Drop every in-memory entry (the persistent store is untouched)."""
+    _MEMO.clear()
+    _PIECES.clear()
+
+
+def answer_memo_info() -> Dict[str, int]:
+    """Occupancy for ``stats.engine_snapshot()``."""
+    return {"size": len(_MEMO) + len(_PIECES), "limit": _CAPACITY}
+
+
+# -- key construction ----------------------------------------------------
+
+
+def node_key(
+    conj,
+    cvars: Sequence[str],
+    z: Polynomial,
+    opts: SumOptions,
+) -> Tuple[str, Dict[str, str], Dict[str, str]]:
+    """Canonical key + rename maps for one recursion node.
+
+    The mode string folds in every :class:`SumOptions` field that can
+    change the answer: the strategy, redundancy removal, and the
+    residue-split cap (a larger cap can answer where a smaller one
+    raises ``UnboundedSumError``, so they must not share entries).
+    """
+    mode = "sum:%s:%d:%d" % (
+        opts.strategy.value,
+        1 if opts.remove_redundant else 0,
+        opts.max_residue_split,
+    )
+    return canonical_conjunct_key(conj, cvars, z, mode)
+
+
+def piece_key(
+    conj, var: str, mode: str
+) -> Tuple[str, Dict[str, str], Dict[str, str]]:
+    """Canonical key + rename maps for an elimination decomposition.
+
+    The eliminated variable plays the bound-variable role; the summand
+    slot is pinned to 1 (elimination has no summand).
+    """
+    return canonical_conjunct_key(conj, (var,), Polynomial.one, mode)
+
+
+def _free_signature(back: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(
+        sorted(
+            (canon, orig)
+            for canon, orig in back.items()
+            if canon.startswith(FREE_PREFIX)
+        )
+    )
+
+
+# -- term renaming -------------------------------------------------------
+
+
+def _rename_poly(value: Polynomial, mapping: Dict[str, str]) -> Polynomial:
+    used = {v: mapping[v] for v in value.variables() if v in mapping}
+    if used:
+        return value.rename(used)
+    # Fresh copy even without renames: Polynomial.terms is an exposed
+    # mutable dict, and cache entries must never alias caller objects.
+    return Polynomial(dict(value.terms))
+
+
+def _rename_terms(terms: Sequence[Term], mapping: Dict[str, str]) -> List[Term]:
+    return [
+        Term(t.guard.rename(mapping), _rename_poly(t.value, mapping))
+        for t in terms
+    ]
+
+
+def _rename_back(terms: Sequence[Term], back: Dict[str, str]) -> List[Term]:
+    """Translate stored canonical terms into the caller's vocabulary.
+
+    Capture guard: a wildcard minted during the cached computation
+    keeps its stored fresh name; if that name collides with one of the
+    caller's names it is renamed to a new fresh wildcard first, so the
+    rename-back cannot conflate two distinct variables.
+    """
+    targets = set(back.values())
+    mapping = dict(back)
+    for t in terms:
+        for w in t.guard.wildcards:
+            if w not in mapping and w in targets:
+                mapping[w] = fresh_var("r")
+    return _rename_terms(terms, mapping)
+
+
+# -- the persistent root layer -------------------------------------------
+
+
+def _disk_store():
+    """The ``answers``-table cache named by REPRO_ANSWER_DB, or None.
+
+    Opened lazily and re-checked per call so tests (and forked
+    workers) can point the environment at a fresh path; an unusable
+    path degrades to no persistence instead of failing the count.
+    """
+    global _DISK, _DISK_PATH
+    path = os.environ.get("REPRO_ANSWER_DB") or None
+    if path != _DISK_PATH:
+        if _DISK is not None:
+            try:
+                _DISK.close()
+            except Exception:
+                pass
+        _DISK = None
+        _DISK_PATH = path
+        if path:
+            from repro.service.diskcache import DiskCache
+
+            try:
+                _DISK = DiskCache(path, table="answers")
+            except Exception:
+                _DISK = None
+    return _DISK
+
+
+def _disk_key(key: str) -> str:
+    from repro import __version__ as engine_version
+
+    payload = "%d|%s|%s" % (ANSWER_DB_SCHEMA, engine_version, key)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _disk_fetch(key: str):
+    disk = _disk_store()
+    if disk is None:
+        return None
+    try:
+        payload = disk.get(_disk_key(key))
+    except Exception:
+        return None
+    if payload is None:
+        return None
+    try:
+        terms = tuple(Term.from_json(t) for t in payload["terms"])
+        flags = (bool(payload["upper"]), bool(payload["lower"]))
+    except Exception:
+        return None  # corrupt row: DiskCache.get heals keys, not shapes
+    return terms, flags
+
+
+def _disk_persist(key: str, canonical_terms: Sequence[Term], flags) -> None:
+    disk = _disk_store()
+    if disk is None:
+        return
+    payload = {
+        "terms": [t.to_json() for t in canonical_terms],
+        "upper": flags[0],
+        "lower": flags[1],
+    }
+    try:
+        disk.put(_disk_key(key), payload)
+    except Exception:
+        pass  # persistence is best-effort; never fail the computation
+
+
+# -- lookup / store ------------------------------------------------------
+
+
+def fetch(
+    key: str, back: Dict[str, str], probe_disk: bool = False
+) -> Optional[Tuple[List[Term], Tuple[bool, bool]]]:
+    """The cached answer renamed into the caller's names, or None.
+
+    ``probe_disk`` extends a memory miss to the persistent root layer
+    (set only for root nodes; see the module docstring).
+    """
+    entry = _MEMO.get(key)
+    if entry is None and probe_disk:
+        found = _disk_fetch(key)
+        if found is not None:
+            canonical_terms, flags = found
+            entry = (canonical_terms, flags, _free_signature(back))
+            _MEMO[key] = entry
+            while len(_MEMO) > _CAPACITY:
+                _MEMO.popitem(last=False)
+    if entry is None:
+        if stats.ENABLED:
+            stats.bump("answer_memo_misses")
+        return None
+    _MEMO.move_to_end(key)
+    canonical_terms, flags, stored_sig = entry
+    if stats.ENABLED:
+        stats.bump("answer_memo_hits")
+        if stored_sig != _free_signature(back):
+            stats.bump("answer_memo_renames")
+    return _rename_back(canonical_terms, back), flags
+
+
+def store(
+    key: str,
+    names: Dict[str, str],
+    terms: Sequence[Term],
+    flags: Tuple[bool, bool],
+    persist_disk: bool = False,
+) -> None:
+    """Record a freshly computed node answer under its canonical key."""
+    if _CAPACITY == 0:
+        return
+    canonical_terms = tuple(_rename_terms(terms, names))
+    back_sig = tuple(
+        sorted(
+            (canon, orig)
+            for orig, canon in names.items()
+            if canon.startswith(FREE_PREFIX)
+        )
+    )
+    _MEMO[key] = (canonical_terms, flags, back_sig)
+    _MEMO.move_to_end(key)
+    while len(_MEMO) > _CAPACITY:
+        _MEMO.popitem(last=False)
+        if stats.ENABLED:
+            stats.bump("answer_memo_evictions")
+    if persist_disk:
+        _disk_persist(key, canonical_terms, flags)
+
+
+def fetch_pieces(key: str, back: Dict[str, str]) -> Optional[list]:
+    """A cached elimination decomposition in the caller's names, or None.
+
+    Conjuncts are immutable, so the renamed pieces can share structure
+    with the entry; the same capture guard as :func:`fetch` protects
+    wildcards minted during the cached elimination.
+    """
+    entry = _PIECES.get(key)
+    if entry is None:
+        if stats.ENABLED:
+            stats.bump("answer_memo_misses")
+        return None
+    _PIECES.move_to_end(key)
+    canonical_pieces, stored_sig = entry
+    if stats.ENABLED:
+        stats.bump("answer_memo_hits")
+        if stored_sig != _free_signature(back):
+            stats.bump("answer_memo_renames")
+    targets = set(back.values())
+    mapping = dict(back)
+    for piece in canonical_pieces:
+        for w in piece.wildcards:
+            if w not in mapping and w in targets:
+                mapping[w] = fresh_var("r")
+    return [piece.rename(mapping) for piece in canonical_pieces]
+
+
+def store_pieces(key: str, names: Dict[str, str], pieces: Sequence) -> None:
+    """Record a freshly computed elimination decomposition."""
+    if _CAPACITY == 0:
+        return
+    canonical_pieces = tuple(piece.rename(names) for piece in pieces)
+    back_sig = tuple(
+        sorted(
+            (canon, orig)
+            for orig, canon in names.items()
+            if canon.startswith(FREE_PREFIX)
+        )
+    )
+    _PIECES[key] = (canonical_pieces, back_sig)
+    _PIECES.move_to_end(key)
+    while len(_PIECES) > _CAPACITY:
+        _PIECES.popitem(last=False)
+        if stats.ENABLED:
+            stats.bump("answer_memo_evictions")
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "answer_memo_enabled",
+    "answer_memo_info",
+    "clear_answer_memo",
+    "fetch",
+    "fetch_pieces",
+    "node_key",
+    "piece_key",
+    "set_answer_memo",
+    "store",
+    "store_pieces",
+]

@@ -52,6 +52,10 @@ class ProjectedClause:
         self.constraints = list(constraints)
         self.q = q
         self.gamma = list(gamma)
+        # Lazily filled by smith_reduce: the SNF change of variables is
+        # a pure function of the clause, so one reduction serves every
+        # later count over this instance.
+        self._smith: Optional[Tuple] = None
 
     def image_conjunct(self, target_vars: Sequence[str]) -> Conjunct:
         """The clause as a conjunct over target variables + wildcards."""
@@ -73,7 +77,19 @@ def smith_reduce(clause: ProjectedClause) -> Tuple[List[str], Conjunct, IntMatri
     U·Q·V = D and ``diag`` is D's diagonal: in the new variables the
     image relation reads  d_i·β̂_i = (U·(v̄ - γ̄))_i  for i < rank and
     0 = (U·(v̄ - γ̄))_i  beyond the rank.
+
+    The reduction is cached on the clause instance (it depends only on
+    the clause, and repeated ``count_image_via_smith`` calls would
+    otherwise redo the SNF and mint new β̂ names each time); do not
+    mutate a clause after its first reduction.  Reusing the *same* β̂
+    names on every call also keeps repeat counts of one instance
+    keyed identically in the answer memo -- though even fresh names
+    would hit, since the memo's canonical key renames bound variables
+    away.
     """
+    if clause._smith is not None:
+        beta_vars, conj, u, diag = clause._smith
+        return list(beta_vars), conj, u, list(diag)
     u, d, v = smith_normal_form(clause.q)
     beta_vars = [fresh_var("b") for _ in clause.alpha_vars]
     substitution = {}
@@ -88,7 +104,9 @@ def smith_reduce(clause: ProjectedClause) -> Tuple[List[str], Conjunct, IntMatri
             updated = updated.substitute(av, repl)
         new_cons.append(updated)
     diag = [d[i, i] for i in range(min(d.nrows, d.ncols))]
-    return beta_vars, Conjunct(new_cons), u, diag
+    conj = Conjunct(new_cons)
+    clause._smith = (tuple(beta_vars), conj, u, tuple(diag))
+    return beta_vars, conj, u, diag
 
 
 def count_image(
@@ -101,7 +119,9 @@ def count_image(
     Builds the image conjunct (target = Q·α + γ with α existential) and
     counts it with the engine; the Smith reduction happens implicitly
     through the equality machinery.  ``target_vars`` default to fresh
-    names (the count does not depend on them).
+    names (the count does not depend on them, and the answer memo's
+    canonical key renames them away, so repeat counts of one clause
+    hit the memo even with fresh names each call).
     """
     from repro.core.general import count_conjunct
 

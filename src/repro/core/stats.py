@@ -65,6 +65,10 @@ COUNTER_NAMES = (
     "residue_splits",  # residue-class enumerations of a stride
     "residue_cases",  # total residue cases those splits expanded to
     "redundancy_checks",  # complete single-constraint redundancy tests
+    "answer_memo_hits",  # recursion nodes answered from the answer memo
+    "answer_memo_misses",  # nodes that had to be computed
+    "answer_memo_evictions",  # LRU entries dropped to respect the cap
+    "answer_memo_renames",  # hits translated across free-symbol names
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
@@ -191,6 +195,11 @@ def engine_snapshot() -> Dict[str, Union[int, float]]:
     info = sat_cache_info()
     snap["sat_cache_size"] = info["size"]
     snap["sat_cache_limit"] = info["limit"]
+    from repro.core.memo import answer_memo_info
+
+    memo = answer_memo_info()
+    snap["answer_memo_size"] = memo["size"]
+    snap["answer_memo_limit"] = memo["limit"]
     return snap
 
 

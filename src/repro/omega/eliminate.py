@@ -108,7 +108,26 @@ def eliminate_exact(conj: Conjunct, var: str) -> List[Conjunct]:
     The returned pieces no longer mention ``var`` but may overlap; their
     union is exactly ``∃ var . conj``.  Splinter pieces are resolved by
     the equality machinery, which may add fresh wildcards.
+
+    Decompositions are memoized through the answer memo (mode
+    ``elim``): splinter-heavy projections recur on structurally
+    identical subproblems, and a piece-level hit skips the shadow,
+    splinter and equality machinery wholesale.
     """
+    from repro.core import memo
+
+    if not memo.answer_memo_enabled():
+        return _eliminate_exact_inner(conj, var)
+    key, names, back = memo.piece_key(conj, var, "elim")
+    hit = memo.fetch_pieces(key, back)
+    if hit is not None:
+        return hit
+    pieces = _eliminate_exact_inner(conj, var)
+    memo.store_pieces(key, names, pieces)
+    return pieces
+
+
+def _eliminate_exact_inner(conj: Conjunct, var: str) -> List[Conjunct]:
     conj2 = conj.normalize()
     if conj2 is None:
         return []
@@ -154,7 +173,27 @@ def eliminate_exact_disjoint(
     them disjoint with the Section 5.3 conversion.  Pieces whose
     wildcards cannot be put in stride-only form are themselves
     recursively projected first.
+
+    Memoized like :func:`eliminate_exact` (mode ``elimdisj:<budget>``
+    -- the budget caps how hard disjointification may work, so runs
+    with different budgets must not share entries).
     """
+    from repro.core import memo
+
+    if not memo.answer_memo_enabled():
+        return _eliminate_exact_disjoint_inner(conj, var, budget)
+    key, names, back = memo.piece_key(conj, var, "elimdisj:%d" % budget)
+    hit = memo.fetch_pieces(key, back)
+    if hit is not None:
+        return hit
+    pieces = _eliminate_exact_disjoint_inner(conj, var, budget)
+    memo.store_pieces(key, names, pieces)
+    return pieces
+
+
+def _eliminate_exact_disjoint_inner(
+    conj: Conjunct, var: str, budget: int
+) -> List[Conjunct]:
     from repro.presburger.disjoint import disjointify
 
     pieces = eliminate_exact(conj, var)

@@ -24,6 +24,7 @@ per-job failures are data, not exit codes.
 """
 
 import json
+import os
 import sqlite3
 import sys
 import time
@@ -45,7 +46,11 @@ from repro.service.request import (
 
 #: Response keys that may differ between a computed run and a cached
 #: re-run of the same batch; strip them to compare runs byte-for-byte.
-VOLATILE_RESPONSE_KEYS = ("cached", "wall_ms", "attempts")
+#: ``stats`` joined the list with the persistent answer memo: a warm
+#: run that answers a clause from the answer store does genuinely less
+#: engine work, so its per-job counters differ while the result is
+#: byte-identical.
+VOLATILE_RESPONSE_KEYS = ("cached", "wall_ms", "attempts", "stats")
 
 #: Payload keys not echoed into response lines (bulky; clients that
 #: want the full serialized result can read the cache).
@@ -327,6 +332,11 @@ def batch_main(args) -> int:
             continue
         entries.append(parse_request_line(line, line_no))
 
+    if getattr(args, "answer_cache", None):
+        # Workers inherit the environment at fork, so setting the
+        # variable here points every worker's answer memo at the same
+        # persistent root store.
+        os.environ["REPRO_ANSWER_DB"] = args.answer_cache
     cache = None
     if not args.no_cache:
         cache = DiskCache(args.cache, max_entries=args.cache_limit)

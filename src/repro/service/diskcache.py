@@ -21,21 +21,30 @@ serialized ok-response payload for that job.  Design points:
 
 Hit/miss/corrupt counters are per-instance (process-local); occupancy
 comes from the database so it is shared.
+
+One file can host several independent caches: ``table`` selects the
+table (default ``results``, the batch-response cache; the answer memo
+uses ``answers``).  Each table gets the same schema, LRU stamping and
+self-healing, and instances bound to different tables of one file
+coexist without interfering.
 """
 
 import json
 import os
+import re
 import sqlite3
 from typing import Optional
 
 _SCHEMA = """
-CREATE TABLE IF NOT EXISTS results (
+CREATE TABLE IF NOT EXISTS {table} (
     key TEXT PRIMARY KEY,
     payload TEXT NOT NULL,
     stamp INTEGER NOT NULL
 );
-CREATE INDEX IF NOT EXISTS results_stamp ON results (stamp);
+CREATE INDEX IF NOT EXISTS {table}_stamp ON {table} (stamp);
 """
+
+_TABLE_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
 
 
 class DiskCache:
@@ -46,10 +55,14 @@ class DiskCache:
         path: str,
         max_entries: int = 100000,
         busy_timeout: float = 30.0,
+        table: str = "results",
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if not _TABLE_NAME.match(table):
+            raise ValueError("table must be an identifier, got %r" % (table,))
         self.path = path
+        self.table = table
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
@@ -60,9 +73,10 @@ class DiskCache:
         self._conn = self._open()
 
     def _open(self) -> sqlite3.Connection:
+        schema = _SCHEMA.format(table=self.table)
         conn = sqlite3.connect(self.path, timeout=self._busy_timeout)
         try:
-            conn.executescript(_SCHEMA)
+            conn.executescript(schema)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.commit()
         except sqlite3.DatabaseError:
@@ -71,7 +85,7 @@ class DiskCache:
             conn.close()
             os.replace(self.path, self.path + ".corrupt")
             conn = sqlite3.connect(self.path, timeout=self._busy_timeout)
-            conn.executescript(_SCHEMA)
+            conn.executescript(schema)
             conn.commit()
         return conn
 
@@ -79,8 +93,9 @@ class DiskCache:
 
     def get(self, key: str) -> Optional[dict]:
         """The stored payload, or None on miss (corrupt rows self-delete)."""
+        t = self.table
         row = self._conn.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
+            "SELECT payload FROM %s WHERE key = ?" % t, (key,)
         ).fetchone()
         if row is None:
             self.misses += 1
@@ -94,51 +109,53 @@ class DiskCache:
             self.misses += 1
             with self._conn:
                 self._conn.execute(
-                    "DELETE FROM results WHERE key = ?", (key,)
+                    "DELETE FROM %s WHERE key = ?" % t, (key,)
                 )
             return None
         self.hits += 1
         with self._conn:
             self._conn.execute(
-                "UPDATE results SET stamp ="
-                " (SELECT COALESCE(MAX(stamp), 0) + 1 FROM results)"
-                " WHERE key = ?",
+                "UPDATE %s SET stamp ="
+                " (SELECT COALESCE(MAX(stamp), 0) + 1 FROM %s)"
+                " WHERE key = ?" % (t, t),
                 (key,),
             )
         return payload
 
     def put(self, key: str, payload: dict) -> None:
         """Store (or refresh) a payload, evicting LRU rows past the cap."""
+        t = self.table
         text = json.dumps(payload, sort_keys=True)
         with self._conn:
             self._conn.execute(
-                "INSERT OR REPLACE INTO results (key, payload, stamp)"
+                "INSERT OR REPLACE INTO %s (key, payload, stamp)"
                 " VALUES (?, ?,"
-                " (SELECT COALESCE(MAX(stamp), 0) + 1 FROM results))",
+                " (SELECT COALESCE(MAX(stamp), 0) + 1 FROM %s))" % (t, t),
                 (key, text),
             )
             excess = (
                 self._conn.execute(
-                    "SELECT COUNT(*) FROM results"
+                    "SELECT COUNT(*) FROM %s" % t
                 ).fetchone()[0]
                 - self.max_entries
             )
             if excess > 0:
                 self._conn.execute(
-                    "DELETE FROM results WHERE key IN"
-                    " (SELECT key FROM results ORDER BY stamp ASC LIMIT ?)",
+                    "DELETE FROM %s WHERE key IN"
+                    " (SELECT key FROM %s ORDER BY stamp ASC LIMIT ?)"
+                    % (t, t),
                     (excess,),
                 )
 
     def __len__(self) -> int:
         return self._conn.execute(
-            "SELECT COUNT(*) FROM results"
+            "SELECT COUNT(*) FROM %s" % self.table
         ).fetchone()[0]
 
     def __contains__(self, key: str) -> bool:
         return (
             self._conn.execute(
-                "SELECT 1 FROM results WHERE key = ?", (key,)
+                "SELECT 1 FROM %s WHERE key = ?" % self.table, (key,)
             ).fetchone()
             is not None
         )
@@ -147,6 +164,7 @@ class DiskCache:
         """Process-local hit counters plus shared occupancy."""
         return {
             "path": self.path,
+            "table": self.table,
             "size": len(self),
             "max_entries": self.max_entries,
             "hits": self.hits,

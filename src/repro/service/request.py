@@ -20,46 +20,30 @@ sessions.  The hash is the disk-cache key, so its design rules are:
   the payload, so upgrading the engine invalidates the cache instead
   of serving stale semantics.
 
-Canonicalization is two-pass.  Pass one assigns canonical names (a
-control-character prefix plus an index, e.g. ``"\\x020"``) to bound
-variables by **iterative signature refinement**: each bound variable's
-signature is the multiset of its atom occurrences (atom shape with
-bound names masked, its own coefficient, boolean-context path, and the
-coefficient/rank of co-occurring bound variables), refined until the
-rank partition stabilizes -- every ingredient is alpha-invariant, so
-the final ranking is too.  Pass two serializes the tree bottom-up with
-those names, sorting ``and`` / ``or`` children by their finished
-serialization, which makes operand order irrelevant.  Variables left
-tied at the refinement fixpoint are structurally interchangeable for
-every signature the refinement can see; for such ties the assignment
-is broken by original name, which can, for genuinely asymmetric
-formulas engineered to defeat refinement, cost a duplicate cache entry
--- never a wrong hit, since the payload stays a complete serialization
-of the formula.  The name prefix puts canonical names in a namespace
-no user identifier can occupy, so a free constant that happens to be
-named like a canonical bound name can never collide with one.
+The canonicalization itself lives in :mod:`repro.core.canon` (shared
+with the counting engine's answer memo): pass one assigns canonical
+names (``"\\x02" + index``) to bound variables by iterative signature
+refinement, pass two serializes the tree with those names, sorting
+``and`` / ``or`` children by their finished serialization.  Free
+symbolic constants keep their names in this formula-level key -- they
+appear in the answer, so renaming them *does* change the response.
+This module re-exports :func:`canonical_formula_key` and keeps the
+hash payload layout; the serialized form is byte-identical to what it
+was before the extraction, so the schema version is unchanged.
 """
 
 import hashlib
 import json
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro import __version__ as ENGINE_VERSION
+from repro.core.canon import (
+    _BOUND_PREFIX,
+    _MASK,
+    canonical_formula_key,
+)
 from repro.core.options import Strategy
 from repro.core.result import polynomial_to_json
-from repro.omega.affine import Affine
-from repro.presburger.ast import (
-    And,
-    Atom,
-    Exists,
-    FalseF,
-    Forall,
-    Formula,
-    Not,
-    Or,
-    StrideAtom,
-    TrueF,
-)
 from repro.presburger.parser import ParseError, parse
 from repro.qpoly.parse import PolynomialParseError, parse_polynomial
 
@@ -68,220 +52,9 @@ REQUEST_SCHEMA_VERSION = 3
 
 KINDS = ("count", "sum", "simplify", "evaluate")
 
-#: Placeholder for a bound variable in the shape (pass-one) key.
-_MASK = "\x01"
-
-#: Prefix for canonical bound-variable names in the exact (pass-two)
-#: serialization.  A control character keeps canonical names outside
-#: the identifier namespace: free constants keep their user-visible
-#: names, so naming one ``b0`` must not make it serialize identically
-#: to a canonically-renamed bound variable.
-_BOUND_PREFIX = "\x02"
-
 
 class RequestError(ValueError):
     """A malformed service request (bad kind, missing field, ...)."""
-
-
-# -- AST canonicalization ------------------------------------------------
-
-
-def _affine_shape(expr: Affine, bound) -> str:
-    masked = sorted(
-        (_MASK if v in bound else v, c) for v, c in expr.coeffs
-    )
-    return "%s+%d" % (masked, expr.const)
-
-
-def _collect_occurrences(
-    node: Formula,
-    bound: frozenset,
-    context: str,
-    atoms: List[Tuple[str, List[Tuple[str, int]], bool]],
-    marks: Dict[str, List[str]],
-) -> None:
-    """Pass-one scan: atom occurrences of bound variables.
-
-    ``atoms`` receives ``(descriptor, [(var, coeff), ...], is_eq)``
-    per atom, where the descriptor (atom shape with bound names masked
-    plus the boolean-context path) is alpha-invariant.  ``marks``
-    gives every quantifier-bound variable a baseline occurrence so a
-    variable the body never mentions still gets a signature.
-    """
-    if node is TrueF or node is FalseF:
-        return
-    if isinstance(node, Atom):
-        c = node.constraint
-        if c.is_eq():
-            # e = 0 and -e = 0 are the same atom, and Constraint.eq
-            # orients the sign by variable *names* -- mask that out or
-            # renaming would perturb the signatures.
-            shape = min(
-                _affine_shape(c.expr, bound),
-                _affine_shape(-c.expr, bound),
-            )
-        else:
-            shape = _affine_shape(c.expr, bound)
-        desc = "%s:a(%s,%s)" % (context, c.kind, shape)
-        atoms.append(
-            (
-                desc,
-                [(v, k) for v, k in c.expr.coeffs if v in bound],
-                c.is_eq(),
-            )
-        )
-        return
-    if isinstance(node, StrideAtom):
-        desc = "%s:s(%d,%s)" % (
-            context,
-            node.modulus,
-            _affine_shape(node.expr, bound),
-        )
-        atoms.append(
-            (desc, [(v, k) for v, k in node.expr.coeffs if v in bound], False)
-        )
-        return
-    if isinstance(node, Not):
-        _collect_occurrences(node.child, bound, context + "n", atoms, marks)
-        return
-    if isinstance(node, (And, Or)):
-        tag = "&" if isinstance(node, And) else "|"
-        for child in node.children:
-            _collect_occurrences(child, bound, context + tag, atoms, marks)
-        return
-    if isinstance(node, (Exists, Forall)):
-        tag = "E" if isinstance(node, Exists) else "A"
-        ctx = "%s%s%d" % (context, tag, len(node.variables))
-        for v in node.variables:
-            marks.setdefault(v, []).append(ctx)
-        inner = bound | frozenset(node.variables)
-        _collect_occurrences(node.body, inner, ctx, atoms, marks)
-        return
-    raise TypeError("unknown formula node %r" % (node,))
-
-
-def _canonical_names(formula: Formula, over: Sequence[str]) -> Dict[str, str]:
-    """Alpha-invariant canonical names for every bound variable.
-
-    Iterative refinement: rank bound variables by the multiset of
-    their occurrences, where each occurrence records the (masked) atom
-    it sits in, its own coefficient, and the coefficients and current
-    ranks of co-occurring bound variables; repeat until the partition
-    stops splitting.  No ingredient mentions an original name, so the
-    fixpoint ranking is invariant under alpha-renaming; original names
-    only break ties between variables the refinement cannot tell apart
-    (i.e. interchangeable for every signature it can see).
-    """
-    atoms: List[Tuple[str, List[Tuple[str, int]], bool]] = []
-    marks: Dict[str, List[str]] = {}
-    _collect_occurrences(formula, frozenset(over), "", atoms, marks)
-    variables = set(over) | set(marks)
-    for _, pairs, _eq in atoms:
-        variables.update(v for v, _ in pairs)
-    if not variables:
-        return {}
-    rank: Dict[str, int] = {v: 0 for v in variables}
-    for _ in range(len(variables) + 1):
-        sigs: Dict[str, str] = {}
-        for v in variables:
-            # Own previous rank first: refinement only ever splits
-            # classes, so the loop terminates in <= |variables| rounds.
-            parts: List = [("r", rank[v])]
-            parts.extend(("q", m) for m in marks.get(v, ()))
-            for desc, pairs, is_eq in atoms:
-                occurrences = [c for u, c in pairs if u == v]
-                if not occurrences:
-                    continue
-                others = sorted((k, rank[w]) for w, k in pairs if w != v)
-                if is_eq:
-                    # Record the sign-canonical orientation; an EQ atom
-                    # is the same constraint negated.
-                    flipped = sorted((-k, r) for k, r in others)
-                    for c in occurrences:
-                        parts.append(
-                            ("a", desc)
-                            + min((c, others), (-c, flipped))
-                        )
-                else:
-                    for c in occurrences:
-                        parts.append(("a", desc, c, others))
-            sigs[v] = repr(sorted(parts))
-        ordered = sorted(set(sigs.values()))
-        position = {s: i for i, s in enumerate(ordered)}
-        refined = {v: position[sigs[v]] for v in variables}
-        if refined == rank:
-            break
-        rank = refined
-    return {
-        v: "%s%d" % (_BOUND_PREFIX, index)
-        for index, v in enumerate(sorted(variables, key=lambda v: (rank[v], v)))
-    }
-
-
-def _affine_exact(expr: Affine, bound, names: Dict[str, str]) -> str:
-    """Serialize with canonical names applied to in-scope bound vars."""
-    out = [
-        (names[v] if v in bound else v, c) for v, c in expr.coeffs
-    ]
-    return "%s+%d" % (sorted(out), expr.const)
-
-
-def _canonical(node: Formula, bound: frozenset, names: Dict[str, str]) -> str:
-    """Pass two: emit the canonical form with precomputed names.
-
-    ``and`` / ``or`` children are ordered by their finished canonical
-    serialization, so operand order cannot leak into the key.
-    """
-    if node is TrueF:
-        return "T"
-    if node is FalseF:
-        return "F"
-    if isinstance(node, Atom):
-        c = node.constraint
-        body = _affine_exact(c.expr, bound, names)
-        if c.is_eq():
-            # Constraint.eq orients the sign by variable names; pick
-            # the lexicographically smaller of the two equivalent
-            # orientations so renaming cannot flip the serialization.
-            body = min(body, _affine_exact(-c.expr, bound, names))
-        return "a(%s,%s)" % (c.kind, body)
-    if isinstance(node, StrideAtom):
-        return "s(%d,%s)" % (
-            node.modulus,
-            _affine_exact(node.expr, bound, names),
-        )
-    if isinstance(node, Not):
-        return "n(%s)" % _canonical(node.child, bound, names)
-    if isinstance(node, (And, Or)):
-        tag = "&" if isinstance(node, And) else "|"
-        return "%s(%s)" % (
-            tag,
-            ",".join(
-                sorted(_canonical(c, bound, names) for c in node.children)
-            ),
-        )
-    if isinstance(node, (Exists, Forall)):
-        tag = "E" if isinstance(node, Exists) else "A"
-        inner = bound | frozenset(node.variables)
-        body = _canonical(node.body, inner, names)
-        quantified = sorted(names[v] for v in node.variables)
-        return "%s[%s](%s)" % (tag, ",".join(quantified), body)
-    raise TypeError("unknown formula node %r" % (node,))
-
-
-def canonical_formula_key(
-    formula: Formula, over: Sequence[str]
-) -> Tuple[str, Dict[str, str]]:
-    """Canonical string for a formula counted over ``over``.
-
-    Returns ``(key, names)`` where ``names`` maps every bound variable
-    (counted or quantifier-bound, whether or not it occurs) to its
-    canonical name (needed to canonicalize a summand polynomial
-    consistently).
-    """
-    names = _canonical_names(formula, over)
-    key = _canonical(formula, frozenset(over), names)
-    return key, names
 
 
 # -- the request model ---------------------------------------------------

@@ -25,6 +25,9 @@ The invariants:
 * ``compiled_eval`` -- the :mod:`repro.evalc` compiled evaluator
   (point and table entry points) is bit-for-bit equal to interpreted
   evaluation, including at zero and negative symbol values.
+* ``answer_memo`` -- counting with the answer memo enabled (cold and
+  warm) serializes and evaluates identically to counting with it
+  disabled, int-vs-Fraction types included.
 * ``formula_simplify`` -- ``presburger.simplify`` preserves the
   solution set, and its disjoint form covers each point exactly once.
 * ``gist_preserves`` -- ``gist(C, Q) ∧ Q  ≡  C ∧ Q`` pointwise.
@@ -378,6 +381,60 @@ def check_cache_warm_cold(case: FuzzCase) -> Optional[CheckFailure]:
     return None
 
 
+def check_answer_memo(case: FuzzCase) -> Optional[CheckFailure]:
+    """Memo-on and memo-off runs produce the same answer.
+
+    Compares the serialized ``SymbolicSum`` byte-for-byte and the
+    evaluated values (int-vs-Fraction type included) between a run
+    with the answer memo enabled -- cold, then again warm so real hits
+    are exercised -- and a run with it disabled.  Both runs start from
+    the same fresh-name counter; the deterministic wildcard relabeling
+    in ``repro.core.general`` is what makes byte equality a fair ask.
+    """
+    import json
+
+    from repro.core.memo import clear_answer_memo, set_answer_memo
+    from repro.omega.constraints import reset_fresh_counter
+
+    poly = parse_polynomial(case.poly_text) if case.poly_text else 1
+
+    def run():
+        reset_fresh_counter()
+        return sum_poly(case.formula, list(case.over), poly)
+
+    previous = set_answer_memo(True)
+    try:
+        clear_answer_memo()
+        cold = run()
+        warm = run()  # answered (at least at the roots) from the memo
+        set_answer_memo(0)  # also clears every entry
+        off = run()
+    finally:
+        set_answer_memo(previous)
+    baseline = json.dumps(off.to_json(), sort_keys=True)
+    for label, result in (("cold", cold), ("warm", warm)):
+        got = json.dumps(result.to_json(), sort_keys=True)
+        if got != baseline:
+            return CheckFailure(
+                "answer_memo",
+                "memo-on (%s) serialization diverged from memo-off:"
+                " %s != %s" % (label, got[:200], baseline[:200]),
+                case,
+            )
+    for env in case.envs:
+        want = off.evaluate(env)
+        for label, result in (("cold", cold), ("warm", warm)):
+            got = result.evaluate(env)
+            if got != want or type(got) is not type(want):
+                return CheckFailure(
+                    "answer_memo",
+                    "memo-on (%s) %r != memo-off %r at %s"
+                    % (label, got, want, dict(env)),
+                    case,
+                )
+    return None
+
+
 def check_compiled_eval(case: FuzzCase) -> Optional[CheckFailure]:
     """Compiled evaluation is bit-for-bit the interpreted evaluation.
 
@@ -449,6 +506,7 @@ CHECKS: Dict[str, Tuple[int, Callable[[FuzzCase], Optional[CheckFailure]]]] = {
     "shuffle_hash": (3, check_shuffle_hash),
     "simplify_value": (3, check_simplify_value),
     "compiled_eval": (2, check_compiled_eval),
+    "answer_memo": (2, check_answer_memo),
     "formula_simplify": (7, check_formula_simplify),
     "gist_preserves": (7, check_gist_preserves),
     "disjoint_vs_ie": (5, check_disjoint_vs_ie),

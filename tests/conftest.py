@@ -12,6 +12,7 @@ from typing import Dict, Iterable, Mapping, Sequence, Set, Tuple
 
 import pytest
 
+from repro.core.memo import clear_answer_memo
 from repro.omega.constraints import reset_fresh_counter
 from repro.omega.problem import Conjunct
 from repro.presburger.ast import Formula
@@ -41,8 +42,14 @@ def _deterministic_fresh_names():
     tests ran earlier in the session.  Resetting is safe across the
     persistent satisfiability cache: cached answers are pure functions
     of conjunct content, names included.
+
+    The answer memo is cleared for a different reason: tests that
+    assert on engine-work counters (sat_calls and friends) must see a
+    cold recursion, not an answer served from a formula some earlier
+    test already counted.
     """
     reset_fresh_counter()
+    clear_answer_memo()
     yield
 
 

@@ -1,0 +1,68 @@
+"""Golden pins for the canonicalizer extraction (repro.core.canon).
+
+The request-hash canonicalizer moved from ``repro.service.request``
+into the shared ``repro.core.canon`` module so the answer memo could
+reuse the signature-refinement machinery.  The serialized canonical
+form is a persistent cache key, so the move must be byte-preserving:
+these hashes were computed with the pre-extraction code and pin both
+the canonical form and the schema version.  If one of them changes,
+either bump ``REQUEST_SCHEMA_VERSION`` (invalidating every on-disk
+cache, deliberately) or fix the regression -- never re-pin silently.
+"""
+
+import pytest
+
+from repro.service.request import JobRequest, REQUEST_SCHEMA_VERSION
+
+GOLDEN = [
+    ("count", "1 <= i <= n and 1 <= j <= i", ["i", "j"], None,
+     "bcbba5d5aa9dfa6930d8b029b61b1210d84c7c4778ebd7c2ce559fa1b5f601c6"),
+    ("count", "exists k: 1 <= i <= n and i = 2*k", ["i"], None,
+     "f93875a805557e6a2a9f70f13a30f2ba4b888105bd4e64b1f6a7d28ef647ddaa"),
+    ("sum", "1 <= i <= n and 1 <= j <= m and 3*j <= 2*i + n", ["i", "j"], "i*j",
+     "9b486ad5e911e6f44335ec86cc9b028ff48005863b84ccbf1c02d4c04b457618"),
+    ("simplify", "x >= 9 or x <= 1", [], None,
+     "23c2527d5baca0a43f8cd8e72262dc0442d8b19f908998476bd19360b9d585ef"),
+    ("count", "0 <= x <= n and 0 <= y <= m and 7*x + 3*y <= 5*n and 2 | x",
+     ["x", "y"], None,
+     "5e98700412ecf7bb74ab9577e20b103cb9716eb5603bfbb01920d017a0f8983d"),
+]
+
+
+@pytest.mark.parametrize("kind,formula,over,poly,expected", GOLDEN)
+def test_content_hash_is_pinned(kind, formula, over, poly, expected):
+    req = JobRequest(kind, formula, over=over, poly=poly)
+    assert req.content_hash() == expected
+
+
+def test_schema_version_unchanged_by_extraction():
+    # The canonical form did not change when the canonicalizer moved to
+    # repro.core.canon, so the schema version must not have moved either.
+    assert REQUEST_SCHEMA_VERSION == 3
+
+
+def test_request_module_reexports_canonicalizer():
+    # Public API stability: clients that imported the canonicalizer
+    # from the service module keep working.
+    from repro.core import canon
+    from repro.service import request
+
+    assert request.canonical_formula_key is canon.canonical_formula_key
+    assert "canonical_formula_key" in request.__all__
+
+
+def test_formula_key_invariant_under_bound_renaming():
+    from repro.presburger.parser import parse
+    from repro.service.request import canonical_formula_key
+
+    key_a, _ = canonical_formula_key(
+        parse("1 <= i <= n and 1 <= j <= i"), ("i", "j")
+    )
+    key_b, _ = canonical_formula_key(
+        parse("1 <= p <= n and 1 <= q <= p"), ("p", "q")
+    )
+    key_c, _ = canonical_formula_key(
+        parse("1 <= i <= m and 1 <= j <= i"), ("i", "j")
+    )
+    assert key_a == key_b  # bound names canonicalized away
+    assert key_a != key_c  # free symbols keep their names
