@@ -33,6 +33,17 @@ from repro.core import stats
 from repro.omega.constraints import reset_fresh_counter
 
 _RECORDS = []
+_EXTRAS = {}
+
+
+def record_extra(key, value):
+    """Attach an extra top-level section to the BENCH_JSON artifact.
+
+    Benches that time sub-workloads inside a test (excluding setup the
+    per-test wall would otherwise dilute with) use this to publish the
+    inner measurements next to the per-test records.
+    """
+    _EXTRAS[key] = value
 
 
 def report(experiment_id, rows):
@@ -73,6 +84,8 @@ def pytest_sessionfinish(session, exitstatus):
         "stats_totals": totals,
         "tests": _RECORDS,
     }
+    if _EXTRAS:
+        payload["workloads"] = {k: _EXTRAS[k] for k in sorted(_EXTRAS)}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

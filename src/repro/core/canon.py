@@ -40,7 +40,7 @@ identifier can occupy:
 is ``"\\x01"``; the namespaces are deliberately disjoint.)
 """
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.omega.affine import Affine
 from repro.omega.problem import Conjunct
@@ -201,12 +201,25 @@ def _collect_occurrences(
     raise TypeError("unknown formula node %r" % (node,))
 
 
-def _canonical_names(formula: Formula, over: Sequence[str]) -> Dict[str, str]:
+def _canonical_names(
+    formula: Formula,
+    over: Sequence[str],
+    poly: Optional[Polynomial] = None,
+) -> Dict[str, str]:
     """Alpha-invariant canonical names for every bound variable.
 
     Iterative refinement (see :func:`_refine`); original names only
     break ties between variables the refinement cannot tell apart
     (i.e. interchangeable for every signature it can see).
+
+    For a ``sum`` request the summand also distinguishes variables: a
+    formula symmetric in two counted variables with an asymmetric
+    summand (``j*j*i`` over a box) must not fall through to the
+    original-name tie-break, or renaming would flip which variable the
+    canonical summand squares.  The poly's role marks are applied as a
+    *secondary* key only -- they split ties but never reorder
+    variables the formula refinement already separated, so hashes of
+    non-degenerate requests are unchanged.
     """
     atoms: List[Tuple[str, List[Tuple[str, int]], bool]] = []
     marks: Dict[str, List[str]] = {}
@@ -217,9 +230,16 @@ def _canonical_names(formula: Formula, over: Sequence[str]) -> Dict[str, str]:
     if not variables:
         return {}
     rank = _refine(variables, marks, atoms)
+    tied = len(set(rank.values())) < len(rank)
+    if poly is not None and tied:
+        pmarks: Dict[str, List[str]] = {}
+        _poly_marks(poly, pmarks)
+        poly_key = {v: repr(sorted(pmarks.get(v, ()))) for v in variables}
+        ordered = sorted(variables, key=lambda v: (rank[v], poly_key[v], v))
+    else:
+        ordered = sorted(variables, key=lambda v: (rank[v], v))
     return {
-        v: "%s%d" % (_BOUND_PREFIX, index)
-        for index, v in enumerate(sorted(variables, key=lambda v: (rank[v], v)))
+        v: "%s%d" % (_BOUND_PREFIX, index) for index, v in enumerate(ordered)
     }
 
 
@@ -275,16 +295,20 @@ def _canonical(node: Formula, bound: frozenset, names: Dict[str, str]) -> str:
 
 
 def canonical_formula_key(
-    formula: Formula, over: Sequence[str]
+    formula: Formula,
+    over: Sequence[str],
+    poly: Optional[Polynomial] = None,
 ) -> Tuple[str, Dict[str, str]]:
     """Canonical string for a formula counted over ``over``.
 
     Returns ``(key, names)`` where ``names`` maps every bound variable
     (counted or quantifier-bound, whether or not it occurs) to its
     canonical name (needed to canonicalize a summand polynomial
-    consistently).
+    consistently).  For ``sum`` requests pass the summand: its role
+    marks break naming ties between variables the formula cannot
+    distinguish (see :func:`_canonical_names`).
     """
-    names = _canonical_names(formula, over)
+    names = _canonical_names(formula, over, poly)
     key = _canonical(formula, frozenset(over), names)
     return key, names
 

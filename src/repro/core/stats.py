@@ -60,7 +60,9 @@ COUNTER_NAMES = (
     "normalize_calls",  # Conjunct.normalize() invocations
     "normalize_memo_hits",  # answered from the per-instance memo
     "normalize_iterations",  # fixed-point passes actually executed
+    "kernel_rows_normalized",  # dense rows swept by normalize_rows
     "fm_eliminations",  # real/dark shadow projections computed
+    "fm_rows_reused",  # parent rows carried unchanged through an FM step
     "splinters_taken",  # splinter subproblems generated
     "residue_splits",  # residue-class enumerations of a stride
     "residue_cases",  # total residue cases those splits expanded to

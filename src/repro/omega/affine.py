@@ -46,6 +46,24 @@ class Affine:
     def const_expr(cls, value: int) -> "Affine":
         return cls({}, value)
 
+    @classmethod
+    def _from_sorted(
+        cls, items: Tuple[Tuple[str, int], ...], const: int
+    ) -> "Affine":
+        """Construct from a name-sorted, zero-free coefficient tuple.
+
+        Internal fast path for the dense kernels (:mod:`repro.omega.kernels`),
+        which produce coefficients in index order -- already canonical
+        -- so the sorting/cleaning pass of ``__init__`` is pure waste.
+        The caller owns the invariants: ``items`` sorted by name, no
+        zero coefficients, everything an int.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "coeffs", items)
+        object.__setattr__(obj, "const", const)
+        object.__setattr__(obj, "_hash", None)
+        return obj
+
     # -- queries ----------------------------------------------------------
 
     def coeff(self, var: str) -> int:

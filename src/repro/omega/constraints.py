@@ -68,6 +68,20 @@ class Constraint:
     # -- constructors -------------------------------------------------
 
     @classmethod
+    def _make(cls, expr: Affine, kind: str) -> "Constraint":
+        """Construct from an already-canonical expression.
+
+        Internal fast path for the dense kernels: EQ rows in a row
+        block are sign-canonical by invariant, so the constructor's
+        leading-sign flip (and its kind check) can be skipped.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "expr", expr)
+        object.__setattr__(obj, "kind", kind)
+        object.__setattr__(obj, "_hash", None)
+        return obj
+
+    @classmethod
     def geq(cls, expr: Affine) -> "Constraint":
         """expr >= 0"""
         return cls(expr, GEQ)

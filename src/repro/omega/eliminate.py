@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.core import stats
 from repro.intarith import floor_div
+from repro.omega import kernels
 from repro.omega.affine import Affine
 from repro.omega.constraints import Constraint
 from repro.omega.problem import Conjunct
@@ -35,6 +36,8 @@ class SplinterError(RuntimeError):
 def _shadow(conj: Conjunct, var: str, dark: bool) -> Optional[Conjunct]:
     if stats.ENABLED:
         stats.bump("fm_eliminations")
+    if kernels.DENSE:
+        return _shadow_dense(conj, var, dark)
     lowers, uppers, rest = conj.bounds_on(var)
     if not lowers or not uppers:
         # Unbounded on one side: ∃z always solvable once the other
@@ -48,6 +51,33 @@ def _shadow(conj: Conjunct, var: str, dark: bool) -> Optional[Conjunct]:
                 expr = expr - (a - 1) * (b - 1)
             new.append(Constraint.geq(expr))
     return Conjunct(new, conj.wildcards).normalize()
+
+
+def _shadow_dense(conj: Conjunct, var: str, dark: bool) -> Optional[Conjunct]:
+    """Shadow projection on the parent conjunct's row block.
+
+    The incremental FM step: rows not mentioning ``var`` are carried
+    into the child block unchanged (counted as ``fm_rows_reused``),
+    bound pairs are combined with pure integer arithmetic, and the
+    child conjunct is built with its block pre-attached so the
+    recursion's next normalize/eliminate step starts from rows too.
+    """
+    index, pos, rows = conj._row_block()
+    col = pos.get(var)
+    if col is None:
+        # Variable absent: ∃z trivially solvable, everything is "rest".
+        return conj.normalize()
+    new_rows, reused, _ = kernels.fm_combine(rows, col, dark)
+    if stats.ENABLED and reused:
+        stats.bump("fm_rows_reused", reused)
+    if not conj.wildcards:
+        # The common FM-recursion shape: no wildcards means the stride
+        # tail is a no-op, so the child normalizes at row level and
+        # materializes constraints exactly once.
+        return Conjunct._normalized_from_rows(index, pos, new_rows)
+    return Conjunct._from_rows(
+        index, pos, new_rows, conj.wildcards
+    ).normalize()
 
 
 def real_shadow(conj: Conjunct, var: str) -> Optional[Conjunct]:

@@ -20,6 +20,7 @@ the Omega test.  Two implementations live here:
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.intarith import IntMatrix, hermite_normal_form, sym_mod
+from repro.omega import kernels
 from repro.omega.affine import Affine
 from repro.omega.constraints import Constraint, fresh_var
 from repro.omega.problem import Conjunct
@@ -116,16 +117,25 @@ def substitute_fractional(
     """
     if denominator <= 0:
         raise ValueError("denominator must be positive")
+    dense = kernels.DENSE
     new_cons = []
     for c in conj.constraints:
         a = c.coeff(var)
         if a == 0:
             new_cons.append(c)
             continue
-        rest = Affine(
-            {v: cf for v, cf in c.expr.coeffs if v != var}, c.expr.const
-        )
-        new_cons.append(Constraint(rest * denominator + numerator * a, c.kind))
+        if dense:
+            # Single merge join over the two sorted coefficient rows;
+            # same expression as the dict path, no intermediates.
+            expr = kernels.combine_scaled(
+                c.expr, denominator, numerator, a, var
+            )
+        else:
+            rest = Affine(
+                {v: cf for v, cf in c.expr.coeffs if v != var}, c.expr.const
+            )
+            expr = rest * denominator + numerator * a
+        new_cons.append(Constraint(expr, c.kind))
     return Conjunct(new_cons, conj.wildcards)
 
 

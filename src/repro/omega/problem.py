@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core import stats
 from repro.intarith import floor_div, gcd_list
+from repro.omega import kernels
 from repro.omega.affine import Affine
 from repro.omega.constraints import EQ, GEQ, Constraint, fresh_var
 
@@ -38,7 +39,7 @@ def set_normalize_memo(enabled: bool) -> bool:
 class Conjunct:
     """An immutable conjunction ``∃ wildcards . c1 ∧ c2 ∧ ...``."""
 
-    __slots__ = ("constraints", "wildcards", "_hash", "_normalized")
+    __slots__ = ("constraints", "wildcards", "_hash", "_normalized", "_rows")
 
     def __init__(
         self,
@@ -62,6 +63,7 @@ class Conjunct:
         object.__setattr__(self, "wildcards", wildset)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_normalized", _MEMO_UNSET)
+        object.__setattr__(self, "_rows", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Conjunct is immutable")
@@ -76,6 +78,80 @@ class Conjunct:
     def false(cls) -> "Conjunct":
         """The canonical unsatisfiable conjunct ``-1 >= 0``."""
         return cls([Constraint.geq(Affine.const_expr(-1))])
+
+    # -- dense row block (repro.omega.kernels substrate) -----------------
+
+    def _row_block(self) -> "kernels.Block":
+        """The conjunct's dense row block, built once per instance.
+
+        Conjuncts produced by the kernels (normalize fast path, FM
+        combination) arrive with the block pre-attached, so the hot
+        elimination recursion never rebuilds it from the dict-backed
+        constraints.
+        """
+        block = self._rows
+        if block is None:
+            block = kernels.rows_from_constraints(self.constraints)
+            object.__setattr__(self, "_rows", block)
+        return block
+
+    @classmethod
+    def _from_rows(
+        cls,
+        index: Tuple[str, ...],
+        pos: Dict[str, int],
+        rows: Iterable[Tuple[int, ...]],
+        wildcards: Iterable[str],
+    ) -> "Conjunct":
+        """Build a conjunct straight from a dense row block.
+
+        Mirrors the constructor's constraint dedup at the row level
+        (rows over a shared index map bijectively onto constraints),
+        then attaches the block so downstream kernels reuse it.
+        """
+        rows = tuple(dict.fromkeys(rows))
+        conj = cls(
+            [kernels.constraint_from_row(index, row) for row in rows],
+            wildcards,
+        )
+        object.__setattr__(conj, "_rows", (index, pos, rows))
+        return conj
+
+    @classmethod
+    def _normalized_from_rows(
+        cls,
+        index: Tuple[str, ...],
+        pos: Dict[str, int],
+        rows: Iterable[Tuple[int, ...]],
+    ) -> Optional["Conjunct"]:
+        """Normalize a wildcard-free row block entirely at row level.
+
+        With no wildcards the stride tail of :meth:`_finish_normalize`
+        is the identity, so the whole normalize fixed point can run on
+        rows and materialize constraints exactly once -- the shape of
+        every Fourier-Motzkin child in the satisfiability recursion.
+        Produces the same conjunct (same order, same memo state) as
+        building the raw conjunct and calling :meth:`normalize`.
+        """
+        if stats.ENABLED:
+            stats.bump("normalize_calls")
+        rows = tuple(dict.fromkeys(rows))
+        while True:
+            if stats.ENABLED:
+                stats.bump("normalize_iterations")
+                stats.bump("kernel_rows_normalized", len(rows))
+            reduced = kernels.normalize_rows(rows)
+            if reduced is None:
+                return None
+            eq_rows, geq_rows = reduced
+            out = tuple(dict.fromkeys(eq_rows)) + tuple(geq_rows)
+            if out == rows:
+                break
+            rows = out
+        conj = cls._from_rows(index, pos, rows, ())
+        if _NORMALIZE_MEMO_ENABLED:
+            object.__setattr__(conj, "_normalized", conj)
+        return conj
 
     def variables(self) -> Tuple[str, ...]:
         seen: Dict[str, None] = {}
@@ -236,7 +312,41 @@ class Conjunct:
         return result
 
     def _normalize_once(self) -> Optional["Conjunct"]:
-        """One canonicalization pass (see :meth:`normalize`)."""
+        """One canonicalization pass (see :meth:`normalize`).
+
+        Dispatches on the active kernels backend: the dense path runs
+        the scale/tighten/merge sweep on the conjunct's row block
+        (:func:`repro.omega.kernels.normalize_rows`), the dict path on
+        the Affine-backed constraints.  Both produce byte-identical
+        results; the stride canonicalization tail is shared.
+        """
+        if kernels.DENSE:
+            return self._normalize_once_dense()
+        return self._normalize_once_dict()
+
+    def _normalize_once_dense(self) -> Optional["Conjunct"]:
+        index, pos, rows = self._row_block()
+        if stats.ENABLED:
+            stats.bump("kernel_rows_normalized", len(rows))
+        reduced = kernels.normalize_rows(rows)
+        if reduced is None:
+            return None
+        eq_rows, geq_rows = reduced
+        if not eq_rows and not self.wildcards:
+            # Pure-inequality conjunct: the stride tail is a no-op, so
+            # the result comes straight off the rows -- the hot case in
+            # the Fourier-Motzkin recursion.
+            out = tuple(geq_rows)
+            if out == rows:
+                return self  # fixed point, nothing to rebuild
+            return Conjunct._from_rows(index, pos, out, ())
+        eqs = [kernels.constraint_from_row(index, row) for row in eq_rows]
+        out_geqs = [
+            kernels.constraint_from_row(index, row) for row in geq_rows
+        ]
+        return self._finish_normalize(eqs, out_geqs)
+
+    def _normalize_once_dict(self) -> Optional["Conjunct"]:
         geqs: Dict[Tuple, Constraint] = {}
         eqs: List[Constraint] = []
         for c in self.constraints:
@@ -285,8 +395,19 @@ class Conjunct:
                 out_geqs.append(c)
 
         eqs.extend(new_eqs)
+        return self._finish_normalize(eqs, out_geqs)
 
-        # Canonicalize strides.
+    def _finish_normalize(
+        self, eqs: List[Constraint], out_geqs: List[Constraint]
+    ) -> Optional["Conjunct"]:
+        """Shared normalization tail: canonicalize stride equalities.
+
+        Runs on materialized constraints under both kernels backends
+        (stride handling is name- and wildcard-centric, and it is the
+        only part of normalization that mints fresh variables -- keeping
+        it shared keeps the minting order, and therefore the output,
+        byte-identical between backends).
+        """
         stride_eqs: List[Constraint] = []
         stride_seen: Dict[Tuple, str] = {}
         wildcards = set(self.wildcards)
@@ -362,6 +483,8 @@ class Conjunct:
         constraints not mentioning ``var``.  Equalities mentioning
         ``var`` are a caller error (eliminate them first).
         """
+        if kernels.DENSE and self._rows is not None:
+            return self._bounds_on_dense(var)
         lowers: List[Tuple[int, Affine]] = []
         uppers: List[Tuple[int, Affine]] = []
         rest: List[Constraint] = []
@@ -382,6 +505,84 @@ class Conjunct:
             else:  # other >= -k·var = |k|·var
                 uppers.append((-k, other))
         return lowers, uppers, rest
+
+    def _bounds_on_dense(self, var: str):
+        """Row-block implementation of :meth:`bounds_on`.
+
+        Classifies on the cached rows (one int load per row) and
+        materializes the bound expressions only for the rows that
+        actually bound ``var``.
+        """
+        index, pos, rows = self._row_block()
+        col = pos.get(var)
+        if col is None:
+            return [], [], list(self.constraints)
+        lowers: List[Tuple[int, Affine]] = []
+        uppers: List[Tuple[int, Affine]] = []
+        rest: List[Constraint] = []
+        for i, row in enumerate(rows):
+            k = row[col]
+            if k == 0:
+                rest.append(self.constraints[i])
+                continue
+            if row[0]:
+                raise ValueError(
+                    "bounds_on(%s): equality %s not eliminated"
+                    % (var, self.constraints[i])
+                )
+            if k > 0:  # beta <= k·var with beta = -(row minus the column)
+                beta = Affine._from_sorted(
+                    tuple(
+                        (index[j - 2], -row[j])
+                        for j in range(2, len(row))
+                        if row[j] and j != col
+                    ),
+                    -row[1],
+                )
+                lowers.append((k, beta))
+            else:  # |k|·var <= alpha with alpha = row minus the column
+                alpha = Affine._from_sorted(
+                    tuple(
+                        (index[j - 2], row[j])
+                        for j in range(2, len(row))
+                        if row[j] and j != col
+                    ),
+                    row[1],
+                )
+                uppers.append((-k, alpha))
+        return lowers, uppers, rest
+
+    def bounds_profiles(self) -> Dict[str, Tuple[int, int, bool, bool]]:
+        """Bound profile of every variable in one pass.
+
+        Maps each variable to ``(n_lowers, n_uppers, all_unit_lowers,
+        all_unit_uppers)`` over the GEQ constraints -- the facts the
+        satisfiability loop needs to pick its elimination variable.
+        Under the dense backend this is a single sweep of the row
+        block; the dict path derives the same facts per variable from
+        :meth:`bounds_on`.
+        """
+        if kernels.DENSE:
+            index, pos, rows = self._row_block()
+            profiles = kernels.bounds_profiles(rows, len(index) + 2)
+            return {v: profiles[pos[v]] for v in index}
+        out: Dict[str, List] = {
+            v: [0, 0, True, True] for v in self.variables()
+        }
+        for c in self.constraints:
+            if c.is_eq():
+                continue
+            for v, cf in c.expr.coeffs:
+                profile = out[v]
+                if cf > 0:
+                    profile[0] += 1
+                    if cf != 1:
+                        profile[2] = False
+                else:
+                    profile[1] += 1
+                    if cf != -1:
+                        profile[3] = False
+        return {v: tuple(p) for v, p in out.items()}
 
     # -- evaluation -----------------------------------------------------------
 

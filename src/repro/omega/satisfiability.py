@@ -104,8 +104,6 @@ def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
         raise RecursionError("satisfiability recursion too deep")
     if stats.ENABLED:
         stats.bump("sat_calls")
-    if stats.BUDGET_LIMIT is not None:
-        stats.charge_budget()
     key = _cache_key(conj)
     cached = _SAT_CACHE.get(key)
     if cached is not None:
@@ -115,6 +113,11 @@ def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
         return cached
     if stats.ENABLED:
         stats.bump("sat_cache_misses")
+    # Budget units measure *solver* work, so they are charged per cache
+    # miss only: a fully-warm run answers every query from the memo and
+    # must not burn its service budget doing zero elimination work.
+    if stats.BUDGET_LIMIT is not None:
+        stats.charge_budget()
     result = _satisfiable_uncached(conj, depth)
     if _SAT_CACHE_LIMIT > 0:
         _SAT_CACHE[key] = result
@@ -126,15 +129,19 @@ def satisfiable(conj: Conjunct, depth: int = 0) -> bool:
 
 
 def _satisfiable_uncached(conj: Conjunct, depth: int) -> bool:
+    # Normalize *before* the blowup guard: a raw conjunct of hundreds
+    # of duplicate or parallel inequalities collapses to a handful of
+    # rows in one linear pass, and rejecting it on the raw count would
+    # turn a trivially satisfiable problem into a SatBlowupError.
+    normalized = conj.normalize()
+    if normalized is None:
+        return False
+    conj = normalized
     if len(conj.constraints) > _MAX_CONSTRAINTS:
         raise SatBlowupError(
             "conjunct grew to %d constraints during elimination"
             % len(conj.constraints)
         )
-    normalized = conj.normalize()
-    if normalized is None:
-        return False
-    conj = normalized
     variables = conj.variables()
     if not variables:
         return True  # normalize() removed everything that was non-trivial
@@ -150,19 +157,17 @@ def _satisfiable_uncached(conj: Conjunct, depth: int) -> bool:
         return satisfiable(mod_hat_eliminate(conj, eq), depth + 1)
 
     # Pure inequalities: pick the variable with the cheapest elimination.
-    # One bounds_on scan per variable; exactness derives from the same
-    # bounds (every (lower, upper) pair needs a unit coefficient, the
-    # sufficient condition in elimination_is_exact).
+    # One bounds_profiles sweep covers every variable at once (the
+    # dense kernel reads the row block without materializing a single
+    # bound); exactness derives from the same facts (every (lower,
+    # upper) pair needs a unit coefficient, the sufficient condition
+    # in elimination_is_exact).
     best_var, best_cost, best_exact = None, None, False
+    profiles = conj.bounds_profiles()
     for var in variables:
-        lowers, uppers, _ = conj.bounds_on(var)
-        exact = (
-            not lowers
-            or not uppers
-            or all(b == 1 for b, _ in lowers)
-            or all(a == 1 for a, _ in uppers)
-        )
-        cost = (0 if exact else 1, len(lowers) * len(uppers))
+        n_lowers, n_uppers, unit_lowers, unit_uppers = profiles[var]
+        exact = not n_lowers or not n_uppers or unit_lowers or unit_uppers
+        cost = (0 if exact else 1, n_lowers * n_uppers)
         if best_cost is None or cost < best_cost:
             best_var, best_cost, best_exact = var, cost, exact
 
@@ -185,7 +190,9 @@ def implies(premise: Conjunct, conclusion: Conjunct) -> bool:
     Checked constraint by constraint: premise ∧ ¬c must be
     unsatisfiable for each constraint c of the conclusion.  Stride
     constraints (wildcard equalities) are checked through their
-    negation as a disjunction of shifted strides.
+    negation as a disjunction of shifted strides.  A conclusion whose
+    wildcards are not stride-only is first projected to stride-only
+    pieces, which are checked as a disjunction.
     """
     conclusion_n = conclusion.normalize()
     if conclusion_n is None:
@@ -193,7 +200,33 @@ def implies(premise: Conjunct, conclusion: Conjunct) -> bool:
     premise_n = premise.normalize()
     if premise_n is None:
         return True
-    from repro.presburger.disjoint import negate_constraint_in
+    from repro.presburger.disjoint import (
+        disjoint_negation,
+        negate_constraint_in,
+        project_to_stride_only,
+    )
+
+    if not conclusion_n.stride_only():
+        # A wildcard pinned by a plain equality (e.g. ∃w: w = -1 ∧
+        # g | x + w) survives normalize when it also feeds a stride;
+        # its negation is not expressible constraint-by-constraint.
+        # Project the conclusion to stride-only pieces p1 ∨ p2 ∨ ...
+        # and check premise ∧ ¬p1 ∧ ¬p2 ∧ ... unsatisfiable instead.
+        pieces = project_to_stride_only(conclusion_n)
+        if not pieces:
+            return not satisfiable(premise_n)
+        residue = [premise_n]
+        for piece in pieces:
+            new_residue = []
+            for r in residue:
+                for neg in disjoint_negation(piece):
+                    merged = r.merge(neg).normalize()
+                    if merged is not None and satisfiable(merged):
+                        new_residue.append(merged)
+            residue = new_residue
+            if not residue:
+                return True
+        return False
 
     for c in conclusion_n.constraints:
         for piece in negate_constraint_in(conclusion_n, c):

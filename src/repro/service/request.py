@@ -220,7 +220,10 @@ class JobRequest:
         ``parse_error`` job failure.
         """
         formula = parse(self.formula)
-        key, names = canonical_formula_key(formula, self.over)
+        poly = (
+            parse_polynomial(self.poly) if self.poly is not None else None
+        )
+        key, names = canonical_formula_key(formula, self.over, poly)
         payload = {
             "schema": REQUEST_SCHEMA_VERSION,
             "engine": ENGINE_VERSION,
@@ -242,8 +245,7 @@ class JobRequest:
             for v in self.over:
                 over_names.append(names[v])
             payload["over"] = sorted(over_names)
-        if self.poly is not None:
-            poly = parse_polynomial(self.poly)
+        if poly is not None:
             renaming = {v: names[v] for v in poly.variables() if v in names}
             payload["poly"] = polynomial_to_json(poly.rename(renaming))
         if self.at:

@@ -1,0 +1,331 @@
+"""Dense row kernels: backend switch, round-trips, pinned edge cases.
+
+The ``repro.omega.kernels`` substrate must be byte-identical to the
+dict-backed Affine path.  Beyond the fuzz-level differential check
+(``kernels_backend`` in the testkit), this file pins the normalize
+edge cases the dense sweep re-implements -- opposed-pair collapse,
+stride representative tie-breaking, empty-interval kill -- against
+*both* backends explicitly, plus the row-level building blocks.
+"""
+
+import pytest
+
+from repro.omega import kernels
+from repro.omega.affine import Affine
+from repro.omega.constraints import EQ, GEQ, Constraint
+from repro.omega.kernels import (
+    EQ_ROW,
+    GEQ_ROW,
+    bounds_profiles,
+    bounds_split,
+    constraint_from_row,
+    fm_combine,
+    kernels_backend,
+    normalize_rows,
+    rows_from_constraints,
+    set_kernels_backend,
+)
+from repro.omega.problem import Conjunct
+
+
+def geq(coeffs, const=0):
+    return Constraint.geq(Affine(coeffs, const))
+
+
+def eq(coeffs, const=0):
+    return Constraint.eq(Affine(coeffs, const))
+
+
+@pytest.fixture(params=["dense", "dict"])
+def backend(request):
+    previous = set_kernels_backend(request.param)
+    yield request.param
+    set_kernels_backend(previous)
+
+
+class TestBackendSwitch:
+    def test_default_is_dense(self):
+        assert kernels_backend() in ("dense", "dict")
+
+    def test_set_returns_previous(self):
+        start = kernels_backend()
+        try:
+            assert set_kernels_backend("dict") == start
+            assert kernels_backend() == "dict"
+            assert set_kernels_backend("dense") == "dict"
+            assert kernels_backend() == "dense"
+        finally:
+            set_kernels_backend(start)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_kernels_backend("sparse")
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "bogus")
+        with pytest.raises(ValueError):
+            kernels._init_backend()
+        monkeypatch.setenv("REPRO_KERNELS", "dict")
+        kernels._init_backend()
+        assert kernels_backend() == "dict"
+        monkeypatch.delenv("REPRO_KERNELS")
+        kernels._init_backend()
+        assert kernels_backend() == "dense"
+
+
+class TestRowRoundTrip:
+    def test_rows_from_constraints_layout(self):
+        cons = (geq({"y": 2, "x": -1}, 7), eq({"x": 3, "z": 5}, -4))
+        index, pos, rows = rows_from_constraints(cons)
+        assert index == ("x", "y", "z")
+        assert pos == {"x": 2, "y": 3, "z": 4}
+        assert rows == ((GEQ_ROW, 7, -1, 2, 0), (EQ_ROW, -4, 3, 0, 5))
+
+    def test_round_trip_preserves_constraints(self):
+        cons = (
+            geq({"a": 4, "c": -9}, 1),
+            eq({"b": 2, "c": 3}, 0),
+            geq({}, 5),
+        )
+        index, _, rows = rows_from_constraints(cons)
+        back = tuple(constraint_from_row(index, row) for row in rows)
+        assert back == cons
+
+    def test_materialized_constraints_hash_like_originals(self):
+        c = geq({"a": 4, "c": -9}, 1)
+        index, _, rows = rows_from_constraints((c,))
+        rebuilt = constraint_from_row(index, rows[0])
+        assert rebuilt == c and hash(rebuilt) == hash(c)
+
+
+class TestNormalizeRowsKernel:
+    def test_gcd_tighten_floor_division(self):
+        # 2x - 3 >= 0 tightens to x - 2 >= 0 (floor, not truncation).
+        _, _, rows = rows_from_constraints((geq({"x": 2}, -3),))
+        eq_rows, geq_rows = normalize_rows(rows)
+        assert eq_rows == [] and geq_rows == [(GEQ_ROW, -2, 1)]
+
+    def test_constant_rows(self):
+        _, _, rows = rows_from_constraints((geq({}, 3), geq({"x": 1}, 0)))
+        assert normalize_rows(rows) == ([], [(GEQ_ROW, 0, 1)])
+        _, _, rows = rows_from_constraints((geq({}, -1),))
+        assert normalize_rows(rows) is None
+        _, _, rows = rows_from_constraints((eq({}, 2),))
+        assert normalize_rows(rows) is None
+
+    def test_eq_divisibility_kill(self):
+        _, _, rows = rows_from_constraints((eq({"x": 2, "y": 4}, -3),))
+        assert normalize_rows(rows) is None
+
+    def test_parallel_merge_keeps_tightest(self):
+        _, _, rows = rows_from_constraints(
+            (geq({"x": 1}, -5), geq({"x": 1}, -3), geq({"x": 2}, -6))
+        )
+        assert normalize_rows(rows) == ([], [(GEQ_ROW, -5, 1)])
+
+
+class TestPinnedEdgeCases:
+    """The ISSUE-named normalize edge cases, pinned per backend."""
+
+    def test_opposed_pair_collapse_single_eq(self, backend):
+        # x + 2y >= 4 and x + 2y <= 4 pin the expression: exactly one
+        # EQ must come out, sign-canonical, with both GEQs consumed.
+        conj = Conjunct(
+            [geq({"x": 1, "y": 2}, -4), geq({"x": -1, "y": -2}, 4)]
+        ).normalize()
+        assert list(conj.constraints) == [eq({"x": 1, "y": 2}, -4)]
+
+    def test_opposed_pair_scaled_copies_still_single_eq(self, backend):
+        # The same interval arriving as scaled duplicates collapses to
+        # the same single equality.
+        conj = Conjunct(
+            [
+                geq({"x": 2, "y": 4}, -8),
+                geq({"x": 1, "y": 2}, -4),
+                geq({"x": -3, "y": -6}, 12),
+            ]
+        ).normalize()
+        assert list(conj.constraints) == [eq({"x": 1, "y": 2}, -4)]
+
+    def test_empty_interval_kill(self, backend):
+        # x + y >= 5 and x + y <= 3: empty interval, conjunct dies.
+        conj = Conjunct(
+            [geq({"x": 1, "y": 1}, -5), geq({"x": -1, "y": -1}, 3)]
+        ).normalize()
+        assert conj is None
+
+    def test_stride_representative_tie_break(self, backend):
+        # 3w == n + 1 and 3w' == -n - 1 describe the same stride; the
+        # canonical representative is the lexicographically smaller of
+        # the residue pair (r0 vs r1 in _finish_normalize), so both
+        # spellings normalize to the identical constraint.
+        a = Conjunct([eq({"w": 3, "n": -1}, -1)], ["w"]).normalize()
+        b = Conjunct([eq({"w": 3, "n": 1}, 1)], ["w"]).normalize()
+        (wa,) = a.wildcards
+        (wb,) = b.wildcards
+        assert [c.rename({wb: wa}) for c in b.constraints] == list(
+            a.constraints
+        )
+        assert a.constraints[0].is_eq()
+        # And normalization is a fixed point: no oscillation between
+        # the two representatives on repeated passes.
+        assert a.normalize() is a
+
+    def test_wildcard_free_rows_match_dict_backend(self):
+        cases = [
+            [geq({"x": 2, "y": -4}, 7), geq({"x": -2, "y": 4}, -7)],
+            [geq({"x": 6, "y": 9}, 3), geq({"x": 2, "y": 3}, 1)],
+            [eq({"x": 4, "y": 6}, 2), geq({"x": 1}, 0)],
+            [geq({}, 0), geq({"z": 5}, -7), geq({"z": -5}, 7)],
+        ]
+        for cons in cases:
+            previous = set_kernels_backend("dense")
+            try:
+                dense = Conjunct(cons).normalize()
+                set_kernels_backend("dict")
+                dict_ = Conjunct(cons).normalize()
+            finally:
+                set_kernels_backend(previous)
+            if dense is None or dict_ is None:
+                assert dense is None and dict_ is None
+            else:
+                assert dense.constraints == dict_.constraints
+                assert dense.wildcards == dict_.wildcards
+
+
+class TestBoundsKernels:
+    CONS = (
+        geq({"x": 2, "y": 1}, 0),   # lower bound on x
+        geq({"x": -3, "z": 1}, 5),  # upper bound on x
+        geq({"y": 1, "z": -1}, 2),  # rest
+    )
+
+    def test_bounds_split(self):
+        _, pos, rows = rows_from_constraints(self.CONS)
+        lowers, uppers, rest = bounds_split(rows, pos["x"])
+        assert [r[pos["x"]] for r in lowers] == [2]
+        assert [r[pos["x"]] for r in uppers] == [-3]
+        assert len(rest) == 1
+
+    def test_bounds_split_rejects_eq_rows(self):
+        _, pos, rows = rows_from_constraints(
+            (eq({"x": 1, "y": 1}, 0), geq({"x": 1}, 0))
+        )
+        with pytest.raises(ValueError):
+            bounds_split(rows, pos["x"])
+
+    def test_bounds_profiles_matches_bounds_on(self):
+        index, pos, rows = rows_from_constraints(self.CONS)
+        profiles = bounds_profiles(rows, len(index) + 2)
+        conj = Conjunct(self.CONS)
+        for v in index:
+            lowers, uppers, _ = conj.bounds_on(v)
+            n_lo, n_up, unit_lo, unit_up = profiles[pos[v]]
+            assert n_lo == len(lowers)
+            assert n_up == len(uppers)
+            assert unit_lo == all(b == 1 for b, _ in lowers)
+            assert unit_up == all(a == 1 for a, _ in uppers)
+
+    def test_conjunct_bounds_profiles_agree_across_backends(self):
+        conj_cons = self.CONS
+        previous = set_kernels_backend("dense")
+        try:
+            dense = Conjunct(conj_cons).bounds_profiles()
+            set_kernels_backend("dict")
+            dict_ = Conjunct(conj_cons).bounds_profiles()
+        finally:
+            set_kernels_backend(previous)
+        assert dense == dict_
+
+
+class TestFmCombine:
+    def test_matches_dict_shadow(self):
+        from repro.omega.eliminate import dark_shadow, real_shadow
+
+        cons = (
+            geq({"z": 2, "x": 1}, 0),
+            geq({"z": 3, "y": -1}, 4),
+            geq({"z": -2, "x": 3}, 9),
+            geq({"x": 1, "y": 1}, 6),
+        )
+        for dark in (False, True):
+            previous = set_kernels_backend("dense")
+            try:
+                shadow = dark_shadow if dark else real_shadow
+                dense = shadow(Conjunct(cons), "z")
+                set_kernels_backend("dict")
+                dict_ = shadow(Conjunct(cons), "z")
+            finally:
+                set_kernels_backend(previous)
+            assert dense.constraints == dict_.constraints
+
+    def test_reuses_untouched_rows(self):
+        cons = (
+            geq({"z": 2, "x": 1}, 0),
+            geq({"z": -3, "y": 1}, 0),
+            geq({"x": 1, "y": 1}, 6),
+            geq({"x": -1}, 9),
+        )
+        _, pos, rows = rows_from_constraints(cons)
+        new_rows, reused, one_sided = fm_combine(rows, pos["z"], False)
+        assert not one_sided
+        assert reused == 2  # the two z-free rows carried over verbatim
+        assert rows[2] in new_rows and rows[3] in new_rows
+
+    def test_one_sided_elimination(self):
+        cons = (geq({"z": 1, "x": 1}, 0), geq({"x": 1}, 3))
+        _, pos, rows = rows_from_constraints(cons)
+        new_rows, reused, one_sided = fm_combine(rows, pos["z"], False)
+        assert one_sided
+        assert new_rows == (rows[1],)
+        assert reused == 1
+
+    def test_dark_shadow_constant(self):
+        # 2z >= -x, 3z <= y: real combine 2y - 3(-x) = 3x + 2y >= 0;
+        # dark subtracts (a-1)(b-1) = 2.
+        cons = (geq({"z": 2, "x": 1}, 0), geq({"z": -3, "y": 1}, 0))
+        _, pos, rows = rows_from_constraints(cons)
+        real, _, _ = fm_combine(rows, pos["z"], False)
+        dark, _, _ = fm_combine(rows, pos["z"], True)
+        assert len(real) == len(dark) == 1
+        assert real[0][1] - dark[0][1] == 2
+        assert real[0][pos["z"]] == 0
+
+
+class TestEndToEndDifferential:
+    FORMULAS = [
+        ("1 <= i and i <= n and 2 | i", ["i"]),
+        (
+            "1 <= i and i <= n and 1 <= j and j <= i"
+            " and 3*j <= 2*i + 4 and 6 | (i + 2*j)",
+            ["i", "j"],
+        ),
+        ("0 <= i and 2*i <= n and 3 | (n + i)", ["i"]),
+    ]
+
+    def test_counts_byte_identical(self):
+        import json
+
+        from repro.core import count
+        from repro.core.memo import clear_answer_memo
+        from repro.omega.constraints import reset_fresh_counter
+        from repro.omega.satisfiability import clear_sat_cache
+
+        outs = {}
+        for name in ("dense", "dict"):
+            previous = set_kernels_backend(name)
+            try:
+                serialized = []
+                for formula, over in self.FORMULAS:
+                    clear_sat_cache()
+                    clear_answer_memo()
+                    reset_fresh_counter()
+                    serialized.append(
+                        json.dumps(
+                            count(formula, over).to_json(), sort_keys=True
+                        )
+                    )
+                outs[name] = serialized
+            finally:
+                set_kernels_backend(previous)
+        assert outs["dense"] == outs["dict"]

@@ -141,6 +141,26 @@ class TestImplication:
         assert implies(mult4, even)
         assert not implies(even, mult4)
 
+    def test_conclusion_with_pinned_wildcard(self):
+        # ∃w: w = -1 and 0 <= j <= 1 and 4 | (j + w), i.e. j = 1.  The
+        # pinned wildcard w survives normalize (it also feeds the
+        # stride), so the conclusion is not stride-only; implies must
+        # project it to stride-only pieces rather than raise
+        # (regression: fuzz seed 60845).
+        conclusion = Conjunct(
+            [
+                eq({"w": 1}, 1),
+                eq({"s": 4, "j": -1, "w": -1}),
+                geq({"j": 1}),
+                geq({"j": -1}, 1),
+            ],
+            ["w", "s"],
+        )
+        j_is_1 = Conjunct([eq({"j": 1}, -1)])
+        j_is_0 = Conjunct([eq({"j": 1})])
+        assert implies(j_is_1, conclusion)
+        assert not implies(j_is_0, conclusion)
+
     def test_false_premise_implies_anything(self):
         false = Conjunct([geq({}, -1)])
         anything = Conjunct([geq({"x": 1}, -100)])

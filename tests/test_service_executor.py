@@ -135,6 +135,44 @@ class TestRunJobs:
         assert outcomes[1]["attempts"] == 1
         assert outcomes[0]["ok"] is True and outcomes[2]["ok"] is True
 
+    def test_warm_rerun_of_budget_limited_job_completes(self):
+        # Budget units are satisfiability-cache *misses*.  A job too
+        # hard for budget=1 cold must complete on a warm in-process
+        # re-run: every sat query answers from the memo, so the warm
+        # run charges zero units against the same exhausted budget.
+        from repro.core import stats
+        from repro.core.memo import clear_answer_memo, set_answer_memo
+        from repro.omega.satisfiability import clear_sat_cache
+
+        req = JobRequest(
+            "count", "1 <= i and i < j and j <= n", over=["i", "j"],
+            at=[{"n": 10}],
+        )
+        clear_sat_cache()
+        clear_answer_memo()
+        # The answer memo would mask the sat cache (the warm run would
+        # be answered at the recursion roots); disable it so the warm
+        # run actually replays every satisfiability query.
+        previous_memo = set_answer_memo(0)
+        try:
+            budget = stats.set_work_budget(1)
+            try:
+                with pytest.raises(JobError) as exc_info:
+                    execute_request(req)
+                assert exc_info.value.kind == BUDGET_EXCEEDED
+                stats.set_work_budget(None)
+                cold = execute_request(req)  # warm the sat cache
+                stats.set_work_budget(1)
+                warm = execute_request(req)  # same job, same budget: ok
+                assert warm["result"] == cold["result"]
+                assert warm["points"] == cold["points"]
+                assert stats.budget_spent() == 0
+            finally:
+                stats.set_work_budget(budget)
+        finally:
+            set_answer_memo(previous_memo)
+            clear_sat_cache()
+
     def test_budget_exceeded_is_structured(self):
         reqs = [
             JobRequest(

@@ -175,6 +175,33 @@ class TestContentHash:
             "x >= 1 and x <= 3", ["x"]
         )
 
+    def test_symmetric_formula_asymmetric_summand_alpha_invariant(self):
+        # The box is symmetric in i and j, so formula refinement alone
+        # cannot split them; the summand j*j*i must break the tie, or
+        # renaming flips which variable the canonical summand squares
+        # (regression: fuzz seed 67956).
+        box = "(%s + 3 >= 0) and (-%s + m >= 0)"
+        f = "%s and %s" % (box % ("j", "j"), box % ("i", "i"))
+        g = "%s and %s" % (box % ("rv0", "rv0"), box % ("rv1", "rv1"))
+        a = JobRequest(
+            "sum", f, over=["j", "i"], poly="j*j*i"
+        ).content_hash()
+        b = JobRequest(
+            "sum", g, over=["rv0", "rv1"], poly="rv0*rv0*rv1"
+        ).content_hash()
+        c = JobRequest(
+            "sum", g, over=["rv0", "rv1"], poly="rv1*rv1*rv0"
+        ).content_hash()
+        d = JobRequest(
+            "sum", g, over=["rv0", "rv1"], poly="rv0*rv1"
+        ).content_hash()
+        assert a == b  # alpha-renaming j->rv0, i->rv1
+        # Swapping the summand roles composes with the formula's own
+        # i<->j symmetry: the whole job is alpha-equivalent, so the
+        # hashes must unify.
+        assert a == c
+        assert a != d  # genuinely different summand
+
     def test_distinct_structures_distinct_keys(self):
         # Masked shapes collide ((i<j) vs (j<i) both mask to ?<?), but
         # the exact serialization must still split them.

@@ -82,6 +82,63 @@ class TestSatBlowup:
         ]
         assert satisfiable(Conjunct(cons))
 
+    def test_parallel_blowup_normalizes_before_guard(self):
+        # 700 raw rows, but they are all duplicates/parallel copies of
+        # two directions: one normalize pass collapses them to a
+        # two-row interval.  The guard must measure the *normalized*
+        # size, not the raw count, or this trivially satisfiable
+        # conjunct would be rejected as a blowup.
+        cons = [
+            Constraint.geq(Affine({"x": 1, "y": 3}, k % 40))
+            for k in range(350)
+        ] + [
+            Constraint.geq(Affine({"x": -1, "y": -3}, 90 + k % 25))
+            for k in range(350)
+        ]
+        assert satisfiable(Conjunct(cons))
+
+
+class TestBudgetChargesMissesOnly:
+    def test_warm_hits_are_free(self):
+        from repro.core import stats
+        from repro.omega.satisfiability import clear_sat_cache
+
+        conj = Conjunct(
+            [
+                Constraint.geq(Affine({"x": 2, "y": -3}, 5)),
+                Constraint.geq(Affine({"x": -1, "y": 2}, 7)),
+            ]
+        )
+        clear_sat_cache()
+        assert satisfiable(conj)  # warm the cache, unbudgeted
+        previous = stats.set_work_budget(0)
+        try:
+            # Every unit of budget is a cache miss; a warm query does
+            # zero elimination work and must charge nothing -- even
+            # with the budget already exhausted.
+            assert satisfiable(conj)
+            assert stats.budget_spent() == 0
+        finally:
+            stats.set_work_budget(previous)
+
+    def test_cold_misses_still_charged(self):
+        from repro.core import stats
+        from repro.omega.satisfiability import clear_sat_cache
+
+        conj = Conjunct(
+            [
+                Constraint.geq(Affine({"x": 2, "y": -3}, 5)),
+                Constraint.geq(Affine({"x": -1, "y": 2}, 7)),
+            ]
+        )
+        clear_sat_cache()
+        previous = stats.set_work_budget(0)
+        try:
+            with pytest.raises(stats.WorkBudgetExceeded):
+                satisfiable(conj)
+        finally:
+            stats.set_work_budget(previous)
+
 
 class TestZeroOneFallback:
     def test_budget_fallback_is_per_point(self):
