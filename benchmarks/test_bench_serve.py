@@ -1,0 +1,245 @@
+"""Serve daemon: tier latencies, coalescing, and warm-pass zero work.
+
+Four contracts, measured with the load generator's in-process driver
+(the daemon core without socket overhead, so the numbers isolate the
+serving tiers themselves):
+
+* a cold pass over the base corpus computes each unique content hash
+  exactly once (alpha-renamed duplicates ride along for free), and a
+  second pass over the same corpus is answered entirely without cold
+  dispatches;
+* the warm pass does **zero engine work in the daemon process**: no
+  forks (``cold_jobs`` delta 0) and no satisfiability calls;
+* a concurrent burst of alpha-renamed spellings of one fresh request
+  triggers exactly one executor computation -- the rest coalesce onto
+  it or land warm after it settles;
+* daemon responses are byte-identical to ``run_batch`` responses for
+  the same requests once volatile keys are stripped.
+
+Throughput and per-tier p50/p99 latency for the cold and warm passes
+are published to the ``BENCH_JSON`` artifact under the
+``serve_loadgen`` and ``serve_coalesce`` workload keys.
+"""
+
+import asyncio
+import json
+
+from conftest import record_extra, report
+from repro.core import stats
+from repro.serve.daemon import CountingDaemon, ServeConfig
+from repro.serve.loadgen import base_requests, build_requests, run_inprocess
+from repro.service.batch import VOLATILE_RESPONSE_KEYS, run_batch
+from repro.service.request import JobRequest
+
+N_REQUESTS = 48
+N_CLIENTS = 8
+RENAME_MIX = 0.5
+
+
+def stable(response):
+    return {
+        k: v
+        for k, v in response.items()
+        if k not in VOLATILE_RESPONSE_KEYS
+    }
+
+
+def _tier_line(summary):
+    parts = []
+    for tier, snap in sorted(summary["tiers"].items()):
+        parts.append(
+            "%s n=%d p50=%.2fms p99=%.2fms"
+            % (tier, snap["count"], snap["p50_ms"], snap["p99_ms"])
+        )
+    return ", ".join(parts)
+
+
+def test_cold_then_warm_pass(tmp_path):
+    base = base_requests()
+    requests = build_requests(
+        base, N_REQUESTS, rename_mix=RENAME_MIX, seed=1
+    )
+    config = ServeConfig(
+        cache_path=str(tmp_path / "serve-bench.sqlite"), workers=4
+    )
+    results = asyncio.run(
+        run_inprocess(requests, clients=N_CLIENTS, config=config, passes=2)
+    )
+    (pass1, _), (pass2, _) = results
+    assert pass1["errors"] == 0 and pass2["errors"] == 0
+
+    counters1 = pass1["serve"]["counters"]
+    counters2 = pass2["serve"]["counters"]
+    # 48 requests cycle 8 base jobs (half alpha-renamed): exactly one
+    # computation per unique content hash, ever.
+    assert counters1["cold_jobs"] == len(base)
+    assert counters2["cold_jobs"] == counters1["cold_jobs"]
+    assert "cold" not in pass2["tiers"]
+    assert pass2["serve"]["hit_rates"]["warm"] > 0.4
+
+    record_extra(
+        "serve_loadgen",
+        {
+            "requests_per_pass": N_REQUESTS,
+            "clients": N_CLIENTS,
+            "rename_mix": RENAME_MIX,
+            "unique_jobs": len(base),
+            "cold_pass": {
+                "throughput_rps": pass1["throughput_rps"],
+                "tiers": pass1["tiers"],
+                "counters": counters1,
+            },
+            "warm_pass": {
+                "throughput_rps": pass2["throughput_rps"],
+                "tiers": pass2["tiers"],
+                "counters": {
+                    k: counters2[k] - counters1[k] for k in counters2
+                },
+            },
+        },
+    )
+    report(
+        "SERVE cold pass",
+        [
+            "%d requests, %d clients: %.0f req/s" % (
+                N_REQUESTS, N_CLIENTS, pass1["throughput_rps"]
+            ),
+            _tier_line(pass1),
+        ],
+    )
+    report(
+        "SERVE warm pass",
+        [
+            "%d requests, %d clients: %.0f req/s" % (
+                N_REQUESTS, N_CLIENTS, pass2["throughput_rps"]
+            ),
+            _tier_line(pass2),
+        ],
+    )
+
+
+def test_warm_pass_does_zero_engine_work(tmp_path):
+    base = base_requests()
+    requests = build_requests(
+        base, 2 * len(base), rename_mix=RENAME_MIX, seed=2
+    )
+    config = ServeConfig(
+        cache_path=str(tmp_path / "serve-warm.sqlite"), workers=4
+    )
+    asyncio.run(run_inprocess(requests, clients=4, config=config))
+
+    sat_before = stats.engine_snapshot()["sat_calls"]
+    results = asyncio.run(
+        run_inprocess(requests, clients=4, config=config)
+    )
+    sat_after = stats.engine_snapshot()["sat_calls"]
+    summary, _ = results[0]
+    assert summary["errors"] == 0
+    # No forks and no in-process satisfiability calls: the warm tier
+    # is pure store lookup.
+    assert summary["serve"]["counters"]["cold_jobs"] == 0
+    assert sat_after == sat_before
+    report(
+        "SERVE warm-only",
+        [
+            "%d requests, 0 cold jobs, 0 sat calls" % len(requests),
+            _tier_line(summary),
+        ],
+    )
+
+
+def test_duplicate_hash_burst_computes_once(tmp_path):
+    # A formula no other bench uses, spelled 8 different ways.
+    names = [("i", "j"), ("p", "q"), ("x", "y"), ("u", "w"),
+             ("a", "b"), ("s", "t"), ("k0", "k1"), ("m0", "m1")]
+    variants = [
+        {
+            "id": "burst-%d" % k,
+            "kind": "count",
+            "formula": "2 <= %s <= n and %s <= %s and 3 <= %s <= n + 4"
+            % (a, a, b, b),
+            "over": [a, b],
+        }
+        for k, (a, b) in enumerate(names)
+    ]
+
+    async def scenario():
+        daemon = CountingDaemon(
+            ServeConfig(
+                cache_path=str(tmp_path / "serve-burst.sqlite"), workers=4
+            )
+        )
+        daemon.start()
+        try:
+            responses = await asyncio.gather(
+                *(daemon.handle(v) for v in variants)
+            )
+            return responses, daemon.metrics.snapshot()
+        finally:
+            await daemon.drain()
+
+    responses, snap = asyncio.run(scenario())
+    counters = snap["counters"]
+    assert all(r["ok"] for r in responses)
+    assert counters["cold_jobs"] == 1  # one computation for 8 clients
+    assert (
+        counters["coalesced"] + counters["warm_hits"] == len(variants) - 1
+    )
+    bodies = set()
+    for r in responses:
+        body = stable(r)
+        body.pop("id")
+        bodies.add(json.dumps(body, sort_keys=True))
+    assert len(bodies) == 1  # identical answers modulo the request id
+
+    record_extra(
+        "serve_coalesce",
+        {
+            "burst_size": len(variants),
+            "cold_jobs": counters["cold_jobs"],
+            "coalesced": counters["coalesced"],
+            "warm_hits": counters["warm_hits"],
+        },
+    )
+    report(
+        "SERVE coalesce",
+        [
+            "%d alpha-variants -> %d computation(s), %d coalesced,"
+            " %d warm" % (
+                len(variants),
+                counters["cold_jobs"],
+                counters["coalesced"],
+                counters["warm_hits"],
+            )
+        ],
+    )
+
+
+def test_daemon_matches_batch_byte_for_byte(tmp_path):
+    base = base_requests()
+    batch_responses, summary = run_batch(
+        [JobRequest.from_json(obj) for obj in base]
+    )
+    assert summary.ok == len(base)
+
+    async def serve_all():
+        daemon = CountingDaemon(
+            ServeConfig(
+                cache_path=str(tmp_path / "serve-parity.sqlite"), workers=2
+            )
+        )
+        daemon.start()
+        try:
+            return [await daemon.handle(obj) for obj in base]
+        finally:
+            await daemon.drain()
+
+    served = asyncio.run(serve_all())
+    for batched, daemon_r in zip(batch_responses, served):
+        assert json.dumps(stable(daemon_r), sort_keys=True) == json.dumps(
+            stable(batched), sort_keys=True
+        )
+    report(
+        "SERVE parity",
+        ["%d responses byte-identical to batch" % len(base)],
+    )

@@ -9,6 +9,8 @@ Examples::
     python -m repro simplify "x >= 1 and x >= 0 and (x <= 5 or x <= 9)"
     python -m repro fuzz --seed 0 --iterations 200
     python -m repro fuzz --replay tests/corpus
+    python -m repro serve --http-port 8722 --answer-cache answers.sqlite
+    python -m repro loadgen --requests 200 --clients 8 --rename-mix 0.5
 """
 
 import argparse
@@ -185,7 +187,8 @@ def main(argv=None) -> int:
         "stdin), stream one JSON response per line to stdout in input "
         "order, and print a summary to stderr.  Per-job failures "
         "(timeout, parse error, budget, worker crash) become "
-        "structured error responses; the exit code stays 0.",
+        "structured error responses with exit code 0; malformed "
+        "input lines also get structured responses but exit 1.",
     )
     p_batch.add_argument(
         "input", help="JSONL request file, or '-' to read stdin"
@@ -242,6 +245,205 @@ def main(argv=None) -> int:
         help="also write the end-of-batch summary as JSON to PATH",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived counting daemon (HTTP + JSONL)",
+        description="Serve count/sum/simplify/evaluate requests from a "
+        "warm process.  Answers come from the persistent results store "
+        "(warm), an identical in-flight computation (coalesced), or a "
+        "fresh executor job under admission control (cold).  SIGTERM "
+        "or SIGINT drains in-flight work and exits 0.  REPRO_SERVE_* "
+        "environment variables provide defaults for every tuning flag.",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    p_serve.add_argument(
+        "--http-port",
+        type=int,
+        default=8722,
+        help="HTTP port; 0 picks a free port (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--jsonl-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve JSONL-over-TCP on PORT (0 picks a free port; "
+        "default: HTTP only)",
+    )
+    p_serve.add_argument(
+        "--cache",
+        default=".repro-cache.sqlite",
+        help="persistent result-cache file (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache (no warm tier)",
+    )
+    p_serve.add_argument(
+        "--cache-limit",
+        type=int,
+        default=100000,
+        metavar="N",
+        help="max cached results before LRU eviction (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--answer-cache",
+        metavar="PATH",
+        help="persist counting-recursion root answers to PATH "
+        "(shorthand for REPRO_ANSWER_DB, inherited by worker processes)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cold-job worker slots (default: REPRO_SERVE_WORKERS or 4)",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max in-flight cold jobs before load-shedding "
+        "(default: REPRO_SERVE_QUEUE or 64)",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-tenant cold dispatches per second "
+        "(default: REPRO_SERVE_RATE or unlimited)",
+    )
+    p_serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="per-tenant token-bucket burst (default: REPRO_SERVE_BURST or 16)",
+    )
+    p_serve.add_argument(
+        "--tenant-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ceiling on any one job's sat-call budget "
+        "(default: REPRO_SERVE_TENANT_BUDGET or none)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout "
+        "(default: REPRO_SERVE_TIMEOUT or 60)",
+    )
+    p_serve.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-job sat-call budget "
+        "(default: REPRO_SERVE_BUDGET or none)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="max wait for in-flight jobs on shutdown "
+        "(default: REPRO_SERVE_DRAIN or 30)",
+    )
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a request corpus against the serve daemon",
+        description="Benchmark client for 'repro serve': replay a "
+        "request corpus at N concurrent clients, optionally "
+        "alpha-renaming a fraction of requests (same canonical hash, "
+        "different variable names), and report throughput, per-tier "
+        "latency percentiles, and the daemon's coalesce/hit-rate "
+        "counters as JSON.  Without --url an in-process daemon is "
+        "spun up and drained around the run.",
+    )
+    p_loadgen.add_argument(
+        "--url",
+        metavar="http://HOST:PORT",
+        help="drive a running daemon over HTTP (default: in-process)",
+    )
+    p_loadgen.add_argument(
+        "--corpus",
+        metavar="PATH",
+        help="request pool: a testkit corpus directory or a JSONL "
+        "request file (default: the built-in base set)",
+    )
+    p_loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=64,
+        metavar="N",
+        help="total requests per pass (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent clients (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--rename-mix",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="fraction of requests alpha-renamed (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--passes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="in-process only: replay the corpus N times against one "
+        "daemon, to measure warm-tier behaviour (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--seed", type=int, default=0, help="rename-mix RNG seed"
+    )
+    p_loadgen.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the summary JSON to PATH",
+    )
+    p_loadgen.add_argument(
+        "--cache",
+        default=".repro-cache.sqlite",
+        help="in-process only: result-cache file (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="in-process only: disable the persistent result cache",
+    )
+    p_loadgen.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="in-process only: cold-job worker slots",
+    )
+    p_loadgen.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="in-process only: cold-queue limit",
+    )
+    p_loadgen.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="in-process only: per-job timeout",
+    )
+    p_loadgen.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="in-process only: per-job sat-call budget",
+    )
+
     from repro.testkit.fuzz import add_fuzz_parser
 
     add_fuzz_parser(sub)
@@ -252,6 +454,16 @@ def main(argv=None) -> int:
         from repro.service.batch import batch_main
 
         return batch_main(args)
+
+    if args.command == "serve":
+        from repro.serve.http import serve_main
+
+        return serve_main(args)
+
+    if args.command == "loadgen":
+        from repro.serve.loadgen import loadgen_main
+
+        return loadgen_main(args)
 
     if args.command == "fuzz":
         from repro.testkit.fuzz import fuzz_main

@@ -84,6 +84,28 @@ BUDGET_LIMIT = None
 _budget_used = 0
 
 
+#: Optional provider of serving-layer statistics (see repro.serve).
+#: When a long-lived daemon is running in this process it registers a
+#: zero-argument callable here and :func:`engine_snapshot` includes its
+#: return value under a ``"serve"`` key -- uptime, queue depth,
+#: coalesce/shed counters and per-tier latency quantiles.  ``None``
+#: (the default, and the state in every batch worker process) adds
+#: nothing, so snapshots taken outside a daemon are unchanged.
+_SERVE_PROVIDER = None
+
+
+def set_serve_stats_provider(provider):
+    """Register (or, with None, clear) the serving-stats provider.
+
+    Returns the previously registered provider so tests and nested
+    daemons can restore it.
+    """
+    global _SERVE_PROVIDER
+    previous = _SERVE_PROVIDER
+    _SERVE_PROVIDER = provider
+    return previous
+
+
 class WorkBudgetExceeded(RuntimeError):
     """A computation exceeded its work budget (see set_work_budget)."""
 
@@ -202,6 +224,11 @@ def engine_snapshot() -> Dict[str, Union[int, float]]:
     memo = answer_memo_info()
     snap["answer_memo_size"] = memo["size"]
     snap["answer_memo_limit"] = memo["limit"]
+    if _SERVE_PROVIDER is not None:
+        try:
+            snap["serve"] = _SERVE_PROVIDER()
+        except Exception:  # a broken provider must not sink a snapshot
+            pass
     return snap
 
 

@@ -1,0 +1,107 @@
+"""Admission control for the serve daemon: rate limits and budgets.
+
+Only the *cold* tier passes through here.  Warm hits and coalesced
+waiters cost the daemon microseconds and no engine work, so refusing
+them would only convert cheap answers into retries; a cold dispatch
+forks a worker and can burn an unbounded number of satisfiability
+calls, so that is where multi-tenant fairness has to be enforced:
+
+* a **token bucket per tenant** (``rate`` tokens/second, ``burst``
+  capacity) gates how fast one tenant can trigger fresh computations;
+* a **per-job satisfiability budget clamp**: a tenant-level ceiling on
+  the sat-call work budget of any job it dispatches, so one tenant's
+  pathological formula exhausts its own budget (a structured
+  ``budget_exceeded`` response) instead of a shared worker slot.
+
+Tenants are identified by an opaque string (the HTTP front end reads
+``X-Repro-Tenant``, the JSONL front end a ``tenant`` field); the empty
+string is the anonymous default tenant.  State is created lazily per
+tenant and is deliberately tiny (two floats), so an open population of
+tenants is fine.
+"""
+
+import time
+from typing import Dict, Optional
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate=None`` disables limiting (every take succeeds); ``burst``
+    then only matters as the initial balance, which is irrelevant.
+    Time is injected on every call so tests can drive the clock.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: Optional[float], burst: float):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive or None")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = time.monotonic()
+
+    def try_take(self, now: Optional[float] = None) -> bool:
+        """Take one token if available; refills lazily from elapsed time."""
+        if self.rate is None:
+            return True
+        if now is None:
+            now = time.monotonic()
+        elapsed = max(0.0, now - self.updated)
+        self.updated = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class TenantTable:
+    """Per-tenant admission state: one token bucket + the budget clamp."""
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: float = 16,
+        budget_ceiling: Optional[int] = None,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self.budget_ceiling = budget_ceiling
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def admit(self, tenant: str, now: Optional[float] = None) -> bool:
+        """True if ``tenant`` may dispatch a cold job right now."""
+        if self.rate is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate, self.burst)
+        return bucket.try_take(now)
+
+    def clamp_budget(
+        self, requested: Optional[int], default: Optional[int]
+    ) -> Optional[int]:
+        """The effective per-job sat-call budget for a tenant's job.
+
+        The request's own budget (falling back to the daemon default)
+        is honoured up to the tenant ceiling; ``None`` everywhere means
+        unbudgeted.
+        """
+        effective = requested if requested is not None else default
+        ceiling = self.budget_ceiling
+        if ceiling is None:
+            return effective
+        if effective is None:
+            return ceiling
+        return min(effective, ceiling)
+
+    def tenants(self) -> int:
+        """How many distinct tenants have dispatched cold work."""
+        return len(self._buckets)
+
+
+__all__ = ["TenantTable", "TokenBucket"]

@@ -19,8 +19,14 @@ to stderr.  The pipeline per job:
    *not* cached: timeouts and crashes may succeed on retry with a
    longer budget, and parse errors are cheap to re-derive.
 
-The process exits 0 as long as the batch file itself was readable --
-per-job failures are data, not exit codes.
+Exit codes separate three failure planes: per-job failures (timeout,
+budget, engine error) are data -- they become structured error
+responses and the process still exits 0; *input-line* failures (a line
+that is not valid JSON, or cannot even be decoded as UTF-8) also get a
+structured per-line error response but flip the exit code to 1, since
+the batch file itself was malformed; a batch file that cannot be read
+at all exits 2.  Blank lines (a trailing newline, spacer lines between
+sections) are tolerated and skipped.
 """
 
 import json
@@ -49,8 +55,11 @@ from repro.service.request import (
 #: ``stats`` joined the list with the persistent answer memo: a warm
 #: run that answers a clause from the answer store does genuinely less
 #: engine work, so its per-job counters differ while the result is
-#: byte-identical.
-VOLATILE_RESPONSE_KEYS = ("cached", "wall_ms", "attempts", "stats")
+#: byte-identical.  ``tier`` is the serve daemon's annotation of which
+#: serving tier answered (warm/coalesced/cold/...); the batch CLI does
+#: not emit it, so it must be volatile for daemon-vs-batch
+#: byte-identity checks to hold.
+VOLATILE_RESPONSE_KEYS = ("cached", "wall_ms", "attempts", "stats", "tier")
 
 #: Payload keys not echoed into response lines (bulky; clients that
 #: want the full serialized result can read the cache).
@@ -123,10 +132,18 @@ class BatchSummary:
         )
 
 
-def _response_core(payload: dict) -> dict:
+def response_core(payload: dict) -> dict:
+    """An ok payload with bulky payload-only keys stripped.
+
+    Shared by the batch settle path and the serve daemon so both wire
+    formats carry exactly the same response fields for the same job.
+    """
     return {
         k: v for k, v in payload.items() if k not in _PAYLOAD_ONLY_KEYS
     }
+
+
+_response_core = response_core
 
 
 def run_batch(
@@ -294,16 +311,25 @@ def run_batch(
     return responses, summary
 
 
+def _line_error(line_no: int, message: str) -> JobError:
+    """A structured record for an input line that is not a request.
+
+    ``line_error`` marks the failure as belonging to the *input file*
+    (truncated record, stray bytes) rather than to a well-formed but
+    unservable request; :func:`batch_main` turns any such line into a
+    nonzero exit code while still answering every other line.
+    """
+    error = JobError(BAD_REQUEST, "line %d: %s" % (line_no, message), id=line_no)
+    error.line_error = True
+    return error
+
+
 def parse_request_line(line: str, line_no: int) -> Entry:
     """One JSONL line -> JobRequest, or a JobError placeholder."""
     try:
         obj = json.loads(line)
     except ValueError as exc:
-        return JobError(
-            BAD_REQUEST,
-            "line %d: invalid JSON: %s" % (line_no, exc),
-            id=line_no,
-        )
+        return _line_error(line_no, "invalid JSON: %s" % (exc,))
     try:
         return JobRequest.from_json(obj, default_id=line_no)
     except RequestError as exc:
@@ -317,20 +343,39 @@ def parse_request_line(line: str, line_no: int) -> Entry:
 def batch_main(args) -> int:
     """Entry point behind ``python -m repro batch`` (parsed argparse ns)."""
     if args.input == "-":
-        lines = sys.stdin.read().splitlines()
+        # Read raw bytes when stdin has them (the real CLI path);
+        # text-only stand-ins (tests monkeypatching sys.stdin) lack
+        # ``.buffer`` and are re-encoded so the per-line decode below
+        # is the single code path.
+        stream = getattr(sys.stdin, "buffer", sys.stdin)
+        raw = stream.read()
+        if isinstance(raw, str):
+            raw = raw.encode("utf-8")
     else:
         try:
-            with open(args.input) as fh:
-                lines = fh.read().splitlines()
+            with open(args.input, "rb") as fh:
+                raw = fh.read()
         except OSError as exc:
             print("repro batch: cannot read %s: %s" % (args.input, exc), file=sys.stderr)
             return 2
 
+    # Decode line by line: one undecodable record must not take down
+    # the rest of the batch (it becomes a structured per-line error
+    # like any other malformed line, instead of a UnicodeDecodeError
+    # traceback for the whole file).
     entries: List[Entry] = []
-    for line_no, line in enumerate(lines, start=1):
+    for line_no, line_bytes in enumerate(raw.splitlines(), start=1):
+        try:
+            line = line_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            entries.append(_line_error(line_no, "undecodable bytes: %s" % (exc,)))
+            continue
         if not line.strip():
             continue
         entries.append(parse_request_line(line, line_no))
+    line_errors = sum(
+        1 for e in entries if getattr(e, "line_error", False)
+    )
 
     if getattr(args, "answer_cache", None):
         # Workers inherit the environment at fork, so setting the
@@ -364,6 +409,14 @@ def batch_main(args) -> int:
         with open(args.summary_json, "w") as fh:
             json.dump(summary.to_json(), fh, indent=2, sort_keys=True)
             fh.write("\n")
+    if line_errors:
+        print(
+            "repro batch: %d malformed input line%s (see bad_request"
+            " responses above)"
+            % (line_errors, "" if line_errors == 1 else "s"),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -372,5 +425,6 @@ __all__ = [
     "VOLATILE_RESPONSE_KEYS",
     "batch_main",
     "parse_request_line",
+    "response_core",
     "run_batch",
 ]

@@ -1,0 +1,74 @@
+"""Admission control: token buckets and per-tenant budget clamps."""
+
+import pytest
+
+from repro.serve.admission import TenantTable, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        now = 1000.0
+        takes = [bucket.try_take(now) for _ in range(4)]
+        assert takes == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=2)
+        now = 1000.0
+        assert bucket.try_take(now) and bucket.try_take(now)
+        assert not bucket.try_take(now)
+        # 0.5s at 2 tokens/s refills exactly one token.
+        assert bucket.try_take(now + 0.5)
+        assert not bucket.try_take(now + 0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        now = 1000.0
+        assert bucket.try_take(now)
+        # A long idle period must not bank more than `burst` tokens.
+        assert bucket.try_take(now + 3600)
+        assert bucket.try_take(now + 3600)
+        assert not bucket.try_take(now + 3600)
+
+    def test_unlimited_when_rate_is_none(self):
+        bucket = TokenBucket(rate=None, burst=1)
+        assert all(bucket.try_take(0.0) for _ in range(100))
+
+    def test_clock_going_backwards_is_tolerated(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.try_take(1000.0)
+        assert not bucket.try_take(999.0)  # no negative refill
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestTenantTable:
+    def test_no_rate_admits_everyone(self):
+        table = TenantTable(rate=None)
+        assert table.admit("a") and table.admit("a") and table.admit("b")
+        assert table.tenants() == 0  # no state kept when unlimited
+
+    def test_buckets_are_per_tenant(self):
+        table = TenantTable(rate=1.0, burst=1)
+        now = 1000.0
+        assert table.admit("alice", now)
+        assert not table.admit("alice", now)  # alice is out of tokens
+        assert table.admit("bob", now)  # bob has his own bucket
+        assert table.tenants() == 2
+
+    def test_clamp_budget_honours_ceiling(self):
+        table = TenantTable(budget_ceiling=100)
+        assert table.clamp_budget(None, None) == 100
+        assert table.clamp_budget(None, 50) == 50
+        assert table.clamp_budget(500, None) == 100
+        assert table.clamp_budget(30, None) == 30
+
+    def test_clamp_budget_without_ceiling(self):
+        table = TenantTable()
+        assert table.clamp_budget(None, None) is None
+        assert table.clamp_budget(None, 7) == 7
+        assert table.clamp_budget(12, 7) == 12

@@ -178,16 +178,17 @@ class TestCLI:
         lines = [json.loads(l) for l in captured.out.splitlines()]
         return code, lines, captured.err
 
-    def test_batch_with_failures_still_exits_zero(
+    def test_job_failures_still_exit_zero(
         self, tmp_path, capsys, monkeypatch
     ):
+        # Per-job failures are data: every well-formed line gets a
+        # structured response and the exit code stays 0.
         monkeypatch.setenv("REPRO_SERVICE_SLEEP", "sleepy_marker")
         reqs = tmp_path / "reqs.jsonl"
         write_jsonl(
             reqs,
             [
                 COUNT_IJ,
-                "{definitely not json",
                 {
                     "id": "stuck",
                     "kind": "count",
@@ -218,11 +219,66 @@ class TestCLI:
         }
         assert kinds == {
             "pairs": True,
-            2: "bad_request",
             "stuck": "timeout",
             "typo": "parse_error",
         }
-        assert "4 jobs, 1 ok" in err
+        assert "3 jobs, 1 ok" in err
+
+    def test_malformed_line_answers_batch_but_exits_one(
+        self, tmp_path, capsys
+    ):
+        # A line that is not a request at all (truncated JSON here) is
+        # an *input-file* defect: it still gets a structured per-line
+        # response and the rest of the batch is answered, but the exit
+        # code flips to 1 so pipelines notice the corrupt file.
+        reqs = tmp_path / "reqs.jsonl"
+        write_jsonl(reqs, [COUNT_IJ, "{definitely not json", SUM_SQ])
+        code, lines, err = self.run_cli(capsys, str(reqs), "--no-cache")
+        assert code == 1
+        assert [line["ok"] for line in lines] == [True, False, True]
+        assert lines[1]["error"]["kind"] == "bad_request"
+        assert "line 2" in lines[1]["error"]["message"]
+        assert "1 malformed input line" in err
+
+    def test_truncated_record_and_trailing_blank_line(
+        self, tmp_path, capsys
+    ):
+        # A trailing blank line is a tolerated artifact of appending
+        # tools -- skipped, exit 0.  A *truncated* record (writer died
+        # mid-line) is a malformed line -- answered, exit 1.
+        reqs = tmp_path / "reqs.jsonl"
+        with open(reqs, "w") as fh:
+            fh.write(json.dumps(COUNT_IJ) + "\n")
+            fh.write("\n")  # spacer blank line
+        code, lines, _ = self.run_cli(capsys, str(reqs), "--no-cache")
+        assert code == 0 and len(lines) == 1 and lines[0]["ok"]
+
+        truncated = json.dumps(SUM_SQ)[: len(json.dumps(SUM_SQ)) // 2]
+        with open(reqs, "w") as fh:
+            fh.write(json.dumps(COUNT_IJ) + "\n")
+            fh.write(truncated + "\n")
+        code, lines, err = self.run_cli(capsys, str(reqs), "--no-cache")
+        assert code == 1
+        assert lines[0]["ok"] is True
+        assert lines[1]["ok"] is False
+        assert lines[1]["id"] == 2
+        assert "1 malformed input line" in err
+
+    def test_undecodable_bytes_become_structured_line_error(
+        self, tmp_path, capsys
+    ):
+        # Raw non-UTF-8 bytes in one record must not raise a
+        # UnicodeDecodeError for the whole file.
+        reqs = tmp_path / "reqs.jsonl"
+        with open(reqs, "wb") as fh:
+            fh.write(json.dumps(COUNT_IJ).encode("utf-8") + b"\n")
+            fh.write(b'{"id": "bin", "formula": "\xff\xfe garbage"}\n')
+        code, lines, err = self.run_cli(capsys, str(reqs), "--no-cache")
+        assert code == 1
+        assert lines[0]["ok"] is True
+        assert lines[1]["ok"] is False
+        assert "undecodable bytes" in lines[1]["error"]["message"]
+        assert "1 malformed input line" in err
 
     def test_second_run_hits_cache_and_matches(self, tmp_path, capsys):
         reqs = tmp_path / "reqs.jsonl"

@@ -98,6 +98,90 @@ class TestCorruption:
             assert cache.get("k") == {"result": "1"}
 
 
+class TestWalMode:
+    def test_journal_mode_is_wal(self, cache_path):
+        with DiskCache(cache_path) as cache:
+            assert cache.journal_mode() == "wal"
+
+    def test_wal_survives_corruption_recovery(self, cache_path):
+        # The recreate-after-corruption path must apply the same
+        # pragmas as the happy path.
+        with open(cache_path, "w") as fh:
+            fh.write("this is not a database")
+        with DiskCache(cache_path) as cache:
+            assert cache.journal_mode() == "wal"
+
+    def test_threaded_access_single_handle(self, cache_path):
+        # One handle used from several threads (the daemon's pattern
+        # before it funnels I/O through one executor thread) must not
+        # trip sqlite's same-thread check or interleave corruptly.
+        import threading
+
+        errors = []
+        with DiskCache(cache_path) as cache:
+
+            def work(worker_id):
+                try:
+                    for i in range(50):
+                        key = "t%d-%d" % (worker_id, i)
+                        cache.put(key, {"result": key})
+                        assert cache.get(key) == {"result": key}
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=work, args=(w,)) for w in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            assert not errors
+            assert len(cache) == 200
+
+
+def _wal_write_burst(path, n):
+    with DiskCache(path) as cache:
+        for i in range(n):
+            cache.put("burst-%d" % i, {"result": "burst-%d" % i})
+
+
+def _wal_read_during_burst(path, seeded, rounds):
+    with DiskCache(path) as cache:
+        for _ in range(rounds):
+            for key in seeded:
+                # WAL + busy_timeout: readers proceed during the write
+                # burst; a locked-database error would crash this
+                # process and fail the exitcode assertion.
+                assert cache.get(key) == {"result": key}
+
+
+class TestWalConcurrency:
+    def test_readers_proceed_during_write_burst(self, cache_path):
+        seeded = ["seed-%d" % i for i in range(8)]
+        with DiskCache(cache_path) as cache:
+            for key in seeded:
+                cache.put(key, {"result": key})
+        readers = [
+            multiprocessing.Process(
+                target=_wal_read_during_burst, args=(cache_path, seeded, 40)
+            )
+            for _ in range(3)
+        ]
+        writer = multiprocessing.Process(
+            target=_wal_write_burst, args=(cache_path, 150)
+        )
+        for p in readers:
+            p.start()
+        writer.start()
+        for p in readers + [writer]:
+            p.join(60)
+        assert writer.exitcode == 0
+        assert all(p.exitcode == 0 for p in readers)
+        with DiskCache(cache_path) as cache:
+            assert len(cache) == len(seeded) + 150
+
+
 def _hammer(path, worker_id, n, max_entries=1000):
     with DiskCache(path, max_entries=max_entries) as cache:
         for i in range(n):
