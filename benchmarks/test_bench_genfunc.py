@@ -1,0 +1,138 @@
+"""Recursion vs generating-function backend: the PR 8 acceptance bench.
+
+Two workload families stress exactly the shapes where Pugh's splinter
+recursion does work proportional to coefficient size while the cone
+pipeline's work depends only on the number of constraints:
+
+* **large coefficients** -- triangles/quadrilaterals with big coprime
+  coefficients (``23*i + 31*j <= 500`` and friends).  The recursion
+  expands hundreds of residue cases; Brion's theorem needs one signed
+  cone per vertex regardless of the numbers.
+* **deep splinter** -- quantified stride constraints
+  (``exists k: A*i <= B*k <= A*i + C``) whose projection splinters
+  under exact elimination.
+
+Each family is timed once per backend (paired tests, so BENCH_JSON
+records a wall-time entry for every (family, backend) cell) on cold
+caches.  The closing test asserts the two backends produced identical
+counts -- the differential contract this PR exists to enforce -- and
+publishes the inner walls via ``record_extra`` so the speedup is
+diffable straight from the artifact.  The committed ``BENCH_PR8.json``
+snapshot shows the measured reduction; the in-test assertion is
+equality-only so noisy CI boxes cannot flake on a timing inversion.
+"""
+
+import gc
+import time
+
+from conftest import record_extra, report
+from repro.core import count
+from repro.core.memo import clear_answer_memo
+from repro.omega.constraints import reset_fresh_counter
+from repro.omega.satisfiability import clear_sat_cache
+
+#: (family, backend) -> (counts tuple, wall seconds); filled by the
+#: paired tests, read by the closing identity/speedup test.
+_RUNS = {}
+
+_LARGE_COEFF = [
+    (
+        "0 <= i and 0 <= j and %d*i + %d*j <= %d and %d*i <= %d*j + %d"
+        % (a, b, n, c, d, m),
+        ("i", "j"),
+    )
+    for (a, b, n, c, d, m) in [
+        (23, 31, 500, 17, 13, 90),
+        (41, 57, 900, 29, 19, 150),
+        (61, 47, 1200, 37, 23, 200),
+        (53, 71, 1500, 43, 31, 260),
+    ]
+]
+
+_DEEP_SPLINTER = [
+    (
+        "exists k: %d*i <= %d*k and %d*k <= %d*i + %d "
+        "and 0 <= i <= %d and 0 <= k <= %d and i + k <= %d"
+        % (a, b, b, a, c, n, n2, s),
+        ("i",),
+    )
+    for (a, b, c, n, n2, s) in [
+        (23, 7, 40, 60, 240, 280),
+        (31, 9, 55, 80, 320, 360),
+        (19, 5, 33, 70, 300, 330),
+        (29, 8, 49, 90, 380, 420),
+    ]
+]
+
+_FAMILIES = {
+    "large_coeff": _LARGE_COEFF,
+    "deep_splinter": _DEEP_SPLINTER,
+}
+
+
+def _cold():
+    clear_answer_memo()
+    clear_sat_cache()
+    reset_fresh_counter()
+
+
+def _run(family, backend):
+    cases = _FAMILIES[family]
+
+    def once():
+        _cold()
+        start = time.perf_counter()
+        counts = tuple(
+            count(text, list(over), backend=backend).evaluate({})
+            for text, over in cases
+        )
+        return counts, time.perf_counter() - start
+
+    # Earlier bench modules leave large answer-memo heaps behind;
+    # collect before timing so GC pauses don't land inside a rep.
+    gc.collect()
+    once()  # warm-up: imports, parser tables, allocator
+    counts, wall = min((once() for _ in range(3)), key=lambda pair: pair[1])
+    _RUNS[(family, backend)] = (counts, wall)
+
+
+def test_genfunc_large_coeff_recursion():
+    _run("large_coeff", "recursion")
+
+
+def test_genfunc_large_coeff_genfunc():
+    _run("large_coeff", "genfunc")
+
+
+def test_genfunc_deep_splinter_recursion():
+    _run("deep_splinter", "recursion")
+
+
+def test_genfunc_deep_splinter_genfunc():
+    _run("deep_splinter", "genfunc")
+
+
+def test_genfunc_identity_and_speedup():
+    rows = []
+    summary = {}
+    for family in _FAMILIES:
+        rec_counts, rec_wall = _RUNS[(family, "recursion")]
+        gf_counts, gf_wall = _RUNS[(family, "genfunc")]
+        # The differential contract: both backends count the same sets.
+        assert gf_counts == rec_counts, family
+        ratio = rec_wall / gf_wall if gf_wall else float("inf")
+        rows.append(
+            "%-14s recursion %.4fs  genfunc %.4fs  speedup %.2fx"
+            % (family, rec_wall, gf_wall, ratio)
+        )
+        summary[family] = {
+            "recursion_seconds": round(rec_wall, 6),
+            "genfunc_seconds": round(gf_wall, 6),
+            "speedup": round(ratio, 2),
+            "counts": list(rec_counts),
+        }
+    # The per-test wall includes untimed warm-up shared by both
+    # backends; the inner workload walls are the acceptance numbers,
+    # so publish them in the artifact too.
+    record_extra("genfunc_vs_recursion", summary)
+    report("genfunc: cone pipeline vs recursion", rows)

@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro count "1 <= i and i < j and j <= n" --over i,j
+    python -m repro count "0 <= i+j <= 90" --over i,j --backend genfunc
     python -m repro sum "1 <= i <= n" --over i --poly "i*i"
     python -m repro count "1 <= i and 3*i <= n" --over i --simplify \
         --table n=0:20
@@ -16,7 +17,7 @@ Examples::
 import argparse
 import sys
 
-from repro.core import Strategy, SumOptions, count, stats, sum_poly
+from repro.core import BACKENDS, Strategy, SumOptions, count, stats, sum_poly
 from repro.presburger.parser import parse
 from repro.presburger.simplify import simplify
 
@@ -116,6 +117,15 @@ def main(argv=None) -> int:
                 "--keep-redundant",
                 action="store_true",
                 help="skip redundant-constraint elimination",
+            )
+            p.add_argument(
+                "--backend",
+                choices=list(BACKENDS),
+                default=None,
+                help="counting backend: the splinter recursion or the "
+                "generating-function engine (genfunc falls back to the "
+                "recursion outside its fragment; default: "
+                "REPRO_BACKEND or recursion)",
             )
             p.add_argument(
                 "--simplify",
@@ -487,6 +497,14 @@ def main(argv=None) -> int:
         from repro.evalc import set_compile_enabled
 
         set_compile_enabled(False)
+
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from repro.core import set_backend
+
+        # Set the global (not just the per-call override) so --stats
+        # reports the backend the run actually used.
+        set_backend(backend)
 
     over = _over(args)
     poly = getattr(args, "poly", None)

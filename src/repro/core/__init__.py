@@ -13,17 +13,27 @@ variables (the symbolic constants).
 """
 
 from repro.core import stats
+from repro.core.backend import (
+    BACKENDS,
+    current_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.core.general import count, count_conjunct, sum_poly
 from repro.core.options import Strategy, SumOptions
 from repro.core.result import SymbolicSum, Term
 
 __all__ = [
+    "BACKENDS",
     "Strategy",
     "SumOptions",
     "SymbolicSum",
     "Term",
     "count",
     "count_conjunct",
+    "current_backend",
+    "resolve_backend",
+    "set_backend",
     "stats",
     "sum_poly",
 ]

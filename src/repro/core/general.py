@@ -13,6 +13,8 @@ from repro.omega.problem import Conjunct
 from repro.presburger.ast import Formula
 from repro.presburger.disjoint import disjointify
 from repro.presburger.dnf import to_dnf
+from repro.core import stats
+from repro.core.backend import resolve_backend
 from repro.core.canon import _affine_shape, _poly_marks, _refine
 from repro.core.convex import sum_over_conjunct
 from repro.core.options import DEFAULT_OPTIONS, Strategy, SumOptions
@@ -107,14 +109,32 @@ def sum_poly(
     over: Sequence[str],
     z: PolyLike,
     options: SumOptions = DEFAULT_OPTIONS,
+    backend: Optional[str] = None,
 ) -> SymbolicSum:
     """(Σ over : formula : z), symbolically in the other free variables.
 
     ``over`` lists the variables summed; every other free variable of
     the formula (and of z) is a symbolic constant and appears in the
     result's guards and values.
+
+    ``backend`` overrides the process-global router default
+    (:func:`repro.core.backend.set_backend` / ``REPRO_BACKEND``) for
+    this call.  Under ``"genfunc"`` the generating-function engine
+    answers queries inside its fragment; anything it rejects with
+    ``UnsupportedFormula`` falls back to the recursion below, counted
+    in the ``genfunc_fallbacks`` stat.
     """
     z = _poly(z)
+    if resolve_backend(backend) == "genfunc":
+        from repro.genfunc import UnsupportedFormula, genfunc_sum
+
+        if stats.ENABLED:
+            stats.bump("genfunc_calls")
+        try:
+            return genfunc_sum(formula, over, z, options)
+        except UnsupportedFormula:
+            if stats.ENABLED:
+                stats.bump("genfunc_fallbacks")
     clauses = _clauses(formula)
     terms: List[Term] = []
     exactness = "exact"
@@ -136,12 +156,14 @@ def count(
     formula: FormulaLike,
     over: Sequence[str],
     options: SumOptions = DEFAULT_OPTIONS,
+    backend: Optional[str] = None,
 ) -> SymbolicSum:
     """Number of integer solutions of ``over`` in the formula.
 
-    The paper's ``(Σ V : P : 1)``.
+    The paper's ``(Σ V : P : 1)``.  See :func:`sum_poly` for the
+    ``backend`` override.
     """
-    return sum_poly(formula, over, 1, options)
+    return sum_poly(formula, over, 1, options, backend=backend)
 
 
 def count_conjunct(

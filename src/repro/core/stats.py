@@ -71,6 +71,10 @@ COUNTER_NAMES = (
     "answer_memo_misses",  # nodes that had to be computed
     "answer_memo_evictions",  # LRU entries dropped to respect the cap
     "answer_memo_renames",  # hits translated across free-symbol names
+    "genfunc_calls",  # queries the router first offered to genfunc
+    "genfunc_fallbacks",  # of those, rejected and re-run on the recursion
+    "genfunc_clauses",  # clauses the cone pipeline counted
+    "genfunc_cones",  # signed unimodular cone terms specialized
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
@@ -224,6 +228,9 @@ def engine_snapshot() -> Dict[str, Union[int, float]]:
     memo = answer_memo_info()
     snap["answer_memo_size"] = memo["size"]
     snap["answer_memo_limit"] = memo["limit"]
+    from repro.core.backend import current_backend
+
+    snap["backend"] = current_backend()
     if _SERVE_PROVIDER is not None:
         try:
             snap["serve"] = _SERVE_PROVIDER()

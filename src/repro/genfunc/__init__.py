@@ -1,0 +1,37 @@
+"""Generating-function counting backend (Barvinok / Polyhedral Omega style).
+
+A second exact counting engine: each clause's solution set becomes a
+signed sum of unimodular simplicial cones whose rational generating
+functions are specialized at ``z = 1`` to the exact count -- no
+splinter recursion, so performance is independent of coefficient
+magnitude.  Selected through the backend router
+(``repro.core.set_backend("genfunc")`` / ``REPRO_BACKEND=genfunc`` /
+``count(..., backend="genfunc")``); queries outside the supported
+fragment raise :class:`UnsupportedFormula` and the router falls back
+to the recursion.
+
+Supported fragment: exact strategies, constant summands, no free
+symbolic constants, and residual dimension at most 2 after integer
+equality elimination (the ``t``-space left once EQs and promotable
+stride wildcards are folded away -- which covers every corpus and
+fuzzer query over ``i``/``j`` boxes regardless of how many equalities,
+strides and wildcards ride along).
+"""
+
+from repro.genfunc.count import (
+    MAX_DIMENSION,
+    UnsupportedFormula,
+    clause_count,
+    genfunc_count,
+    genfunc_count_value,
+    genfunc_sum,
+)
+
+__all__ = [
+    "MAX_DIMENSION",
+    "UnsupportedFormula",
+    "clause_count",
+    "genfunc_count",
+    "genfunc_count_value",
+    "genfunc_sum",
+]

@@ -1,0 +1,176 @@
+"""Two-dimensional rational polyhedra and unimodular cone decomposition.
+
+The residual system a clause leaves after integer equality elimination
+lives in at most two ``t`` coordinates (higher dimensions are outside
+the supported fragment and fall back to the recursion).  This module
+supplies the geometry the Brion-style counting needs:
+
+* vertex enumeration and a strictly-convex hull of the feasible set of
+  ``a . t + c >= 0`` rows, over exact :class:`~fractions.Fraction`
+  coordinates;
+* a recession-cone test that either certifies boundedness or exhibits
+  an unbounded integer direction;
+* tangent cones at the hull vertices and their Hirzebruch-Jung
+  (continued-fraction) partition into **unimodular** subcones, with the
+  interior rays shared by adjacent subcones reported for
+  inclusion-exclusion.
+
+Every determinant here is an exact integer or Fraction computation --
+there is no floating point anywhere in the backend.
+"""
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.intarith import ext_gcd
+
+#: An inequality row ``a1*t1 + a2*t2 + c >= 0``.
+Row = Tuple[int, int, int]
+#: A rational point.
+Point = Tuple[Fraction, Fraction]
+#: A primitive integer direction.
+Vec = Tuple[int, int]
+
+
+def det2(u: Sequence, v: Sequence):
+    """The 2x2 determinant ``| u v |`` (columns)."""
+    return u[0] * v[1] - u[1] * v[0]
+
+
+def row_satisfied(row: Row, point: Point) -> bool:
+    a1, a2, c = row
+    return a1 * point[0] + a2 * point[1] + c >= 0
+
+
+def recession_direction(rows: Sequence[Row]) -> Optional[Vec]:
+    """A nonzero integer direction the feasible set recedes along.
+
+    The recession cone is ``K = {u : a . u >= 0 for every row}``.  In
+    two dimensions, if ``K`` is nontrivial it contains one of the
+    boundary directions of its defining halfplanes -- every extreme ray
+    of ``K`` is the boundary of some ``a . u >= 0``, i.e. a rotation of
+    a row normal by +-90 degrees -- so checking those finitely many
+    candidates decides nontriviality exactly.  Returns a receding
+    direction, or None when the recession cone is ``{0}`` (the
+    rational relaxation is bounded).
+    """
+    if not rows:
+        return (1, 0)
+    for a1, a2, _ in rows:
+        for cand in ((-a2, a1), (a2, -a1)):
+            if cand == (0, 0):
+                continue
+            if all(b1 * cand[0] + b2 * cand[1] >= 0 for b1, b2, _ in rows):
+                return cand
+    return None
+
+
+def feasible_vertices(rows: Sequence[Row]) -> List[Point]:
+    """All basic feasible points of the row system (may contain
+    non-extreme points on degenerate inputs; the hull prunes them)."""
+    pts = set()
+    n = len(rows)
+    for i in range(n):
+        a1, a2, c = rows[i]
+        for j in range(i + 1, n):
+            b1, b2, d = rows[j]
+            det = a1 * b2 - a2 * b1
+            if det == 0:
+                continue
+            x = Fraction(-c * b2 + a2 * d, det)
+            y = Fraction(-a1 * d + c * b1, det)
+            if all(r1 * x + r2 * y + rc >= 0 for r1, r2, rc in rows):
+                pts.add((x, y))
+    return sorted(pts)
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Extreme points of ``points`` in counterclockwise order.
+
+    Strictly convex (collinear interior points are dropped); an
+    all-collinear input degenerates to its two endpoints, a single
+    repeated point to one.
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: List[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        return [pts[0], pts[-1]]
+    return hull
+
+
+def tangent_cone_generators(
+    hull: Sequence[Point], index: int
+) -> Tuple[Vec, Vec]:
+    """Primitive generators of the tangent cone at hull vertex ``index``.
+
+    For a CCW strictly-convex hull the pair (direction to the next
+    vertex, direction to the previous vertex) spans the tangent cone
+    with positive determinant.
+    """
+    from repro.genfunc.lattice import primitive_direction
+
+    v = hull[index]
+    nxt = hull[(index + 1) % len(hull)]
+    prv = hull[(index - 1) % len(hull)]
+    g1 = primitive_direction(nxt[0] - v[0], nxt[1] - v[1])
+    g2 = primitive_direction(prv[0] - v[0], prv[1] - v[1])
+    if det2(g1, g2) <= 0:
+        raise ValueError("tangent cone at %r is not pointed CCW" % (v,))
+    return g1, g2
+
+
+def unimodular_partition(
+    g1: Vec, g2: Vec
+) -> Tuple[List[Tuple[Vec, Vec]], List[Vec]]:
+    """Hirzebruch-Jung partition of ``cone(g1, g2)`` into unimodular cones.
+
+    ``g1``/``g2`` must be primitive with ``det(g1, g2) > 0``.  Returns
+    ``(cones, rays)``: generator pairs each with determinant exactly 1
+    whose union is the input cone, plus the interior rays shared by
+    consecutive subcones -- counted once each, for the
+    inclusion-exclusion ``|cone ∩ Z^2| = Σ|subcone| − Σ|shared ray|``.
+
+    Each step inserts the lattice vector ``w`` closest to the ray of
+    ``a`` inside the cone (``det(a, w) = 1``, ``det(w, b)`` minimal
+    positive); the index ``det(w, b)`` strictly decreases, exactly the
+    continued-fraction recursion of Hirzebruch-Jung resolution.
+    """
+    d = det2(g1, g2)
+    if d <= 0:
+        raise ValueError("need det(g1, g2) > 0, got %d" % d)
+    cones: List[Tuple[Vec, Vec]] = []
+    rays: List[Vec] = []
+    a, b = g1, g2
+    while det2(a, b) > 1:
+        d = det2(a, b)
+        g, s, t = ext_gcd(a[0], a[1])
+        if g != 1:
+            raise ValueError("generator %r is not primitive" % (a,))
+        w0 = (-t, s)  # det(a, w0) = a[0]*s + a[1]*t = 1
+        r = det2(w0, b) % d  # det(w0 + k*a, b) = det(w0, b) + k*d
+        if r == 0:
+            # would make b an integer multiple of a lattice vector
+            raise ValueError("generator %r is not primitive" % (b,))
+        k = (r - det2(w0, b)) // d
+        w = (w0[0] + k * a[0], w0[1] + k * a[1])
+        cones.append((a, w))
+        rays.append(w)
+        a = w
+    cones.append((a, b))
+    return cones, rays

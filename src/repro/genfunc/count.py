@@ -1,0 +1,313 @@
+"""The generating-function counting pipeline (clause level and up).
+
+One clause travels through five stages:
+
+1. **Normalize** -- gcd-tighten, merge, detect trivial emptiness.
+2. **Wildcard resolution** -- stride wildcards whose equality involves
+   no other wildcard are *promoted* to count dimensions (the equality
+   determines them uniquely per solution, so the promotion is a
+   bijection on solution sets); every other wildcard is *projected*
+   with the Omega test's exact disjoint elimination and the pipeline
+   recurses into the disjoint pieces (their counts add).
+3. **Integer equality elimination** -- the EQ system is solved over Z
+   by Smith normal form (:mod:`repro.genfunc.lattice`); no solution
+   means 0, otherwise the inequalities are rewritten into the kernel
+   coordinates ``t``, where counting is bijective again.
+4. **Geometry** -- dimension 0 is a point check, dimension 1 an
+   interval, dimension 2 runs Brion's theorem over the vertex tangent
+   cones with Hirzebruch-Jung unimodular decomposition
+   (:mod:`repro.genfunc.cones`).  Dimension >= 3 is outside the
+   supported fragment.
+5. **Specialization** -- the signed unimodular cones are evaluated at
+   ``z = 1`` through the Todd-series limit
+   (:mod:`repro.genfunc.specialize`), yielding the exact count.
+
+Anything the pipeline cannot handle exactly raises
+:class:`UnsupportedFormula`; the backend router in
+:mod:`repro.core.general` catches exactly that and falls back to the
+splinter recursion, bumping the ``genfunc_fallbacks`` counter.  A
+genuinely infinite solution set raises
+:class:`~repro.core.convex.UnboundedSumError` just like the recursion
+backend does.
+"""
+
+from typing import List, Sequence, Tuple
+
+from repro.core import stats
+from repro.core.convex import UnboundedSumError
+from repro.core.options import DEFAULT_OPTIONS, SumOptions
+from repro.core.result import SymbolicSum, Term
+from repro.genfunc.cones import (
+    convex_hull,
+    feasible_vertices,
+    recession_direction,
+    tangent_cone_generators,
+    unimodular_partition,
+)
+from repro.genfunc.lattice import NoIntegerSolution, solve_eq_system
+from repro.genfunc.specialize import (
+    ConeTerm,
+    cone_lattice_apex,
+    ray_lattice_apex,
+    segment_lattice_count,
+    specialize,
+)
+from repro.omega.affine import Affine
+from repro.omega.constraints import Constraint
+from repro.omega.eliminate import SplinterError, eliminate_exact_disjoint
+from repro.omega.problem import Conjunct
+from repro.omega.satisfiability import satisfiable
+from repro.qpoly import Polynomial
+
+#: Residual dimension the cone stage handles (points, segments, 2D
+#: polygons).  Higher-dimensional clauses fall back to the recursion.
+MAX_DIMENSION = 2
+
+#: Cap on chained wildcard projections for one clause; past this the
+#: clause is declared unsupported rather than risking a runaway
+#: splinter cascade.
+_MAX_PROJECTION_DEPTH = 16
+
+
+class UnsupportedFormula(Exception):
+    """The genfunc backend cannot answer this query exactly.
+
+    This is a *routing* signal, not an error: the backend router
+    catches it and falls back to the splinter recursion.
+    """
+
+
+def _promotable_wildcards(conj: Conjunct) -> List[str]:
+    """Wildcards uniquely determined by a private equality.
+
+    A stride wildcard ``w`` (single constraint, an EQ, nonzero
+    coefficient after normalize) whose EQ mentions no *other* wildcard
+    has at most one integer value per assignment of the remaining
+    variables -- adding it to the count dimensions is a bijection on
+    solution sets.
+    """
+    out = []
+    for w in sorted(conj.wildcards):
+        if not conj.is_stride_wildcard(w):
+            continue
+        eq = conj.constraints_on(w)[0]
+        if any(v in conj.wildcards and v != w for v in eq.variables()):
+            continue
+        out.append(w)
+    return out
+
+
+def clause_count(conj: Conjunct, over: Sequence[str], _depth: int = 0) -> int:
+    """Exact number of integer solutions of one conjunct in ``over``.
+
+    Raises :class:`UnsupportedFormula` outside the supported fragment
+    and :class:`UnboundedSumError` when the count is infinite.
+    """
+    over = list(dict.fromkeys(over))
+    norm = conj.normalize()
+    if norm is None:
+        return 0
+    conj = norm
+
+    promoted = _promotable_wildcards(conj)
+    leftover = [w for w in sorted(conj.wildcards) if w not in promoted]
+    if leftover:
+        if _depth >= _MAX_PROJECTION_DEPTH:
+            raise UnsupportedFormula("wildcard projection depth exceeded")
+        w = leftover[0]
+        demoted = Conjunct(
+            conj.constraints, (x for x in conj.wildcards if x != w)
+        )
+        try:
+            pieces = eliminate_exact_disjoint(demoted, w)
+        except SplinterError:
+            raise UnsupportedFormula("wildcard projection splinters too much")
+        return sum(clause_count(p, over, _depth + 1) for p in pieces)
+
+    if stats.ENABLED:
+        stats.bump("genfunc_clauses")
+
+    used = set()
+    for c in conj.constraints:
+        used.update(c.variables())
+    if any(v not in over and v not in promoted for v in used):
+        raise UnsupportedFormula(
+            "free symbolic constants: %s"
+            % ", ".join(sorted(used - set(over) - set(promoted)))
+        )
+    if any(v not in used for v in over):
+        # A counted variable no constraint mentions ranges over all of
+        # Z; the count is infinite unless the rest is unsatisfiable.
+        if satisfiable(conj):
+            raise UnboundedSumError(
+                "counted variable unconstrained in clause"
+            )
+        return 0
+
+    dims = over + promoted
+    col = {v: i for i, v in enumerate(dims)}
+
+    eq_rows = []
+    eq_rhs = []
+    geqs = []
+    for c in conj.constraints:
+        if c.is_eq():
+            row = [0] * len(dims)
+            for v, k in c.expr.coeffs:
+                row[col[v]] = k
+            eq_rows.append(row)
+            eq_rhs.append(-c.expr.const)
+        else:
+            geqs.append(c)
+
+    if eq_rows:
+        try:
+            x0, basis = solve_eq_system(eq_rows, eq_rhs)
+        except NoIntegerSolution:
+            return 0
+    else:
+        x0 = [0] * len(dims)
+        basis = [
+            [1 if j == i else 0 for j in range(len(dims))]
+            for i in range(len(dims))
+        ]
+    k = len(basis)
+    if k > MAX_DIMENSION:
+        raise UnsupportedFormula(
+            "residual dimension %d exceeds %d" % (k, MAX_DIMENSION)
+        )
+
+    # Rewrite each GEQ  a.x + c >= 0  into t coordinates via
+    # x = x0 + B t:  (a.B) t + (c + a.x0) >= 0.
+    t_rows = []
+    for c in geqs:
+        coeff = [0] * len(dims)
+        for v, kk in c.expr.coeffs:
+            coeff[col[v]] = kk
+        const = c.expr.const + sum(
+            coeff[i] * x0[i] for i in range(len(dims))
+        )
+        trow = tuple(
+            sum(coeff[i] * basis[j][i] for i in range(len(dims)))
+            for j in range(k)
+        ) + (const,)
+        t_rows.append(trow)
+
+    if k == 0:
+        return 1 if all(row[-1] >= 0 for row in t_rows) else 0
+    if k == 1:
+        return _count_interval(t_rows)
+    return _count_polygon([(r[0], r[1], r[2]) for r in t_rows])
+
+
+def _count_interval(rows: Sequence[Tuple[int, int]]) -> int:
+    """``|{t in Z : b t + c >= 0 for all rows}|`` (1-dimensional)."""
+    lo = None
+    hi = None
+    for b, c in rows:
+        if b == 0:
+            if c < 0:
+                return 0
+            continue
+        if b > 0:
+            bound = -(c // b)  # t >= -c/b, so t >= ceil(-c/b)
+            lo = bound if lo is None else max(lo, bound)
+        else:
+            bound = c // (-b)  # t <= c/(-b), so t <= floor(c/(-b))
+            hi = bound if hi is None else min(hi, bound)
+    if lo is None or hi is None:
+        raise UnboundedSumError("one-sided integer interval is infinite")
+    return max(0, hi - lo + 1)
+
+
+def _count_polygon(rows) -> int:
+    """``|{t in Z^2 : a . t + c >= 0 for all rows}|`` via Brion."""
+    live = []
+    for a1, a2, c in rows:
+        if a1 == 0 and a2 == 0:
+            if c < 0:
+                return 0
+            continue
+        live.append((a1, a2, c))
+    if not live or recession_direction(live) is not None:
+        probe = Conjunct(
+            Constraint.geq(Affine({"t1": a1, "t2": a2}, c))
+            for a1, a2, c in live
+        )
+        if satisfiable(probe):
+            raise UnboundedSumError("clause recedes along a lattice direction")
+        return 0
+    vertices = feasible_vertices(live)
+    if not vertices:
+        return 0
+    hull = convex_hull(vertices)
+    if len(hull) == 1:
+        p = hull[0]
+        return 1 if p[0].denominator == 1 and p[1].denominator == 1 else 0
+    if len(hull) == 2:
+        return segment_lattice_count(hull[0], hull[1])
+
+    terms: List[ConeTerm] = []
+    for idx, vertex in enumerate(hull):
+        g1, g2 = tangent_cone_generators(hull, idx)
+        subcones, inner_rays = unimodular_partition(g1, g2)
+        for u, v in subcones:
+            terms.append((1, cone_lattice_apex(vertex, u, v), (u, v)))
+        for w in inner_rays:
+            apex = ray_lattice_apex(vertex, w)
+            if apex is not None:
+                terms.append((-1, apex, (w,)))
+    if stats.ENABLED:
+        stats.bump("genfunc_cones", len(terms))
+    total = specialize(terms)
+    if total < 0:
+        raise AssertionError("negative polygon count %d" % total)
+    return total
+
+
+def genfunc_count_value(
+    formula, over: Sequence[str], options: SumOptions = DEFAULT_OPTIONS
+) -> int:
+    """Exact integer count of a (symbol-free) formula's solutions.
+
+    Accepts everything :func:`repro.core.general.count` accepts as a
+    formula.  Raises :class:`UnsupportedFormula` outside the supported
+    fragment (free symbolic constants, non-exact strategies, residual
+    dimension above :data:`MAX_DIMENSION`) and
+    :class:`~repro.core.convex.UnboundedSumError` on infinite sets.
+    """
+    from repro.core.general import _clauses
+
+    if not options.strategy.is_exact:
+        raise UnsupportedFormula(
+            "strategy %r needs the recursion's bound machinery"
+            % options.strategy.value
+        )
+    clauses = _clauses(formula)
+    return sum(clause_count(clause, over) for clause in clauses)
+
+
+def genfunc_sum(
+    formula,
+    over: Sequence[str],
+    z: Polynomial,
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """The genfunc backend's answer to ``sum_poly``.
+
+    Only constant summands are supported (``sum z = z * count``); the
+    result is a constant :class:`SymbolicSum` compatible with the
+    recursion's result type.
+    """
+    if z.variables():
+        raise UnsupportedFormula("non-constant summand")
+    total = genfunc_count_value(formula, over, options)
+    value = Polynomial.constant(z.constant_value() * total)
+    return SymbolicSum([Term(Conjunct.true(), value)], "exact")
+
+
+def genfunc_count(
+    formula, over: Sequence[str], options: SumOptions = DEFAULT_OPTIONS
+) -> SymbolicSum:
+    """The genfunc backend's answer to ``count`` (a constant sum)."""
+    return genfunc_sum(formula, over, Polynomial.one, options)

@@ -1,0 +1,109 @@
+"""Integer linear algebra for the generating-function backend.
+
+The cone pipeline first eliminates the clause's equality constraints
+*over the integers*: an EQ system ``E x = f`` either has no integer
+solution (the clause contributes 0), or its solution set is an affine
+lattice ``{x0 + B t : t in Z^k}`` for a particular solution ``x0`` and
+a basis ``B`` of the integer kernel of ``E``.  Substituting that
+parametrization into the inequalities turns the clause into a full
+-dimensional system in the ``t`` coordinates, and the map ``t -> x`` is
+a **bijection** between Z^k and the solution lattice -- so counting
+``t`` points counts ``x`` points.
+
+Both facts come out of the Smith normal form ``U E V = D`` computed by
+:mod:`repro.intarith.smith`: with ``g = U f`` the transformed system is
+``D y = g``; each nonzero diagonal ``d_i`` must divide ``g_i`` (else no
+integer solution), the zero rows must have ``g_i = 0`` (else no
+rational solution either), and the trailing columns of ``V`` -- those
+multiplying the unconstrained ``y`` coordinates -- are a kernel basis.
+"""
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Optional, Sequence, Tuple
+
+from repro.intarith import ext_gcd
+from repro.intarith.matrix import IntMatrix
+from repro.intarith.smith import smith_normal_form
+
+
+class NoIntegerSolution(Exception):
+    """The equality system has no integer solution."""
+
+
+def solve_eq_system(
+    rows: Sequence[Sequence[int]], rhs: Sequence[int]
+) -> Tuple[List[int], List[List[int]]]:
+    """Solve ``rows @ x == rhs`` over the integers.
+
+    Returns ``(x0, basis)``: a particular integer solution and a basis
+    of the integer kernel lattice, so the full integer solution set is
+    ``{x0 + sum_i t_i basis_i : t in Z^k}`` with distinct ``t`` giving
+    distinct ``x``.  Raises :class:`NoIntegerSolution` when the system
+    has no integer solution.  ``rows`` may be empty (every ``x`` is a
+    solution); each row must have the same width.
+    """
+    if not rows:
+        raise ValueError("solve_eq_system needs at least one row; "
+                         "the caller handles the no-EQ case")
+    mat = IntMatrix([list(r) for r in rows])
+    n = mat.ncols
+    u, d, v = smith_normal_form(mat)
+    g = u.mul_vector(list(rhs))
+    y = [0] * n
+    rank = 0
+    for i in range(min(mat.nrows, n)):
+        if d[i, i] != 0:
+            rank += 1
+    for i in range(mat.nrows):
+        di = d[i, i] if i < n else 0
+        if di != 0:
+            if g[i] % di != 0:
+                raise NoIntegerSolution(
+                    "diagonal %d does not divide transformed rhs %d" % (di, g[i])
+                )
+            y[i] = g[i] // di
+        elif g[i] != 0:
+            raise NoIntegerSolution("inconsistent equality system")
+    x0 = v.mul_vector(y)
+    basis = [[v[i, j] for i in range(n)] for j in range(rank, n)]
+    return x0, basis
+
+
+def primitive_vector(vec: Sequence[int]) -> Tuple[int, ...]:
+    """``vec`` divided by the gcd of its entries (must be nonzero)."""
+    g = 0
+    for c in vec:
+        g = gcd(g, c)
+    if g == 0:
+        raise ValueError("zero vector has no primitive form")
+    return tuple(c // g for c in vec)
+
+
+def primitive_direction(dx: Fraction, dy: Fraction) -> Tuple[int, int]:
+    """The primitive integer vector parallel (same sense) to ``(dx, dy)``."""
+    den = (dx.denominator * dy.denominator) // gcd(
+        dx.denominator, dy.denominator
+    )
+    ax = int(dx * den)
+    ay = int(dy * den)
+    out = primitive_vector((ax, ay))
+    return (out[0], out[1])
+
+
+def line_lattice_point(
+    normal: Tuple[int, int], beta: Fraction
+) -> Optional[Tuple[int, int]]:
+    """An integer point on ``{x : normal . x == beta}``, or None.
+
+    ``normal`` must be primitive, so the line holds lattice points iff
+    ``beta`` is an integer; the point comes from a Bezout pair.
+    """
+    if Fraction(beta).denominator != 1:
+        return None
+    b = int(beta)
+    a1, a2 = normal
+    g, s, t = ext_gcd(a1, a2)
+    if g != 1:
+        raise ValueError("normal %r is not primitive" % (normal,))
+    return (s * b, t * b)

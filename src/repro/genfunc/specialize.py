@@ -1,0 +1,181 @@
+"""Generating-function specialization: from signed cones to a number.
+
+By Brion's theorem the generating function of a lattice polytope ``P``
+is the sum over its vertices of the tangent-cone generating functions;
+after the Hirzebruch-Jung partition every cone is **unimodular**, so
+each piece is a closed form
+
+    ``z^a / ((1 - z^{g1}) (1 - z^{g2}))``
+
+with ``a`` the first lattice point of the cone's fundamental domain
+and ``g1, g2`` its primitive generators (one-generator terms for the
+shared interior rays being subtracted, zero-generator terms for bare
+lattice points).  The count ``|P ∩ Z^2|`` is the evaluation at
+``z = 1`` -- a pole of every term individually, removable for the sum.
+
+The standard specialization substitutes ``z = e^{τλ}`` for a generic
+integer direction ``λ`` (no generator orthogonal to it) and extracts
+the coefficient of ``τ^0`` of the Laurent expansion.  With ``m``
+generators, ``s = <λ, a>`` and ``c_j = <λ, g_j>``:
+
+    ``z^a / Π_j (1 - z^{g_j})  ->  e^{sτ} Π_j (-1/c_j) · h(c_j τ) / τ^m``
+
+where ``h(u) = u / (e^u - 1)`` is the Todd-style series, so the
+``τ^0`` coefficient of the term is ``[τ^m] e^{sτ} Π_j (-1/c_j) h(c_j τ)``
+-- a finite product of truncated power series over exact Fractions.
+``h`` expands with Bernoulli numbers in the ``B1 = -1/2`` convention;
+:func:`repro.intarith.bernoulli` uses ``B1 = +1/2``, so the linear
+coefficient is negated here.
+"""
+
+import math
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.intarith import bernoulli
+from repro.genfunc.cones import Point, Vec, det2
+from repro.genfunc.lattice import line_lattice_point, primitive_vector
+
+#: One signed unimodular term: (sign, lattice apex, generator list).
+#: Zero generators = a single lattice point; one = a lattice ray;
+#: two = a unimodular cone.
+ConeTerm = Tuple[int, Tuple[int, int], Tuple[Vec, ...]]
+
+
+def cone_lattice_apex(vertex: Point, g1: Vec, g2: Vec) -> Tuple[int, int]:
+    """The lattice point ``a`` with
+    ``cone(vertex; g1, g2) ∩ Z^2 = {a + k1 g1 + k2 g2 : k >= 0}``.
+
+    Valid only for unimodular generators (``|det| = 1``): the half-open
+    fundamental parallelepiped then holds exactly one lattice point.
+    In the generator basis the cone is ``{vertex' + k : k >= 0}``, and
+    lattice points are the integer translates of ``-G^{-1} vertex``;
+    the componentwise-minimal one shifts each coordinate up by the
+    fractional part.
+    """
+    d = det2(g1, g2)
+    if d not in (1, -1):
+        raise ValueError("apex formula needs a unimodular cone")
+    t1 = Fraction(g2[1] * vertex[0] - g2[0] * vertex[1], d)
+    t2 = Fraction(-g1[1] * vertex[0] + g1[0] * vertex[1], d)
+    k1 = -t1 - math.floor(-t1)
+    k2 = -t2 - math.floor(-t2)
+    ax = vertex[0] + g1[0] * k1 + g2[0] * k2
+    ay = vertex[1] + g1[1] * k1 + g2[1] * k2
+    if ax.denominator != 1 or ay.denominator != 1:
+        raise AssertionError("unimodular apex must be integral")
+    return (int(ax), int(ay))
+
+
+def ray_lattice_apex(vertex: Point, w: Vec) -> Optional[Tuple[int, int]]:
+    """The first lattice point on ``{vertex + s w : s >= 0}``, or None.
+
+    ``w`` must be primitive.  The carrier line has lattice points iff
+    its (primitive-normal) offset is integral; they are then spaced by
+    exactly ``w``, so the minimal feasible one is a ceiling away.
+    """
+    normal = (-w[1], w[0])
+    beta = normal[0] * vertex[0] + normal[1] * vertex[1]
+    base = line_lattice_point(normal, beta)
+    if base is None:
+        return None
+    if w[0] != 0:
+        s0 = Fraction(base[0] - vertex[0], w[0])
+    else:
+        s0 = Fraction(base[1] - vertex[1], w[1])
+    k = math.ceil(-s0)
+    return (base[0] + k * w[0], base[1] + k * w[1])
+
+
+def segment_lattice_count(p: Point, q: Point) -> int:
+    """``|[p, q] ∩ Z^2|`` for rational endpoints ``p != q``."""
+    dx, dy = q[0] - p[0], q[1] - p[1]
+    den = (dx.denominator * dy.denominator) // math.gcd(
+        dx.denominator, dy.denominator
+    )
+    w = primitive_vector((int(dx * den), int(dy * den)))
+    start = ray_lattice_apex(p, (w[0], w[1]))
+    if start is None:
+        return 0
+    # parameter of the far endpoint along w from start
+    if w[0] != 0:
+        smax = Fraction(q[0] - start[0], w[0])
+    else:
+        smax = Fraction(q[1] - start[1], w[1])
+    if smax < 0:
+        return 0
+    return math.floor(smax) + 1
+
+
+def _generic_direction(terms: Sequence[ConeTerm]) -> Vec:
+    """A deterministic λ with ``<λ, g> != 0`` for every generator.
+
+    ``λ = (1, t)`` kills a generator only when ``t = -g_x / g_y``; with
+    ``n`` generators some ``t in {0..n}`` survives them all.
+    """
+    gens = [g for _sign, _apex, gs in terms for g in gs]
+    for t in range(len(gens) + 2):
+        lam = (1, t)
+        if all(lam[0] * g[0] + lam[1] * g[1] != 0 for g in gens):
+            return lam
+    raise AssertionError("unreachable: fewer bad directions than candidates")
+
+
+def _exp_series(s: int, degree: int) -> List[Fraction]:
+    """Taylor coefficients of ``e^{sτ}`` through ``τ^degree``."""
+    out = [Fraction(1)]
+    for n in range(1, degree + 1):
+        out.append(out[-1] * s / n)
+    return out
+
+
+def _todd_series(c: int, degree: int) -> List[Fraction]:
+    """Taylor coefficients of ``h(cτ) = cτ / (e^{cτ} - 1)``."""
+    out = []
+    power = Fraction(1)
+    for n in range(degree + 1):
+        bn = Fraction(-1, 2) if n == 1 else Fraction(bernoulli(n))
+        out.append(bn * power / math.factorial(n))
+        power *= c
+    return out
+
+
+def _mul_series(
+    a: Sequence[Fraction], b: Sequence[Fraction], degree: int
+) -> List[Fraction]:
+    out = [Fraction(0)] * (degree + 1)
+    for i, ai in enumerate(a[: degree + 1]):
+        if ai == 0:
+            continue
+        for j in range(min(degree - i, len(b) - 1) + 1):
+            out[i + j] += ai * b[j]
+    return out
+
+
+def specialize(terms: Iterable[ConeTerm]) -> int:
+    """Evaluate a signed sum of unimodular-cone GFs at ``z = 1``.
+
+    Returns the exact integer count; raises AssertionError if the
+    rational total is non-integral (which would mean the cone
+    decomposition upstream is wrong, never a property of the input).
+    """
+    terms = list(terms)
+    if not terms:
+        return 0
+    lam = _generic_direction(terms)
+    total = Fraction(0)
+    for sign, apex, gens in terms:
+        m = len(gens)
+        s = lam[0] * apex[0] + lam[1] * apex[1]
+        series = _exp_series(s, m)
+        scale = Fraction(1)
+        for g in gens:
+            c = lam[0] * g[0] + lam[1] * g[1]
+            series = _mul_series(series, _todd_series(c, m), m)
+            scale *= Fraction(-1, c)
+        total += sign * scale * series[m]
+    if total.denominator != 1:
+        raise AssertionError(
+            "specialized count %r is not an integer" % (total,)
+        )
+    return int(total)

@@ -124,7 +124,18 @@ def execute_request(req: JobRequest) -> dict:
     anything else that escapes is an engine failure the caller wraps.
     The caller is responsible for stats reset/enable when per-job
     isolation is wanted (the pool worker does this).
+
+    A request carrying ``backend`` runs under that counting backend:
+    the process-global router default is switched for the duration of
+    the job (and restored after), so the ``backend`` key of the
+    payload's ``stats`` block reports what the job actually ran with.
+    The field is excluded from the content hash, so a cached response
+    may have been computed by either backend -- both are exact.
     """
+    from repro.core import set_backend
+    from repro.core.backend import resolve_backend
+
+    previous_backend = set_backend(resolve_backend(req.backend))
     try:
         if req.kind == "simplify":
             clauses = simplify_formula(
@@ -163,6 +174,8 @@ def execute_request(req: JobRequest) -> dict:
         raise JobError(PARSE_ERROR, str(exc))
     except stats.WorkBudgetExceeded as exc:
         raise JobError(BUDGET_EXCEEDED, str(exc))
+    finally:
+        set_backend(previous_backend)
 
 
 def _worker_main(req_json: dict, conn, budget: Optional[int]) -> None:

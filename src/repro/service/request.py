@@ -37,6 +37,7 @@ import json
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro import __version__ as ENGINE_VERSION
+from repro.core.backend import BACKENDS
 from repro.core.canon import (
     _BOUND_PREFIX,
     _MASK,
@@ -83,6 +84,7 @@ class JobRequest:
         "at",
         "timeout",
         "budget",
+        "backend",
     )
 
     def __init__(
@@ -99,6 +101,7 @@ class JobRequest:
         at: Sequence[Mapping[str, int]] = (),
         timeout: Optional[float] = None,
         budget: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         if kind not in KINDS:
             raise RequestError("unknown job kind %r (want one of %s)" % (kind, "/".join(KINDS)))
@@ -144,6 +147,15 @@ class JobRequest:
             raise RequestError("evaluate job needs a non-empty 'at' list")
         self.timeout = float(timeout) if timeout is not None else None
         self.budget = int(budget) if budget is not None else None
+        if backend is not None and backend not in BACKENDS:
+            raise RequestError(
+                "unknown backend %r (want one of %s)"
+                % (backend, "/".join(BACKENDS))
+            )
+        # Deliberately NOT part of canonical_payload(): both backends
+        # are exact, so answers are interchangeable and cross-backend
+        # cache hits stay valid.
+        self.backend = backend
 
     # -- wire format ------------------------------------------------------
 
@@ -164,6 +176,7 @@ class JobRequest:
             "at",
             "timeout",
             "budget",
+            "backend",
         }
         unknown = sorted(set(obj) - known)
         if unknown:
@@ -184,6 +197,7 @@ class JobRequest:
             at=obj.get("at", ()),
             timeout=obj.get("timeout"),
             budget=obj.get("budget"),
+            backend=obj.get("backend"),
         )
 
     def to_json(self) -> dict:
@@ -207,6 +221,8 @@ class JobRequest:
             out["timeout"] = self.timeout
         if self.budget is not None:
             out["budget"] = self.budget
+        if self.backend is not None:
+            out["backend"] = self.backend
         return out
 
     # -- content identity -------------------------------------------------

@@ -32,6 +32,10 @@ The invariants:
   Affine path produce byte-identical serialized answers and evaluated
   values (the ``REPRO_KERNELS`` contract), each computed from a cold
   engine so neither backend can ride the other's caches.
+* ``genfunc_backend`` -- the generating-function backend
+  (:mod:`repro.genfunc`), both through the router (fallback included)
+  and engine-against-engine on the concretized formula, agrees with
+  the recursion at every sampled assignment.
 * ``formula_simplify`` -- ``presburger.simplify`` preserves the
   solution set, and its disjoint form covers each point exactly once.
 * ``gist_preserves`` -- ``gist(C, Q) ∧ Q  ≡  C ∧ Q`` pointwise.
@@ -491,6 +495,63 @@ def check_kernels_backend(case: FuzzCase) -> Optional[CheckFailure]:
     return None
 
 
+def check_genfunc_backend(case: FuzzCase) -> Optional[CheckFailure]:
+    """The generating-function backend agrees with the recursion.
+
+    Two layers:
+
+    * **Router**: ``count(..., backend="genfunc")`` -- which answers
+      from the cone pipeline inside its fragment and falls back to the
+      recursion outside it -- must evaluate to the recursion's answer
+      at every sampled assignment.
+    * **Engine-vs-engine**: per assignment, the symbol values are
+      substituted into the formula and the now-concrete query is
+      counted *directly* by :func:`repro.genfunc.genfunc_count_value`;
+      an independent exact engine, so agreement here is a far stronger
+      oracle than the brute-force box.  Assignments the cone pipeline
+      rejects (``UnsupportedFormula``) are skipped, never failed --
+      the router's fallback covers them above.
+    """
+    from repro.core.memo import clear_answer_memo
+    from repro.genfunc import UnsupportedFormula, genfunc_count_value
+    from repro.omega.constraints import reset_fresh_counter
+    from repro.omega.satisfiability import clear_sat_cache
+
+    def cold():
+        clear_sat_cache()
+        clear_answer_memo()
+        reset_fresh_counter()
+
+    cold()
+    baseline = count(case.formula, list(case.over))
+    cold()
+    routed = count(case.formula, list(case.over), backend="genfunc")
+    envs = [dict(env) for env in case.envs] or [{}]
+    for env in envs:
+        want = baseline.evaluate(env)
+        got = routed.evaluate(env)
+        if got != want or type(got) is not type(want):
+            return CheckFailure(
+                "genfunc_backend",
+                "routed genfunc %r != recursion %r at %s"
+                % (got, want, env),
+                case,
+            )
+        concrete = case.formula.substitute_values(env) if env else case.formula
+        try:
+            direct = genfunc_count_value(concrete, list(case.over))
+        except UnsupportedFormula:
+            continue
+        if direct != want:
+            return CheckFailure(
+                "genfunc_backend",
+                "genfunc cone count %r != recursion %r at %s"
+                % (direct, want, env),
+                case,
+            )
+    return None
+
+
 def check_compiled_eval(case: FuzzCase) -> Optional[CheckFailure]:
     """Compiled evaluation is bit-for-bit the interpreted evaluation.
 
@@ -564,6 +625,7 @@ CHECKS: Dict[str, Tuple[int, Callable[[FuzzCase], Optional[CheckFailure]]]] = {
     "compiled_eval": (2, check_compiled_eval),
     "answer_memo": (2, check_answer_memo),
     "kernels_backend": (2, check_kernels_backend),
+    "genfunc_backend": (2, check_genfunc_backend),
     "formula_simplify": (7, check_formula_simplify),
     "gist_preserves": (7, check_gist_preserves),
     "disjoint_vs_ie": (5, check_disjoint_vs_ie),
