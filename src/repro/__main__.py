@@ -122,10 +122,10 @@ def main(argv=None) -> int:
                 "--backend",
                 choices=list(BACKENDS),
                 default=None,
-                help="counting backend: the splinter recursion or the "
-                "generating-function engine (genfunc falls back to the "
-                "recursion outside its fragment; default: "
-                "REPRO_BACKEND or recursion)",
+                help="counting backend: the splinter recursion, the "
+                "generating-function engine, or the binary automaton "
+                "(genfunc/automaton fall back to the recursion outside "
+                "their fragments; default: REPRO_BACKEND or recursion)",
             )
             p.add_argument(
                 "--simplify",

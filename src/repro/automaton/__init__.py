@@ -1,0 +1,83 @@
+"""Binary-automaton counting and membership backend.
+
+A third exact engine beside the splinter recursion and
+:mod:`repro.genfunc`: each clause's EQ/GEQ atoms become carry automata
+over LSBF two's-complement binary tracks, products are built with
+on-the-fly reachability, wildcards (strides, quantifiers) are
+existentially projected by subset construction, and clauses are
+unioned and Moore-minimized.  The payoff is *amortization*: one build
+per formula, then streams of O(bits) membership queries and
+box/threshold counts by path DP -- the shape behind the ``member``
+and ``count_below`` service kinds.
+
+Selected through the backend router
+(``repro.core.set_backend("automaton")`` / ``REPRO_BACKEND=automaton``
+/ ``count(..., backend="automaton")``); queries outside the supported
+fragment raise :class:`UnsupportedFormula` and the router falls back
+to the recursion.
+
+Supported fragment: exact strategies, constant summands, no free
+symbolic constants, and at most :data:`~repro.automaton.build.MAX_TRACKS`
+binary tracks (counted variables + wildcards) per clause within the
+state budget.  Unlike genfunc there is no dimension-2 limit -- cost
+scales with carry ranges (log of coefficient/constant magnitude), not
+with geometry.
+"""
+
+from repro.automaton.build import (
+    MAX_TRACKS,
+    STATE_BUDGET,
+    Automaton,
+    UnsupportedFormula,
+    build_automaton,
+    clause_automaton,
+)
+from repro.automaton.cache import (
+    automaton_cache_info,
+    clear_automaton_cache,
+)
+from repro.automaton.count import (
+    automaton_count,
+    automaton_count_value,
+    automaton_for,
+    automaton_key,
+    automaton_sum,
+    has_resident_automaton,
+)
+from repro.automaton.encode import decode_word, encode_point, min_width
+from repro.automaton.minimize import minimize
+from repro.automaton.query import (
+    count_below,
+    count_box,
+    count_exact,
+    count_width,
+    member,
+    member_env,
+)
+
+__all__ = [
+    "MAX_TRACKS",
+    "STATE_BUDGET",
+    "Automaton",
+    "UnsupportedFormula",
+    "automaton_cache_info",
+    "automaton_count",
+    "automaton_count_value",
+    "automaton_for",
+    "automaton_key",
+    "automaton_sum",
+    "build_automaton",
+    "clause_automaton",
+    "clear_automaton_cache",
+    "count_below",
+    "count_box",
+    "count_exact",
+    "count_width",
+    "decode_word",
+    "encode_point",
+    "has_resident_automaton",
+    "member",
+    "member_env",
+    "min_width",
+    "minimize",
+]

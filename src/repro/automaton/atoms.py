@@ -1,0 +1,102 @@
+"""Carry automata for single EQ / GEQ atoms over binary tracks.
+
+One affine atom ``a . x + c  (= | >=)  0`` becomes a deterministic
+automaton whose states are integer carries.  Reading letters LSB
+first, after ``j`` letters the running total is
+``T_j = c + a . X_j`` where ``X_j`` is the value of the bits read so
+far (non-negative interpretation).  The state is:
+
+* **GEQ**: ``s_j = floor(T_j / 2**j)`` -- everything the remaining
+  (more significant) bits can still shift.  The exact invariant gives
+  the exact transition ``s' = (s + a.beta) >> 1`` (arithmetic shift),
+  and since the last letter beta contributes ``-a.beta * 2**(k-1)``
+  instead of ``+``, the atom holds iff ``T_{k-1} >= a.beta * 2**(k-1)``,
+  i.e. iff ``s >= a.beta`` at the transition that consumes the sign
+  letter.
+* **EQ**: ``s_j = T_j / 2**j`` exactly; an odd total is a dead end
+  (``T_j`` not divisible by ``2**j`` can never reach the multiple of
+  ``2**(k-1)`` that a zero value requires).  The atom holds iff
+  ``s == a.beta`` on the sign letter.
+
+Acceptance therefore lives on **transitions**: ``accepts(s, letter)``
+answers "if this letter were the last (sign) letter, would the atom
+hold?".  This keeps atom state spaces to ``O(log|c| + sum|a_i|)``
+carries -- no per-letter history is stored in the state.
+
+``dots[letter]`` pre-tabulates ``a . beta`` for every letter of the
+clause's alphabet so the hot product loop is one add and one shift.
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.omega.constraints import Constraint
+
+
+def _dot_table(coeffs: Sequence[int], nbits: int) -> List[int]:
+    dots = [0] * (1 << nbits)
+    for letter in range(1, 1 << nbits):
+        low = letter & -letter
+        dots[letter] = dots[letter ^ low] + coeffs[low.bit_length() - 1]
+    return dots
+
+
+class GeqAtom:
+    """``a . x + c >= 0`` as a carry automaton (states are ints)."""
+
+    __slots__ = ("dots", "initial")
+
+    def __init__(self, coeffs: Sequence[int], const: int, nbits: int):
+        self.dots = _dot_table(coeffs, nbits)
+        self.initial = const
+
+    def step(self, s: int, letter: int) -> int:
+        return (s + self.dots[letter]) >> 1
+
+    def accepts(self, s: int, letter: int) -> bool:
+        return s >= self.dots[letter]
+
+
+class EqAtom:
+    """``a . x + c == 0`` as a carry automaton (``None`` = dead)."""
+
+    __slots__ = ("dots", "initial")
+
+    def __init__(self, coeffs: Sequence[int], const: int, nbits: int):
+        self.dots = _dot_table(coeffs, nbits)
+        self.initial = const
+
+    def step(self, s: int, letter: int) -> Optional[int]:
+        t = s + self.dots[letter]
+        if t & 1:
+            return None
+        return t >> 1
+
+    def accepts(self, s: int, letter: int) -> bool:
+        return s == self.dots[letter]
+
+
+def atom_for_constraint(c: Constraint, tracks: Sequence[str]):
+    """Build the carry automaton for one constraint over ``tracks``."""
+    col = {v: i for i, v in enumerate(tracks)}
+    coeffs = [0] * len(tracks)
+    for v, k in c.expr.coeffs:
+        coeffs[col[v]] = k
+    cls = EqAtom if c.is_eq() else GeqAtom
+    return cls(coeffs, c.expr.const, len(tracks))
+
+
+def bound_atom(track: int, nbits: int, lo=None, hi=None) -> List[GeqAtom]:
+    """Interval atoms ``lo <= x_track <= hi`` over an existing alphabet.
+
+    Either bound may be ``None`` (one-sided).  Used by the box/threshold
+    query engine to intersect a built automaton with per-variable
+    ranges without rebuilding it.
+    """
+    unit = [0] * nbits
+    unit[track] = 1
+    out = []
+    if lo is not None:
+        out.append(GeqAtom(unit, -lo, nbits))  # x - lo >= 0
+    if hi is not None:
+        out.append(GeqAtom([-u for u in unit], hi, nbits))  # hi - x >= 0
+    return out

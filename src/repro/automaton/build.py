@@ -1,0 +1,330 @@
+"""Automaton construction: product, projection, saturation, union.
+
+The pipeline for one clause (conjunct):
+
+1. ``normalize()`` the conjunct (gcd-tighten, trivial emptiness).
+2. Build one carry automaton per constraint (:mod:`.atoms`) over the
+   clause's tracks: the counted variables in their given order on the
+   low letter bits, wildcard (quantified) variables on the high bits.
+3. **Product** with on-the-fly reachability: only carry combinations
+   reachable from the initial carries are materialized; a transition
+   accepts iff every atom's does.
+4. **Projection** of the wildcard bits (existential quantification):
+   subset construction over the restricted alphabet, a transition
+   accepting iff some member state accepts under some wildcard
+   extension of the letter.
+5. **Saturation**: projection breaks sign-extension closure (a short
+   encoding of x may only have long witnesses for the wildcards), so
+   re-close the language downward: a transition ``(q, letter)``
+   accepts iff some ``delta_letter``-chain from ``q`` has an accepting
+   ``letter`` transition.  Computed per letter by one reverse BFS over
+   the functional graph ``q -> delta[q][letter]``.
+
+Clauses are then folded together by an accepting-transition **union**
+product (no disjointification needed -- automaton union is exact on
+overlapping clauses) with Moore minimization (:mod:`.minimize`)
+between folds to keep intermediates small.
+
+All constructions share one state budget; exceeding it raises
+:class:`UnsupportedFormula`, which the backend router treats as a
+routing signal (fall back to the recursion), mirroring
+:class:`repro.genfunc.UnsupportedFormula`.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.automaton.atoms import atom_for_constraint
+from repro.omega.problem import Conjunct
+
+#: Cap on letter bits per clause (counted variables + wildcards); the
+#: alphabet is 2**tracks, so products past this are hopeless anyway.
+MAX_TRACKS = 8
+
+#: Cap on states materialized by any single product / subset
+#: construction.  Past it the formula is routed back to the recursion.
+STATE_BUDGET = 20000
+
+
+class UnsupportedFormula(Exception):
+    """The automaton backend cannot answer this query exactly.
+
+    A *routing* signal, not an error: the backend router catches it
+    and falls back to the recursion (``automaton_fallbacks`` counter).
+    """
+
+
+class Automaton:
+    """A deterministic automaton with *accepting transitions*.
+
+    ``delta[q][letter]`` is the successor state; bit ``letter`` of
+    ``accept[q]`` says whether reading ``letter`` from ``q`` as the
+    final (sign) letter accepts.  Words have length >= 1; the language
+    is closed under sign extension and downward to each tuple's
+    minimal encoding, so it is exactly "all encodings of the solution
+    set" -- which is what makes membership at any width >= minimal and
+    minimal-word counting well defined.
+    """
+
+    __slots__ = ("nbits", "variables", "initial", "delta", "accept",
+                 "_depth_counts")
+
+    def __init__(self, nbits: int, variables: Tuple[str, ...],
+                 initial: int, delta: List[List[int]], accept: List[int]):
+        self.nbits = nbits
+        self.variables = tuple(variables)
+        self.initial = initial
+        self.delta = delta
+        self.accept = accept
+        self._depth_counts = None  # memoized state x depth count tables
+
+    @property
+    def n_states(self) -> int:
+        return len(self.delta)
+
+
+class _AutomatonComponent:
+    """Adapter exposing a built Automaton to the generic product."""
+
+    __slots__ = ("initial", "_delta", "_accept")
+
+    def __init__(self, aut: Automaton):
+        self.initial = aut.initial
+        self._delta = aut.delta
+        self._accept = aut.accept
+
+    def step(self, s: int, letter: int) -> int:
+        return self._delta[s][letter]
+
+    def accepts(self, s: int, letter: int) -> bool:
+        return bool((self._accept[s] >> letter) & 1)
+
+
+def component(aut: Automaton) -> _AutomatonComponent:
+    return _AutomatonComponent(aut)
+
+
+_DEAD = "dead"  # interning key for the absorbing reject state
+
+
+def product(components, nbits: int, variables: Sequence[str],
+            mode: str = "and", budget: int = STATE_BUDGET) -> Automaton:
+    """Reachable product of carry automata / built automata.
+
+    ``mode="and"`` intersects (transition accepts iff all components
+    accept), ``mode="or"`` unions.  Components may step to ``None``
+    (dead): under "and" the product transitions to one absorbing
+    reject state; under "or" dead components ride along as ``None``
+    until all are dead.
+    """
+    conj = mode == "and"
+    nletters = 1 << nbits
+    init = tuple(c.initial for c in components)
+    index = {init: 0}
+    states = [init]
+    delta: List[List[int]] = []
+    accept: List[int] = []
+    i = 0
+    while i < len(states):
+        state = states[i]
+        i += 1
+        if state is _DEAD:
+            delta.append([index[_DEAD]] * nletters)
+            accept.append(0)
+            continue
+        row = []
+        mask = 0
+        for letter in range(nletters):
+            nxts = []
+            alive_all = True
+            alive_any = False
+            ok = conj
+            for comp, s in zip(components, state):
+                if s is None:
+                    nxts.append(None)
+                    alive_all = False
+                    continue
+                nxt = comp.step(s, letter)
+                acc = comp.accepts(s, letter)
+                nxts.append(nxt)
+                if nxt is None:
+                    alive_all = False
+                else:
+                    alive_any = True
+                if conj:
+                    ok = ok and acc
+                else:
+                    ok = ok or acc
+            if ok:
+                mask |= 1 << letter
+            if (conj and not alive_all) or not (alive_any or not components):
+                target = _DEAD
+            else:
+                target = tuple(nxts)
+            at = index.get(target)
+            if at is None:
+                at = index[target] = len(states)
+                states.append(target)
+                if len(states) > budget:
+                    raise UnsupportedFormula(
+                        "state budget exceeded (%d states)" % len(states)
+                    )
+            row.append(at)
+        delta.append(row)
+        accept.append(mask)
+    return Automaton(nbits, tuple(variables), 0, delta, accept)
+
+
+def project(aut: Automaton, keep: int, variables: Sequence[str],
+            budget: int = STATE_BUDGET) -> Automaton:
+    """Existentially project away all letter bits above ``keep``.
+
+    Subset construction: the result reads only the low ``keep`` bits;
+    a transition accepts iff some member state accepts under some
+    assignment of the dropped bits on that letter.
+    """
+    drop = aut.nbits - keep
+    exts = [w << keep for w in range(1 << drop)]
+    nletters = 1 << keep
+    full_delta = aut.delta
+    full_accept = aut.accept
+    init = frozenset([aut.initial])
+    index = {init: 0}
+    states = [init]
+    delta: List[List[int]] = []
+    accept: List[int] = []
+    i = 0
+    while i < len(states):
+        subset = states[i]
+        i += 1
+        row = []
+        mask = 0
+        for letter in range(nletters):
+            nxt = set()
+            acc = False
+            for ext in exts:
+                full = letter | ext
+                for q in subset:
+                    nxt.add(full_delta[q][full])
+                    if not acc and (full_accept[q] >> full) & 1:
+                        acc = True
+            if acc:
+                mask |= 1 << letter
+            target = frozenset(nxt)
+            at = index.get(target)
+            if at is None:
+                at = index[target] = len(states)
+                states.append(target)
+                if len(states) > budget:
+                    raise UnsupportedFormula(
+                        "projection subset budget exceeded (%d states)"
+                        % len(states)
+                    )
+            row.append(at)
+        delta.append(row)
+        accept.append(mask)
+    return Automaton(keep, tuple(variables), 0, delta, accept)
+
+
+def saturate(aut: Automaton) -> Automaton:
+    """Close acceptance under sign extension of the last letter.
+
+    Marks ``(q, letter)`` accepting iff some iterate
+    ``delta_letter^m(q)`` (m >= 0) already accepts ``letter``: the word
+    reaching ``q`` denotes the same tuple as its ``letter``-extensions,
+    so if any extension is in the language the short encoding must be
+    too.  One reverse BFS per letter over the functional graph.
+    """
+    n = len(aut.delta)
+    nletters = 1 << aut.nbits
+    new_accept = list(aut.accept)
+    for letter in range(nletters):
+        rev: List[List[int]] = [[] for _ in range(n)]
+        for q in range(n):
+            rev[aut.delta[q][letter]].append(q)
+        stack = [q for q in range(n) if (aut.accept[q] >> letter) & 1]
+        seen = [False] * n
+        for q in stack:
+            seen[q] = True
+        while stack:
+            q = stack.pop()
+            for p in rev[q]:
+                if not seen[p]:
+                    seen[p] = True
+                    stack.append(p)
+        bit = 1 << letter
+        for q in range(n):
+            if seen[q]:
+                new_accept[q] |= bit
+    return Automaton(aut.nbits, aut.variables, aut.initial,
+                     aut.delta, new_accept)
+
+
+def empty_automaton(variables: Sequence[str]) -> Automaton:
+    """The empty language over ``variables`` (one absorbing state)."""
+    nletters = 1 << len(variables)
+    return Automaton(len(variables), tuple(variables), 0,
+                     [[0] * nletters], [0])
+
+
+def clause_automaton(conj: Conjunct,
+                     over: Sequence[str]) -> Optional[Automaton]:
+    """Automaton for one conjunct's solution set over ``over``.
+
+    Returns ``None`` for a trivially empty clause.  Raises
+    :class:`UnsupportedFormula` on free symbolic constants or budget
+    blowups.
+    """
+    from repro.automaton.minimize import minimize
+
+    norm = conj.normalize()
+    if norm is None:
+        return None
+    conj = norm
+    wilds = sorted(conj.wildcards)
+    tracks = list(over) + wilds
+    used = set()
+    for c in conj.constraints:
+        used.update(c.variables())
+    stray = sorted(v for v in used if v not in tracks)
+    if stray:
+        raise UnsupportedFormula(
+            "free symbolic constants: %s" % ", ".join(stray)
+        )
+    if len(tracks) > MAX_TRACKS:
+        raise UnsupportedFormula(
+            "too many binary tracks (%d > %d)" % (len(tracks), MAX_TRACKS)
+        )
+    atoms = [atom_for_constraint(c, tracks) for c in conj.constraints]
+    aut = product(atoms, len(tracks), tracks, "and")
+    if wilds:
+        aut = minimize(aut)
+        aut = project(aut, len(over), over)
+        aut = saturate(aut)
+    return minimize(aut)
+
+
+def build_automaton(formula, over: Sequence[str]) -> Automaton:
+    """Automaton for a whole formula (DNF union of clause automata).
+
+    Accepts everything :func:`repro.core.general.count` accepts as a
+    formula.  Union needs no disjointification -- overlapping clauses
+    are merged exactly by the "or" product.
+    """
+    from repro.automaton.minimize import minimize
+    from repro.core.general import _clauses
+
+    over = list(dict.fromkeys(over))
+    autos = []
+    for conj in _clauses(formula, disjoint=False):
+        aut = clause_automaton(conj, over)
+        if aut is not None:
+            autos.append(aut)
+    if not autos:
+        return empty_automaton(over)
+    result = autos[0]
+    for other in autos[1:]:
+        result = minimize(product(
+            [component(result), component(other)],
+            len(over), over, "or",
+        ))
+    return result

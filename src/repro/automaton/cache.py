@@ -1,0 +1,75 @@
+"""Bounded resident cache of built automata.
+
+Mirrors the serve daemon's resident evalc-artifact tier: automata are
+expensive to build and cheap to query, so the build is keyed by a
+*point-free* alpha-invariant description (canonical formula key plus
+the canonical names of the counted variables in query order -- the
+query point, box bounds and request kind are deliberately excluded)
+and kept in a process-global LRU.  A stream of ``member`` /
+``count_below`` requests against one formula then pays for one build
+no matter how the variables are named or how many distinct points and
+thresholds arrive.
+
+Thread-safe: the serve daemon queries automata from its worker-thread
+pool.  ``REPRO_AUTOMATON_CACHE`` sets the capacity (default 256).
+"""
+
+import os
+import threading
+from collections import OrderedDict
+
+
+def _cap() -> int:
+    return max(1, int(os.environ.get("REPRO_AUTOMATON_CACHE", "256")))
+
+
+_lock = threading.Lock()
+_cache: "OrderedDict[str, object]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def cache_get(key: str):
+    """The cached automaton for ``key``, or ``None`` (LRU-touching)."""
+    global _hits, _misses
+    with _lock:
+        aut = _cache.get(key)
+        if aut is None:
+            _misses += 1
+            return None
+        _cache.move_to_end(key)
+        _hits += 1
+        return aut
+
+
+def cache_peek(key: str) -> bool:
+    """Is ``key`` resident?  No LRU touch, no counters."""
+    with _lock:
+        return key in _cache
+
+
+def cache_put(key: str, aut) -> None:
+    with _lock:
+        _cache[key] = aut
+        _cache.move_to_end(key)
+        cap = _cap()
+        while len(_cache) > cap:
+            _cache.popitem(last=False)
+
+
+def clear_automaton_cache() -> None:
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def automaton_cache_info() -> dict:
+    with _lock:
+        return {
+            "entries": len(_cache),
+            "capacity": _cap(),
+            "hits": _hits,
+            "misses": _misses,
+        }

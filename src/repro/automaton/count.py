@@ -1,0 +1,131 @@
+"""Backend adapters: the automaton engine behind the router.
+
+``automaton_count_value`` / ``automaton_sum`` / ``automaton_count``
+mirror the :mod:`repro.genfunc` entry points so the router in
+:mod:`repro.core.general` can treat the two accelerated backends
+uniformly: anything outside the fragment raises
+:class:`UnsupportedFormula` (strategy not exact, free symbolic
+constants, non-constant summand, state-budget blowups) and the router
+falls back to the recursion; a genuinely infinite set raises
+:class:`~repro.core.convex.UnboundedSumError` exactly like the other
+two backends.
+
+``automaton_for`` is the build entry every query path shares: it
+consults the resident LRU (:mod:`repro.automaton.cache`) under the
+point-free canonical key, so counting, membership streams and
+threshold queries against one formula all amortize a single build.
+"""
+
+from typing import Optional, Sequence
+
+from repro.automaton.build import UnsupportedFormula, build_automaton
+from repro.automaton.cache import cache_get, cache_peek, cache_put
+from repro.automaton.query import count_exact
+from repro.core import stats
+from repro.core.options import DEFAULT_OPTIONS, SumOptions
+from repro.core.result import SymbolicSum, Term
+from repro.omega.problem import Conjunct
+from repro.presburger.ast import Formula
+from repro.qpoly import Polynomial
+
+
+def _parsed(formula):
+    if isinstance(formula, str):
+        from repro.presburger.parser import parse
+
+        return parse(formula)
+    return formula
+
+
+def automaton_key(formula, over: Sequence[str]) -> Optional[str]:
+    """Point-free alpha-invariant cache key, or ``None`` if unkeyable.
+
+    Canonical formula key plus the canonical names of ``over`` in
+    *query order* (track order changes the automaton's letter layout,
+    so it is part of the identity; variable spellings are not).
+    """
+    from repro.core.canon import canonical_formula_key
+
+    formula = _parsed(formula)
+    if not isinstance(formula, Formula):
+        return None
+    key, names = canonical_formula_key(formula, over, None)
+    return "%s||%s" % (key, ",".join(names.get(v, v) for v in over))
+
+
+def automaton_for(formula, over: Sequence[str],
+                  options: SumOptions = DEFAULT_OPTIONS,
+                  cache: bool = True):
+    """Build (or fetch resident) the automaton for a formula.
+
+    Raises :class:`UnsupportedFormula` outside the fragment.
+    """
+    if not options.strategy.is_exact:
+        raise UnsupportedFormula(
+            "strategy %r needs the recursion's bound machinery"
+            % options.strategy.value
+        )
+    formula = _parsed(formula)
+    key = automaton_key(formula, over) if cache else None
+    if key is not None:
+        aut = cache_get(key)
+        if aut is not None:
+            if stats.ENABLED:
+                stats.bump("automaton_cache_hits")
+            return aut
+    aut = build_automaton(formula, over)
+    if stats.ENABLED:
+        stats.bump("automaton_builds")
+        stats.bump("automaton_states", aut.n_states)
+    if key is not None:
+        cache_put(key, aut)
+    return aut
+
+
+def has_resident_automaton(formula, over: Sequence[str]) -> bool:
+    """Is this formula's automaton already built and resident?
+
+    The serve daemon's fast path: when true, ``member`` /
+    ``count_below`` requests can be answered on a worker thread
+    without admission control or a fork.
+    """
+    key = automaton_key(formula, over)
+    return key is not None and cache_peek(key)
+
+
+def automaton_count_value(
+    formula, over: Sequence[str], options: SumOptions = DEFAULT_OPTIONS
+) -> int:
+    """Exact integer count of a (symbol-free) formula's solutions.
+
+    Raises :class:`UnsupportedFormula` outside the fragment and
+    :class:`~repro.core.convex.UnboundedSumError` on infinite sets.
+    """
+    return count_exact(automaton_for(formula, over, options))
+
+
+def automaton_sum(
+    formula,
+    over: Sequence[str],
+    z: Polynomial,
+    options: SumOptions = DEFAULT_OPTIONS,
+) -> SymbolicSum:
+    """The automaton backend's answer to ``sum_poly``.
+
+    Only constant summands are supported (``sum z = z * count``); the
+    result is a constant :class:`SymbolicSum` with the same shape the
+    genfunc backend produces, so the three backends are
+    interchangeable inside the shared fragment.
+    """
+    if z.variables():
+        raise UnsupportedFormula("non-constant summand")
+    total = automaton_count_value(formula, over, options)
+    value = Polynomial.constant(z.constant_value() * total)
+    return SymbolicSum([Term(Conjunct.true(), value)], "exact")
+
+
+def automaton_count(
+    formula, over: Sequence[str], options: SumOptions = DEFAULT_OPTIONS
+) -> SymbolicSum:
+    """The automaton backend's answer to ``count`` (a constant sum)."""
+    return automaton_sum(formula, over, Polynomial.one, options)

@@ -1,0 +1,62 @@
+"""LSBF two's-complement binary encoding of integer tuples.
+
+The automaton backend reads integer tuples as words over the alphabet
+``{0,1}^d``: letter ``j`` packs bit ``j`` of every track (variable)
+into one integer, track ``i`` at bit position ``i``.  Bits come
+least-significant-first and the **last** letter is the sign letter: a
+word ``b_0 .. b_{k-1}`` of length ``k`` decodes track ``i`` as
+
+    x_i  =  sum_{j < k-1} b_{j,i} * 2^j  -  b_{k-1,i} * 2^{k-1}
+
+(ordinary two's complement read LSB first).  Every tuple has one
+*minimal* encoding (length :func:`min_width` of its widest component)
+plus infinitely many sign extensions -- repeating the last letter
+leaves the decoded value unchanged.  A word is minimal iff it has
+length 1 or its last two letters differ.
+
+Python integers are already infinite two's complement (``>>`` is an
+arithmetic shift, ``& 1`` reads the low bit of the complement form for
+negatives), so encoding is plain shifting and masking.
+"""
+
+from typing import List, Sequence
+
+
+def min_width(value: int) -> int:
+    """Length of the shortest encoding of ``value`` (always >= 1).
+
+    The smallest ``k`` with ``-2**(k-1) <= value < 2**(k-1)``.
+    """
+    if value >= 0:
+        return value.bit_length() + 1
+    return (-value - 1).bit_length() + 1
+
+
+def encode_point(values: Sequence[int], width: int) -> List[int]:
+    """Encode a tuple as ``width`` letters (bit-vectors packed as ints).
+
+    ``width`` must be at least ``max(min_width(v) for v in values)``
+    for the decoding to round-trip; extra width sign-extends.
+    """
+    letters = []
+    for j in range(width):
+        letter = 0
+        for i, v in enumerate(values):
+            letter |= ((v >> j) & 1) << i
+        letters.append(letter)
+    return letters
+
+
+def decode_word(letters: Sequence[int], dims: int) -> List[int]:
+    """Inverse of :func:`encode_point` (used by tests)."""
+    k = len(letters)
+    if k == 0:
+        raise ValueError("words have length >= 1")
+    out = []
+    for i in range(dims):
+        v = 0
+        for j in range(k - 1):
+            v += ((letters[j] >> i) & 1) << j
+        v -= ((letters[k - 1] >> i) & 1) << (k - 1)
+        out.append(v)
+    return out

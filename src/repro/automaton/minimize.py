@@ -1,0 +1,63 @@
+"""Moore minimization for transition-accepting automata.
+
+Two states are equivalent iff they accept the same letters (equal
+``accept`` masks) and step to equivalent states on every letter.  The
+fixed point of signature refinement starting from the accept-mask
+partition computes exactly that relation; the quotient automaton is
+rebuilt with blocks numbered in first-occurrence order over the input
+states, so minimization is deterministic given the (BFS-deterministic)
+construction order.
+
+This is the Moore variant of Hopcroft's algorithm: O(n * |alphabet|)
+per pass, at most n passes.  The alphabets here are tiny (2**tracks)
+and products arrive already trimmed to reachable states, so the simple
+variant wins on constant factors and obviousness.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.automaton.build import Automaton
+
+
+def minimize(aut: Automaton) -> Automaton:
+    n = len(aut.delta)
+    if n <= 1:
+        return aut
+    nletters = 1 << aut.nbits
+    delta = aut.delta
+    accept = aut.accept
+
+    ids: List[int] = []
+    first: Dict[int, int] = {}
+    for q in range(n):
+        mask = accept[q]
+        block = first.get(mask)
+        if block is None:
+            block = first[mask] = len(first)
+        ids.append(block)
+    blocks = len(first)
+
+    while True:
+        sigs: Dict[Tuple, int] = {}
+        new_ids = []
+        for q in range(n):
+            sig = (ids[q], tuple(ids[t] for t in delta[q]))
+            block = sigs.get(sig)
+            if block is None:
+                block = sigs[sig] = len(sigs)
+            new_ids.append(block)
+        if len(sigs) == blocks:
+            break
+        ids = new_ids
+        blocks = len(sigs)
+
+    if blocks == n:
+        return aut
+    rep = [-1] * blocks
+    for q in range(n):
+        if rep[ids[q]] < 0:
+            rep[ids[q]] = q
+    new_delta = [[ids[t] for t in delta[rep[b]]] for b in range(blocks)]
+    new_accept = [accept[rep[b]] for b in range(blocks)]
+    return Automaton(aut.nbits, aut.variables, ids[aut.initial],
+                     new_delta, new_accept)

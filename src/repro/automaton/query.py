@@ -1,0 +1,203 @@
+"""Query engines over a built automaton.
+
+* :func:`member` -- O(bits) per query: encode the point at its minimal
+  width (the language contains *every* encoding of every solution, so
+  any sufficient width gives the same answer) and check whether the
+  final transition accepts.
+* :func:`count_exact` -- exact solution count via the minimal-word
+  bijection: each tuple has exactly one minimal encoding (length 1, or
+  last two letters differ), so the count is the number of accepted
+  minimal words.  Those are counted by a path DP on the graph of
+  ``(state, last letter)`` nodes; an accepting cycle reachable from
+  the start and co-reachable to a counted final step means infinitely
+  many solutions (:class:`~repro.core.convex.UnboundedSumError`),
+  otherwise the graph restricted to useful nodes is acyclic and a
+  topological DP sums path multiplicities.
+* :func:`count_width` -- solutions with every variable in
+  ``[-2**(k-1), 2**(k-1))``: accepted words of length exactly ``k``,
+  by a state x depth DP whose tables are memoized on the automaton so
+  a sweep over k re-uses every prefix.
+* :func:`count_box` / :func:`count_below` -- general box and
+  threshold counts: intersect the (cached, already built) automaton
+  with tiny per-variable interval atoms on the fly and run
+  :func:`count_exact` on the product.  The expensive formula automaton
+  is built once; each query adds only interval carries.
+"""
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.automaton.atoms import bound_atom
+from repro.automaton.build import (
+    Automaton,
+    component,
+    product,
+)
+from repro.automaton.encode import encode_point, min_width
+from repro.core.convex import UnboundedSumError
+
+Bound = Union[int, Sequence[int]]
+
+
+def member(aut: Automaton, values: Sequence[int]) -> bool:
+    """Is the tuple (aligned with ``aut.variables``) in the set?"""
+    if len(values) != aut.nbits:
+        raise ValueError(
+            "expected %d values for %s, got %d"
+            % (aut.nbits, aut.variables, len(values))
+        )
+    width = max([1] + [min_width(v) for v in values])
+    letters = encode_point(values, width)
+    q = aut.initial
+    for letter in letters[:-1]:
+        q = aut.delta[q][letter]
+    return bool((aut.accept[q] >> letters[-1]) & 1)
+
+
+def member_env(aut: Automaton, env: Dict[str, int]) -> bool:
+    """:func:`member` with values given by variable name."""
+    return member(aut, [env[v] for v in aut.variables])
+
+
+_START = -1
+
+
+def count_exact(aut: Automaton) -> int:
+    """Exact number of solutions; raises on infinite sets.
+
+    Nodes are ``q * nletters + letter`` ("at state q, just read
+    letter") plus a virtual start.  A counted final step from a node
+    is a letter that differs from the node's last letter (minimality)
+    and accepts; from the start, any accepting letter (length-1 words
+    are all minimal).
+    """
+    nletters = 1 << aut.nbits
+    delta = aut.delta
+    accept = aut.accept
+
+    def succs(node: int) -> List[int]:
+        if node == _START:
+            q = aut.initial
+            return [delta[q][b] * nletters + b for b in range(nletters)]
+        q, a = divmod(node, nletters)
+        return [delta[q][b] * nletters + b for b in range(nletters)]
+
+    def out_acc(node: int) -> int:
+        if node == _START:
+            return bin(accept[aut.initial]).count("1")
+        q, a = divmod(node, nletters)
+        return bin(accept[q] & ~(1 << a)).count("1")
+
+    reach = {_START}
+    stack = [_START]
+    while stack:
+        node = stack.pop()
+        for nxt in succs(node):
+            if nxt not in reach:
+                reach.add(nxt)
+                stack.append(nxt)
+
+    targets = [node for node in reach if out_acc(node)]
+    if not targets:
+        return 0
+
+    rev: Dict[int, List[int]] = {}
+    for node in reach:
+        for nxt in succs(node):
+            rev.setdefault(nxt, []).append(node)
+    useful = set(targets)
+    stack = list(targets)
+    while stack:
+        node = stack.pop()
+        for prev in rev.get(node, ()):
+            if prev not in useful:
+                useful.add(prev)
+                stack.append(prev)
+    if _START not in useful:
+        return 0
+
+    indeg = {node: 0 for node in useful}
+    for node in useful:
+        for nxt in succs(node):
+            if nxt in useful:
+                indeg[nxt] += 1
+    order = [node for node, d in indeg.items() if d == 0]
+    seen = 0
+    paths = {node: 0 for node in useful}
+    paths[_START] = 1
+    i = 0
+    while i < len(order):
+        node = order[i]
+        i += 1
+        seen += 1
+        for nxt in succs(node):
+            if nxt in useful:
+                paths[nxt] += paths[node]
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    order.append(nxt)
+    if seen != len(useful):
+        raise UnboundedSumError(
+            "automaton language is infinite (accepting cycle)"
+        )
+    return sum(paths[node] * out_acc(node) for node in useful)
+
+
+def count_width(aut: Automaton, k: int) -> int:
+    """Solutions with every variable in ``[-2**(k-1), 2**(k-1))``.
+
+    Counts accepted words of length exactly ``k``; the per-depth state
+    vectors are memoized on the automaton, so sweeping k costs one new
+    matrix-vector step per increment.
+    """
+    if k < 1:
+        return 0
+    tables = aut._depth_counts
+    if tables is None:
+        vec = [0] * len(aut.delta)
+        vec[aut.initial] = 1
+        tables = aut._depth_counts = [vec]
+    while len(tables) < k:
+        prev = tables[-1]
+        nxt = [0] * len(aut.delta)
+        for q, ways in enumerate(prev):
+            if ways:
+                for target in aut.delta[q]:
+                    nxt[target] += ways
+        tables.append(nxt)
+    vec = tables[k - 1]
+    return sum(
+        ways * bin(aut.accept[q]).count("1")
+        for q, ways in enumerate(vec)
+        if ways
+    )
+
+
+def _per_var(bound: Optional[Bound], dims: int) -> List[Optional[int]]:
+    if bound is None or isinstance(bound, int):
+        return [bound] * dims
+    out = list(bound)
+    if len(out) != dims:
+        raise ValueError("expected %d bounds, got %d" % (dims, len(out)))
+    return out
+
+
+def count_box(aut: Automaton, lo: Optional[Bound],
+              hi: Optional[Bound]) -> int:
+    """Solutions with ``lo[i] <= x_i <= hi[i]`` (inclusive; scalars
+    broadcast; ``None`` leaves that side open)."""
+    dims = aut.nbits
+    los = _per_var(lo, dims)
+    his = _per_var(hi, dims)
+    comps = [component(aut)]
+    for i in range(dims):
+        comps.extend(bound_atom(i, dims, los[i], his[i]))
+    if len(comps) == 1:
+        return count_exact(aut)
+    boxed = product(comps, dims, aut.variables, "and")
+    return count_exact(boxed)
+
+
+def count_below(aut: Automaton, bound: int, lo: int = 0) -> int:
+    """Solutions with every variable in ``[lo, bound)`` -- the
+    service's threshold-count query."""
+    return count_box(aut, lo, bound - 1)

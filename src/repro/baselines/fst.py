@@ -10,6 +10,12 @@ are more than a few clauses (7 summations are needed for 3 clauses)" --
 2^k - 1 summations for k clauses, versus the paper's disjoint DNF.
 This module implements the full inclusion-exclusion so the benchmarks
 can measure that growth against ``disjointify``.
+
+Despite the shared acronym territory, this is *not* an automaton
+technique: the finite-state counting backend lives in
+:mod:`repro.automaton` (binary DFAs over LSBF two's-complement
+encodings), and this baseline stays what it is -- an independent
+inclusion-exclusion oracle for the disjoint-DNF engine.
 """
 
 import itertools

@@ -1,6 +1,6 @@
-"""Counting-backend router state: splinter recursion vs genfunc.
+"""Counting-backend router state: recursion vs genfunc vs automaton.
 
-The engine has two exact counting backends:
+The engine has three exact counting backends:
 
 * ``"recursion"`` -- the paper's splinter-based summation recursion
   (:mod:`repro.core.convex`), fully general: symbolic constants,
@@ -10,6 +10,11 @@ The engine has two exact counting backends:
   cones, exact and coefficient-size-independent, on a concrete
   fragment (no free symbols, constant summand, residual dimension
   <= 2).
+* ``"automaton"`` -- the binary-DFA engine (:mod:`repro.automaton`):
+  LSBF two's-complement carry automata, exact on concrete formulas
+  with constant summands in any dimension (within a state budget),
+  and the only backend that *amortizes* -- one build per formula,
+  then O(bits) membership and box/threshold count queries.
 
 Which one ``count`` / ``sum_poly`` try first is process-global state
 managed here, mirroring :mod:`repro.omega.kernels`: the
@@ -18,14 +23,16 @@ managed here, mirroring :mod:`repro.omega.kernels`: the
 (returning the previous choice so scopes can restore it), and the
 per-call ``backend=`` keyword overrides without touching the global.
 
-**Fallback rule:** the genfunc backend signals anything outside its
-fragment by raising :class:`repro.genfunc.UnsupportedFormula`; the
-router catches exactly that exception and re-answers with the
-recursion, bumping the ``genfunc_fallbacks`` stats counter.  Every
-other exception (including ``UnboundedSumError``, which both backends
-share) propagates.  Selecting ``"genfunc"`` is therefore always safe:
-answers either come from the cone pipeline or from the recursion,
-never from neither.
+**Fallback rule:** the accelerated backends signal anything outside
+their fragment by raising their ``UnsupportedFormula``
+(:class:`repro.genfunc.UnsupportedFormula` /
+:class:`repro.automaton.UnsupportedFormula`); the router catches
+exactly that exception and re-answers with the recursion, bumping the
+``genfunc_fallbacks`` / ``automaton_fallbacks`` stats counter.  Every
+other exception (including ``UnboundedSumError``, which all backends
+share) propagates.  Selecting an accelerated backend is therefore
+always safe: answers either come from it or from the recursion, never
+from neither.
 
 This module imports nothing from the rest of the package so any layer
 (CLI, service, serve) can depend on it without cycles.
@@ -33,7 +40,7 @@ This module imports nothing from the rest of the package so any layer
 
 import os
 
-BACKENDS = ("recursion", "genfunc")
+BACKENDS = ("recursion", "genfunc", "automaton")
 
 
 def _init_backend() -> str:
@@ -50,7 +57,7 @@ _BACKEND = _init_backend()
 
 
 def current_backend() -> str:
-    """The process-global default backend: ``"recursion"`` or ``"genfunc"``."""
+    """The process-global default backend (one of :data:`BACKENDS`)."""
     return _BACKEND
 
 

@@ -120,12 +120,14 @@ def sum_poly(
     ``backend`` overrides the process-global router default
     (:func:`repro.core.backend.set_backend` / ``REPRO_BACKEND``) for
     this call.  Under ``"genfunc"`` the generating-function engine
-    answers queries inside its fragment; anything it rejects with
+    answers queries inside its fragment, under ``"automaton"`` the
+    binary-DFA engine does; anything either rejects with its
     ``UnsupportedFormula`` falls back to the recursion below, counted
-    in the ``genfunc_fallbacks`` stat.
+    in the ``genfunc_fallbacks`` / ``automaton_fallbacks`` stat.
     """
     z = _poly(z)
-    if resolve_backend(backend) == "genfunc":
+    choice = resolve_backend(backend)
+    if choice == "genfunc":
         from repro.genfunc import UnsupportedFormula, genfunc_sum
 
         if stats.ENABLED:
@@ -135,6 +137,16 @@ def sum_poly(
         except UnsupportedFormula:
             if stats.ENABLED:
                 stats.bump("genfunc_fallbacks")
+    elif choice == "automaton":
+        from repro.automaton import UnsupportedFormula, automaton_sum
+
+        if stats.ENABLED:
+            stats.bump("automaton_calls")
+        try:
+            return automaton_sum(formula, over, z, options)
+        except UnsupportedFormula:
+            if stats.ENABLED:
+                stats.bump("automaton_fallbacks")
     clauses = _clauses(formula)
     terms: List[Term] = []
     exactness = "exact"

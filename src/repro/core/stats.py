@@ -75,6 +75,11 @@ COUNTER_NAMES = (
     "genfunc_fallbacks",  # of those, rejected and re-run on the recursion
     "genfunc_clauses",  # clauses the cone pipeline counted
     "genfunc_cones",  # signed unimodular cone terms specialized
+    "automaton_calls",  # queries the router first offered to the DFA engine
+    "automaton_fallbacks",  # of those, rejected and re-run on the recursion
+    "automaton_builds",  # formula automata actually constructed
+    "automaton_states",  # states across those constructions (post-minimize)
+    "automaton_cache_hits",  # builds avoided by the resident LRU
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}

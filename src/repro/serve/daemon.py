@@ -14,7 +14,11 @@ hashing, then served through the cheapest possible tier:
    bounded in-daemon artifact map from *point-free* formula hash to
    the serialized symbolic answer, so a new point set for an
    already-computed formula is served by the compiled
-   :mod:`repro.evalc` evaluator without forking a worker.
+   :mod:`repro.evalc` evaluator without forking a worker.  ``member``
+   and ``count_below`` jobs get a third: when the formula's binary
+   automaton is already resident in the process-global
+   :mod:`repro.automaton.cache`, the query is an O(bits) walk or a
+   path DP on a worker thread -- no admission control, no fork.
 2. **coalesced** -- an identical computation (same content hash, so
    including every alpha-renamed variant) is already in flight: join
    it.  One executor job settles every waiter; waiters hold the shared
@@ -61,8 +65,11 @@ from repro.service.batch import response_core
 from repro.service.diskcache import DiskCache
 from repro.service.executor import (
     BAD_REQUEST,
+    ENGINE_ERROR,
     PARSE_ERROR,
+    JobError,
     _evaluate_points,
+    execute_request,
     run_jobs,
 )
 from repro.service.request import JobRequest, RequestError
@@ -74,6 +81,11 @@ RATE_LIMITED = "rate_limited"
 
 #: Cap on the in-daemon formula-hash -> symbolic-answer artifact map.
 ARTIFACT_CAP = 1024
+
+#: Request kinds answered by the resident binary automaton.  They run
+#: in the daemon process (thread pool, not a forked worker) so the
+#: automaton built for one request stays resident for the next.
+AUTOMATON_KINDS = ("member", "count_below")
 
 
 def _env_int(name: str) -> Optional[int]:
@@ -314,6 +326,10 @@ class CountingDaemon:
             response = await self._from_artifact(req, key, t0)
             if response is not None:
                 return response
+        if req.kind in AUTOMATON_KINDS:
+            response = await self._from_automaton(req, key, t0)
+            if response is not None:
+                return response
 
         # Tier 2: coalesce onto an identical in-flight computation.
         entry = self._inflight.get(key)
@@ -397,6 +413,8 @@ class CountingDaemon:
         """Blocking executor dispatch (runs on the cold thread pool)."""
         if budget is not None:
             req.budget = budget
+        if req.kind in AUTOMATON_KINDS:
+            return self._run_resident(req)
         outcomes = run_jobs(
             [req],
             workers=1,
@@ -404,6 +422,35 @@ class CountingDaemon:
             default_budget=self.config.default_budget,
         )
         return outcomes[0]
+
+    def _run_resident(self, req: JobRequest) -> dict:
+        """Run an automaton-kind job in-process (no fork).
+
+        A forked worker would build the automaton in a child that dies
+        with the job; running on the cold thread pool instead means the
+        build lands in the daemon's resident cache, so the next query
+        against the same formula takes the warm
+        :meth:`_from_automaton` path.  The fork-level isolation knobs
+        (wall-clock timeout, crash retry, work budget) do not apply --
+        automaton-fragment queries are bounded by the builder's state
+        budget instead.
+        """
+        t0 = time.monotonic()
+        try:
+            outcome = {"ok": True, "payload": execute_request(req)}
+        except JobError as exc:
+            outcome = {"ok": False, "error": exc.to_json()}
+        except Exception as exc:
+            outcome = {
+                "ok": False,
+                "error": {
+                    "kind": ENGINE_ERROR,
+                    "message": "%s: %s" % (type(exc).__name__, exc),
+                },
+            }
+        outcome["wall_ms"] = round((time.monotonic() - t0) * 1000.0, 3)
+        outcome["attempts"] = 1
+        return outcome
 
     # -- the evaluate artifact fast path ----------------------------------
 
@@ -464,6 +511,50 @@ class CountingDaemon:
         self.metrics.bump("artifact_hits")
         return self._ok_response(req.id, payload, t0, "warm", cached=False)
 
+    # -- the resident-automaton fast path ----------------------------------
+
+    async def _from_automaton(
+        self, req: JobRequest, key: str, t0: float
+    ) -> Optional[dict]:
+        """Serve member/count_below from a resident automaton, if any.
+
+        The probe (:func:`repro.automaton.has_resident_automaton`) is
+        keyed by the *point-free* alpha-invariant formula key, so any
+        spelling of an already-built formula qualifies.  A hit runs the
+        query on the cold thread pool -- it is pure CPU for microseconds,
+        not a fork -- bypassing admission control, and writes the full
+        response through to the results store so the identical request
+        is a plain warm hit next time.  A probe miss (or a query that
+        errors) returns ``None`` and falls through to the cold tier,
+        where :meth:`_run_resident` builds the automaton in-process.
+        """
+        if self._pool is None:
+            return None
+        try:
+            from repro.automaton import has_resident_automaton
+
+            resident = has_resident_automaton(req.formula, req.over)
+        except Exception:
+            return None
+        if not resident:
+            return None
+        loop = asyncio.get_event_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._pool, execute_request, req
+            )
+        except Exception:
+            return None  # fall through to the coalesce/cold tiers
+        if self.cache is not None and self._io is not None:
+            try:
+                await loop.run_in_executor(
+                    self._io, self.cache.put, key, payload
+                )
+            except (sqlite3.Error, OSError):
+                pass
+        self.metrics.bump("automaton_hits")
+        return self._ok_response(req.id, payload, t0, "warm", cached=False)
+
     # -- response shaping (mirrors repro.service.batch) -------------------
 
     def _observe(self, tier: str, t0: float) -> None:
@@ -521,6 +612,7 @@ class CountingDaemon:
 
 __all__ = [
     "ARTIFACT_CAP",
+    "AUTOMATON_KINDS",
     "CountingDaemon",
     "OVERLOADED",
     "RATE_LIMITED",

@@ -12,8 +12,9 @@ HTTP surface::
 
     GET  /healthz          -> {"ok": true, "uptime_seconds": ..., ...}
     GET  /stats            -> engine_snapshot() incl. the "serve" key
-    POST /count|/sum|/simplify|/evaluate   body = request JSON (the
-                              path fixes the "kind" field)
+    POST /count|/sum|/simplify|/evaluate|/member|/count_below
+                           body = request JSON (the path fixes the
+                              "kind" field)
     POST /job              body = full request JSON incl. "kind"
 
 The tenant is the ``X-Repro-Tenant`` header (anonymous when absent).
@@ -72,7 +73,14 @@ _ERROR_STATUS = {
     TIMEOUT: 504,
 }
 
-_JOB_PATHS = ("/count", "/sum", "/simplify", "/evaluate")
+_JOB_PATHS = (
+    "/count",
+    "/sum",
+    "/simplify",
+    "/evaluate",
+    "/member",
+    "/count_below",
+)
 
 
 def response_status(response: dict) -> int:
@@ -334,7 +342,9 @@ async def _serve(config: ServeConfig, ready_stream=None) -> int:
         " %d cold, %d shed)"
         % (
             counters["requests"],
-            counters["warm_hits"] + counters["artifact_hits"],
+            counters["warm_hits"]
+            + counters["artifact_hits"]
+            + counters["automaton_hits"],
             counters["coalesced"],
             counters["cold_jobs"],
             counters["shed"] + counters["rate_limited"],

@@ -10,7 +10,8 @@ buckets), and the daemon's own coalesce/hit-rate counters.
 The corpus can be:
 
 * the built-in base set (small count/sum/evaluate jobs spanning the
-  paper's loop-nest shapes);
+  paper's loop-nest shapes, plus member/count_below jobs for the
+  resident-automaton tier);
 * a directory of testkit regression-corpus entries
   (``--corpus tests/corpus``) -- each fuzz case becomes a count job,
   plus a sum job when it carries a summand;
@@ -89,6 +90,20 @@ DEFAULT_BASE_REQUESTS = (
         "kind": "simplify",
         "formula": "x >= 1 and x >= 0 and (x <= 5 or x <= 9)",
     },
+    {
+        "id": "mem-diag",
+        "kind": "member",
+        "formula": "0 <= i <= 20 and 0 <= j <= 20 and i + j <= 20 and 2 | (i + j)",
+        "over": ["i", "j"],
+        "at": [{"i": 3, "j": 5}, {"i": 7, "j": 9}, {"i": 21, "j": 0}],
+    },
+    {
+        "id": "below-stride",
+        "kind": "count_below",
+        "formula": "3 | (i + 2*j) and i <= 2*j",
+        "over": ["i", "j"],
+        "bound": 16,
+    },
 )
 
 
@@ -112,6 +127,14 @@ def alpha_variant(obj: dict, rng: random.Random) -> dict:
     out["over"] = [mapping[v] for v in over]
     if out.get("poly"):
         out["poly"] = str(parse_polynomial(out["poly"]).rename(mapping))
+    if out.get("at"):
+        # Member points key on counted variables; evaluate points key
+        # on free symbols, which mapping does not contain -- so this
+        # renames exactly the keys that were renamed in the formula.
+        out["at"] = [
+            {mapping.get(k, k): v for k, v in env.items()}
+            for env in out["at"]
+        ]
     return out
 
 

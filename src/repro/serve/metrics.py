@@ -50,6 +50,7 @@ COUNTER_NAMES = (
     "requests",  # every request entering the daemon
     "warm_hits",  # answered from the persistent results store
     "artifact_hits",  # evaluate jobs served from a compiled artifact
+    "automaton_hits",  # member/count_below served by a resident automaton
     "coalesced",  # waiters that joined an in-flight computation
     "cold_jobs",  # executor jobs actually dispatched
     "shed",  # refused: cold queue full or daemon draining
@@ -145,19 +146,19 @@ class ServeMetrics:
     def hit_rates(self) -> Dict[str, float]:
         """Fractions of *answered* requests per source.
 
-        ``warm`` folds in artifact hits (both are zero-engine-work
-        answers); ``coalesced``/``cold`` complete the partition.  Shed,
+        ``warm`` folds in artifact hits and resident-automaton hits
+        (all three answer without dispatching an executor job);
+        ``coalesced``/``cold`` complete the partition.  Shed,
         rate-limited and front-error requests were never answered, so
         they are not in the denominator.
         """
         c = self.counters
-        answered = (
-            c["warm_hits"] + c["artifact_hits"] + c["coalesced"] + c["cold_jobs"]
-        )
+        warm = c["warm_hits"] + c["artifact_hits"] + c["automaton_hits"]
+        answered = warm + c["coalesced"] + c["cold_jobs"]
         if answered == 0:
             return {"warm": 0.0, "coalesced": 0.0, "cold": 0.0}
         return {
-            "warm": round((c["warm_hits"] + c["artifact_hits"]) / answered, 6),
+            "warm": round(warm / answered, 6),
             "coalesced": round(c["coalesced"] / answered, 6),
             "cold": round(c["cold_jobs"] / answered, 6),
         }

@@ -117,6 +117,99 @@ def _evaluate_points(req: JobRequest, result) -> List[dict]:
     ]
 
 
+def _execute_resident(req: JobRequest) -> dict:
+    """``member`` / ``count_below``: query the resident automaton.
+
+    The formula's automaton comes from the process-global resident
+    cache (:mod:`repro.automaton.cache`), so a stream of queries
+    against one formula pays for a single build; the queries
+    themselves are O(bits) walks / path DPs.  Out-of-fragment formulas
+    (free symbols, state-budget blowups) fall back to the engine:
+    direct formula evaluation for membership, a boxed recursion count
+    for thresholds -- same silent-fallback contract as the router.
+    """
+    from repro.automaton import UnsupportedFormula, automaton_for, member
+    from repro.automaton import count_below as automaton_count_below
+
+    formula = parse(req.formula)
+    over = list(req.over)
+    options = SumOptions(
+        strategy=Strategy(req.strategy),
+        remove_redundant=req.remove_redundant,
+    )
+    if stats.ENABLED:
+        stats.bump("automaton_calls")
+    aut = None
+    try:
+        aut = automaton_for(formula, over, options)
+    except UnsupportedFormula:
+        if stats.ENABLED:
+            stats.bump("automaton_fallbacks")
+
+    if req.kind == "member":
+        points = []
+        for env in req.at:
+            missing = sorted(v for v in over if v not in env)
+            if missing:
+                raise JobError(
+                    BAD_REQUEST,
+                    "member point is missing values for: %s"
+                    % ", ".join(missing),
+                )
+            if aut is not None:
+                value = member(aut, [env[v] for v in over])
+            else:
+                try:
+                    value = bool(formula.evaluate(env))
+                except KeyError as exc:
+                    raise JobError(
+                        BAD_REQUEST,
+                        "member point is missing a value for %s" % (exc,),
+                    )
+            points.append({"at": dict(env), "value": bool(value)})
+        inside = sum(1 for p in points if p["value"])
+        return {
+            "kind": req.kind,
+            "result": "%d/%d in set" % (inside, len(points)),
+            "exactness": "exact",
+            "points": points,
+            "stats": stats.engine_snapshot(),
+        }
+
+    lo = req.lo if req.lo is not None else 0
+    hi = req.bound - 1
+    if aut is not None:
+        total = automaton_count_below(aut, req.bound, lo)
+        exactness = "exact"
+    else:
+        box = " and ".join(
+            "%d <= %s and %s <= %d" % (lo, v, v, hi) for v in over
+        )
+        result = count("(%s) and %s" % (req.formula, box), over, options)
+        try:
+            total = int(result.evaluate({}))
+        except Exception:
+            # Symbolic constants survive into the answer: report the
+            # symbolic threshold count like a count job would.
+            return {
+                "kind": req.kind,
+                "result": str(result),
+                "result_json": result.to_json(),
+                "exactness": result.exactness,
+                "points": [],
+                "stats": stats.engine_snapshot(),
+            }
+        exactness = result.exactness
+    return {
+        "kind": req.kind,
+        "result": str(total),
+        "value": total,
+        "exactness": exactness,
+        "points": [],
+        "stats": stats.engine_snapshot(),
+    }
+
+
 def execute_request(req: JobRequest) -> dict:
     """Run one job in the current process and return its ok payload.
 
@@ -149,6 +242,8 @@ def execute_request(req: JobRequest) -> dict:
                 "points": [],
                 "stats": stats.engine_snapshot(),
             }
+        if req.kind in ("member", "count_below"):
+            return _execute_resident(req)
         options = SumOptions(
             strategy=Strategy(req.strategy),
             remove_redundant=req.remove_redundant,
@@ -203,6 +298,7 @@ def _worker_main(req_json: dict, conn, budget: Optional[int]) -> None:
             else:
                 os.close(fd)
                 os._exit(POISON_EXIT_CODE)
+    from repro.automaton.cache import clear_automaton_cache
     from repro.core.memo import clear_answer_memo
     from repro.omega.satisfiability import clear_sat_cache
 
@@ -214,6 +310,7 @@ def _worker_main(req_json: dict, conn, budget: Optional[int]) -> None:
     # from disk.
     clear_sat_cache()
     clear_answer_memo()
+    clear_automaton_cache()
     stats.reset_stats()
     stats.enable_stats()
     stats.set_work_budget(budget)

@@ -1,9 +1,9 @@
 """Canonical request model for the batch counting service.
 
 A :class:`JobRequest` describes one unit of work -- a ``count``,
-``sum`` or ``simplify`` query plus its options -- and knows how to
-compute a **content hash** that is stable across processes and
-sessions.  The hash is the disk-cache key, so its design rules are:
+``sum``, ``simplify``, ``evaluate``, ``member`` or ``count_below``
+query plus its options -- and knows how to compute a **content hash**
+that is stable across processes and sessions.  The hash is the disk-cache key, so its design rules are:
 
 * **Sound**: two requests share a hash only if they are guaranteed to
   produce the same response.  The hashed payload is a *complete*
@@ -51,7 +51,7 @@ from repro.qpoly.parse import PolynomialParseError, parse_polynomial
 #: Hash-payload schema; bump on any change to the canonical form.
 REQUEST_SCHEMA_VERSION = 3
 
-KINDS = ("count", "sum", "simplify", "evaluate")
+KINDS = ("count", "sum", "simplify", "evaluate", "member", "count_below")
 
 
 class RequestError(ValueError):
@@ -85,6 +85,8 @@ class JobRequest:
         "timeout",
         "budget",
         "backend",
+        "bound",
+        "lo",
     )
 
     def __init__(
@@ -102,12 +104,14 @@ class JobRequest:
         timeout: Optional[float] = None,
         budget: Optional[int] = None,
         backend: Optional[str] = None,
+        bound: Optional[int] = None,
+        lo: Optional[int] = None,
     ):
         if kind not in KINDS:
             raise RequestError("unknown job kind %r (want one of %s)" % (kind, "/".join(KINDS)))
         if not isinstance(formula, str) or not formula.strip():
             raise RequestError("job needs a non-empty 'formula' string")
-        if kind in ("count", "sum", "evaluate") and not over:
+        if kind in ("count", "sum", "evaluate", "member", "count_below") and not over:
             raise RequestError("%s job needs a non-empty 'over' list" % kind)
         if kind == "sum" and not poly:
             raise RequestError("sum job needs a 'poly' summand")
@@ -143,8 +147,25 @@ class JobRequest:
                 point[str(sym)] = value
             cleaned.append(point)
         self.at = tuple(cleaned)
-        if kind == "evaluate" and not self.at:
-            raise RequestError("evaluate job needs a non-empty 'at' list")
+        if kind in ("evaluate", "member") and not self.at:
+            raise RequestError("%s job needs a non-empty 'at' list" % kind)
+        if kind == "count_below":
+            if isinstance(bound, bool) or not isinstance(bound, int):
+                raise RequestError(
+                    "count_below job needs an integer 'bound'"
+                )
+            if lo is not None and (
+                isinstance(lo, bool) or not isinstance(lo, int)
+            ):
+                raise RequestError("count_below 'lo' must be an integer")
+            if self.at:
+                raise RequestError("'at' is not valid for count_below jobs")
+        elif bound is not None or lo is not None:
+            raise RequestError(
+                "'bound'/'lo' are only valid for count_below jobs"
+            )
+        self.bound = bound
+        self.lo = lo
         self.timeout = float(timeout) if timeout is not None else None
         self.budget = int(budget) if budget is not None else None
         if backend is not None and backend not in BACKENDS:
@@ -152,7 +173,7 @@ class JobRequest:
                 "unknown backend %r (want one of %s)"
                 % (backend, "/".join(BACKENDS))
             )
-        # Deliberately NOT part of canonical_payload(): both backends
+        # Deliberately NOT part of canonical_payload(): all backends
         # are exact, so answers are interchangeable and cross-backend
         # cache hits stay valid.
         self.backend = backend
@@ -177,6 +198,8 @@ class JobRequest:
             "timeout",
             "budget",
             "backend",
+            "bound",
+            "lo",
         }
         unknown = sorted(set(obj) - known)
         if unknown:
@@ -198,6 +221,8 @@ class JobRequest:
             timeout=obj.get("timeout"),
             budget=obj.get("budget"),
             backend=obj.get("backend"),
+            bound=obj.get("bound"),
+            lo=obj.get("lo"),
         )
 
     def to_json(self) -> dict:
@@ -223,6 +248,10 @@ class JobRequest:
             out["budget"] = self.budget
         if self.backend is not None:
             out["backend"] = self.backend
+        if self.bound is not None:
+            out["bound"] = self.bound
+        if self.lo is not None:
+            out["lo"] = self.lo
         return out
 
     # -- content identity -------------------------------------------------
@@ -264,13 +293,23 @@ class JobRequest:
         if poly is not None:
             renaming = {v: names[v] for v in poly.variables() if v in names}
             payload["poly"] = polynomial_to_json(poly.rename(renaming))
+        if self.kind == "count_below":
+            payload["bound"] = self.bound
+            payload["lo"] = self.lo if self.lo is not None else 0
         if self.at:
             # Order is part of the identity: the cached response's
             # 'points' list preserves the order of the request that
             # computed it, so a reordered 'at' must miss, not hit with
-            # points misordered relative to its own list.
+            # points misordered relative to its own list.  Keys naming
+            # bound/counted variables (member points) go through their
+            # canonical names so alpha-renamed requests share a hash;
+            # free-symbol keys keep their names like everywhere else.
             payload["at"] = [
-                json.dumps(env, sort_keys=True) for env in self.at
+                json.dumps(
+                    {names.get(k, k): v for k, v in env.items()},
+                    sort_keys=True,
+                )
+                for env in self.at
             ]
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 

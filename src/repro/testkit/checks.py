@@ -36,6 +36,11 @@ The invariants:
   (:mod:`repro.genfunc`), both through the router (fallback included)
   and engine-against-engine on the concretized formula, agrees with
   the recursion at every sampled assignment.
+* ``automaton_backend`` -- the binary-automaton backend
+  (:mod:`repro.automaton`): routed counts match the recursion, the
+  DFA's path/box counts match the recursion and brute force, and
+  O(bits) membership matches direct evaluation on sampled points
+  (negatives included).
 * ``formula_simplify`` -- ``presburger.simplify`` preserves the
   solution set, and its disjoint form covers each point exactly once.
 * ``gist_preserves`` -- ``gist(C, Q) ∧ Q  ≡  C ∧ Q`` pointwise.
@@ -552,6 +557,116 @@ def check_genfunc_backend(case: FuzzCase) -> Optional[CheckFailure]:
     return None
 
 
+def check_automaton_backend(case: FuzzCase) -> Optional[CheckFailure]:
+    """The binary-automaton backend agrees with the recursion.
+
+    Three layers:
+
+    * **Router**: ``count(..., backend="automaton")`` -- answered by
+      the DFA inside its fragment, recursion fallback outside -- must
+      evaluate to the recursion's answer at every sampled assignment.
+    * **Engine-vs-engine**: per assignment the symbols are substituted
+      away and the concrete formula is compiled to a DFA directly
+      (:func:`repro.automaton.automaton_for`); its minimal-word path
+      count must equal the recursion's, its box count over the oracle
+      box must equal brute-force enumeration, and (cross-engine) the
+      generating-function count when that fragment accepts the formula.
+      ``UnsupportedFormula`` skips, never fails -- the router's
+      fallback covers those above.
+    * **Membership**: the DFA's O(bits) word walk agrees with direct
+      AST evaluation on sampled points in and around the box,
+      negatives included (the two's-complement sign contract).
+    """
+    from repro.automaton import (
+        UnsupportedFormula,
+        automaton_for,
+        clear_automaton_cache,
+        count_box,
+        count_exact,
+        member,
+    )
+    from repro.core.convex import UnboundedSumError
+    from repro.core.memo import clear_answer_memo
+    from repro.genfunc import UnsupportedFormula as GenfuncUnsupported
+    from repro.genfunc import genfunc_count_value
+    from repro.omega.constraints import reset_fresh_counter
+    from repro.omega.satisfiability import clear_sat_cache
+
+    def cold():
+        clear_sat_cache()
+        clear_answer_memo()
+        clear_automaton_cache()
+        reset_fresh_counter()
+
+    cold()
+    baseline = count(case.formula, list(case.over))
+    cold()
+    routed = count(case.formula, list(case.over), backend="automaton")
+    rng = random.Random(_case_seed(case) ^ 0xD0FA)
+    over = list(case.over)
+    envs = [dict(env) for env in case.envs] or [{}]
+    for env in envs:
+        want = baseline.evaluate(env)
+        got = routed.evaluate(env)
+        if got != want or type(got) is not type(want):
+            return CheckFailure(
+                "automaton_backend",
+                "routed automaton %r != recursion %r at %s"
+                % (got, want, env),
+                case,
+            )
+        concrete = case.formula.substitute_values(env) if env else case.formula
+        try:
+            aut = automaton_for(concrete, over, cache=False)
+        except UnsupportedFormula:
+            continue
+        try:
+            direct = count_exact(aut)
+        except UnboundedSumError:
+            direct = None  # infinite set; box/membership still checked
+        if direct is not None and direct != want:
+            return CheckFailure(
+                "automaton_backend",
+                "automaton path count %r != recursion %r at %s"
+                % (direct, want, env),
+                case,
+            )
+        try:
+            via_genfunc = genfunc_count_value(concrete, over)
+        except GenfuncUnsupported:
+            via_genfunc = None
+        if via_genfunc is not None and via_genfunc != want:
+            return CheckFailure(
+                "automaton_backend",
+                "genfunc count %r != recursion %r at %s (automaton %r)"
+                % (via_genfunc, want, env, direct),
+                case,
+            )
+        points = oracle_points(case.formula, case.over, env)
+        boxed = count_box(aut, [-BOX] * len(over), [BOX] * len(over))
+        if boxed != len(points):
+            return CheckFailure(
+                "automaton_backend",
+                "automaton box count %r != oracle %r at %s"
+                % (boxed, len(points), env),
+                case,
+            )
+        for _ in range(10):
+            vals = [rng.randint(-BOX - 2, BOX + 2) for _ in over]
+            want_in = oracle_eval(
+                concrete, dict(zip(over, vals))
+            )
+            got_in = member(aut, vals)
+            if got_in != want_in:
+                return CheckFailure(
+                    "automaton_backend",
+                    "automaton membership %r != direct %r at %s"
+                    % (got_in, want_in, dict(zip(over, vals))),
+                    case,
+                )
+    return None
+
+
 def check_compiled_eval(case: FuzzCase) -> Optional[CheckFailure]:
     """Compiled evaluation is bit-for-bit the interpreted evaluation.
 
@@ -626,6 +741,7 @@ CHECKS: Dict[str, Tuple[int, Callable[[FuzzCase], Optional[CheckFailure]]]] = {
     "answer_memo": (2, check_answer_memo),
     "kernels_backend": (2, check_kernels_backend),
     "genfunc_backend": (2, check_genfunc_backend),
+    "automaton_backend": (2, check_automaton_backend),
     "formula_simplify": (7, check_formula_simplify),
     "gist_preserves": (7, check_gist_preserves),
     "disjoint_vs_ie": (5, check_disjoint_vs_ie),

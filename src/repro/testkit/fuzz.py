@@ -94,6 +94,25 @@ def fuzz_main(args) -> int:
         stats.reset_stats()
         stats.enable_stats()
 
+    previous_backend = None
+    if getattr(args, "backend", None):
+        # Fuzz the whole run under a non-default router backend: every
+        # unpinned count()/sum_poly() in every check now exercises that
+        # backend's fragment test and fallback path.
+        from repro.core.backend import set_backend
+
+        previous_backend = set_backend(args.backend)
+    try:
+        return _fuzz_run(args)
+    finally:
+        if previous_backend is not None:
+            from repro.core.backend import set_backend
+
+            set_backend(previous_backend)
+
+
+def _fuzz_run(args) -> int:
+
     if args.replay:
         code = _replay(args.replay)
         if args.stats:
@@ -201,6 +220,15 @@ def add_fuzz_parser(sub) -> None:
         default=0,
         metavar="N",
         help="print a progress line every N iterations (default: off)",
+    )
+    from repro.core.backend import BACKENDS
+
+    p.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="run the whole fuzz session under this counting backend "
+        "(default: the REPRO_BACKEND router default)",
     )
     p.add_argument(
         "--stats",

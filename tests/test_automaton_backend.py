@@ -1,0 +1,199 @@
+"""The automaton backend through the router, service and fuzz check.
+
+Mirrors ``test_genfunc_backend.py``'s structure for the third backend:
+router semantics (in-fragment answers, silent recursion fallback,
+counters), the ``member`` / ``count_below`` request kinds end to end
+through the executor, hash invariants for the new kinds, and the
+``automaton_backend`` differential check registration.
+"""
+
+import json
+
+import pytest
+
+from repro.automaton import automaton_sum, UnsupportedFormula
+from repro.automaton.cache import clear_automaton_cache
+from repro.core import count, stats
+from repro.core.backend import BACKENDS, current_backend, set_backend
+from repro.service.executor import JobError, execute_request
+from repro.service.request import JobRequest, RequestError
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_automaton_cache()
+    stats.reset_stats()
+    stats.enable_stats()
+    yield
+    clear_automaton_cache()
+
+
+class TestRouter:
+    def test_backend_is_registered(self):
+        assert "automaton" in BACKENDS
+
+    def test_concrete_count_matches_recursion(self):
+        text = "0 <= i <= 30 and 0 <= j <= 30 and i + 2*j <= 30 and 2 | (i + j)"
+        base = count(text, ["i", "j"], backend="recursion")
+        routed = count(text, ["i", "j"], backend="automaton")
+        assert routed.evaluate({}) == base.evaluate({})
+        counters = stats.engine_snapshot()
+        assert counters["automaton_calls"] >= 1
+        assert counters["automaton_builds"] >= 1
+
+    def test_symbolic_falls_back_to_recursion(self):
+        base = count("1 <= i <= n", ["i"], backend="recursion")
+        routed = count("1 <= i <= n", ["i"], backend="automaton")
+        assert json.dumps(routed.to_json(), sort_keys=True) == json.dumps(
+            base.to_json(), sort_keys=True
+        )
+        assert stats.engine_snapshot()["automaton_fallbacks"] >= 1
+
+    def test_global_switch_restores(self):
+        before = current_backend()
+        prev = set_backend("automaton")
+        try:
+            assert current_backend() == "automaton"
+            got = count("0 <= i <= 7 and 2 | i", ["i"]).evaluate({})
+            assert got == 4
+        finally:
+            set_backend(prev)
+        assert current_backend() == before
+
+    def test_automaton_sum_rejects_nonconstant_summand(self):
+        from repro.qpoly.parse import parse_polynomial
+
+        with pytest.raises(UnsupportedFormula):
+            automaton_sum("0 <= i <= 5", ["i"], parse_polynomial("i"))
+
+
+class TestMemberRequests:
+    def test_member_end_to_end(self):
+        req = JobRequest(
+            "member",
+            "0 <= i <= 8 and 0 <= j <= 8 and i + j <= 8",
+            over=["i", "j"],
+            at=[{"i": 2, "j": 3}, {"i": 8, "j": 8}, {"i": 0, "j": 8}],
+        )
+        payload = execute_request(req)
+        assert payload["kind"] == "member"
+        assert [p["value"] for p in payload["points"]] == [True, False, True]
+        assert payload["result"] == "2/3 in set"
+        assert payload["exactness"] == "exact"
+
+    def test_member_needs_points(self):
+        with pytest.raises(RequestError):
+            JobRequest("member", "0 <= i <= 8", over=["i"])
+
+    def test_member_point_missing_variable_is_bad_request(self):
+        req = JobRequest(
+            "member", "0 <= i <= 8 and 0 <= j <= 8", over=["i", "j"],
+            at=[{"i": 2}],
+        )
+        with pytest.raises(JobError) as exc:
+            execute_request(req)
+        assert exc.value.kind == "bad_request"
+
+    def test_member_fallback_outside_fragment(self):
+        # Free symbol pins the formula outside the fragment; membership
+        # degrades to direct evaluation with the point supplying n.
+        req = JobRequest(
+            "member", "0 <= i <= n", over=["i"],
+            at=[{"i": 3, "n": 5}, {"i": 9, "n": 5}],
+        )
+        payload = execute_request(req)
+        assert [p["value"] for p in payload["points"]] == [True, False]
+        assert stats.engine_snapshot()["automaton_fallbacks"] >= 1
+
+    def test_member_hash_alpha_invariant(self):
+        r1 = JobRequest(
+            "member", "0 <= i and i < j and j <= 9", over=["i", "j"],
+            at=[{"i": 1, "j": 2}],
+        )
+        r2 = JobRequest(
+            "member", "0 <= p and p < q and q <= 9", over=["p", "q"],
+            at=[{"p": 1, "q": 2}],
+        )
+        r3 = JobRequest(
+            "member", "0 <= i and i < j and j <= 9", over=["i", "j"],
+            at=[{"i": 2, "j": 1}],
+        )
+        assert r1.content_hash() == r2.content_hash()
+        assert r1.content_hash() != r3.content_hash()
+
+
+class TestCountBelowRequests:
+    def test_count_below_end_to_end(self):
+        req = JobRequest(
+            "count_below", "2 | (i + j) and i <= 2*j", over=["i", "j"],
+            bound=16,
+        )
+        payload = execute_request(req)
+        want = sum(
+            1
+            for i in range(16)
+            for j in range(16)
+            if (i + j) % 2 == 0 and i <= 2 * j
+        )
+        assert payload["value"] == want
+        assert payload["result"] == str(want)
+        assert payload["exactness"] == "exact"
+
+    def test_count_below_with_lo(self):
+        req = JobRequest(
+            "count_below", "2 | (i + j)", over=["i", "j"], bound=12, lo=4
+        )
+        payload = execute_request(req)
+        assert payload["value"] == sum(
+            1
+            for i in range(4, 12)
+            for j in range(4, 12)
+            if (i + j) % 2 == 0
+        )
+
+    def test_count_below_requires_bound(self):
+        with pytest.raises(RequestError):
+            JobRequest("count_below", "0 <= i <= 8", over=["i"])
+
+    def test_bound_rejected_for_other_kinds(self):
+        with pytest.raises(RequestError):
+            JobRequest("count", "0 <= i <= 8", over=["i"], bound=4)
+
+    def test_count_below_hash_depends_on_bound_and_lo(self):
+        mk = lambda **kw: JobRequest(
+            "count_below", "2 | i", over=["i"], **kw
+        ).content_hash()
+        assert mk(bound=8) != mk(bound=9)
+        assert mk(bound=8) != mk(bound=8, lo=1)
+        assert mk(bound=8) == mk(bound=8, lo=0)  # lo defaults to 0
+
+    def test_count_below_fallback_matches_recursion(self):
+        # Out of fragment (free symbol n bounded by the box after
+        # substitution is still symbolic) -> symbolic payload.
+        req = JobRequest("count_below", "0 <= i <= n", over=["i"], bound=8)
+        payload = execute_request(req)
+        assert "result_json" in payload  # symbolic degrade, not a crash
+
+    def test_roundtrip_wire_format(self):
+        req = JobRequest(
+            "count_below", "2 | i", over=["i"], bound=8, lo=-4, id="x"
+        )
+        again = JobRequest.from_json(req.to_json())
+        assert again.bound == 8 and again.lo == -4
+        assert again.content_hash() == req.content_hash()
+
+
+class TestFuzzCheck:
+    def test_check_is_registered(self):
+        from repro.testkit.checks import CHECKS
+
+        assert "automaton_backend" in CHECKS
+
+    def test_check_passes_on_seeded_cases(self):
+        from repro.testkit.checks import run_check
+        from repro.testkit.generate import generate_case
+
+        for seed in range(6):
+            case = generate_case(seed)
+            failure = run_check("automaton_backend", case)
+            assert failure is None, failure

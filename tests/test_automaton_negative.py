@@ -1,0 +1,110 @@
+"""Negative-coordinate edge cases: the two's-complement sign contract.
+
+The automaton decides sign on the *last* letter of an LSBF word, so
+every off-by-one in sign handling shows up first at negative
+coordinates, at two's-complement boundaries (-2^k, -2^k - 1 and
+neighbours), and in strides over negatives (Python's floor-mod
+convention).  These tests pin that behaviour against brute force so a
+regression cannot hide behind mostly-positive fuzz traffic.
+"""
+
+import itertools
+
+import pytest
+
+from repro.automaton import (
+    build_automaton,
+    count_box,
+    count_exact,
+    member,
+)
+from repro.presburger.parser import parse
+
+
+def solutions(text, over, box):
+    f = parse(text)
+    return {
+        vals
+        for vals in itertools.product(
+            range(-box, box + 1), repeat=len(over)
+        )
+        if f.evaluate(dict(zip(over, vals)))
+    }
+
+
+#: Formulas whose solution sets live mostly or entirely below zero.
+NEGATIVE_CASES = [
+    ("-10 <= i <= -1", ["i"]),
+    ("i = -7", ["i"]),
+    ("i <= -1 and -12 <= i and 2 | i", ["i"]),
+    ("3 | (i + 1) and -9 <= i <= -2", ["i"]),
+    ("-2*i + 3*j <= 5 and -4 <= i <= 4 and -3 <= j <= 6", ["i", "j"]),
+    ("i + j = -5 and -8 <= i <= 8", ["i", "j"]),
+    ("i < 0 and j < 0 and i + j >= -9", ["i", "j"]),
+    ("-6 <= i <= -3 or (i = 0 or 1 <= i <= 2)", ["i"]),
+]
+
+
+@pytest.mark.parametrize("text,over", NEGATIVE_CASES)
+def test_negative_membership_matches_brute_force(text, over):
+    aut = build_automaton(parse(text), over)
+    want = solutions(text, over, 14)
+    for vals in itertools.product(range(-14, 15), repeat=len(over)):
+        assert member(aut, vals) == (vals in want), (text, vals)
+
+
+@pytest.mark.parametrize("text,over", NEGATIVE_CASES)
+def test_negative_counts_match_brute_force(text, over):
+    aut = build_automaton(parse(text), over)
+    want = solutions(text, over, 14)
+    assert count_box(aut, -14, 14) == len(want), text
+
+
+def test_power_of_two_boundaries():
+    # -2^(k-1) is the one value whose minimal word is all-zero except
+    # the sign letter; its neighbours need one more letter.
+    for k in (2, 3, 4, 5, 6):
+        lo = -(2 ** (k - 1))
+        aut = build_automaton(parse("i = %d" % lo), ["i"])
+        assert count_exact(aut) == 1
+        assert member(aut, [lo])
+        assert not member(aut, [lo - 1])
+        assert not member(aut, [lo + 1])
+
+
+def test_negative_stride_uses_floor_mod():
+    # 3 | (i + 2): solutions ... -8, -5, -2, 1, 4 ... -- the automaton
+    # must agree with Python's floor mod, not truncation toward zero.
+    aut = build_automaton(parse("3 | (i + 2)"), ["i"])
+    for i in range(-20, 21):
+        assert member(aut, [i]) == ((i + 2) % 3 == 0), i
+
+
+def test_asymmetric_box_straddling_zero():
+    text = "2 | (i + j)"
+    aut = build_automaton(parse(text), ["i", "j"])
+    want = sum(
+        1
+        for i in range(-13, 6)
+        for j in range(-3, 12)
+        if (i + j) % 2 == 0
+    )
+    assert count_box(aut, (-13, -3), (5, 11)) == want
+
+
+def test_all_negative_box():
+    aut = build_automaton(parse("i + j <= -4"), ["i", "j"])
+    want = sum(
+        1 for i in range(-9, -1) for j in range(-9, -1) if i + j <= -4
+    )
+    assert count_box(aut, -9, -2) == want
+
+
+def test_minus_one_is_all_ones():
+    # -1 is the all-ones word at every width; a common sign bug is to
+    # accept it in sets it does not belong to (or drop it from ones it
+    # does).
+    aut_in = build_automaton(parse("-3 <= i <= 0"), ["i"])
+    aut_out = build_automaton(parse("0 <= i <= 3"), ["i"])
+    assert member(aut_in, [-1])
+    assert not member(aut_out, [-1])

@@ -124,7 +124,7 @@ class TestEdgeCases:
             "and 0 <= i <= 30 and 3 <= k <= 50 and i + k <= 60"
         )
         with stats.collecting_stats() as counters:
-            rec = count(text, ["i"]).evaluate({})
+            rec = count(text, ["i"], backend="recursion").evaluate({})
         assert counters["splinters_taken"] > 0
         assert genfunc_count_value(text, ["i"]) == rec == 15
 
@@ -134,7 +134,7 @@ class TestEdgeCases:
         coefficient-size independent."""
         text = "0 <= i and 0 <= j and 23*i + 31*j <= 500 and 17*i <= 13*j + 90"
         with stats.collecting_stats() as counters:
-            rec = count(text, ["i", "j"]).evaluate({})
+            rec = count(text, ["i", "j"], backend="recursion").evaluate({})
         assert counters["residue_cases"] > 100
         with stats.collecting_stats() as counters:
             gf = genfunc_count_value(text, ["i", "j"])
@@ -217,8 +217,9 @@ class TestSupportedFragment:
 
 class TestBackendRouter:
     def test_per_call_override(self):
+        before = current_backend()
         assert count("0 <= i <= 9", ["i"], backend="genfunc").evaluate({}) == 10
-        assert current_backend() == "recursion"
+        assert current_backend() == before
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
@@ -227,14 +228,15 @@ class TestBackendRouter:
             set_backend("bogus")
 
     def test_global_switch_returns_previous(self):
+        before = current_backend()
         previous = set_backend("genfunc")
         try:
-            assert previous == "recursion"
+            assert previous == before
             assert current_backend() == "genfunc"
             assert count("0 <= i <= 9", ["i"]).evaluate({}) == 10
         finally:
             set_backend(previous)
-        assert current_backend() == "recursion"
+        assert current_backend() == before
 
     def test_fallback_is_byte_identical(self):
         """Outside the fragment the router must return exactly what the
@@ -347,15 +349,16 @@ class TestServicePlumbing:
             {"kind": "count", "formula": "0 <= i <= 5", "over": ["i"],
              "backend": "genfunc"}
         )
+        before = current_backend()
         payload = execute_request(req)
         assert payload["stats"]["backend"] == "genfunc"
-        assert current_backend() == "recursion"
+        assert current_backend() == before
         plain = execute_request(
             JobRequest.from_json(
                 {"kind": "count", "formula": "0 <= i <= 5", "over": ["i"]}
             )
         )
-        assert plain["stats"]["backend"] == "recursion"
+        assert plain["stats"]["backend"] == before
         assert payload["result_json"] == plain["result_json"]
 
 

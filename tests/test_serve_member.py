@@ -1,0 +1,239 @@
+"""member / count_below through the daemon's resident-automaton tier.
+
+Async scenarios run under ``asyncio.run`` inside plain sync tests
+(same convention as ``test_serve_daemon.py``): each scenario builds
+its own daemon, drives :meth:`CountingDaemon.handle` directly or over
+a real HTTP socket, and drains before returning.
+"""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.automaton.cache import clear_automaton_cache
+from repro.serve.daemon import AUTOMATON_KINDS, CountingDaemon, ServeConfig
+from repro.serve.http import HttpFrontend, _JOB_PATHS
+from repro.serve.loadgen import (
+    DEFAULT_BASE_REQUESTS,
+    alpha_variant,
+    build_requests,
+    run_inprocess,
+)
+from repro.serve.metrics import COUNTER_NAMES
+from repro.service.request import JobRequest
+
+TRIANGLE = "0 <= i <= 8 and 0 <= j <= 8 and i + j <= 8"
+
+MEMBER_REQ = {
+    "id": "m",
+    "kind": "member",
+    "formula": TRIANGLE,
+    "over": ["i", "j"],
+    "at": [{"i": 2, "j": 3}, {"i": 8, "j": 8}],
+}
+
+BELOW_REQ = {
+    "id": "b",
+    "kind": "count_below",
+    "formula": "2 | (i + j) and i <= 2*j",
+    "over": ["i", "j"],
+    "bound": 16,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_automaton_cache()
+    yield
+    clear_automaton_cache()
+
+
+def make_daemon(**kw):
+    kw.setdefault("cache_path", None)
+    daemon = CountingDaemon(ServeConfig(**kw))
+    daemon.start()
+    return daemon
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestDaemonTiers:
+    def test_cold_then_automaton_warm(self):
+        async def scenario():
+            daemon = make_daemon()
+            try:
+                first = await daemon.handle(dict(MEMBER_REQ))
+                # Different points on the same formula: the automaton
+                # built by the cold request is resident, so this is a
+                # warm answer without a cold dispatch.
+                second = await daemon.handle(
+                    dict(MEMBER_REQ, id="m2", at=[{"i": 0, "j": 0}])
+                )
+                third = await daemon.handle(
+                    {
+                        "id": "m3",
+                        "kind": "member",
+                        "formula": "0 <= a <= 8 and 0 <= b <= 8 and a + b <= 8",
+                        "over": ["a", "b"],
+                        "at": [{"a": 4, "b": 4}],
+                    }
+                )
+                snapshot = daemon.metrics.snapshot()
+                return first, second, third, snapshot
+            finally:
+                await daemon.drain()
+
+        first, second, third, snapshot = run(scenario())
+        assert first["ok"] and first["tier"] == "cold"
+        assert [p["value"] for p in first["points"]] == [True, False]
+        assert second["ok"] and second["tier"] == "warm"
+        assert third["ok"] and third["tier"] == "warm"  # alpha-renamed
+        assert snapshot["counters"]["automaton_hits"] == 2
+        assert snapshot["counters"]["cold_jobs"] == 1
+        assert snapshot["hit_rates"]["warm"] == pytest.approx(2 / 3)
+
+    def test_count_below_values_and_warm_reuse(self):
+        async def scenario():
+            daemon = make_daemon()
+            try:
+                first = await daemon.handle(dict(BELOW_REQ))
+                second = await daemon.handle(
+                    dict(BELOW_REQ, id="b2", bound=16, lo=4)
+                )
+                return first, second
+            finally:
+                await daemon.drain()
+
+        first, second = run(scenario())
+        want = sum(
+            1
+            for i, j in itertools.product(range(16), repeat=2)
+            if (i + j) % 2 == 0 and i <= 2 * j
+        )
+        want_lo = sum(
+            1
+            for i, j in itertools.product(range(4, 16), repeat=2)
+            if (i + j) % 2 == 0 and i <= 2 * j
+        )
+        assert first["tier"] == "cold" and first["result"] == str(want)
+        assert second["tier"] == "warm" and second["result"] == str(want_lo)
+
+    def test_bad_member_point_is_structured_error(self):
+        async def scenario():
+            daemon = make_daemon()
+            try:
+                return await daemon.handle(
+                    dict(MEMBER_REQ, at=[{"i": 1}])
+                )
+            finally:
+                await daemon.drain()
+
+        response = run(scenario())
+        assert not response["ok"]
+        assert response["error"]["kind"] == "bad_request"
+
+    def test_disk_cache_write_through(self, tmp_path):
+        async def scenario():
+            config = ServeConfig(
+                cache_path=str(tmp_path / "serve-cache.sqlite")
+            )
+            daemon = CountingDaemon(config)
+            daemon.start()
+            try:
+                await daemon.handle(dict(MEMBER_REQ))
+                await daemon.handle(dict(MEMBER_REQ, id="again"))
+                return daemon.metrics.snapshot()
+            finally:
+                await daemon.drain()
+
+        snapshot = run(scenario())
+        # The identical request is a plain disk-cache warm hit, not a
+        # second automaton query or cold dispatch.
+        assert snapshot["counters"]["warm_hits"] == 1
+        assert snapshot["counters"]["cold_jobs"] == 1
+
+    def test_kinds_constant(self):
+        assert AUTOMATON_KINDS == ("member", "count_below")
+
+
+class TestHttpPaths:
+    def test_job_paths_include_new_kinds(self):
+        assert "/member" in _JOB_PATHS
+        assert "/count_below" in _JOB_PATHS
+
+    def test_member_over_http(self):
+        async def scenario():
+            daemon = make_daemon()
+            front = HttpFrontend(daemon, port=0)
+            await front.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", front.port
+                )
+                import json as _json
+
+                body = _json.dumps(
+                    {k: v for k, v in MEMBER_REQ.items() if k != "kind"}
+                ).encode()
+                writer.write(
+                    b"POST /member HTTP/1.1\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                await writer.drain()
+                status = (await reader.readline()).split()[1]
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if line.lower().startswith(b"content-length"):
+                        length = int(line.split(b":")[1])
+                doc = _json.loads(await reader.readexactly(length))
+                writer.close()
+                return int(status), doc
+            finally:
+                await front.stop()
+                await daemon.drain()
+
+        status, doc = run(scenario())
+        assert status == 200
+        assert doc["ok"] and doc["kind"] == "member"
+        assert [p["value"] for p in doc["points"]] == [True, False]
+
+
+class TestMetricsAndLoadgen:
+    def test_counter_registered(self):
+        assert "automaton_hits" in COUNTER_NAMES
+
+    def test_base_requests_cover_new_kinds(self):
+        kinds = {obj["kind"] for obj in DEFAULT_BASE_REQUESTS}
+        assert {"member", "count_below"} <= kinds
+
+    def test_alpha_variant_renames_member_points(self):
+        import random
+
+        variant = alpha_variant(dict(MEMBER_REQ), random.Random(7))
+        assert set(variant["over"]) != set(MEMBER_REQ["over"])
+        for env in variant["at"]:
+            assert set(env) == set(variant["over"])
+        # Same canonical identity as the original spelling.
+        assert (
+            JobRequest.from_json(variant).content_hash()
+            == JobRequest.from_json(dict(MEMBER_REQ)).content_hash()
+        )
+
+    def test_loadgen_inprocess_pass_is_clean(self):
+        requests = build_requests(
+            [dict(MEMBER_REQ), dict(BELOW_REQ)], 12, rename_mix=0.5, seed=3
+        )
+        results = run(
+            run_inprocess(requests, clients=3, config=ServeConfig(cache_path=None))
+        )
+        summary, _records = results[0]
+        assert summary["errors"] == 0
+        assert summary["ok"] == 12
+        snapshot = summary["serve"]
+        assert snapshot["counters"]["automaton_hits"] >= 1
