@@ -1,0 +1,250 @@
+"""Sharded serving: multi-process scaling, fleet coalescing, parity.
+
+The one resource a single ``repro serve`` daemon cannot buy is a
+second GIL: its process pool parallelises the *executor* but every
+request still funnels through one Python process.  ``repro
+shardserve`` runs N whole daemons and routes by content-hash prefix,
+so a cold-heavy workload should scale with shard count on a
+multi-core box.
+
+This bench drives both topologies over real HTTP with the same cold
+corpus (unique ~2s count jobs, ``REPRO_SERVE_WORKERS=1`` on every
+daemon so the only parallelism under test is the shard fan-out) and
+publishes single-vs-sharded walls to ``BENCH_JSON`` under
+``shard_scaling``.  The >= 2.5x speedup assertion is gated on
+``os.cpu_count() >= 4``: on fewer cores the shards time-slice one CPU
+and the measurement is meaningless (the artifact records the core
+count so readers can tell which regime a committed snapshot ran in).
+
+Unconditional contracts, any core count:
+
+* zero failed requests on either topology;
+* fleet-wide dedup: no content hash cold-computes twice
+  (``duplicate_computations == 0``), and an 8-client burst of
+  alpha-renamed spellings of one fresh formula costs the fleet exactly
+  one cold computation;
+* a warm pass over the sharded topology recomputes nothing;
+* sharded responses are byte-identical to single-daemon responses
+  modulo :data:`~repro.service.batch.VOLATILE_RESPONSE_KEYS`.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+from conftest import record_extra, report
+from repro.serve.loadgen import build_requests, fleet_summary, run_http
+from repro.service.batch import VOLATILE_RESPONSE_KEYS
+
+SHARDS = 4
+CLIENTS = 8
+STARTUP_TIMEOUT = 90
+
+#: Unique cold jobs: each divisor is a distinct canonical hash with
+#: roughly equal cost (~2s of splintering + counting on one core).
+COLD_CORPUS = [
+    {
+        "id": "cold-d%d" % d,
+        "kind": "count",
+        "formula": (
+            "1 <= i <= n and 1 <= j <= m and 3*j <= 2*i + n"
+            " and %d | (i + j)" % d
+        ),
+        "over": ["i", "j"],
+    }
+    for d in range(2, 8)
+]
+
+BURST_BASE = {
+    "id": "burst",
+    "kind": "count",
+    "formula": "1 <= i <= n and 1 <= j <= m and 5*j <= 3*i + 2*n",
+    "over": ["i", "j"],
+}
+
+
+def stable(response):
+    return {
+        k: v
+        for k, v in response.items()
+        if k not in VOLATILE_RESPONSE_KEYS and k != "id"
+    }
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src")
+    )
+    env["REPRO_SERVE_WORKERS"] = "1"
+    env.pop("REPRO_SHARD_INDEX", None)
+    return env
+
+
+def _spawn(argv, cwd, needle):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + argv,
+        stderr=subprocess.PIPE,
+        cwd=cwd,
+        env=_env(),
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+            continue
+        text = line.decode("utf-8", "replace")
+        lines.append(text)
+        if needle in text:
+            port = int(text.split("http://127.0.0.1:")[1].split(" ")[0])
+            return proc, port
+    proc.kill()
+    raise AssertionError(
+        "no ready line %r in:\n%s" % (needle, "".join(lines))
+    )
+
+
+def _stop(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    # Drain the stderr pipe so the child never blocks on a full buffer.
+    proc.stderr.read()
+
+
+def _stats(port):
+    with urllib.request.urlopen(
+        "http://127.0.0.1:%d/stats" % port, timeout=10
+    ) as response:
+        return json.loads(response.read())
+
+
+def _pass(port, requests, clients=CLIENTS):
+    summary, records = asyncio.run(
+        run_http(
+            "http://127.0.0.1:%d" % port,
+            requests,
+            clients,
+            keep_responses=True,
+        )
+    )
+    assert summary["errors"] == 0, summary
+    return summary, records
+
+
+def test_shard_scaling_and_fleet_semantics(tmp_path):
+    requests = build_requests(COLD_CORPUS, len(COLD_CORPUS), seed=0)
+    cores = os.cpu_count() or 1
+
+    # -- single daemon, cold pass --------------------------------------
+    single, single_port = _spawn(
+        [
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--http-port",
+            "0",
+            "--cache",
+            str(tmp_path / "single.sqlite"),
+        ],
+        str(tmp_path),
+        "repro serve: listening",
+    )
+    try:
+        single_summary, single_records = _pass(single_port, requests)
+    finally:
+        _stop(single)
+    single_wall = single_summary["wall_seconds"]
+
+    # -- sharded topology ----------------------------------------------
+    router, port = _spawn(
+        [
+            "shardserve",
+            "--shards",
+            str(SHARDS),
+            "--http-port",
+            "0",
+            "--cache-dir",
+            str(tmp_path / "shards"),
+        ],
+        str(tmp_path),
+        "router listening",
+    )
+    try:
+        shard_summary, shard_records = _pass(port, requests)
+        shard_wall = shard_summary["wall_seconds"]
+        fleet = shard_summary["fleet"]
+        assert fleet["duplicate_computations"] == 0
+        assert fleet["cold_responses"] == len(COLD_CORPUS)
+        assert len(fleet["per_shard"]) >= 2  # the corpus really spread
+
+        # Byte parity with the single daemon, modulo volatile keys.
+        by_id = {r["id"]: r["response"] for r in single_records}
+        for record in shard_records:
+            assert stable(record["response"]) == stable(
+                by_id[record["id"]]
+            ), record["id"]
+
+        # Warm pass: the fleet recomputes nothing.
+        warm_summary, _ = _pass(port, requests)
+        assert warm_summary["fleet"]["cold_responses"] == 0
+        assert "cold" not in warm_summary["tiers"]
+
+        # 8-client burst of alpha-renamed spellings of one fresh
+        # formula: exactly one cold computation fleet-wide.
+        cold_before = _stats(port)["serve"]["counters"]["cold_jobs"]
+        burst = build_requests([BURST_BASE], 8, rename_mix=1.0, seed=9)
+        burst_summary, _ = _pass(port, burst, clients=8)
+        cold_after = _stats(port)["serve"]["counters"]["cold_jobs"]
+        assert cold_after - cold_before == 1
+        assert burst_summary["fleet"]["distinct_cold_hashes"] <= 1
+        assert burst_summary["fleet"]["duplicate_computations"] == 0
+    finally:
+        _stop(router)
+
+    speedup = single_wall / shard_wall if shard_wall else 0.0
+    record_extra(
+        "shard_scaling",
+        {
+            "cores": cores,
+            "shards": SHARDS,
+            "clients": CLIENTS,
+            "unique_cold_jobs": len(COLD_CORPUS),
+            "single_wall_seconds": round(single_wall, 3),
+            "sharded_wall_seconds": round(shard_wall, 3),
+            "speedup": round(speedup, 3),
+            "speedup_asserted": cores >= SHARDS,
+            "per_shard": fleet["per_shard"],
+            "warm_throughput_rps": warm_summary["throughput_rps"],
+        },
+    )
+    report(
+        "SHARD scaling (%d cores)" % cores,
+        [
+            "single: %.2fs, %d shards: %.2fs -> %.2fx"
+            % (single_wall, SHARDS, shard_wall, speedup),
+            "per-shard: %s"
+            % {
+                s: meta["count"]
+                for s, meta in sorted(fleet["per_shard"].items())
+            },
+        ],
+    )
+    if cores >= SHARDS:
+        assert speedup >= 2.5, (
+            "expected >= 2.5x at %d shards on %d cores, got %.2fx"
+            % (SHARDS, cores, speedup)
+        )

@@ -44,6 +44,10 @@ from repro.automaton.count import (
     automaton_sum,
     has_resident_automaton,
 )
+from repro.automaton.store import (
+    automaton_store_info,
+    set_automaton_store,
+)
 from repro.automaton.encode import decode_word, encode_point, min_width
 from repro.automaton.minimize import minimize
 from repro.automaton.query import (
@@ -62,6 +66,8 @@ __all__ = [
     "UnsupportedFormula",
     "automaton_cache_info",
     "automaton_count",
+    "automaton_store_info",
+    "set_automaton_store",
     "automaton_count_value",
     "automaton_for",
     "automaton_key",

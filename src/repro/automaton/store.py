@@ -1,0 +1,232 @@
+"""Persistent automaton store: built DFAs survive process restarts.
+
+The resident LRU (:mod:`repro.automaton.cache`) amortizes builds
+within one process; this module extends the amortization across
+restarts by serializing minimized automata into a ``diskcache`` table
+(``automata``) living next to the answer store.  A daemon that is
+bounced keeps its resident ``member`` / ``count_below`` working sets:
+the first query after restart finds the DFA on disk and re-residents
+it without rebuilding (``automaton_disk_hits`` vs a fresh
+``automaton_builds``).
+
+Keying follows the resident cache -- the *point-free* alpha-invariant
+formula key plus track order (:func:`repro.automaton.count.automaton_key`)
+-- wrapped in a SHA-256 with a serialization schema version and the
+engine version, so upgrading either invalidates stored automata
+instead of serving stale semantics.  The payload is a plain JSON
+document (``nbits``, ``variables``, ``initial``, ``delta`` row lists,
+``accept`` bitmasks); corrupt or schema-mismatched rows are misses.
+
+Enabled by pointing ``REPRO_AUTOMATON_DB`` at a sqlite file (the
+serve CLI's ``--automaton-cache`` flag is shorthand, exactly like
+``--answer-cache`` / ``REPRO_ANSWER_DB``), or programmatically via
+:func:`set_automaton_store`.  When unset every operation is a cheap
+no-op, so library users pay nothing.
+"""
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+from typing import Optional
+
+from repro import __version__ as ENGINE_VERSION
+from repro.core import stats
+
+#: Bump on any change to the serialized automaton layout.
+AUTOMATON_SCHEMA_VERSION = 1
+
+#: Rows kept in the automata table before LRU eviction.
+STORE_LIMIT = 4096
+
+_lock = threading.Lock()
+_path: Optional[str] = None
+_explicit = False  # set_automaton_store() wins over the environment
+_store = None
+_store_path: Optional[str] = None  # path the open handle belongs to
+
+
+def set_automaton_store(path: Optional[str]) -> Optional[str]:
+    """Point the store at ``path`` (None disables); returns the old path.
+
+    An explicit setting wins over ``REPRO_AUTOMATON_DB``; passing None
+    both closes the store and re-enables the environment lookup.
+    """
+    global _path, _explicit
+    with _lock:
+        previous = _path
+        _path = path
+        _explicit = path is not None
+        _close_locked()
+    return previous
+
+
+def _active_path() -> Optional[str]:
+    if _explicit:
+        return _path
+    return os.environ.get("REPRO_AUTOMATON_DB") or None
+
+
+def _close_locked() -> None:
+    global _store, _store_path
+    if _store is not None:
+        try:
+            _store.close()
+        except Exception:  # pragma: no cover - best-effort close
+            pass
+    _store = None
+    _store_path = None
+
+
+def _handle():
+    """The open DiskCache (lazily created), or None when disabled."""
+    global _store, _store_path
+    path = _active_path()
+    if path is None:
+        if _store is not None:
+            _close_locked()
+        return None
+    if _store is None or _store_path != path:
+        _close_locked()
+        from repro.service.diskcache import DiskCache
+
+        try:
+            _store = DiskCache(path, max_entries=STORE_LIMIT, table="automata")
+            _store_path = path
+        except (sqlite3.Error, OSError):
+            _store = None
+            _store_path = None
+            return None
+    return _store
+
+
+def disk_key(key: str) -> str:
+    """The stable row key for a resident-cache key."""
+    payload = "automaton:%d:%s:%s" % (
+        AUTOMATON_SCHEMA_VERSION,
+        ENGINE_VERSION,
+        key,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def serialize_automaton(aut) -> dict:
+    return {
+        "schema": AUTOMATON_SCHEMA_VERSION,
+        "engine": ENGINE_VERSION,
+        "nbits": aut.nbits,
+        "variables": list(aut.variables),
+        "initial": aut.initial,
+        "delta": [list(row) for row in aut.delta],
+        "accept": list(aut.accept),
+    }
+
+
+def deserialize_automaton(doc: dict):
+    """Rebuild an :class:`~repro.automaton.build.Automaton`, or None.
+
+    Any malformed document (wrong schema, missing fields, inconsistent
+    row shapes) is treated as a miss, never an error: the store is an
+    accelerator, so damage must degrade to a rebuild.
+    """
+    from repro.automaton.build import Automaton
+
+    try:
+        if doc.get("schema") != AUTOMATON_SCHEMA_VERSION:
+            return None
+        if doc.get("engine") != ENGINE_VERSION:
+            return None
+        nbits = int(doc["nbits"])
+        variables = tuple(str(v) for v in doc["variables"])
+        initial = int(doc["initial"])
+        delta = [[int(s) for s in row] for row in doc["delta"]]
+        accept = [int(mask) for mask in doc["accept"]]
+        n_states = len(delta)
+        width = 1 << len(variables)
+        if n_states == 0 or len(accept) != n_states:
+            return None
+        if not 0 <= initial < n_states:
+            return None
+        for row in delta:
+            if len(row) != width:
+                return None
+            for s in row:
+                if not 0 <= s < n_states:
+                    return None
+    except (KeyError, TypeError, ValueError):
+        return None
+    return Automaton(nbits, variables, initial, delta, accept)
+
+
+def store_get(key: str):
+    """The persisted automaton for a resident-cache key, or None."""
+    with _lock:
+        store = _handle()
+        if store is None:
+            return None
+        try:
+            doc = store.get(disk_key(key))
+        except (sqlite3.Error, OSError):
+            return None
+    if doc is None:
+        return None
+    aut = deserialize_automaton(doc)
+    if aut is not None and stats.ENABLED:
+        stats.bump("automaton_disk_hits")
+    return aut
+
+
+def store_contains(key: str) -> bool:
+    """Is the automaton persisted?  (No deserialization, no counters.)"""
+    with _lock:
+        store = _handle()
+        if store is None:
+            return False
+        try:
+            return disk_key(key) in store
+        except (sqlite3.Error, OSError):
+            return False
+
+
+def store_put(key: str, aut) -> None:
+    """Persist a built automaton; failures are swallowed (accelerator)."""
+    with _lock:
+        store = _handle()
+        if store is None:
+            return
+        try:
+            store.put(disk_key(key), serialize_automaton(aut))
+        except (sqlite3.Error, OSError, ValueError):
+            return
+    if stats.ENABLED:
+        stats.bump("automaton_disk_writes")
+
+
+def automaton_store_info() -> dict:
+    with _lock:
+        store = _handle()
+        if store is None:
+            return {"enabled": False, "path": _active_path()}
+        try:
+            return {
+                "enabled": True,
+                "path": store.path,
+                "entries": len(store),
+            }
+        except (sqlite3.Error, OSError):  # pragma: no cover - defensive
+            return {"enabled": True, "path": store.path, "entries": -1}
+
+
+__all__ = [
+    "AUTOMATON_SCHEMA_VERSION",
+    "STORE_LIMIT",
+    "automaton_store_info",
+    "deserialize_automaton",
+    "disk_key",
+    "serialize_automaton",
+    "set_automaton_store",
+    "store_contains",
+    "store_get",
+    "store_put",
+]

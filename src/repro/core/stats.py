@@ -80,6 +80,8 @@ COUNTER_NAMES = (
     "automaton_builds",  # formula automata actually constructed
     "automaton_states",  # states across those constructions (post-minimize)
     "automaton_cache_hits",  # builds avoided by the resident LRU
+    "automaton_disk_hits",  # builds restored from the persistent store
+    "automaton_disk_writes",  # built automata persisted to the store
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}

@@ -79,6 +79,12 @@ from repro.service.request import JobRequest, RequestError
 OVERLOADED = "overloaded"
 RATE_LIMITED = "rate_limited"
 
+#: A request whose canonical content hash falls outside this daemon's
+#: owned hash-prefix slice (sharded serving; HTTP maps it to 421).
+#: Clients should talk to the shard router, which can never misroute
+#: because it derives ownership from the same canonical hash.
+MISROUTED = "misrouted"
+
 #: Cap on the in-daemon formula-hash -> symbolic-answer artifact map.
 ARTIFACT_CAP = 1024
 
@@ -120,6 +126,9 @@ class ServeConfig:
         "cache_path",
         "cache_limit",
         "drain_timeout",
+        "shard_index",
+        "shard_count",
+        "shard_bits",
     )
 
     def __init__(
@@ -137,11 +146,24 @@ class ServeConfig:
         cache_path: Optional[str] = ".repro-cache.sqlite",
         cache_limit: int = 100000,
         drain_timeout: float = 30.0,
+        shard_index: Optional[int] = None,
+        shard_count: Optional[int] = None,
+        shard_bits: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if shard_index is not None:
+            if shard_count is None or shard_count < 1:
+                raise ValueError(
+                    "shard_index needs a shard_count >= 1"
+                )
+            if not 0 <= shard_index < shard_count:
+                raise ValueError(
+                    "shard_index %d out of range for %d shards"
+                    % (shard_index, shard_count)
+                )
         self.host = host
         self.http_port = http_port
         self.jsonl_port = jsonl_port
@@ -155,6 +177,9 @@ class ServeConfig:
         self.cache_path = cache_path
         self.cache_limit = cache_limit
         self.drain_timeout = drain_timeout
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.shard_bits = shard_bits
 
     @classmethod
     def from_env(cls, **overrides) -> "ServeConfig":
@@ -167,10 +192,32 @@ class ServeConfig:
             "default_timeout": _env_float("REPRO_SERVE_TIMEOUT"),
             "default_budget": _env_int("REPRO_SERVE_BUDGET"),
             "drain_timeout": _env_float("REPRO_SERVE_DRAIN"),
+            # The shard supervisor sets these in worker environments;
+            # REPRO_SHARD_INDEX is the opt-in (REPRO_SHARD_N alone --
+            # say, in a shell that also launches the router -- must not
+            # give a standalone daemon a partial keyspace).
+            "shard_index": _env_int("REPRO_SHARD_INDEX"),
+            "shard_count": _env_int("REPRO_SHARD_N"),
+            "shard_bits": _env_int("REPRO_SHARD_BITS"),
         }
         values = {k: v for k, v in values.items() if v is not None}
+        if "shard_index" not in values:
+            values.pop("shard_count", None)
+            values.pop("shard_bits", None)
         values.update(overrides)
         return cls(**values)
+
+    def shard_slice(self):
+        """The owned keyspace slice, or None for a whole-keyspace daemon."""
+        if self.shard_index is None:
+            return None
+        from repro.shard.config import DEFAULT_PREFIX_BITS, ShardSlice
+
+        return ShardSlice(
+            self.shard_bits or DEFAULT_PREFIX_BITS,
+            self.shard_count,
+            self.shard_index,
+        )
 
 
 class _InFlight:
@@ -199,12 +246,17 @@ class CountingDaemon:
             burst=self.config.burst,
             budget_ceiling=self.config.tenant_budget,
         )
+        self._slice = self.config.shard_slice()
         self._owns_cache = cache is None and self.config.cache_path is not None
         if cache is not None:
             self.cache: Optional[DiskCache] = cache
         elif self.config.cache_path is not None:
+            # Under shard ownership the store refuses foreign writes
+            # too (defense in depth behind the handle() refusal).
             self.cache = DiskCache(
-                self.config.cache_path, max_entries=self.config.cache_limit
+                self.config.cache_path,
+                max_entries=self.config.cache_limit,
+                owns=self._slice.owns if self._slice is not None else None,
             )
         else:
             self.cache = None
@@ -308,6 +360,26 @@ class CountingDaemon:
                 req.id,
                 BAD_REQUEST,
                 "%s: %s" % (type(exc).__name__, exc),
+                t0,
+                "front",
+            )
+
+        if self._slice is not None and not self._slice.owns(key):
+            # A shard answers only its own keyspace slice.  Serving a
+            # foreign hash would compute and cache an answer another
+            # shard owns, silently splitting the authoritative store.
+            m.bump("misrouted")
+            return self._error_response(
+                req.id,
+                MISROUTED,
+                "content hash %s... belongs to shard %d of %d"
+                " (this is shard %d); route via the shard router"
+                % (
+                    key[:12],
+                    self._slice.owner(key),
+                    self._slice.count,
+                    self._slice.index,
+                ),
                 t0,
                 "front",
             )
@@ -614,6 +686,7 @@ __all__ = [
     "ARTIFACT_CAP",
     "AUTOMATON_KINDS",
     "CountingDaemon",
+    "MISROUTED",
     "OVERLOADED",
     "RATE_LIMITED",
     "ServeConfig",

@@ -36,6 +36,7 @@ ports once listening, and exits 0 after a clean drain.
 """
 
 import asyncio
+import inspect
 import json
 import signal
 import sys
@@ -43,6 +44,7 @@ from typing import Optional, Tuple
 
 from repro.core import stats
 from repro.serve.daemon import (
+    MISROUTED,
     OVERLOADED,
     RATE_LIMITED,
     CountingDaemon,
@@ -60,6 +62,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    421: "Misdirected Request",
     429: "Too Many Requests",
     500: "Internal Server Error",
     504: "Gateway Timeout",
@@ -71,6 +74,7 @@ _ERROR_STATUS = {
     BAD_REQUEST: 400,
     PARSE_ERROR: 400,
     TIMEOUT: 504,
+    MISROUTED: 421,
 }
 
 _JOB_PATHS = (
@@ -191,7 +195,16 @@ class HttpFrontend:
         self, method: str, path: str, headers: dict, body: bytes
     ) -> Tuple[int, dict]:
         if method == "GET":
+            # The shard router serves these same front ends but needs
+            # fleet-level answers, so a daemon-like object may bring
+            # its own (possibly async) healthz / stats_snapshot.
             if path == "/healthz":
+                provider = getattr(self.daemon, "healthz", None)
+                if provider is not None:
+                    doc = provider()
+                    if inspect.isawaitable(doc):
+                        doc = await doc
+                    return 200, doc
                 return 200, {
                     "ok": not self.daemon.draining,
                     "draining": self.daemon.draining,
@@ -199,6 +212,12 @@ class HttpFrontend:
                     "queue_depth": self.daemon.metrics.queue_depth(),
                 }
             if path == "/stats":
+                provider = getattr(self.daemon, "stats_snapshot", None)
+                if provider is not None:
+                    doc = provider()
+                    if inspect.isawaitable(doc):
+                        doc = await doc
+                    return 200, doc
                 return 200, stats.engine_snapshot()
             return 404, self._failure("no such endpoint: %s" % path, "not_found")
         if method != "POST":
@@ -363,6 +382,10 @@ def serve_main(args) -> int:
         # Worker processes inherit the environment at fork, so this
         # points every cold job's answer memo at one persistent store.
         os.environ["REPRO_ANSWER_DB"] = args.answer_cache
+    if getattr(args, "automaton_cache", None):
+        # Same trick for built automata: the persistent store keeps
+        # resident member/count_below sets across daemon restarts.
+        os.environ["REPRO_AUTOMATON_DB"] = args.automaton_cache
     config = ServeConfig.from_env(
         host=args.host,
         http_port=args.http_port,

@@ -230,6 +230,8 @@ async def _drive(submit, requests, clients, keep_responses=False):
                 "tier": response.get("tier", "remote"),
                 "ms": ms,
             }
+            if "shard" in response:
+                record["shard"] = response["shard"]
             if keep_responses:
                 record["response"] = response
             records.append(record)
@@ -247,7 +249,62 @@ def _percentile(sorted_ms: List[float], q: float) -> float:
     return round(sorted_ms[index], 3)
 
 
-def summarize(records, wall: float, clients: int, serve_snapshot=None) -> dict:
+def fleet_summary(requests: Sequence[dict], records) -> dict:
+    """Fleet-dedup accounting: did any content hash cold-compute twice?
+
+    Request ids are unique per pass (``build_requests`` stamps
+    ``base#k``), so mapping id -> canonical content hash lets the
+    summary count cold-tier responses per *hash*.  Against a shard
+    router, a hash going cold on more than one shard -- or twice
+    anywhere -- means fleet-wide coalescing failed;
+    ``duplicate_computations`` must be 0 and ``--assert-no-duplicates``
+    turns that into an exit code.  Per-shard response counts and
+    latency quantiles ride along when responses carry a ``shard`` key.
+    """
+    from repro.service.request import JobRequest
+
+    hash_of = {}
+    for obj in requests:
+        try:
+            hash_of[obj.get("id")] = JobRequest.from_json(
+                dict(obj)
+            ).content_hash()
+        except Exception:
+            continue
+    cold_hashes = [
+        hash_of[r["id"]]
+        for r in records
+        if r["tier"] == "cold" and r["id"] in hash_of
+    ]
+    distinct_cold = set(cold_hashes)
+    per_shard = {}
+    for record in records:
+        shard = record.get("shard")
+        if shard is None:
+            continue
+        per_shard.setdefault(str(shard), []).append(record["ms"])
+    shards = {}
+    for shard, samples in sorted(per_shard.items()):
+        samples.sort()
+        shards[shard] = {
+            "count": len(samples),
+            "p50_ms": _percentile(samples, 0.50),
+            "p99_ms": _percentile(samples, 0.99),
+        }
+    summary = {
+        "unique_hashes": len(set(hash_of.values())),
+        "cold_responses": len(cold_hashes),
+        "distinct_cold_hashes": len(distinct_cold),
+        "duplicate_computations": len(cold_hashes) - len(distinct_cold),
+    }
+    if shards:
+        summary["per_shard"] = shards
+    return summary
+
+
+def summarize(
+    records, wall: float, clients: int, serve_snapshot=None, requests=None
+) -> dict:
     """Throughput + exact per-tier latency quantiles for one pass."""
     by_tier = {}
     ok = 0
@@ -279,6 +336,8 @@ def summarize(records, wall: float, clients: int, serve_snapshot=None) -> dict:
     }
     if serve_snapshot is not None:
         summary["serve"] = serve_snapshot
+    if requests is not None:
+        summary["fleet"] = fleet_summary(requests, records)
     return summary
 
 
@@ -301,7 +360,11 @@ async def run_inprocess(
             results.append(
                 (
                     summarize(
-                        records, wall, clients, daemon.metrics.snapshot()
+                        records,
+                        wall,
+                        clients,
+                        daemon.metrics.snapshot(),
+                        requests=requests,
                     ),
                     records,
                 )
@@ -376,7 +439,12 @@ async def run_http(
         _status, stats_doc = await _http_request(reader, writer, "GET", "/stats")
         locks_free.put_nowait((reader, writer))
         serve_snapshot = stats_doc.get("serve")
-        return summarize(records, wall, clients, serve_snapshot), records
+        return (
+            summarize(
+                records, wall, clients, serve_snapshot, requests=requests
+            ),
+            records,
+        )
     finally:
         for writer in connections:
             writer.close()
@@ -420,6 +488,18 @@ def loadgen_main(args) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
+    if getattr(args, "assert_no_duplicates", False):
+        duplicates = sum(
+            summary.get("fleet", {}).get("duplicate_computations", 0)
+            for summary in summaries
+        )
+        if duplicates:
+            print(
+                "loadgen: FAIL: %d content hash(es) cold-computed more "
+                "than once" % duplicates,
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -429,6 +509,7 @@ __all__ = [
     "alpha_variant",
     "base_requests",
     "build_requests",
+    "fleet_summary",
     "loadgen_main",
     "requests_from_corpus_dir",
     "run_http",

@@ -1,0 +1,52 @@
+"""Sharded multi-process serving: a router over N daemon workers.
+
+One :mod:`repro.serve` daemon answers from a single asyncio loop
+fronting one fork-per-job pool and one warm store, so its cold-path
+throughput is capped by one process no matter how many clients
+connect.  This package is the next scale step: ``python -m repro
+shardserve`` runs a **router** process that owns the listening ports
+and supervises N ``repro serve`` daemon workers, partitioning the
+answer/artifact keyspace by canonical-content-hash prefix
+(:class:`~repro.shard.config.ShardSlice`) so each shard owns a
+disjoint slice of the persistent store and its resident
+evalc/automaton artifacts.
+
+The router speaks exactly the daemon's HTTP + JSONL protocols (it is
+a drop-in target for ``python -m repro loadgen`` and any daemon
+client) and adds two fleet-level performance layers:
+
+* **cross-shard coalescing** -- the router holds a fleet in-flight
+  table keyed by canonical content hash, so a request whose hash is
+  already computing anywhere in the fleet parks on that completion
+  instead of triggering a second computation;
+* **warm-store replication** -- freshly settled answers gossip into a
+  router-side read replica (:class:`~repro.shard.replica.ReplicaStore`),
+  so repeat traffic is answered at the router without the shard hop.
+  Replicas are caches: the owner shard's store remains the only write
+  path, and entries are content-addressed (the hash covers the engine
+  version), so a replica can be stale only by *absence*, never by
+  value.
+
+Workers are supervised (:mod:`repro.shard.supervisor`): spawned over
+one shared store file with per-shard ownership environment (the
+daemon's misrouted refusal and the disk cache's write guard keep the
+slices disjoint inside the shared tables), health-checked via
+``/healthz``, restarted with exponential backoff when they die, and
+drained with a SIGTERM fan-out on shutdown.
+"""
+
+from repro.shard.config import ShardConfig, ShardSlice, shard_of
+from repro.shard.replica import ReplicaStore
+from repro.shard.router import RouterMetrics, ShardRouter, shardserve_main
+from repro.shard.supervisor import ShardWorker
+
+__all__ = [
+    "ReplicaStore",
+    "RouterMetrics",
+    "ShardConfig",
+    "ShardRouter",
+    "ShardSlice",
+    "ShardWorker",
+    "shard_of",
+    "shardserve_main",
+]

@@ -1,0 +1,200 @@
+"""Shard topology: hash-prefix keyspace slices and router tuning knobs.
+
+The unit of ownership is the **canonical content hash** (see
+:meth:`repro.service.request.JobRequest.content_hash`): a SHA-256 hex
+digest whose leading ``prefix_bits`` bits, reduced modulo the shard
+count, name the one shard that owns the request -- its cold
+computation, its row in the persistent results store, and its resident
+evalc/automaton artifacts.  Because the hash is alpha- and
+order-invariant, every spelling of one logical query lands on the same
+shard, which is what makes per-shard stores disjoint and fleet-wide
+coalescing possible without any shard-to-shard traffic.
+
+:class:`ShardSlice` is the ownership predicate shared by the router
+(to pick a shard), the daemon (to refuse misrouted requests), and the
+disk cache (to refuse misrouted writes); keeping all three on one
+implementation means they can never disagree about who owns a key.
+
+``REPRO_SHARD_*`` environment knobs mirror the ``REPRO_SERVE_*``
+convention: explicit constructor arguments win, :meth:`ShardConfig.from_env`
+layers the environment between the hard defaults and overrides.
+"""
+
+import os
+from typing import Optional
+
+#: Leading hash bits used for ownership (the prefix value is taken
+#: from the first 64 bits of the digest, so bits must stay <= 64).
+DEFAULT_PREFIX_BITS = 16
+MAX_PREFIX_BITS = 64
+
+
+def _prefix_value(key: str, bits: int) -> int:
+    """The leading ``bits`` bits of a hex content hash, as an integer."""
+    return int(key[:16], 16) >> (64 - bits)
+
+
+def shard_of(key: str, count: int, bits: int = DEFAULT_PREFIX_BITS) -> int:
+    """The shard index owning content hash ``key``.
+
+    Every key is owned by exactly one shard: the map is a total
+    function of the hash prefix, so the per-shard keyspaces partition
+    the whole space (disjoint and complete).
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not 1 <= bits <= MAX_PREFIX_BITS:
+        raise ValueError(
+            "prefix bits must be in [1, %d]" % MAX_PREFIX_BITS
+        )
+    return _prefix_value(key, bits) % count
+
+
+class ShardSlice:
+    """One shard's slice of the content-hash keyspace."""
+
+    __slots__ = ("bits", "count", "index")
+
+    def __init__(self, bits: int, count: int, index: int):
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= index < count:
+            raise ValueError(
+                "shard index %d out of range for %d shards" % (index, count)
+            )
+        if not 1 <= bits <= MAX_PREFIX_BITS:
+            raise ValueError(
+                "prefix bits must be in [1, %d]" % MAX_PREFIX_BITS
+            )
+        self.bits = bits
+        self.count = count
+        self.index = index
+
+    def owner(self, key: str) -> int:
+        return _prefix_value(key, self.bits) % self.count
+
+    def owns(self, key: str) -> bool:
+        return self.owner(key) == self.index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ShardSlice(bits=%d, count=%d, index=%d)" % (
+            self.bits,
+            self.count,
+            self.index,
+        )
+
+
+def _env_int(name: str) -> Optional[int]:
+    value = os.environ.get(name)
+    return int(value) if value else None
+
+
+def _env_float(name: str) -> Optional[float]:
+    value = os.environ.get(name)
+    return float(value) if value else None
+
+
+def _env_bool(name: str) -> Optional[bool]:
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return None
+    return value.strip().lower() not in ("0", "false", "no", "off")
+
+
+class ShardConfig:
+    """Router + fleet tuning knobs, with ``REPRO_SHARD_*`` env defaults.
+
+    The worker daemons inherit their own ``REPRO_SERVE_*`` environment
+    untouched, so per-shard admission control, worker pools and
+    timeouts are tuned exactly like a standalone daemon's.
+    """
+
+    __slots__ = (
+        "host",
+        "http_port",
+        "jsonl_port",
+        "shards",
+        "prefix_bits",
+        "replica",
+        "replica_limit",
+        "replica_path",
+        "queue_limit",
+        "cache_dir",
+        "health_interval",
+        "restart_backoff",
+        "restart_backoff_max",
+        "forward_timeout",
+        "drain_timeout",
+    )
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        http_port: int = 8740,
+        jsonl_port: Optional[int] = None,
+        shards: int = 4,
+        prefix_bits: int = DEFAULT_PREFIX_BITS,
+        replica: bool = True,
+        replica_limit: int = 4096,
+        replica_path: Optional[str] = None,
+        queue_limit: int = 256,
+        cache_dir: str = ".repro-shards",
+        health_interval: float = 1.0,
+        restart_backoff: float = 0.25,
+        restart_backoff_max: float = 5.0,
+        forward_timeout: float = 300.0,
+        drain_timeout: float = 30.0,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not 1 <= prefix_bits <= MAX_PREFIX_BITS:
+            raise ValueError(
+                "prefix_bits must be in [1, %d]" % MAX_PREFIX_BITS
+            )
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if replica_limit < 1:
+            raise ValueError("replica_limit must be >= 1")
+        self.host = host
+        self.http_port = http_port
+        self.jsonl_port = jsonl_port
+        self.shards = shards
+        self.prefix_bits = prefix_bits
+        self.replica = replica
+        self.replica_limit = replica_limit
+        self.replica_path = replica_path
+        self.queue_limit = queue_limit
+        self.cache_dir = cache_dir
+        self.health_interval = health_interval
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_max = restart_backoff_max
+        self.forward_timeout = forward_timeout
+        self.drain_timeout = drain_timeout
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ShardConfig":
+        values = {
+            "shards": _env_int("REPRO_SHARD_N"),
+            "prefix_bits": _env_int("REPRO_SHARD_BITS"),
+            "replica": _env_bool("REPRO_SHARD_REPLICA"),
+            "replica_limit": _env_int("REPRO_SHARD_REPLICA_LIMIT"),
+            "queue_limit": _env_int("REPRO_SHARD_QUEUE"),
+            "health_interval": _env_float("REPRO_SHARD_HEALTH"),
+            "restart_backoff": _env_float("REPRO_SHARD_BACKOFF"),
+            "drain_timeout": _env_float("REPRO_SHARD_DRAIN"),
+        }
+        values = {k: v for k, v in values.items() if v is not None}
+        values.update(overrides)
+        return cls(**values)
+
+    def slice_for(self, index: int) -> ShardSlice:
+        return ShardSlice(self.prefix_bits, self.shards, index)
+
+
+__all__ = [
+    "DEFAULT_PREFIX_BITS",
+    "MAX_PREFIX_BITS",
+    "ShardConfig",
+    "ShardSlice",
+    "shard_of",
+]

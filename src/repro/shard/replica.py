@@ -1,0 +1,115 @@
+"""The router-side read replica of the fleet's warm stores.
+
+Shards settle answers into their own persistent stores (the write
+path); the router additionally keeps the freshly settled response
+bodies in a bounded in-memory LRU -- and, when configured with a
+path, writes them through to a ``replica`` diskcache table so router
+restarts keep their warm set.  A replica hit answers a request at the
+router itself: no shard hop, no sqlite read inside the owner daemon,
+just a dict copy with fresh volatile fields.
+
+**Consistency rule**: replicas are caches.  The owner shard's store is
+the only write path for a content hash, and replica entries are
+content-addressed by the same hash (which covers the engine and schema
+versions), so a replica can be *missing* an answer but can never hold
+a wrong one; there is no invalidation protocol to get wrong.
+
+Stored bodies are the stable (volatile-key-stripped, id-stripped)
+projection of a settled ok-response, so a rebuilt response is
+byte-identical to the daemon's own warm answer modulo
+:data:`~repro.service.batch.VOLATILE_RESPONSE_KEYS`.
+"""
+
+import sqlite3
+from collections import OrderedDict
+from typing import Optional
+
+#: Response keys that must not be replicated: per-request identity and
+#: per-serve volatile annotations, re-stamped at rebuild time.
+_STRIPPED_KEYS = ("id", "cached", "wall_ms", "attempts", "tier", "shard")
+
+
+def stable_body(response: dict) -> dict:
+    """The replicable projection of a settled ok-response."""
+    return {k: v for k, v in response.items() if k not in _STRIPPED_KEYS}
+
+
+class ReplicaStore:
+    """Bounded LRU of content hash -> stable response body."""
+
+    def __init__(self, limit: int = 4096, path: Optional[str] = None):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._disk = None
+        if path is not None:
+            from repro.service.diskcache import DiskCache
+
+            self._disk = DiskCache(path, max_entries=limit, table="replica")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stable body for ``key``, or None (LRU-touching)."""
+        body = self._entries.get(key)
+        if body is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return dict(body)
+        if self._disk is not None:
+            try:
+                body = self._disk.get(key)
+            except (sqlite3.Error, OSError):
+                body = None
+            if body is not None:
+                self._remember(key, body)
+                self.hits += 1
+                return dict(body)
+        self.misses += 1
+        return None
+
+    def offer(self, key: str, response: dict) -> None:
+        """Gossip a freshly settled ok-response into the replica."""
+        if not response.get("ok"):
+            return  # failures are never replicated (mirrors the stores)
+        body = stable_body(response)
+        self._remember(key, body)
+        self.stores += 1
+        if self._disk is not None:
+            try:
+                self._disk.put(key, body)
+            except (sqlite3.Error, OSError):
+                pass  # the replica is an accelerator, never a fault line
+
+    def _remember(self, key: str, body: dict) -> None:
+        entries = self._entries
+        entries[key] = body
+        entries.move_to_end(key)
+        while len(entries) > self.limit:
+            entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def info(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "limit": self.limit,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "persistent": self._disk is not None,
+        }
+
+    def close(self) -> None:
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
+
+
+__all__ = ["ReplicaStore", "stable_body"]

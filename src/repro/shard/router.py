@@ -1,0 +1,490 @@
+"""The shard router: one front door over N keyspace-sliced daemons.
+
+:class:`ShardRouter` duck-types :class:`repro.serve.daemon.CountingDaemon`
+for the wire front ends (``handle`` / ``draining`` / ``metrics`` plus
+the pluggable ``healthz`` / ``stats_snapshot`` hooks), so
+``python -m repro shardserve`` serves the exact HTTP + JSONL protocols
+a single daemon does -- loadgen, the bench suite and every client work
+unmodified against either.
+
+The serve path, cheapest first:
+
+1. **replica** -- the router computes the canonical content hash
+   itself (:meth:`~repro.service.request.JobRequest.content_hash`, the
+   same code the daemons run, so router and shard can never disagree)
+   and answers settled hashes straight from the
+   :class:`~repro.shard.replica.ReplicaStore` -- a warm hit with no
+   shard hop.
+2. **coalesced** -- the fleet in-flight table already has this hash:
+   park on the owner shard's completion (``asyncio.shield``, exactly
+   the daemon's waiter discipline) and re-stamp the response id.
+   Combined with each daemon's own coalescing this makes duplicate
+   suppression *fleet-wide*: N clients bursting alpha-variants of one
+   query through the router cost one executor computation total.
+3. **forwarded** -- route to the owner shard
+   (:func:`~repro.shard.config.shard_of` on the hash prefix), retrying
+   across worker restarts.  Settled ok-responses gossip into the
+   replica before the in-flight entry is released -- the same
+   settle-then-unregister ordering the daemon uses, so a duplicate
+   arriving during settle finds the replica or the still-registered
+   flight, never a second computation.
+
+Every response is annotated with its owning ``"shard"`` index (a
+volatile key, like ``"tier"``), so responses stay byte-identical to a
+single daemon's modulo
+:data:`~repro.service.batch.VOLATILE_RESPONSE_KEYS`.
+"""
+
+import asyncio
+import os
+import signal
+import sys
+import time
+from typing import Mapping, Optional
+
+from repro.presburger.parser import ParseError
+from repro.qpoly.parse import PolynomialParseError
+from repro.serve.daemon import OVERLOADED
+from repro.serve.metrics import (
+    LatencyHistogram,
+    merge_serve_snapshots,
+)
+from repro.service.executor import BAD_REQUEST, PARSE_ERROR
+from repro.service.request import JobRequest, RequestError
+from repro.shard.config import ShardConfig, shard_of
+from repro.shard.replica import ReplicaStore
+from repro.shard.supervisor import ShardWorker, WorkerUnavailable
+
+#: The owner shard stayed unreachable past the forward window (the
+#: supervised restart did not land in time); maps to HTTP 500.
+SHARD_UNAVAILABLE = "shard_unavailable"
+
+#: Router-side answer tiers (the latency histogram keys).
+ROUTER_TIERS = ("replica", "coalesced", "forwarded")
+
+#: Router counter names (always all present, like the daemon's).
+ROUTER_COUNTER_NAMES = (
+    "requests",  # every request entering the router
+    "replica_hits",  # answered from the router-side read replica
+    "coalesced",  # waiters parked on a fleet in-flight computation
+    "forwarded",  # requests routed to their owner shard
+    "shed",  # refused: fleet in-flight table full or draining
+    "front_errors",  # bad request / parse failures before routing
+    "job_errors",  # forwarded requests that settled not-ok
+    "shard_errors",  # owner shard unreachable past the forward window
+    "cancelled_waiters",  # clients cancelled while parked on a flight
+)
+
+
+class RouterMetrics:
+    """Router-side counters and per-tier latency histograms."""
+
+    def __init__(self):
+        self.started_monotonic = time.monotonic()
+        self.counters = {name: 0 for name in ROUTER_COUNTER_NAMES}
+        self.tiers = {tier: LatencyHistogram() for tier in ROUTER_TIERS}
+        self.queue_probe = None
+
+    def bump(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, tier: str, ms: float) -> None:
+        self.tiers[tier].observe(ms)
+
+    def uptime_seconds(self) -> float:
+        return round(time.monotonic() - self.started_monotonic, 3)
+
+    def queue_depth(self) -> int:
+        probe = self.queue_probe
+        if probe is None:
+            return 0
+        try:
+            return int(probe())
+        except Exception:  # pragma: no cover - defensive
+            return 0
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_seconds": self.uptime_seconds(),
+            "queue_depth": self.queue_depth(),
+            "counters": dict(self.counters),
+            "tiers": {
+                tier: hist.snapshot() for tier, hist in self.tiers.items()
+            },
+        }
+
+
+class _Flight:
+    """One fleet-wide in-flight computation and its waiter count."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task):
+        self.task = task
+        self.waiters = 1
+
+
+class ShardRouter:
+    """Hash-prefix router over a fleet of supervised shard daemons."""
+
+    def __init__(self, config: Optional[ShardConfig] = None, workers=None):
+        self.config = config or ShardConfig.from_env()
+        self.metrics = RouterMetrics()
+        self.metrics.queue_probe = lambda: len(self._inflight)
+        self.replica = (
+            ReplicaStore(
+                limit=self.config.replica_limit,
+                path=self.config.replica_path,
+            )
+            if self.config.replica
+            else None
+        )
+        # Tests inject in-process workers; production uses supervised
+        # subprocesses.  Anything with post/get/start/stop/ready works.
+        self.workers = workers
+        self._owns_workers = workers is None
+        self._inflight: "dict[str, _Flight]" = {}
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, log_stream=None) -> None:
+        """Spawn (or adopt) the fleet; returns once every shard is up."""
+        if self.workers is None:
+            os.makedirs(self.config.cache_dir, exist_ok=True)
+            self.workers = [
+                ShardWorker(index, self.config, log_stream=log_stream)
+                for index in range(self.config.shards)
+            ]
+            await asyncio.gather(*(w.start() for w in self.workers))
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Stop admitting, settle flights, SIGTERM-drain the fleet."""
+        self._draining = True
+        tasks = [flight.task for flight in self._inflight.values()]
+        if tasks:
+            done, pending = await asyncio.wait(
+                tasks, timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+        if self._owns_workers and self.workers is not None:
+            await asyncio.gather(*(w.stop() for w in self.workers))
+        if self.replica is not None:
+            self.replica.close()
+
+    # -- the route path ----------------------------------------------------
+
+    async def handle(self, obj, tenant: str = "") -> dict:
+        """Answer one raw request object; never raises for bad input."""
+        t0 = time.monotonic()
+        m = self.metrics
+        m.bump("requests")
+        if not isinstance(obj, Mapping):
+            m.bump("front_errors")
+            return self._error_response(
+                None, BAD_REQUEST, "request must be a JSON object", t0
+            )
+        rid = obj.get("id")
+        if self._draining:
+            m.bump("shed")
+            return self._error_response(
+                rid, OVERLOADED, "router is draining", t0
+            )
+        try:
+            req = JobRequest.from_json(obj)
+        except RequestError as exc:
+            m.bump("front_errors")
+            return self._error_response(rid, BAD_REQUEST, str(exc), t0)
+        try:
+            key = req.content_hash()
+        except (ParseError, PolynomialParseError) as exc:
+            m.bump("front_errors")
+            return self._error_response(req.id, PARSE_ERROR, str(exc), t0)
+        except Exception as exc:
+            m.bump("front_errors")
+            return self._error_response(
+                req.id, BAD_REQUEST, "%s: %s" % (type(exc).__name__, exc), t0
+            )
+        owner = shard_of(key, self.config.shards, self.config.prefix_bits)
+
+        # Tier 1: the router-side read replica (no shard hop).
+        if self.replica is not None:
+            body = self.replica.get(key)
+            if body is not None:
+                m.bump("replica_hits")
+                return self._rebuild(body, req.id, owner, t0)
+
+        # Tier 2: park on a fleet in-flight computation.
+        flight = self._inflight.get(key)
+        if flight is not None:
+            flight.waiters += 1
+            m.bump("coalesced")
+            response = await self._await_shared(flight)
+            return self._restamp(response, req.id, "coalesced", t0)
+
+        # Tier 3: forward to the owner shard.
+        if len(self._inflight) >= self.config.queue_limit:
+            m.bump("shed")
+            return self._error_response(
+                req.id,
+                OVERLOADED,
+                "router in-flight table full (%d computations)"
+                % len(self._inflight),
+                t0,
+            )
+        loop = asyncio.get_event_loop()
+        flight = _Flight(
+            loop.create_task(self._forward(key, owner, dict(obj), tenant))
+        )
+        self._inflight[key] = flight
+        response = await self._await_shared(flight)
+        m.bump("forwarded")
+        if not response.get("ok"):
+            m.bump("job_errors")
+        self._observe("forwarded", t0)
+        return dict(response)
+
+    async def _await_shared(self, flight: _Flight) -> dict:
+        """The daemon's shielded-waiter discipline, fleet-scoped."""
+        try:
+            return await asyncio.shield(flight.task)
+        except asyncio.CancelledError:
+            self.metrics.bump("cancelled_waiters")
+            raise
+
+    async def _forward(
+        self, key: str, owner: int, obj: dict, tenant: str
+    ) -> dict:
+        """The single fleet-wide flight for one content hash."""
+        try:
+            try:
+                _status, response = await self.workers[owner].post(
+                    obj, tenant
+                )
+            except WorkerUnavailable as exc:
+                self.metrics.bump("shard_errors")
+                return {
+                    "id": obj.get("id"),
+                    "ok": False,
+                    "error": {
+                        "kind": SHARD_UNAVAILABLE,
+                        "message": str(exc),
+                    },
+                    "cached": False,
+                    "wall_ms": 0.0,
+                    "attempts": 0,
+                    "tier": "front",
+                    "shard": owner,
+                }
+            response["shard"] = owner
+            if self.replica is not None:
+                self.replica.offer(key, response)
+            return response
+        finally:
+            # Release only after the replica holds the answer, so a
+            # duplicate arriving during settle finds the replica (or
+            # the still-registered flight), never a second forward.
+            self._inflight.pop(key, None)
+
+    # -- response shaping --------------------------------------------------
+
+    def _observe(self, tier: str, t0: float) -> None:
+        self.metrics.observe(tier, (time.monotonic() - t0) * 1000.0)
+
+    def _rebuild(self, body: dict, rid, owner: int, t0: float) -> dict:
+        """A replica body re-stamped as this request's warm answer."""
+        response = dict(body)
+        response["id"] = rid
+        response["cached"] = True
+        response["wall_ms"] = round((time.monotonic() - t0) * 1000.0, 3)
+        response["attempts"] = 0
+        response["tier"] = "warm"
+        response["shard"] = owner
+        self._observe("replica", t0)
+        return response
+
+    def _restamp(self, response: dict, rid, tier: str, t0: float) -> dict:
+        """A shared flight's response re-identified for one waiter."""
+        out = dict(response)
+        out["id"] = rid
+        out["tier"] = tier
+        out["wall_ms"] = round((time.monotonic() - t0) * 1000.0, 3)
+        self._observe(tier, t0)
+        return out
+
+    def _error_response(self, rid, kind: str, message: str, t0: float) -> dict:
+        return {
+            "id": rid,
+            "ok": False,
+            "error": {"kind": kind, "message": message},
+            "cached": False,
+            "wall_ms": round((time.monotonic() - t0) * 1000.0, 3),
+            "attempts": 0,
+            "tier": "front",
+        }
+
+    # -- fleet introspection (plugged into the HTTP front end) -------------
+
+    def healthz(self) -> dict:
+        """Fleet health: the router is ok while any shard can answer."""
+        shards = []
+        for worker in self.workers or []:
+            shards.append(
+                {
+                    "index": worker.index,
+                    "ready": worker.ready.is_set(),
+                    "port": worker.port,
+                    "restarts": worker.restarts,
+                }
+            )
+        ready = sum(1 for s in shards if s["ready"])
+        return {
+            "ok": not self._draining and ready == len(shards) and shards != [],
+            "draining": self._draining,
+            "uptime_seconds": self.metrics.uptime_seconds(),
+            "queue_depth": self.metrics.queue_depth(),
+            "shards_ready": ready,
+            "shards": shards,
+        }
+
+    async def stats_snapshot(self) -> dict:
+        """Aggregated fleet ``/stats``: engine counters summed, serve
+        histograms merged associatively (see
+        :func:`repro.serve.metrics.merge_serve_snapshots`), plus the
+        router's own section and a per-shard breakdown.
+
+        Shaped like a single daemon's ``/stats`` (engine counters at
+        the top level, ``"serve"`` nested), so loadgen and dashboards
+        read either unchanged.
+        """
+        workers = self.workers or []
+        docs = await asyncio.gather(*(w.get("/stats") for w in workers))
+        engine: dict = {}
+        serve_docs = []
+        shards = {}
+        for worker, doc in zip(workers, docs):
+            shards[str(worker.index)] = {
+                "ready": worker.ready.is_set(),
+                "port": worker.port,
+                "restarts": worker.restarts,
+                "reachable": doc is not None,
+            }
+            if doc is None:
+                continue
+            serve = doc.get("serve")
+            if isinstance(serve, dict):
+                serve_docs.append(serve)
+                shards[str(worker.index)]["counters"] = serve.get(
+                    "counters", {}
+                )
+            for name, value in doc.items():
+                if name == "serve" or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    if name.endswith("_limit"):
+                        engine[name] = max(engine.get(name, 0), value)
+                    else:
+                        engine[name] = engine.get(name, 0) + value
+        snapshot = engine
+        snapshot["serve"] = merge_serve_snapshots(serve_docs)
+        snapshot["router"] = self.metrics.snapshot()
+        if self.replica is not None:
+            snapshot["router"]["replica"] = self.replica.info()
+        snapshot["shards"] = shards
+        return snapshot
+
+
+# -- CLI entry ------------------------------------------------------------
+
+
+async def _shardserve(config: ShardConfig, ready_stream=None) -> int:
+    from repro.serve.http import HttpFrontend, JsonlFrontend
+
+    stream = ready_stream if ready_stream is not None else sys.stderr
+    router = ShardRouter(config)
+    await router.start(log_stream=stream)
+    http = HttpFrontend(router, config.host, config.http_port)
+    await http.start()
+    jsonl = None
+    if config.jsonl_port is not None:
+        jsonl = JsonlFrontend(router, config.host, config.jsonl_port)
+        await jsonl.start()
+
+    stop = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    for signame in ("SIGTERM", "SIGINT"):
+        loop.add_signal_handler(getattr(signal, signame), stop.set)
+
+    ready = "repro shardserve: router listening on http://%s:%d (%d shards)" % (
+        config.host,
+        http.port,
+        config.shards,
+    )
+    if jsonl is not None:
+        ready += ", jsonl on %s:%d" % (config.host, jsonl.port)
+    print(ready, file=stream, flush=True)
+    await stop.wait()
+
+    print("repro shardserve: draining...", file=stream, flush=True)
+    await http.stop()
+    if jsonl is not None:
+        await jsonl.stop()
+    counters = dict(router.metrics.counters)
+    restarts = sum(w.restarts for w in router.workers or [])
+    await router.drain()
+    print(
+        "repro shardserve: drained; %d requests (%d replica, %d coalesced,"
+        " %d forwarded, %d shed), %d worker restarts"
+        % (
+            counters["requests"],
+            counters["replica_hits"],
+            counters["coalesced"],
+            counters["forwarded"],
+            counters["shed"],
+            restarts,
+        ),
+        file=stream,
+        flush=True,
+    )
+    return 0
+
+
+def shardserve_main(args) -> int:
+    """Entry point behind ``python -m repro shardserve``."""
+    config = ShardConfig.from_env(
+        host=args.host,
+        http_port=args.http_port,
+        jsonl_port=args.jsonl_port,
+        cache_dir=args.cache_dir,
+        **{
+            k: v
+            for k, v in (
+                ("shards", args.shards),
+                ("prefix_bits", args.prefix_bits),
+                ("replica", False if args.no_replica else None),
+                ("replica_limit", args.replica_limit),
+                ("queue_limit", args.queue_limit),
+                ("health_interval", args.health_interval),
+                ("forward_timeout", args.forward_timeout),
+                ("drain_timeout", args.drain_timeout),
+            )
+            if v is not None
+        }
+    )
+    return asyncio.run(_shardserve(config))
+
+
+__all__ = [
+    "ROUTER_COUNTER_NAMES",
+    "ROUTER_TIERS",
+    "RouterMetrics",
+    "SHARD_UNAVAILABLE",
+    "ShardRouter",
+    "shardserve_main",
+]

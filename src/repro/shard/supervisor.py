@@ -1,0 +1,403 @@
+"""Shard worker supervision: spawn, health-check, restart, drain.
+
+Each :class:`ShardWorker` owns one ``python -m repro serve`` child
+process pinned to a keyspace slice via the ``REPRO_SHARD_INDEX`` /
+``REPRO_SHARD_N`` / ``REPRO_SHARD_BITS`` environment (the only place
+those are set -- a standalone daemon never sees an index, so a stray
+``REPRO_SHARD_N`` in the router's shell cannot slice it).  The worker
+binds port 0 and announces the real port on stderr; the supervisor
+parses that ready line, then:
+
+* relays the child's remaining stderr with a ``[shard-N]`` prefix so
+  one router log tells the whole fleet's story;
+* polls ``GET /healthz`` every ``health_interval`` seconds and kills a
+  child that fails three consecutive probes (a restart, not an error);
+* restarts an exited child with exponential backoff
+  (``restart_backoff`` doubling up to ``restart_backoff_max``), reset
+  once the replacement reports healthy;
+* on drain, forwards SIGTERM and waits ``drain_timeout`` for the
+  child's own graceful drain, escalating to SIGKILL.
+
+Forwarding is retried: :meth:`ShardWorker.post` waits on the ready
+event and re-sends on connection errors until ``forward_timeout``, so
+a worker killed mid-request costs its clients latency, never an error.
+Retrying a counting request is safe by construction -- requests are
+idempotent, content-addressed, and coalesced/cached on the worker.
+
+All shards share one sqlite store file (results + answers + automata
+tables); disjointness comes from hash-prefix ownership, enforced
+belt-and-braces by the daemon's misrouted refusal and the disk cache's
+:class:`~repro.service.diskcache.MisroutedWriteError` guard.
+"""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import sys
+from typing import Optional, Tuple
+
+from repro.shard.config import ShardConfig
+
+#: Consecutive failed health probes before the supervisor kills the
+#: worker and lets the restart path replace it.
+HEALTH_FAILURES = 3
+
+#: Pause between forwarding retries while a worker is down.
+RETRY_PAUSE = 0.05
+
+_READY_RE = re.compile(r"listening on http://([^\s:]+):(\d+)")
+
+
+class WorkerUnavailable(ConnectionError):
+    """A shard stayed unreachable for the whole forward window."""
+
+
+async def http_roundtrip(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    doc: Optional[dict] = None,
+    tenant: str = "",
+) -> Tuple[int, dict, bool]:
+    """One HTTP/1.1 exchange on an open connection.
+
+    Returns ``(status, body_doc, keep_alive)``.  Shared by the worker
+    forwarding pool and tests; raises ``ConnectionError`` /
+    ``asyncio.IncompleteReadError`` on a torn connection so callers
+    can retry on a fresh one.
+    """
+    body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+    head = (
+        "%s %s HTTP/1.1\r\n"
+        "Host: shard\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: %d\r\n" % (method, path, len(body))
+    )
+    if tenant:
+        head += "X-Repro-Tenant: %s\r\n" % tenant
+    writer.write(head.encode("latin-1") + b"\r\n" + body)
+    await writer.drain()
+
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("worker closed the connection")
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError("malformed status line: %r" % line)
+    status = int(parts[1])
+    headers = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    payload = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    return status, json.loads(payload.decode("utf-8")), keep_alive
+
+
+class ShardWorker:
+    """One supervised ``repro serve`` child owning a keyspace slice."""
+
+    def __init__(self, index: int, config: ShardConfig, log_stream=None):
+        self.index = index
+        self.config = config
+        self.host = config.host
+        self.port: Optional[int] = None
+        #: Set while the child is accepting requests; cleared on exit.
+        self.ready = asyncio.Event()
+        self.restarts = 0
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.log = log_stream if log_stream is not None else sys.stderr
+        self._supervise_task: Optional[asyncio.Task] = None
+        self._relay_task: Optional[asyncio.Task] = None
+        self._stopping = False
+        self._pool: "asyncio.LifoQueue[Tuple]" = asyncio.LifoQueue()
+        self._generation = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the child and begin supervising; returns once ready."""
+        self._supervise_task = asyncio.ensure_future(self._supervise())
+        await asyncio.wait_for(self.ready.wait(), timeout=60.0)
+
+    async def stop(self) -> None:
+        """Graceful drain: SIGTERM, wait, SIGKILL fallback."""
+        self._stopping = True
+        proc = self.proc
+        if proc is not None and proc.returncode is None:
+            try:
+                proc.send_signal(signal.SIGTERM)
+            except ProcessLookupError:  # pragma: no cover - exit race
+                pass
+            try:
+                await asyncio.wait_for(
+                    proc.wait(), timeout=self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - stuck child
+                self._log("worker %d did not drain; killing" % self.index)
+                proc.kill()
+                await proc.wait()
+        if self._supervise_task is not None:
+            self._supervise_task.cancel()
+            try:
+                await self._supervise_task
+            except asyncio.CancelledError:
+                pass
+            self._supervise_task = None
+        self._flush_pool()
+        self.ready.clear()
+
+    def _log(self, message: str) -> None:
+        print("repro shard: %s" % message, file=self.log, flush=True)
+
+    # -- the supervise loop ------------------------------------------------
+
+    def _command(self):
+        store = os.path.join(self.config.cache_dir, "store.sqlite")
+        return [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.config.host,
+            "--http-port",
+            "0",
+            "--cache",
+            store,
+            "--answer-cache",
+            store,
+            "--automaton-cache",
+            store,
+        ]
+
+    def _environment(self):
+        env = dict(os.environ)
+        env["REPRO_SHARD_INDEX"] = str(self.index)
+        env["REPRO_SHARD_N"] = str(self.config.shards)
+        env["REPRO_SHARD_BITS"] = str(self.config.prefix_bits)
+        return env
+
+    async def _supervise(self) -> None:
+        backoff = self.config.restart_backoff
+        while not self._stopping:
+            try:
+                became_ready = await self._run_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # spawn/parse failure: retry
+                self._log(
+                    "worker %d failed to start: %s" % (self.index, exc)
+                )
+                became_ready = False
+            self.ready.clear()
+            self._flush_pool()
+            if self._stopping:
+                break
+            self.restarts += 1
+            self._log(
+                "worker %d exited; restarting in %.2fs (restart #%d)"
+                % (self.index, backoff, self.restarts)
+            )
+            await asyncio.sleep(backoff)
+            if became_ready:
+                backoff = self.config.restart_backoff
+            else:
+                backoff = min(backoff * 2, self.config.restart_backoff_max)
+
+    async def _run_once(self) -> bool:
+        """One child lifetime; returns True if it ever became ready."""
+        os.makedirs(self.config.cache_dir, exist_ok=True)
+        self.proc = await asyncio.create_subprocess_exec(
+            *self._command(),
+            env=self._environment(),
+            stderr=asyncio.subprocess.PIPE,
+        )
+        proc = self.proc
+        self._generation += 1
+        try:
+            port = await asyncio.wait_for(
+                self._await_ready_line(proc.stderr), timeout=30.0
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            if proc.returncode is None:  # pragma: no cover - hung child
+                proc.kill()
+            await proc.wait()
+            return False
+        self.port = port
+        self.ready.set()
+        self._log(
+            "worker %d ready on http://%s:%d" % (self.index, self.host, port)
+        )
+        self._relay_task = asyncio.ensure_future(self._relay(proc.stderr))
+        health = asyncio.ensure_future(self._health_loop(proc))
+        try:
+            await proc.wait()
+        finally:
+            health.cancel()
+            if self._relay_task is not None:
+                self._relay_task.cancel()
+                self._relay_task = None
+        return True
+
+    async def _await_ready_line(self, stream) -> int:
+        """Read child stderr until the 'listening on' line; return port."""
+        while True:
+            raw = await stream.readline()
+            if not raw:
+                raise asyncio.IncompleteReadError(b"", None)
+            line = raw.decode("utf-8", "replace").rstrip()
+            match = _READY_RE.search(line)
+            if match:
+                return int(match.group(2))
+            self._log("[shard-%d] %s" % (self.index, line))
+
+    async def _relay(self, stream) -> None:
+        """Forward the child's stderr into the router log, prefixed."""
+        try:
+            while True:
+                raw = await stream.readline()
+                if not raw:
+                    return
+                self._log(
+                    "[shard-%d] %s"
+                    % (self.index, raw.decode("utf-8", "replace").rstrip())
+                )
+        except asyncio.CancelledError:
+            pass
+
+    async def _health_loop(self, proc) -> None:
+        """Kill the child after HEALTH_FAILURES consecutive bad probes."""
+        failures = 0
+        try:
+            while proc.returncode is None:
+                await asyncio.sleep(self.config.health_interval)
+                try:
+                    status, doc, _ = await asyncio.wait_for(
+                        self._once("GET", "/healthz"),
+                        timeout=max(self.config.health_interval, 1.0),
+                    )
+                    healthy = status == 200 and doc.get("ok", False)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    healthy = False
+                failures = 0 if healthy else failures + 1
+                if failures >= HEALTH_FAILURES:
+                    self._log(
+                        "worker %d failed %d health checks; recycling"
+                        % (self.index, failures)
+                    )
+                    if proc.returncode is None:
+                        proc.kill()
+                    return
+        except asyncio.CancelledError:
+            pass
+
+    # -- the forwarding pool -----------------------------------------------
+
+    def _flush_pool(self) -> None:
+        while True:
+            try:
+                _, _, writer = self._pool.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            writer.close()
+
+    async def _once(
+        self,
+        method: str,
+        path: str,
+        doc: Optional[dict] = None,
+        tenant: str = "",
+    ) -> Tuple[int, dict, bool]:
+        """One attempt on a pooled (or fresh) keep-alive connection."""
+        if self.port is None:
+            raise ConnectionError("shard %d has never been up" % self.index)
+        generation = self._generation
+        reader = writer = None
+        while True:
+            try:
+                pooled_gen, reader, writer = self._pool.get_nowait()
+            except asyncio.QueueEmpty:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            if pooled_gen == generation and not writer.is_closing():
+                break
+            writer.close()
+        try:
+            status, body, keep_alive = await http_roundtrip(
+                reader, writer, method, path, doc, tenant
+            )
+        except BaseException:
+            writer.close()
+            raise
+        if keep_alive and not writer.is_closing():
+            self._pool.put_nowait((generation, reader, writer))
+        else:
+            writer.close()
+        return status, body, keep_alive
+
+    async def post(
+        self, obj: dict, tenant: str = "", path: str = "/job"
+    ) -> Tuple[int, dict]:
+        """Forward one request, retrying across worker restarts.
+
+        Waits on the ready event whenever the worker is down, so a
+        mid-run kill parks callers until the supervised replacement is
+        listening.  Gives up only after ``forward_timeout`` seconds.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + self.config.forward_timeout
+        last: Optional[BaseException] = None
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise WorkerUnavailable(
+                    "shard %d unreachable for %.1fs: %s"
+                    % (self.index, self.config.forward_timeout, last)
+                )
+            try:
+                await asyncio.wait_for(self.ready.wait(), timeout=remaining)
+                status, body, _ = await self._once("POST", path, obj, tenant)
+                return status, body
+            except asyncio.TimeoutError as exc:
+                last = exc
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                OSError,
+                ValueError,
+            ) as exc:
+                # ValueError covers a body truncated by a dying worker.
+                last = exc
+                await asyncio.sleep(RETRY_PAUSE)
+
+    async def get(self, path: str, timeout: float = 5.0) -> Optional[dict]:
+        """Fetch a GET endpoint; None when the worker is unreachable."""
+        try:
+            status, body, _ = await asyncio.wait_for(
+                self._once("GET", path), timeout=timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError, ValueError):
+            return None
+        except asyncio.IncompleteReadError:
+            return None
+        return body if status == 200 else None
+
+
+__all__ = [
+    "HEALTH_FAILURES",
+    "ShardWorker",
+    "WorkerUnavailable",
+    "http_roundtrip",
+]

@@ -1,0 +1,168 @@
+"""DiskCache under shard ownership: disjoint slices of one table.
+
+Sharded serving points every worker at the *same* sqlite store file;
+disjointness is a property of the hash-prefix ownership predicate, not
+of separate files.  These tests pin the two guard layers: the store's
+own :class:`~repro.service.diskcache.MisroutedWriteError` refusal, and
+the daemon's front-door ``misrouted`` (HTTP 421) refusal.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.diskcache import DiskCache, MisroutedWriteError
+from repro.shard.config import ShardSlice, shard_of
+
+BITS = 16
+
+
+def _hashes(n, seed=0):
+    return [
+        hashlib.sha256(b"%d:%d" % (seed, k)).hexdigest() for k in range(n)
+    ]
+
+
+class TestOwnershipGuard:
+    def test_owned_write_lands_foreign_write_refused(self, tmp_path):
+        s = ShardSlice(BITS, 2, 0)
+        cache = DiskCache(str(tmp_path / "c.sqlite"), owns=s.owns)
+        keys = _hashes(64)
+        mine = [k for k in keys if s.owns(k)]
+        foreign = [k for k in keys if not s.owns(k)]
+        assert mine and foreign  # 64 hashes always straddle 2 shards
+        cache.put(mine[0], {"v": 1})
+        assert cache.get(mine[0]) == {"v": 1}
+        with pytest.raises(MisroutedWriteError):
+            cache.put(foreign[0], {"v": 2})
+        assert foreign[0] not in cache
+        cache.close()
+
+    def test_reads_of_foreign_keys_are_unguarded_misses(self, tmp_path):
+        """Reads stay open: a foreign read is a harmless miss, and a
+        re-partition must be able to read leftovers, not crash."""
+        path = str(tmp_path / "c.sqlite")
+        s = ShardSlice(BITS, 2, 0)
+        foreign = next(k for k in _hashes(64) if not s.owns(k))
+        with DiskCache(path) as unguarded:
+            unguarded.put(foreign, {"v": 3})
+        guarded = DiskCache(path, owns=s.owns)
+        assert guarded.get(foreign) == {"v": 3}
+        guarded.close()
+
+    def test_unguarded_cache_accepts_everything(self, tmp_path):
+        cache = DiskCache(str(tmp_path / "c.sqlite"))
+        for key in _hashes(8):
+            cache.put(key, {"k": key})
+        assert len(cache) == 8
+        cache.close()
+
+
+_WRITER = """
+import json, sys
+sys.path.insert(0, %(src)r)
+from repro.service.diskcache import DiskCache
+from repro.shard.config import ShardSlice
+
+index = int(sys.argv[1])
+s = ShardSlice(%(bits)d, 2, index)
+cache = DiskCache(%(path)r, table="answers", owns=s.owns)
+keys = json.loads(sys.argv[2])
+wrote = 0
+for key in keys:
+    if s.owns(key):
+        cache.put(key, {"writer": index, "key": key})
+        wrote += 1
+cache.close()
+print(wrote)
+"""
+
+
+class TestTwoProcessesOneTable:
+    def test_disjoint_slices_of_one_answers_table(self, tmp_path):
+        """Two shard processes share one ``answers`` table; every row
+        lands exactly once, written by its owner."""
+        path = str(tmp_path / "store.sqlite")
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        keys = _hashes(80, seed=7)
+        script = _WRITER % {
+            "src": os.path.abspath(src),
+            "bits": BITS,
+            "path": path,
+        }
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(i), json.dumps(keys)],
+                stdout=subprocess.PIPE,
+            )
+            for i in (0, 1)
+        ]
+        wrote = []
+        for proc in procs:
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0
+            wrote.append(int(out))
+        assert sum(wrote) == len(keys)  # partition: disjoint and total
+
+        cache = DiskCache(path, table="answers")
+        assert len(cache) == len(keys)
+        for key in keys:
+            payload = cache.get(key)
+            assert payload["writer"] == shard_of(key, 2, BITS)
+        cache.close()
+
+
+class TestDaemonMisroutedRefusal:
+    def test_foreign_hash_gets_421_misrouted(self):
+        import asyncio
+
+        from repro.serve.daemon import MISROUTED, CountingDaemon, ServeConfig
+        from repro.serve.http import response_status
+        from repro.service.request import JobRequest
+
+        # Vary a bound until the two requests split across shards.
+        owned = foreign = None
+        for n in range(40):
+            obj = {
+                "id": "m%d" % n,
+                "kind": "count",
+                "formula": "1 <= i <= %d" % (n + 2),
+                "over": ["i"],
+            }
+            key = JobRequest.from_json(dict(obj)).content_hash()
+            if shard_of(key, 2, BITS) == 0:
+                owned = owned or obj
+            else:
+                foreign = foreign or obj
+            if owned and foreign:
+                break
+        assert owned and foreign
+
+        async def scenario():
+            config = ServeConfig(
+                cache_path=None,
+                shard_index=0,
+                shard_count=2,
+                shard_bits=BITS,
+            )
+            daemon = CountingDaemon(config)
+            daemon.start()
+            try:
+                ok = await daemon.handle(owned)
+                refused = await daemon.handle(foreign)
+                misrouted = daemon.metrics.counters["misrouted"]
+            finally:
+                await daemon.drain()
+            return ok, refused, misrouted
+
+        ok, refused, misrouted = asyncio.run(scenario())
+        assert ok["ok"] and ok["tier"] == "cold"
+        assert not refused["ok"]
+        assert refused["error"]["kind"] == MISROUTED
+        assert "shard router" in refused["error"]["message"]
+        assert response_status(refused) == 421
+        assert misrouted == 1

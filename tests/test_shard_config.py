@@ -1,0 +1,148 @@
+"""Shard keyspace ownership: hash-prefix partition and config knobs."""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.shard.config import (
+    DEFAULT_PREFIX_BITS,
+    MAX_PREFIX_BITS,
+    ShardConfig,
+    ShardSlice,
+    shard_of,
+)
+
+
+def _random_hashes(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        hashlib.sha256(b"%d" % rng.randrange(10**12)).hexdigest()
+        for _ in range(n)
+    ]
+
+
+class TestShardOf:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 7, 16])
+    def test_partition_is_total_and_disjoint(self, count):
+        """Every key is owned by exactly one shard: slices are a
+        partition of the keyspace by construction."""
+        slices = [
+            ShardSlice(DEFAULT_PREFIX_BITS, count, i) for i in range(count)
+        ]
+        for key in _random_hashes(500):
+            owners = [s.index for s in slices if s.owns(key)]
+            assert owners == [shard_of(key, count)]
+
+    def test_ownership_agrees_between_router_and_slice(self):
+        for key in _random_hashes(200, seed=1):
+            for count in (2, 4, 5):
+                s = ShardSlice(DEFAULT_PREFIX_BITS, count, 0)
+                assert s.owner(key) == shard_of(key, count)
+
+    def test_spread_is_roughly_even(self):
+        """16 prefix bits over 4 shards: no shard gets everything."""
+        counts = [0, 0, 0, 0]
+        for key in _random_hashes(2000, seed=2):
+            counts[shard_of(key, 4)] += 1
+        assert min(counts) > 300  # ~500 expected per shard
+
+    def test_single_shard_owns_everything(self):
+        s = ShardSlice(DEFAULT_PREFIX_BITS, 1, 0)
+        assert all(s.owns(k) for k in _random_hashes(50, seed=3))
+
+    def test_prefix_bits_bounds(self):
+        key = _random_hashes(1)[0]
+        assert shard_of(key, 2, bits=1) in (0, 1)
+        assert shard_of(key, 2, bits=MAX_PREFIX_BITS) in (0, 1)
+        with pytest.raises(ValueError):
+            shard_of(key, 2, bits=0)
+        with pytest.raises(ValueError):
+            shard_of(key, 2, bits=MAX_PREFIX_BITS + 1)
+        with pytest.raises(ValueError):
+            shard_of(key, 0)
+
+
+class TestShardSlice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardSlice(16, 0, 0)
+        with pytest.raises(ValueError):
+            ShardSlice(16, 4, 4)
+        with pytest.raises(ValueError):
+            ShardSlice(16, 4, -1)
+        with pytest.raises(ValueError):
+            ShardSlice(0, 4, 0)
+
+
+class TestShardConfig:
+    def test_defaults(self):
+        config = ShardConfig()
+        assert config.shards == 4
+        assert config.prefix_bits == DEFAULT_PREFIX_BITS
+        assert config.replica is True
+        assert config.queue_limit == 256
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_N", "8")
+        monkeypatch.setenv("REPRO_SHARD_BITS", "12")
+        monkeypatch.setenv("REPRO_SHARD_REPLICA", "off")
+        monkeypatch.setenv("REPRO_SHARD_QUEUE", "32")
+        config = ShardConfig.from_env()
+        assert config.shards == 8
+        assert config.prefix_bits == 12
+        assert config.replica is False
+        assert config.queue_limit == 32
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_N", "8")
+        assert ShardConfig.from_env(shards=2).shards == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardConfig(shards=0)
+        with pytest.raises(ValueError):
+            ShardConfig(prefix_bits=0)
+        with pytest.raises(ValueError):
+            ShardConfig(queue_limit=0)
+        with pytest.raises(ValueError):
+            ShardConfig(replica_limit=0)
+
+    def test_slice_for(self):
+        config = ShardConfig(shards=3, prefix_bits=10)
+        s = config.slice_for(2)
+        assert (s.bits, s.count, s.index) == (10, 3, 2)
+
+
+class TestServeConfigSharding:
+    """The daemon side: REPRO_SHARD_INDEX is the opt-in."""
+
+    def test_index_requires_count(self):
+        from repro.serve.daemon import ServeConfig
+
+        with pytest.raises(ValueError):
+            ServeConfig(shard_index=0)
+        with pytest.raises(ValueError):
+            ServeConfig(shard_index=3, shard_count=3)
+
+    def test_stray_shard_n_does_not_slice_a_standalone_daemon(
+        self, monkeypatch
+    ):
+        from repro.serve.daemon import ServeConfig
+
+        monkeypatch.setenv("REPRO_SHARD_N", "4")
+        monkeypatch.delenv("REPRO_SHARD_INDEX", raising=False)
+        config = ServeConfig.from_env()
+        assert config.shard_index is None
+        assert config.shard_slice() is None
+
+    def test_supervisor_environment_slices_the_daemon(self, monkeypatch):
+        from repro.serve.daemon import ServeConfig
+
+        monkeypatch.setenv("REPRO_SHARD_INDEX", "1")
+        monkeypatch.setenv("REPRO_SHARD_N", "4")
+        monkeypatch.setenv("REPRO_SHARD_BITS", "16")
+        s = ServeConfig.from_env().shard_slice()
+        assert (s.bits, s.count, s.index) == (16, 4, 1)
+        for key in _random_hashes(100, seed=4):
+            assert s.owns(key) == (shard_of(key, 4) == 1)
